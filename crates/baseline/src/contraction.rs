@@ -1,0 +1,272 @@
+//! Randomized contraction algorithms (Karger; Karger–Stein \[18\]).
+//!
+//! Adjacency-matrix formulation: contracting an edge adds one row/column
+//! into another, `O(n)` per contraction. A single contraction run finds a
+//! minimum cut with probability `Ω(1/n²)`; Karger–Stein's recursion
+//! (contract to `n/√2 + 1`, recurse twice, keep the better) amplifies this
+//! to `Ω(1/log n)` per run at `O(n² log n)` work — the Table 1 row
+//! "`O(n² log³ n)` work" when repeated `O(log² n)` times.
+
+use pmc_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Cut;
+
+/// Dense working state for contraction runs.
+#[derive(Clone)]
+struct Dense {
+    /// Matrix dimension (shrinks on [`Dense::compact`]).
+    n: usize,
+    /// Vertex count of the original graph (for witness sides).
+    orig_n: usize,
+    w: Vec<u64>,
+    active: Vec<usize>,
+    /// Original vertices merged into each dense vertex.
+    merged: Vec<Vec<u32>>,
+    /// Weighted degree (within active set) per vertex.
+    deg: Vec<u64>,
+}
+
+impl Dense {
+    fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let mut w = vec![0u64; n * n];
+        for e in g.edges() {
+            w[e.u as usize * n + e.v as usize] += e.w;
+            w[e.v as usize * n + e.u as usize] += e.w;
+        }
+        let deg = (0..n)
+            .map(|u| (0..n).map(|v| w[u * n + v]).sum())
+            .collect();
+        Dense {
+            n,
+            orig_n: n,
+            w,
+            active: (0..n).collect(),
+            merged: (0..n as u32).map(|v| vec![v]).collect(),
+            deg,
+        }
+    }
+
+    /// Rebuilds the matrix over the active vertices only, so recursive
+    /// clones cost `O(k²)` instead of `O(n_orig²)` — this is what makes
+    /// Karger–Stein's `O(n² log n)`-per-run bound actually hold.
+    fn compact(&mut self) {
+        let k = self.active.len();
+        if k == self.n {
+            return;
+        }
+        let mut w = vec![0u64; k * k];
+        let mut merged: Vec<Vec<u32>> = Vec::with_capacity(k);
+        let mut deg = vec![0u64; k];
+        for (i, &a) in self.active.iter().enumerate() {
+            for (j, &b) in self.active.iter().enumerate() {
+                w[i * k + j] = self.w[a * self.n + b];
+            }
+            deg[i] = self.deg[a];
+            merged.push(std::mem::take(&mut self.merged[a]));
+        }
+        self.n = k;
+        self.w = w;
+        self.deg = deg;
+        self.merged = merged;
+        self.active = (0..k).collect();
+    }
+
+    /// Picks a random edge with probability proportional to its weight and
+    /// contracts it. Returns false if no edges remain (disconnected).
+    fn contract_random<R: Rng>(&mut self, rng: &mut R) -> bool {
+        let total: u64 = self.active.iter().map(|&v| self.deg[v]).sum::<u64>() / 2;
+        if total == 0 {
+            return false;
+        }
+        // Sample endpoint u proportional to degree, then v | u by row weight.
+        let mut draw = rng.gen_range(0..2 * total);
+        let mut u = self.active[0];
+        for &v in &self.active {
+            if draw < self.deg[v] {
+                u = v;
+                break;
+            }
+            draw -= self.deg[v];
+        }
+        let mut draw = rng.gen_range(0..self.deg[u]);
+        let mut v = usize::MAX;
+        for &x in &self.active {
+            let wx = self.w[u * self.n + x];
+            if draw < wx {
+                v = x;
+                break;
+            }
+            draw -= wx;
+        }
+        debug_assert_ne!(v, usize::MAX);
+        self.contract_pair(u, v);
+        true
+    }
+
+    /// Merges `v` into `u`.
+    fn contract_pair(&mut self, u: usize, v: usize) {
+        let n = self.n;
+        let uv = self.w[u * n + v];
+        self.deg[u] -= uv;
+        for &x in &self.active {
+            if x == u || x == v {
+                continue;
+            }
+            let add = self.w[v * n + x];
+            self.w[u * n + x] += add;
+            self.w[x * n + u] += add;
+            self.deg[u] += add;
+        }
+        self.w[u * n + v] = 0;
+        self.w[v * n + u] = 0;
+        let moved = std::mem::take(&mut self.merged[v]);
+        self.merged[u].extend(moved);
+        self.active.retain(|&x| x != v);
+    }
+
+    /// Contracts until `target` vertices remain (or edges run out).
+    fn contract_to<R: Rng>(&mut self, target: usize, rng: &mut R) {
+        while self.active.len() > target {
+            if !self.contract_random(rng) {
+                break;
+            }
+        }
+    }
+
+    /// If exactly two supervertices remain, the induced cut.
+    fn as_cut(&self) -> Option<Cut> {
+        if self.active.len() != 2 {
+            return None;
+        }
+        let (a, b) = (self.active[0], self.active[1]);
+        let value = self.w[a * self.n + b];
+        let mut side = vec![false; self.orig_n];
+        for &orig in &self.merged[a] {
+            side[orig as usize] = true;
+        }
+        let _ = b;
+        Some(Cut { value, side })
+    }
+}
+
+/// One full Karger contraction run (down to 2 vertices).
+/// Succeeds in returning *a* cut; it is a minimum cut with probability
+/// `Ω(1/n²)`. Returns `None` when the graph disconnects mid-run (in which
+/// case the caller already has a 0-cut) or has `n < 2`.
+pub fn karger_contract_once(g: &Graph, seed: u64) -> Option<Cut> {
+    if g.n() < 2 {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut d = Dense::new(g);
+    d.contract_to(2, &mut rng);
+    d.as_cut()
+}
+
+/// Repeats plain contraction `runs` times, keeping the best cut found.
+pub fn repeated_contraction(g: &Graph, runs: usize, seed: u64) -> Option<Cut> {
+    if g.n() < 2 {
+        return None;
+    }
+    let mut best: Option<Cut> = None;
+    for r in 0..runs {
+        if let Some(c) = karger_contract_once(g, seed.wrapping_add(r as u64)) {
+            if best.as_ref().map_or(true, |b| c.value < b.value) {
+                best = Some(c);
+            }
+        }
+    }
+    best
+}
+
+/// Karger–Stein recursive contraction. `repetitions` independent runs are
+/// performed (each succeeds with probability `Ω(1/log n)`); pass
+/// `O(log² n)` repetitions for a high-probability guarantee.
+pub fn karger_stein(g: &Graph, repetitions: usize, seed: u64) -> Option<Cut> {
+    if g.n() < 2 {
+        return None;
+    }
+    let mut best: Option<Cut> = None;
+    for r in 0..repetitions {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x9e37 * r as u64));
+        let d = Dense::new(g);
+        let c = recurse(d, &mut rng);
+        if let Some(c) = c {
+            if best.as_ref().map_or(true, |b| c.value < b.value) {
+                best = Some(c);
+            }
+        }
+    }
+    best
+}
+
+fn recurse(mut d: Dense, rng: &mut SmallRng) -> Option<Cut> {
+    d.compact();
+    let k = d.active.len();
+    if k <= 6 {
+        d.contract_to(2, rng);
+        return d.as_cut();
+    }
+    let target = (k as f64 / std::f64::consts::SQRT_2).ceil() as usize + 1;
+    let mut d2 = d.clone();
+    d.contract_to(target, rng);
+    let a = recurse(d, rng);
+    d2.contract_to(target, rng);
+    let b = recurse(d2, rng);
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.value <= y.value { x } else { y }),
+        (x, y) => x.or(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stoer_wagner::stoer_wagner;
+    use pmc_graph::gen;
+
+    #[test]
+    fn single_run_returns_valid_cut() {
+        let g = gen::gnm_connected(30, 90, 5, 1);
+        let cut = karger_contract_once(&g, 7).unwrap().verified(&g);
+        assert!(cut.value > 0);
+    }
+
+    #[test]
+    fn karger_stein_finds_planted_cut() {
+        let (g, value, _) = gen::planted_bisection(12, 12, 20, 3, 6, 2);
+        let cut = karger_stein(&g, 20, 3).unwrap().verified(&g);
+        assert_eq!(cut.value, value);
+    }
+
+    #[test]
+    fn karger_stein_matches_stoer_wagner() {
+        for seed in 0..8 {
+            let g = gen::gnm_connected(24, 70, 8, seed);
+            let want = stoer_wagner(&g).unwrap().value;
+            let got = karger_stein(&g, 30, seed).unwrap().verified(&g).value;
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn repeated_contraction_converges() {
+        let (g, value, _) = gen::planted_bisection(8, 8, 15, 2, 4, 5);
+        let cut = repeated_contraction(&g, 200, 11).unwrap().verified(&g);
+        assert_eq!(cut.value, value);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = Graph::from_edges(2, &[(0, 1, 4)]).unwrap();
+        assert_eq!(karger_contract_once(&g, 0).unwrap().value, 4);
+        assert_eq!(karger_stein(&g, 1, 0).unwrap().value, 4);
+        let g1 = Graph::from_edges(1, &[]).unwrap();
+        assert!(karger_stein(&g1, 1, 0).is_none());
+    }
+
+    use pmc_graph::Graph;
+}

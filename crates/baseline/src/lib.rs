@@ -1,0 +1,37 @@
+//! Baseline minimum-cut algorithms.
+//!
+//! These serve two roles: correctness oracles for the randomized parallel
+//! algorithm (Stoer–Wagner is deterministic and exact; brute force covers
+//! tiny instances), and the comparison rows of the paper's Table 1
+//! (Karger–Stein recursive contraction, and a quadratic-work polylog-depth
+//! 2-respect algorithm standing in for Karger's `Θ(n² log n)` parallel
+//! variant — the "Best Previous Polylog-Depth" row).
+
+pub mod brute;
+pub mod contraction;
+pub mod quadratic;
+pub mod stoer_wagner;
+
+pub use brute::brute_force_min_cut;
+pub use contraction::{karger_contract_once, karger_stein, repeated_contraction};
+pub use quadratic::quadratic_two_respect;
+pub use stoer_wagner::stoer_wagner;
+
+/// A minimum cut candidate: value plus one side of the bipartition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    /// Total weight of crossing edges.
+    pub value: u64,
+    /// `side[v] == true` for vertices in one part (always a proper cut).
+    pub side: Vec<bool>,
+}
+
+impl Cut {
+    /// Checks the reported value against the graph (panics on mismatch);
+    /// returns self for chaining. Used liberally in tests.
+    pub fn verified(self, g: &pmc_graph::Graph) -> Self {
+        assert!(g.is_proper_cut(&self.side), "not a proper cut");
+        assert_eq!(g.cut_value(&self.side), self.value, "cut value mismatch");
+        self
+    }
+}

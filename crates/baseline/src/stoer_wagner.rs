@@ -1,0 +1,175 @@
+//! Stoer–Wagner deterministic minimum cut \[32\].
+//!
+//! The simple `O(n³)` adjacency-matrix formulation: `n − 1` maximum
+//! adjacency search phases, each ending with a "cut-of-the-phase" and a
+//! vertex merge. Deterministic and exact — the workspace's ground-truth
+//! oracle for graphs up to a few thousand vertices.
+
+use pmc_graph::Graph;
+
+use crate::Cut;
+
+/// Computes an exact minimum cut. Returns `None` for single-vertex graphs
+/// (no proper cut exists). Disconnected graphs return a value-0 cut.
+pub fn stoer_wagner(g: &Graph) -> Option<Cut> {
+    let n = g.n();
+    if n < 2 {
+        return None;
+    }
+    // Dense adjacency (parallel edges merged — harmless for cut values).
+    let mut w = vec![0u64; n * n];
+    for e in g.edges() {
+        w[e.u as usize * n + e.v as usize] += e.w;
+        w[e.v as usize * n + e.u as usize] += e.w;
+    }
+    // merged[v] = original vertices currently fused into v.
+    let mut merged: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best: Option<Cut> = None;
+
+    while active.len() > 1 {
+        // Maximum adjacency search from active[0].
+        let mut in_a = vec![false; n];
+        let mut key = vec![0u64; n];
+        let mut order = Vec::with_capacity(active.len());
+        let first = active[0];
+        in_a[first] = true;
+        order.push(first);
+        for &v in &active {
+            key[v] = w[first * n + v];
+        }
+        while order.len() < active.len() {
+            let mut next = usize::MAX;
+            let mut nk = 0u64;
+            for &v in &active {
+                if !in_a[v] && (next == usize::MAX || key[v] > nk) {
+                    next = v;
+                    nk = key[v];
+                }
+            }
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    key[v] += w[next * n + v];
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s = order[order.len() - 2];
+        // Cut of the phase: {t's merged set} vs rest.
+        let phase_value = key[t];
+        if best.as_ref().map_or(true, |b| phase_value < b.value) {
+            let mut side = vec![false; n];
+            for &orig in &merged[t] {
+                side[orig as usize] = true;
+            }
+            best = Some(Cut {
+                value: phase_value,
+                side,
+            });
+        }
+        // Merge t into s.
+        let moved = std::mem::take(&mut merged[t]);
+        merged[s].extend(moved);
+        for &v in &active {
+            if v != s && v != t {
+                let add = w[t * n + v];
+                w[s * n + v] += add;
+                w[v * n + s] += add;
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_min_cut;
+    use pmc_graph::gen;
+
+    #[test]
+    fn two_vertices() {
+        let g = Graph::from_edges(2, &[(0, 1, 7)]).unwrap();
+        let cut = stoer_wagner(&g).unwrap().verified(&g);
+        assert_eq!(cut.value, 7);
+    }
+
+    #[test]
+    fn single_vertex_none() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert!(stoer_wagner(&g).is_none());
+    }
+
+    #[test]
+    fn disconnected_zero() {
+        let g = Graph::from_edges(4, &[(0, 1, 3), (2, 3, 5)]).unwrap();
+        let cut = stoer_wagner(&g).unwrap().verified(&g);
+        assert_eq!(cut.value, 0);
+    }
+
+    #[test]
+    fn wikipedia_style_example() {
+        // Classic 8-vertex Stoer–Wagner example; min cut value 4.
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1, 2),
+                (0, 4, 3),
+                (1, 2, 3),
+                (1, 4, 2),
+                (1, 5, 2),
+                (2, 3, 4),
+                (2, 6, 2),
+                (3, 6, 2),
+                (3, 7, 2),
+                (4, 5, 3),
+                (5, 6, 1),
+                (6, 7, 3),
+            ],
+        )
+        .unwrap();
+        let cut = stoer_wagner(&g).unwrap().verified(&g);
+        assert_eq!(cut.value, 4);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(21);
+        for trial in 0..60 {
+            let n = rng.gen_range(2..10);
+            let m = rng.gen_range(1..25);
+            let edges: Vec<(u32, u32, u64)> = (0..m)
+                .filter_map(|_| {
+                    let u = rng.gen_range(0..n) as u32;
+                    let v = rng.gen_range(0..n) as u32;
+                    (u != v).then(|| (u, v, rng.gen_range(1..10)))
+                })
+                .collect();
+            if edges.is_empty() {
+                continue;
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let sw = stoer_wagner(&g).unwrap().verified(&g);
+            let bf = brute_force_min_cut(&g).unwrap();
+            assert_eq!(sw.value, bf.value, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn planted_cut_recovered() {
+        let (g, value, side) = gen::planted_bisection(8, 9, 10, 3, 5, 13);
+        let cut = stoer_wagner(&g).unwrap().verified(&g);
+        assert_eq!(cut.value, value);
+        // Partition must match the planted one (up to complement).
+        let same: bool = cut.side == side;
+        let comp: bool = cut.side.iter().zip(&side).all(|(a, b)| a != b);
+        assert!(same || comp);
+    }
+
+    use pmc_graph::Graph;
+}

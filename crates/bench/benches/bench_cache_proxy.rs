@@ -1,0 +1,50 @@
+//! Criterion companion to E7 (Theorem 14 proxy): monotone batched sweeps
+//! vs. per-operation pointer walking at sizes past the last-level cache.
+//!
+//! Cache misses can't be counted portably; the observable consequence of
+//! the cache-oblivious claim is that the batch engine (which sweeps each
+//! binary tree level once, touching memory monotonically) degrades far
+//! more gracefully than the per-op structure (which takes `O(log² n)`
+//! scattered reads per operation) once the working set leaves cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmc_bench::random_tree_ops;
+use pmc_graph::gen;
+use pmc_minpath::{
+    decompose::{Decomposition, Strategy},
+    run_tree_batch, SeqMinPath, TreeOp,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_proxy");
+    group.sample_size(10);
+    // Working sets: ~0.5 MB (in cache) to ~64 MB (past LLC on most parts).
+    for &n in &[1 << 14, 1 << 18, 1 << 20] {
+        let tree = gen::random_tree(n, 21);
+        let decomp = Decomposition::new(&tree, Strategy::BoughWalk);
+        let init: Vec<i64> = (0..n as i64).map(|i| (i * 31) % 512).collect();
+        let k = 2 * n;
+        let ops = random_tree_ops(n, k, 23);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("batch_sweep", n), &n, |b, _| {
+            b.iter(|| run_tree_batch(&tree, &decomp, &init, &ops))
+        });
+        group.bench_with_input(BenchmarkId::new("pointer_per_op", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = SeqMinPath::new(&tree, &decomp, &init);
+                let mut acc = 0i64;
+                for op in &ops {
+                    match *op {
+                        TreeOp::Add { v, x } => s.add_path(v, x),
+                        TreeOp::Min { v } => acc ^= s.min_path(v).0,
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

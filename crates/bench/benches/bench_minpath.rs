@@ -1,0 +1,43 @@
+//! Criterion companion to E3 (Lemmas 5/6/9): batched Minimum Path engine
+//! vs. the sequential Δ-tree, across batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmc_bench::random_tree_ops;
+use pmc_graph::gen;
+use pmc_minpath::{
+    decompose::{Decomposition, Strategy},
+    run_tree_batch, SeqMinPath, TreeOp,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minpath");
+    group.sample_size(10);
+    let n = 1 << 14;
+    let tree = gen::random_tree(n, 11);
+    let decomp = Decomposition::new(&tree, Strategy::BoughWalk);
+    let init: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 1000).collect();
+    for &k in &[n / 2, 2 * n, 8 * n] {
+        let ops = random_tree_ops(n, k, 13);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("batch", k), &k, |b, _| {
+            b.iter(|| run_tree_batch(&tree, &decomp, &init, &ops))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
+            b.iter(|| {
+                let mut s = SeqMinPath::new(&tree, &decomp, &init);
+                let mut acc = 0i64;
+                for op in &ops {
+                    match *op {
+                        TreeOp::Add { v, x } => s.add_path(v, x),
+                        TreeOp::Min { v } => acc ^= s.min_path(v).0,
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

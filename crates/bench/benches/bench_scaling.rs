@@ -1,0 +1,32 @@
+//! Criterion companion to E2: thread scaling of the full algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_core::{minimum_cut, MinCutConfig};
+use pmc_graph::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    let (g, value, _) = gen::planted_bisection(1024, 1024, 50, 5, 3 * 1024, 7);
+    let max = std::thread::available_parallelism().map_or(4, |x| x.get());
+    let mut threads = 1;
+    while threads <= max {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.install(|| {
+                    let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
+                    assert_eq!(cut.value, value);
+                })
+            })
+        });
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

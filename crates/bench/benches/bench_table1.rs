@@ -1,0 +1,48 @@
+//! Criterion companion to E1 (Table 1): full minimum-cut wall time, ours
+//! vs. the quadratic-work baseline over the same packed trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_baseline::quadratic_two_respect;
+use pmc_bench::table1_graph;
+use pmc_core::{minimum_cut, two_respect_mincut, MinCutConfig};
+use pmc_packing::{pack_trees, rooted_tree_from_edges, PackingConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for &n in &[256usize, 512, 1024] {
+        let g = table1_graph(n, 4, 42 + n as u64);
+        let cfg = MinCutConfig::default();
+        group.bench_with_input(BenchmarkId::new("ours_full", n), &n, |b, _| {
+            b.iter(|| minimum_cut(&g, &cfg).unwrap().value)
+        });
+        let packing = pack_trees(&g, &PackingConfig::default());
+        let trees: Vec<_> = packing
+            .trees
+            .iter()
+            .map(|te| rooted_tree_from_edges(&g, te, 0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("ours_two_respect", n), &n, |b, _| {
+            b.iter(|| {
+                trees
+                    .iter()
+                    .map(|t| two_respect_mincut(&g, t).value)
+                    .min()
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("quadratic_baseline", n), &n, |b, _| {
+            b.iter(|| {
+                trees
+                    .iter()
+                    .map(|t| quadratic_two_respect(&g, t).value)
+                    .min()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

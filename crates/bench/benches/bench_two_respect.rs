@@ -1,0 +1,27 @@
+//! Criterion companion to E5 (Lemma 13): 2-respecting search, ours vs the
+//! quadratic baseline, across densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_baseline::quadratic_two_respect;
+use pmc_bench::{arbitrary_spanning_tree, table1_graph};
+use pmc_core::two_respect_mincut;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_respect");
+    group.sample_size(10);
+    for &(n, density) in &[(512usize, 2usize), (512, 8), (1024, 2), (1024, 8)] {
+        let g = table1_graph(n, density, 99 + n as u64);
+        let tree = arbitrary_spanning_tree(&g, 7);
+        let id = format!("n{n}_d{density}");
+        group.bench_with_input(BenchmarkId::new("ours", &id), &id, |b, _| {
+            b.iter(|| two_respect_mincut(&g, &tree).value)
+        });
+        group.bench_with_input(BenchmarkId::new("quadratic", &id), &id, |b, _| {
+            b.iter(|| quadratic_two_respect(&g, &tree).value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment E2 — Table 1's depth column, measured as thread scaling.
+//!
+//! An `O(log³ n)`-depth algorithm has parallelism `W/D ≫ p` for any
+//! realistic core count, so wall time should scale close to `1/p` until
+//! memory bandwidth saturates. We fix one planted-cut workload and sweep
+//! the rayon pool size.
+
+use pmc_bench::*;
+use pmc_core::{minimum_cut, MinCutConfig};
+use pmc_graph::gen;
+
+fn main() {
+    let n_half = 2048;
+    let (g, value, _) = gen::planted_bisection(n_half, n_half, 50, 5, 3 * n_half, 7);
+    let max_threads = std::thread::available_parallelism().map_or(8, |x| x.get());
+    println!(
+        "# E2: thread scaling, planted bisection n={} m={} (value {})\n",
+        g.n(),
+        g.m(),
+        value
+    );
+    header(&["threads", "time_ms", "speedup", "efficiency"]);
+    let mut t1 = None;
+    let mut threads = 1;
+    while threads <= max_threads {
+        let cfg = MinCutConfig::default();
+        let d = with_threads(threads, || {
+            time_best(3, || {
+                let cut = minimum_cut(&g, &cfg).unwrap();
+                assert_eq!(cut.value, value);
+            })
+        });
+        let base = *t1.get_or_insert(d);
+        let speedup = base.as_secs_f64() / d.as_secs_f64();
+        row(&[
+            threads.to_string(),
+            ms(d),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", 100.0 * speedup / threads as f64),
+        ]);
+        threads *= 2;
+    }
+    println!("\nShape check: speedup grows with threads (sublinearly at high p).");
+}

@@ -1,0 +1,54 @@
+//! Experiment E8 — Monte Carlo success rate vs packing effort.
+//!
+//! Theorem 10 claims the correct result w.h.p., driven by Lemma 1: the
+//! packing must contain — and the selection must pick — a tree that
+//! 2-respects a minimum cut. Isolation-style minimum cuts (a single
+//! low-degree vertex) are 2-respected by almost any tree, so the workload
+//! here uses **planted bisections**, whose balanced minimum cut a random
+//! spanning tree usually crosses many times. We then starve the packing
+//! (few greedy rounds, one selected tree) and watch the success rate fall,
+//! while the default configuration stays at 100%.
+
+use pmc_bench::*;
+use pmc_core::{minimum_cut, MinCutConfig};
+use pmc_graph::gen;
+use rayon::prelude::*;
+
+fn success_rate(trials: u64, rounds: usize, trees: usize) -> (usize, usize) {
+    let results: Vec<bool> = (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let half = 12 + (trial as usize * 5) % 24;
+            let (g, want, _) =
+                gen::planted_bisection(half, half + 3, 30, 5, 2 * half, 7_000 + trial);
+            let mut cfg = MinCutConfig {
+                seed: trial,
+                ..MinCutConfig::default()
+            };
+            cfg.packing.trees_wanted = trees;
+            cfg.packing.packing_rounds = rounds;
+            cfg.packing.estimation_rounds = rounds.max(4);
+            minimum_cut(&g, &cfg).unwrap().value == want
+        })
+        .collect();
+    (results.iter().filter(|&&x| x).count(), results.len())
+}
+
+fn main() {
+    println!("# E8: Monte Carlo success rate vs packing effort (planted bisections)\n");
+    header(&["packing rounds", "trees selected", "successes", "trials", "rate"]);
+    for &(rounds, trees) in &[(1usize, 1usize), (2, 1), (8, 2), (0, 0)] {
+        let (ok, total) = success_rate(200, rounds, trees);
+        let label_r = if rounds == 0 { "auto (3·log²n)".into() } else { rounds.to_string() };
+        let label_t = if trees == 0 { "auto (3·log n+3)".into() } else { trees.to_string() };
+        row(&[
+            label_r,
+            label_t,
+            ok.to_string(),
+            total.to_string(),
+            format!("{:.1}%", 100.0 * ok as f64 / total as f64),
+        ]);
+    }
+    println!("\nShape check: the auto row sits at (or extremely near) 100%;");
+    println!("a starved packing (1 round, 1 tree) visibly fails on balanced cuts.");
+}

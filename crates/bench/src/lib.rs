@@ -1,0 +1,105 @@
+//! Shared harness utilities for the paper-reproduction experiments.
+//!
+//! Every experiment in EXPERIMENTS.md has (a) a plain binary in `src/bin`
+//! that prints a paper-style table to stdout, and (b) a Criterion bench in
+//! `benches/` for statistically careful timing. Both use the helpers here
+//! so workloads are identical.
+
+use std::time::{Duration, Instant};
+
+use pmc_graph::{gen, Graph, RootedTree};
+use pmc_packing::{boruvka_mst, rooted_tree_from_edges};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Times one invocation of `f`.
+pub fn time_once<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Times `f` `reps` times and returns the minimum (least-noise estimator
+/// for compute-bound kernels).
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..reps.max(1))
+        .map(|_| time_once(&mut f).0)
+        .min()
+        .unwrap()
+}
+
+/// Runs `f` on a dedicated rayon pool with `threads` workers.
+pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool")
+        .install(f)
+}
+
+/// The standard Table-1 workload family: sparse connected multigraphs with
+/// `m = density·n` and weights in `1..=8`.
+pub fn table1_graph(n: usize, density: usize, seed: u64) -> Graph {
+    gen::gnm_connected(n, density * n, 8, seed)
+}
+
+/// A deterministic arbitrary spanning tree of `g` (random edge costs).
+pub fn arbitrary_spanning_tree(g: &Graph, seed: u64) -> RootedTree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cost: Vec<u64> = (0..g.m()).map(|_| rng.gen_range(0..1 << 20)).collect();
+    let mst = boruvka_mst(g, &cost);
+    rooted_tree_from_edges(g, &mst, 0)
+}
+
+/// Random mixed MinPath/AddPath tree-op batch (E3 workload).
+pub fn random_tree_ops(n: usize, k: usize, seed: u64) -> Vec<pmc_minpath::TreeOp> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| {
+            let v = rng.gen_range(0..n) as u32;
+            if rng.gen_bool(0.5) {
+                pmc_minpath::TreeOp::Add {
+                    v,
+                    x: rng.gen_range(-1000..1000),
+                }
+            } else {
+                pmc_minpath::TreeOp::Min { v }
+            }
+        })
+        .collect()
+}
+
+/// Formats a duration in milliseconds with three significant digits.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header (plus separator line).
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_smoke() {
+        let g = table1_graph(64, 4, 1);
+        assert_eq!(g.m(), 256);
+        let t = arbitrary_spanning_tree(&g, 2);
+        assert_eq!(t.n(), 64);
+        let ops = random_tree_ops(64, 100, 3);
+        assert_eq!(ops.len(), 100);
+        let d = time_best(2, || (0..1000u64).sum::<u64>());
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0);
+        let out = with_threads(2, || rayon::current_num_threads());
+        assert_eq!(out, 2);
+    }
+}

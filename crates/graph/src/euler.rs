@@ -1,0 +1,166 @@
+//! Euler tours of rooted trees.
+//!
+//! An Euler tour linearizes a tree so that every subtree `v↓` becomes a
+//! contiguous interval `[enter[v], exit[v])` of the tour. Two consequences
+//! power the algorithm:
+//!
+//! * subtree aggregation (Lemma 11's cut values, Appendix A's `ρ↓`) becomes
+//!   a prefix sum over the tour (`O(n)` work, `O(log n)` depth), and
+//! * ancestor tests are two comparisons (`enter[a] <= enter[v] < exit[a]`).
+//!
+//! The tour is built by an iterative DFS. The PRAM-faithful alternative
+//! (successor arrays + list ranking) exists in `pmc-par::list_rank`; the DFS
+//! is `O(n)` and is not on the measured critical path of any experiment.
+
+use crate::tree::RootedTree;
+use pmc_par::scan::inclusive_scan_in_place;
+
+/// Euler tour with entry/exit times and the depth-ordered vertex sequence.
+#[derive(Clone, Debug)]
+pub struct EulerTour {
+    /// `enter[v]`: index of `v`'s first visit; vertices of `v↓` occupy
+    /// `enter[v]..exit[v]` in [`EulerTour::order`].
+    pub enter: Vec<u32>,
+    /// One past the last position of `v↓` in the order.
+    pub exit: Vec<u32>,
+    /// `order[i]` = vertex with `enter == i` (a DFS preorder).
+    pub order: Vec<u32>,
+}
+
+impl EulerTour {
+    /// Builds the tour for `tree`.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.n();
+        let mut enter = vec![0u32; n];
+        let mut exit = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        // Iterative DFS; children visited in CSR order.
+        enum Frame {
+            Enter(u32),
+            Exit(u32),
+        }
+        let mut stack = vec![Frame::Enter(tree.root())];
+        let mut time = 0u32;
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    enter[v as usize] = time;
+                    order.push(v);
+                    time += 1;
+                    stack.push(Frame::Exit(v));
+                    // Push children in reverse so the first child is visited
+                    // first (cosmetic; any order is correct).
+                    for &c in tree.children(v).iter().rev() {
+                        stack.push(Frame::Enter(c));
+                    }
+                }
+                Frame::Exit(v) => {
+                    exit[v as usize] = time;
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+        EulerTour { enter, exit, order }
+    }
+
+    /// True if `a` is an ancestor of `v` (every vertex is its own ancestor,
+    /// as in the paper's preliminaries).
+    pub fn is_ancestor(&self, a: u32, v: u32) -> bool {
+        self.enter[a as usize] <= self.enter[v as usize]
+            && self.enter[v as usize] < self.exit[a as usize]
+    }
+
+    /// Subtree sums via tour prefix sums: `out[v] = Σ_{x ∈ v↓} value[x]`.
+    ///
+    /// `O(n)` work, `O(log n)` depth (one parallel scan + gathers).
+    pub fn subtree_sums(&self, value: &[i64]) -> Vec<i64> {
+        let n = self.order.len();
+        assert_eq!(value.len(), n);
+        // prefix[i] = sum of value[order[0..i]] — so the subtree sum of v is
+        // prefix[exit[v]] - prefix[enter[v]].
+        let mut by_order: Vec<i64> = self.order.iter().map(|&v| value[v as usize]).collect();
+        inclusive_scan_in_place(&mut by_order);
+        let prefix_at = |i: u32| -> i64 {
+            if i == 0 {
+                0
+            } else {
+                by_order[i as usize - 1]
+            }
+        };
+        (0..n)
+            .map(|v| prefix_at(self.exit[v]) - prefix_at(self.enter[v]))
+            .collect()
+    }
+}
+
+/// Convenience: tour + subtree sums in one call.
+pub fn subtree_sums(tree: &RootedTree, value: &[i64]) -> Vec<i64> {
+    EulerTour::new(tree).subtree_sums(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NO_PARENT;
+
+    fn sample() -> RootedTree {
+        // Same shape as tree::tests::sample.
+        RootedTree::from_parents(0, vec![NO_PARENT, 0, 0, 1, 1, 2, 3])
+    }
+
+    #[test]
+    fn intervals_nest() {
+        let t = sample();
+        let e = EulerTour::new(&t);
+        for (p, c) in t.edges() {
+            assert!(e.enter[p as usize] < e.enter[c as usize]);
+            assert!(e.exit[c as usize] <= e.exit[p as usize]);
+        }
+        assert_eq!(e.enter[0], 0);
+        assert_eq!(e.exit[0], 7);
+    }
+
+    #[test]
+    fn ancestor_tests() {
+        let t = sample();
+        let e = EulerTour::new(&t);
+        assert!(e.is_ancestor(0, 6));
+        assert!(e.is_ancestor(1, 6));
+        assert!(e.is_ancestor(3, 6));
+        assert!(e.is_ancestor(6, 6)); // self
+        assert!(!e.is_ancestor(6, 3));
+        assert!(!e.is_ancestor(2, 6));
+        assert!(!e.is_ancestor(4, 6));
+    }
+
+    #[test]
+    fn subtree_sums_match_reference() {
+        let t = sample();
+        let vals = vec![1i64, 2, 3, 4, 5, 6, 7];
+        assert_eq!(subtree_sums(&t, &vals), t.subtree_sums(&vals));
+    }
+
+    #[test]
+    fn subtree_sums_large_random_tree() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let n = 5000;
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut parent = vec![NO_PARENT; n];
+        for v in 1..n {
+            parent[v] = rng.gen_range(0..v) as u32;
+        }
+        let t = RootedTree::from_parents(0, parent);
+        let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(-100..100)).collect();
+        assert_eq!(subtree_sums(&t, &vals), t.subtree_sums(&vals));
+    }
+
+    #[test]
+    fn order_matches_enter() {
+        let t = sample();
+        let e = EulerTour::new(&t);
+        for (i, &v) in e.order.iter().enumerate() {
+            assert_eq!(e.enter[v as usize] as usize, i);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Workload generators.
+//!
+//! The paper has no experimental section, so the benchmark workloads are
+//! chosen to exercise the claims: sparse random multigraphs for the
+//! near-linear work bound, planted-cut families with *known* minimum cut for
+//! correctness-rate experiments, and adversarial tree shapes (paths,
+//! caterpillars, brooms, stars) for the decomposition lemmas.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, Weight};
+
+/// A connected random multigraph: a uniform random spanning tree skeleton
+/// plus `m - (n-1)` uniform random non-loop edges, weights uniform in
+/// `1..=max_w`.
+///
+/// # Panics
+/// Panics if `m < n - 1` or `n == 0`.
+pub fn gnm_connected(n: usize, m: usize, max_w: Weight, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(m + 1 >= n, "need at least n-1 edges for connectivity");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32, Weight)> = Vec::with_capacity(m);
+    // Random attachment tree keeps diameter small yet irregular.
+    for v in 1..n {
+        let p = rng.gen_range(0..v);
+        edges.push((p as u32, v as u32, rng.gen_range(1..=max_w)));
+    }
+    while edges.len() < m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u != v {
+            edges.push((u, v, rng.gen_range(1..=max_w)));
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+/// A graph with a *provably known* minimum cut.
+///
+/// Two sides `A = 0..n_a` and `B = n_a..n_a+n_b`, each wired as a
+/// Hamiltonian cycle of per-edge weight `inner_w` plus `chords` random
+/// chords of weight `inner_w`; the sides are joined by `cross` edges of
+/// total weight strictly less than `2 * inner_w`.
+///
+/// Guarantee: any cut splitting a side costs at least two cycle edges
+/// (`>= 2 * inner_w`), so the unique minimum cut is the (A, B) bipartition
+/// with value = total cross weight. Returned alongside the graph.
+pub fn planted_bisection(
+    n_a: usize,
+    n_b: usize,
+    inner_w: Weight,
+    cross: usize,
+    chords: usize,
+    seed: u64,
+) -> (Graph, u64, Vec<bool>) {
+    assert!(n_a >= 3 && n_b >= 3, "sides need >= 3 vertices for cycles");
+    assert!(cross >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = n_a + n_b;
+    let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+    // Per-cross-edge weight, sized so the planted cut is strictly minimum.
+    let budget = 2 * inner_w - 1;
+    let cross_w = (budget / cross as u64).max(1);
+    let cross_used = cross.min(budget as usize);
+    let planted_value = cross_w * cross_used as u64;
+    assert!(planted_value < 2 * inner_w);
+    for side in 0..2 {
+        let (lo, len) = if side == 0 { (0, n_a) } else { (n_a, n_b) };
+        for i in 0..len {
+            let u = (lo + i) as u32;
+            let v = (lo + (i + 1) % len) as u32;
+            edges.push((u, v, inner_w));
+        }
+        for _ in 0..chords {
+            let u = (lo + rng.gen_range(0..len)) as u32;
+            let v = (lo + rng.gen_range(0..len)) as u32;
+            if u != v {
+                edges.push((u, v, inner_w));
+            }
+        }
+    }
+    for _ in 0..cross_used {
+        let u = rng.gen_range(0..n_a) as u32;
+        let v = (n_a + rng.gen_range(0..n_b)) as u32;
+        edges.push((u, v, cross_w));
+    }
+    // Shuffle so edge ids carry no structural information (deterministic
+    // tie-breaks downstream would otherwise favour intra-side edges).
+    use rand::seq::SliceRandom;
+    edges.shuffle(&mut rng);
+    let side: Vec<bool> = (0..n).map(|v| v < n_a).collect();
+    let g = Graph::from_edges(n, &edges).unwrap();
+    debug_assert_eq!(g.cut_value(&side), planted_value);
+    (g, planted_value, side)
+}
+
+/// A cycle on `n` vertices with `chords` extra random chords; all weights 1.
+/// Without chords the minimum cut is exactly 2.
+pub fn cycle_with_chords(n: usize, chords: usize, seed: u64) -> Graph {
+    assert!(n >= 3);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32, Weight)> = (0..n)
+        .map(|i| (i as u32, ((i + 1) % n) as u32, 1))
+        .collect();
+    for _ in 0..chords {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u != v {
+            edges.push((u, v, 1));
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+/// A `rows × cols` grid with unit weights. Minimum cut is
+/// `min(rows, cols)`-ish for squares; corners give degree-2 cuts.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1), 1));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c), 1));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).unwrap()
+}
+
+/// Complete graph `K_n` with weights uniform in `1..=max_w`.
+pub fn complete(n: usize, max_w: Weight, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u as u32, v as u32, rng.gen_range(1..=max_w)));
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+/// Two cliques of size `k` (unit weights) joined by a single unit edge —
+/// minimum cut 1 by construction (for `k >= 3`).
+pub fn barbell(k: usize) -> Graph {
+    assert!(k >= 2);
+    let mut edges = Vec::new();
+    for side in 0..2u32 {
+        let lo = side * k as u32;
+        for u in 0..k as u32 {
+            for v in (u + 1)..k as u32 {
+                edges.push((lo + u, lo + v, 1));
+            }
+        }
+    }
+    edges.push((0, k as u32, 1));
+    Graph::from_edges(2 * k, &edges).unwrap()
+}
+
+/// The `d`-dimensional hypercube `Q_d` (unit weights): `2^d` vertices,
+/// `d · 2^{d-1}` edges, minimum cut exactly `d` (isolate any vertex).
+pub fn hypercube(d: u32) -> Graph {
+    assert!((1..=20).contains(&d));
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(d as usize * n / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                edges.push((v as u32, u as u32, 1));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+/// A `rows × cols` torus (wrap-around grid, unit weights): 4-regular, so
+/// the minimum cut is 4 for `rows, cols ≥ 3` (vertex isolation); smaller
+/// wrap dimensions create parallel edges, which the library supports.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((id(r, c), id(r, (c + 1) % cols), 1));
+            edges.push((id(r, c), id((r + 1) % rows, c), 1));
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).unwrap()
+}
+
+/// A wheel: hub 0 connected to an `n−1`-cycle of rim vertices. With unit
+/// weights the minimum cut is 3 (isolate a rim vertex).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4);
+    let rim = n - 1;
+    let mut edges = Vec::with_capacity(2 * rim);
+    for i in 0..rim {
+        let v = (1 + i) as u32;
+        let next = (1 + (i + 1) % rim) as u32;
+        edges.push((v, next, 1));
+        edges.push((0, v, 1));
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+/// `communities` equally-sized dense groups (ring + chords at weight
+/// `inner_w`) joined in a ring of light bridges — a multi-way analogue of
+/// [`planted_bisection`] used by the clustering example and tests. Returns
+/// the graph and the community label per vertex. Every bridge has weight
+/// 1, so separating one community costs exactly 2 (its two bridges) when
+/// `inner_w ≥ 2`.
+pub fn community_ring(
+    communities: usize,
+    size: usize,
+    inner_w: Weight,
+    seed: u64,
+) -> (Graph, Vec<u32>) {
+    assert!(communities >= 2 && size >= 3 && inner_w >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = communities * size;
+    let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+    let mut label = vec![0u32; n];
+    for c in 0..communities {
+        let lo = c * size;
+        for i in 0..size {
+            label[lo + i] = c as u32;
+            edges.push((
+                (lo + i) as u32,
+                (lo + (i + 1) % size) as u32,
+                inner_w,
+            ));
+        }
+        for _ in 0..size {
+            let a = (lo + rng.gen_range(0..size)) as u32;
+            let b = (lo + rng.gen_range(0..size)) as u32;
+            if a != b {
+                edges.push((a, b, inner_w));
+            }
+        }
+        // One bridge to the next community (ring of communities).
+        let next = (c + 1) % communities;
+        let a = (lo + rng.gen_range(0..size)) as u32;
+        let b = (next * size + rng.gen_range(0..size)) as u32;
+        edges.push((a, b, 1));
+    }
+    edges.shuffle(&mut rng);
+    (Graph::from_edges(n, &edges).unwrap(), label)
+}
+
+use rand::seq::SliceRandom;
+
+// ---------------------------------------------------------------------------
+// Tree-shape generators (for decomposition / MinPath experiments). These
+// return parent arrays suitable for `RootedTree::from_parents`.
+// ---------------------------------------------------------------------------
+
+use crate::tree::{RootedTree, NO_PARENT};
+
+/// Uniform random attachment tree on `n` vertices rooted at 0.
+pub fn random_tree(n: usize, seed: u64) -> RootedTree {
+    assert!(n >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut parent = vec![NO_PARENT; n];
+    for v in 1..n {
+        parent[v] = rng.gen_range(0..v) as u32;
+    }
+    RootedTree::from_parents(0, parent)
+}
+
+/// A path `0 - 1 - … - n-1` rooted at 0 (single bough; worst case for
+/// decomposition depth heuristics).
+pub fn path_tree(n: usize) -> RootedTree {
+    assert!(n >= 1);
+    let mut parent = vec![NO_PARENT; n];
+    for v in 1..n {
+        parent[v] = (v - 1) as u32;
+    }
+    RootedTree::from_parents(0, parent)
+}
+
+/// A star: root 0 with `n - 1` leaf children (every leaf is its own bough).
+pub fn star_tree(n: usize) -> RootedTree {
+    assert!(n >= 1);
+    let mut parent = vec![NO_PARENT; n];
+    for v in 1..n {
+        parent[v] = 0;
+    }
+    RootedTree::from_parents(0, parent)
+}
+
+/// A caterpillar: a spine of length `spine` with `legs` leaves per spine
+/// vertex. Exercises many tiny boughs hanging off one long chain.
+pub fn caterpillar_tree(spine: usize, legs: usize) -> RootedTree {
+    assert!(spine >= 1);
+    let n = spine + spine * legs;
+    let mut parent = vec![NO_PARENT; n];
+    for s in 1..spine {
+        parent[s] = (s - 1) as u32;
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            parent[spine + s * legs + l] = s as u32;
+        }
+    }
+    RootedTree::from_parents(0, parent)
+}
+
+/// A balanced binary tree on `n` vertices (vertex `v`'s parent is
+/// `(v-1)/2`). Logarithmic depth, maximally branching.
+pub fn balanced_binary_tree(n: usize) -> RootedTree {
+    assert!(n >= 1);
+    let mut parent = vec![NO_PARENT; n];
+    for v in 1..n {
+        parent[v] = ((v - 1) / 2) as u32;
+    }
+    RootedTree::from_parents(0, parent)
+}
+
+/// A broom: a path of length `handle` ending in `bristles` leaves.
+/// One long bough plus a fan — stresses the phase recursion.
+pub fn broom_tree(handle: usize, bristles: usize) -> RootedTree {
+    assert!(handle >= 1);
+    let n = handle + bristles;
+    let mut parent = vec![NO_PARENT; n];
+    for v in 1..handle {
+        parent[v] = (v - 1) as u32;
+    }
+    for b in 0..bristles {
+        parent[handle + b] = (handle - 1) as u32;
+    }
+    RootedTree::from_parents(0, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn gnm_is_connected_with_right_counts() {
+        let g = gnm_connected(100, 300, 10, 1);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 300);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn gnm_tree_only() {
+        let g = gnm_connected(50, 49, 5, 2);
+        assert_eq!(g.m(), 49);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn planted_cut_is_minimum_for_small_cases() {
+        let (g, value, side) = planted_bisection(6, 7, 10, 3, 4, 3);
+        assert_eq!(g.cut_value(&side), value);
+        assert!(value < 20);
+        // Exhaustively verify on this small instance.
+        let n = g.n();
+        let mut best = u64::MAX;
+        for mask in 1..(1u32 << n) - 1 {
+            let s: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
+            best = best.min(g.cut_value(&s));
+        }
+        assert_eq!(best, value);
+    }
+
+    #[test]
+    fn cycle_min_cut_is_two() {
+        let g = cycle_with_chords(20, 0, 4);
+        assert_eq!(g.m(), 20);
+        // Check one adjacent-pair cut has value 2.
+        let mut side = vec![false; 20];
+        side[3] = true;
+        side[4] = true;
+        assert_eq!(g.cut_value(&side), 2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_min_cut_one() {
+        let g = barbell(5);
+        let side: Vec<bool> = (0..10).map(|v| v < 5).collect();
+        assert_eq!(g.cut_value(&side), 1);
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(8, 3, 9);
+        assert_eq!(g.m(), 28);
+    }
+
+    #[test]
+    fn tree_generators_shapes() {
+        assert_eq!(path_tree(10).leaves().len(), 1);
+        assert_eq!(star_tree(10).leaves().len(), 9);
+        let cat = caterpillar_tree(5, 3);
+        assert_eq!(cat.n(), 20);
+        assert_eq!(cat.leaves().len(), 15); // every leg is a leaf
+        let bin = balanced_binary_tree(15);
+        assert_eq!(bin.depth(14), 3);
+        let broom = broom_tree(4, 6);
+        assert_eq!(broom.n(), 10);
+        assert_eq!(broom.children(3).len(), 6);
+        let rt = random_tree(500, 7);
+        assert_eq!(rt.n(), 500);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!(is_connected(&g));
+        // Isolating any vertex cuts exactly d = 4.
+        let mut side = vec![false; 16];
+        side[5] = true;
+        assert_eq!(g.cut_value(&side), 4);
+    }
+
+    #[test]
+    fn torus_is_four_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 40);
+        for v in 0..20u32 {
+            assert_eq!(g.weighted_degree(v), 4);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn wheel_rim_cut() {
+        let g = wheel(10);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 18);
+        let mut side = vec![false; 10];
+        side[3] = true; // a rim vertex: 2 rim edges + 1 spoke
+        assert_eq!(g.cut_value(&side), 3);
+    }
+
+    #[test]
+    fn community_ring_structure() {
+        let (g, label) = community_ring(4, 8, 5, 3);
+        assert_eq!(g.n(), 32);
+        assert!(is_connected(&g));
+        assert_eq!(label.iter().filter(|&&l| l == 2).count(), 8);
+        // Cutting one community costs its two bridges.
+        let side: Vec<bool> = label.iter().map(|&l| l == 0).collect();
+        assert_eq!(g.cut_value(&side), 2);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = gnm_connected(60, 120, 9, 42);
+        let b = gnm_connected(60, 120, 9, 42);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

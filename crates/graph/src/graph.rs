@@ -1,0 +1,369 @@
+//! Undirected weighted multigraph.
+//!
+//! The paper's input model: `n` vertices, `m` edges, positive integral edge
+//! weights (`w : E → N⁺`). Parallel edges are allowed everywhere — the
+//! bough-phase contraction cascade explicitly keeps them ("it is not
+//! necessary to combine parallel edges", §4.3) — and self-loops are rejected
+//! at construction but silently dropped by contraction (a contracted
+//! self-loop never crosses any cut).
+
+use rayon::prelude::*;
+
+/// Edge weight type. Weights are positive integers as in the paper; all cut
+/// arithmetic is done in `i64` with headroom for the `±INF` guard values
+/// used by the two-respect reduction, so the library requires the *total*
+/// graph weight to stay below `2^40`.
+pub type Weight = u64;
+
+/// Hard bound on total graph weight enforced by [`Graph::from_edges`].
+pub const MAX_TOTAL_WEIGHT: u64 = 1 << 40;
+
+/// An undirected weighted edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: u32,
+    /// The other endpoint.
+    pub v: u32,
+    /// Positive weight.
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Creates a new edge.
+    pub fn new(u: u32, v: u32, w: Weight) -> Self {
+        Edge { u, v, w }
+    }
+
+    /// Given one endpoint, returns the other.
+    pub fn other(&self, x: u32) -> u32 {
+        debug_assert!(x == self.u || x == self.v);
+        if x == self.u {
+            self.v
+        } else {
+            self.u
+        }
+    }
+}
+
+/// Errors raised by graph construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is `>= n`.
+    EndpointOutOfRange { edge_index: usize },
+    /// An edge connects a vertex to itself.
+    SelfLoop { edge_index: usize },
+    /// An edge has zero weight (the paper requires `w : E → N⁺`).
+    ZeroWeight { edge_index: usize },
+    /// The total weight exceeds [`MAX_TOTAL_WEIGHT`].
+    TotalWeightOverflow,
+    /// The graph has no vertices.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::EndpointOutOfRange { edge_index } => {
+                write!(f, "edge {edge_index} has an endpoint out of range")
+            }
+            GraphError::SelfLoop { edge_index } => {
+                write!(f, "edge {edge_index} is a self-loop")
+            }
+            GraphError::ZeroWeight { edge_index } => {
+                write!(f, "edge {edge_index} has zero weight (weights must be positive)")
+            }
+            GraphError::TotalWeightOverflow => {
+                write!(f, "total edge weight exceeds 2^40")
+            }
+            GraphError::Empty => write!(f, "graph must have at least one vertex"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected weighted multigraph in edge-list + CSR adjacency form.
+///
+/// The CSR stores, for each vertex, the indices of its incident edges; an
+/// edge appears in both endpoints' lists. This is the access pattern the
+/// algorithm needs: bough walks enumerate "every edge incident to y".
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// CSR offsets: incident edge ids of vertex `v` are
+    /// `adj_edge_ids[adj_offsets[v]..adj_offsets[v + 1]]`.
+    adj_offsets: Vec<usize>,
+    adj_edge_ids: Vec<u32>,
+    total_weight: u64,
+}
+
+impl Graph {
+    /// Builds a graph from `(u, v, w)` triples, validating endpoints,
+    /// weights, and the total-weight budget.
+    pub fn from_edges(n: usize, triples: &[(u32, u32, Weight)]) -> Result<Self, GraphError> {
+        let edges: Vec<Edge> = triples.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
+        Self::from_edge_structs(n, edges)
+    }
+
+    /// Builds a graph from pre-constructed [`Edge`] values.
+    pub fn from_edge_structs(n: usize, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut total: u64 = 0;
+        for (i, e) in edges.iter().enumerate() {
+            if e.u as usize >= n || e.v as usize >= n {
+                return Err(GraphError::EndpointOutOfRange { edge_index: i });
+            }
+            if e.u == e.v {
+                return Err(GraphError::SelfLoop { edge_index: i });
+            }
+            if e.w == 0 {
+                return Err(GraphError::ZeroWeight { edge_index: i });
+            }
+            total = total
+                .checked_add(e.w)
+                .ok_or(GraphError::TotalWeightOverflow)?;
+        }
+        if total > MAX_TOTAL_WEIGHT {
+            return Err(GraphError::TotalWeightOverflow);
+        }
+        let (adj_offsets, adj_edge_ids) = build_csr(n, &edges);
+        Ok(Graph {
+            n,
+            edges,
+            adj_offsets,
+            adj_edge_ids,
+            total_weight: total,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Edge ids incident to `v` (each parallel edge separately; an edge
+    /// between `u` and `v` appears in both lists).
+    pub fn incident_edge_ids(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.adj_edge_ids[self.adj_offsets[v]..self.adj_offsets[v + 1]]
+    }
+
+    /// Iterates `(neighbor, weight, edge_id)` for all edges incident to `v`.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, Weight, u32)> + '_ {
+        self.incident_edge_ids(v).iter().map(move |&eid| {
+            let e = &self.edges[eid as usize];
+            (e.other(v), e.w, eid)
+        })
+    }
+
+    /// Weighted degree of `v`.
+    pub fn weighted_degree(&self, v: u32) -> u64 {
+        self.neighbors(v).map(|(_, w, _)| w).sum()
+    }
+
+    /// Weighted degrees of all vertices, computed in parallel.
+    pub fn weighted_degrees(&self) -> Vec<u64> {
+        (0..self.n as u32)
+            .into_par_iter()
+            .map(|v| self.weighted_degree(v))
+            .collect()
+    }
+
+    /// The minimum weighted degree — a cheap upper bound on the minimum cut
+    /// (used to seed the skeleton sampling-rate search).
+    pub fn min_weighted_degree(&self) -> u64 {
+        self.weighted_degrees().into_iter().min().unwrap_or(0)
+    }
+
+    /// Value of the cut induced by `side` (`side[v] == true` defines one
+    /// part). Computed in parallel over the edges.
+    ///
+    /// # Panics
+    /// Panics if `side.len() != n`.
+    pub fn cut_value(&self, side: &[bool]) -> u64 {
+        assert_eq!(side.len(), self.n);
+        self.edges
+            .par_iter()
+            .filter(|e| side[e.u as usize] != side[e.v as usize])
+            .map(|e| e.w)
+            .sum()
+    }
+
+    /// True if `side` is a proper nonempty cut (both parts nonempty).
+    pub fn is_proper_cut(&self, side: &[bool]) -> bool {
+        side.len() == self.n && side.iter().any(|&s| s) && side.iter().any(|&s| !s)
+    }
+
+    /// The subgraph induced by `vertices` (which must be distinct).
+    /// Returns the subgraph (vertices renumbered `0..vertices.len()` in the
+    /// given order); edge `i` of the result corresponds to an edge between
+    /// the listed vertices with the same weight. Used by recursive
+    /// partitioning workloads (cluster trees).
+    ///
+    /// # Panics
+    /// Panics if `vertices` is empty, contains duplicates, or contains an
+    /// out-of-range id.
+    pub fn induced(&self, vertices: &[u32]) -> Graph {
+        assert!(!vertices.is_empty(), "induced subgraph needs vertices");
+        let mut local = vec![u32::MAX; self.n];
+        for (i, &v) in vertices.iter().enumerate() {
+            assert!((v as usize) < self.n, "vertex {v} out of range");
+            assert_eq!(local[v as usize], u32::MAX, "duplicate vertex {v}");
+            local[v as usize] = i as u32;
+        }
+        let edges: Vec<Edge> = self
+            .edges
+            .par_iter()
+            .filter_map(|e| {
+                let (a, b) = (local[e.u as usize], local[e.v as usize]);
+                (a != u32::MAX && b != u32::MAX).then_some(Edge::new(a, b, e.w))
+            })
+            .collect();
+        Graph::from_edge_structs(vertices.len(), edges)
+            .expect("induced subgraph of a valid graph is valid")
+    }
+}
+
+fn build_csr(n: usize, edges: &[Edge]) -> (Vec<usize>, Vec<u32>) {
+    let mut offsets = vec![0usize; n + 1];
+    for e in edges {
+        offsets[e.u as usize + 1] += 1;
+        offsets[e.v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut ids = vec![0u32; 2 * edges.len()];
+    for (i, e) in edges.iter().enumerate() {
+        ids[cursor[e.u as usize]] = i as u32;
+        cursor[e.u as usize] += 1;
+        ids[cursor[e.v as usize]] = i as u32;
+        cursor[e.v as usize] += 1;
+    }
+    (offsets, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 2), (1, 2, 3), (2, 0, 4)]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.total_weight(), 9);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 2, 1)]),
+            Err(GraphError::EndpointOutOfRange { edge_index: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_zero_weight() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(1, 1, 5)]),
+            Err(GraphError::SelfLoop { edge_index: 0 })
+        ));
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 1, 0)]),
+            Err(GraphError::ZeroWeight { edge_index: 0 })
+        ));
+        assert!(matches!(Graph::from_edges(0, &[]), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle();
+        for v in 0..3u32 {
+            for (u, w, eid) in g.neighbors(v) {
+                let e = g.edges()[eid as usize];
+                assert_eq!(e.w, w);
+                assert!(g.neighbors(u).any(|(x, _, eid2)| x == v && eid2 == eid));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let g = Graph::from_edges(2, &[(0, 1, 1), (0, 1, 2), (1, 0, 3)]).unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.weighted_degree(0), 6);
+        assert_eq!(g.incident_edge_ids(0).len(), 3);
+    }
+
+    #[test]
+    fn weighted_degrees_match_scalar() {
+        let g = triangle();
+        assert_eq!(g.weighted_degrees(), vec![6, 5, 7]);
+        assert_eq!(g.min_weighted_degree(), 5);
+    }
+
+    #[test]
+    fn cut_value_triangle() {
+        let g = triangle();
+        // {0} vs {1,2}: crossing edges (0,1,2) and (2,0,4).
+        assert_eq!(g.cut_value(&[true, false, false]), 6);
+        assert_eq!(g.cut_value(&[false, true, true]), 6);
+        assert_eq!(g.cut_value(&[true, true, true]), 0);
+        assert!(g.is_proper_cut(&[true, false, false]));
+        assert!(!g.is_proper_cut(&[true, true, true]));
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (4, 0, 5), (1, 3, 6)],
+        )
+        .unwrap();
+        let sub = g.induced(&[1, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 3); // (1,2), (2,3), (1,3)
+        assert_eq!(sub.total_weight(), 2 + 3 + 6);
+        // Renumbering follows the input order: 1→0, 2→1, 3→2.
+        assert!(sub.neighbors(0).any(|(x, w, _)| x == 2 && w == 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn induced_rejects_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1, 1)]).unwrap();
+        let _ = g.induced(&[0, 0]);
+    }
+
+    #[test]
+    fn isolated_vertices_ok() {
+        let g = Graph::from_edges(5, &[(0, 1, 1)]).unwrap();
+        assert_eq!(g.weighted_degree(4), 0);
+        assert!(g.incident_edge_ids(4).is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Graph file formats.
+//!
+//! Two plain-text formats are supported:
+//!
+//! * **DIMACS-like** (`.dimacs`): `c` comment lines, one `p <n> <m>`
+//!   problem line, then `m` edge lines `e <u> <v> <w>` with 1-indexed
+//!   endpoints — the de-facto exchange format for cut/flow instances.
+//! * **Edge list** (`.txt`): one `u v w` triple per line (0-indexed,
+//!   whitespace-separated, `#` comments); the vertex count is inferred.
+//!
+//! Parsing is strict: malformed lines are reported with their line number
+//! rather than silently skipped.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::graph::{Graph, GraphError, Weight};
+
+/// Errors raised while reading a graph file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The parsed edges do not form a valid graph.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a DIMACS-like graph (`p`/`e` lines, 1-indexed endpoints).
+pub fn read_dimacs<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("p") => {
+                if n.is_some() {
+                    return Err(parse_err(lineno, "duplicate problem line"));
+                }
+                // Accept `p <n> <m>` and `p <name> <n> <m>`.
+                let fields: Vec<&str> = tok.collect();
+                let (ns, ms) = match fields.len() {
+                    2 => (fields[0], fields[1]),
+                    3 => (fields[1], fields[2]),
+                    _ => return Err(parse_err(lineno, "expected `p [name] n m`")),
+                };
+                let nv: usize = ns
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad vertex count"))?;
+                let me: usize = ms
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad edge count"))?;
+                edges.reserve(me);
+                n = Some(nv);
+            }
+            Some("e") | Some("a") => {
+                let n = n.ok_or_else(|| parse_err(lineno, "edge before problem line"))?;
+                let u: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad endpoint"))?;
+                let v: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad endpoint"))?;
+                let w: Weight = match tok.next() {
+                    None => 1,
+                    Some(t) => t.parse().map_err(|_| parse_err(lineno, "bad weight"))?,
+                };
+                if u == 0 || v == 0 || u > n || v > n {
+                    return Err(parse_err(
+                        lineno,
+                        format!("endpoint out of range 1..={n}"),
+                    ));
+                }
+                edges.push((u as u32 - 1, v as u32 - 1, w));
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, format!("unknown line type {other:?}")));
+            }
+            None => unreachable!("empty lines filtered above"),
+        }
+    }
+    let n = n.ok_or_else(|| parse_err(0, "missing problem line"))?;
+    Ok(Graph::from_edges(n, &edges)?)
+}
+
+/// Writes a graph in the DIMACS-like format.
+pub fn write_dimacs<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "c parallel-mincut graph")?;
+    writeln!(writer, "p cut {} {}", g.n(), g.m())?;
+    for e in g.edges() {
+        writeln!(writer, "e {} {} {}", e.u + 1, e.v + 1, e.w)?;
+    }
+    Ok(())
+}
+
+/// Reads a whitespace edge list (`u v [w]`, 0-indexed, `#` comments);
+/// vertex count = max endpoint + 1.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+    let mut max_v: u32 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let u: u32 = tok
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad endpoint"))?;
+        let v: u32 = tok
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad endpoint"))?;
+        let w: Weight = match tok.next() {
+            None => 1,
+            Some(t) => t.parse().map_err(|_| parse_err(lineno, "bad weight"))?,
+        };
+        max_v = max_v.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    if edges.is_empty() {
+        return Err(parse_err(0, "empty edge list"));
+    }
+    Ok(Graph::from_edges(max_v as usize + 1, &edges)?)
+}
+
+/// Reads a graph from a path, dispatching on the extension
+/// (`.dimacs`/`.col`/`.max` → DIMACS, anything else → edge list).
+pub fn read_path(path: &Path) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("dimacs") | Some("col") | Some("max") => read_dimacs(file),
+        _ => read_edge_list(file),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = crate::gen::gnm_connected(30, 80, 9, 1);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let h = read_dimacs(&buf[..]).unwrap();
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn dimacs_with_comments_and_default_weight() {
+        let text = "c a comment\n\np cut 3 2\ne 1 2\ne 2 3 5\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edges()[0].w, 1);
+        assert_eq!(g.edges()[1].w, 5);
+    }
+
+    #[test]
+    fn dimacs_errors_carry_line_numbers() {
+        let text = "p cut 3 1\ne 1 9 2\n";
+        match read_dimacs(text.as_bytes()) {
+            Err(IoError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+        let text = "e 1 2 3\n";
+        assert!(matches!(
+            read_dimacs(text.as_bytes()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        let text = "p cut 3 1\np cut 3 1\n";
+        assert!(matches!(
+            read_dimacs(text.as_bytes()),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn dimacs_rejects_self_loop_via_graph_validation() {
+        let text = "p cut 2 1\ne 1 1 4\n";
+        assert!(matches!(
+            read_dimacs(text.as_bytes()),
+            Err(IoError::Graph(GraphError::SelfLoop { .. }))
+        ));
+    }
+
+    #[test]
+    fn edge_list_basics() {
+        let text = "# comment\n0 1 3\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.total_weight(), 4);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(matches!(
+            read_edge_list("0 x 3\n".as_bytes()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("".as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Batched lowest common ancestors.
+//!
+//! Appendix A charges each graph edge `(u, v)` to the tree vertex
+//! `lca(u, v)` in order to compute `ρ↓(x)` — the total weight of edges with
+//! both endpoints in `x↓` — by subtree sums; Lemma 11's 1-respecting cut
+//! values need the same quantity. The paper cites Schieber–Vishkin \[28\]; we
+//! substitute the standard Euler-tour + sparse-table RMQ index (same
+//! `O(1)` query after `O(n log n)` preprocessing; batch queries are
+//! embarrassingly parallel), as recorded in DESIGN.md.
+
+use rayon::prelude::*;
+
+use crate::tree::RootedTree;
+
+/// Constant-time LCA index over a rooted tree.
+#[derive(Clone, Debug)]
+pub struct LcaIndex {
+    /// First occurrence of each vertex in the Euler walk.
+    first: Vec<u32>,
+    /// Sparse table over the Euler walk, storing the index of the
+    /// minimum-depth vertex in windows of length `2^j`: `table[j][i]`.
+    table: Vec<Vec<u32>>,
+    /// `walk[i]`: vertex at Euler walk position `i` (length `2n - 1`).
+    walk: Vec<u32>,
+    /// Depth of `walk[i]`.
+    walk_depth: Vec<u32>,
+}
+
+impl LcaIndex {
+    /// Builds the index (`O(n log n)` work).
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.n();
+        // Euler walk visiting each edge twice: v, child subtree, v, ...
+        let mut walk = Vec::with_capacity(2 * n - 1);
+        let mut first = vec![u32::MAX; n];
+        enum Frame {
+            Visit(u32),
+            Emit(u32),
+        }
+        let mut stack = vec![Frame::Visit(tree.root())];
+        while let Some(f) = stack.pop() {
+            match f {
+                Frame::Visit(v) => {
+                    if first[v as usize] == u32::MAX {
+                        first[v as usize] = walk.len() as u32;
+                    }
+                    walk.push(v);
+                    let children = tree.children(v);
+                    // After each child's subtree, re-emit v.
+                    for &c in children.iter().rev() {
+                        stack.push(Frame::Emit(v));
+                        stack.push(Frame::Visit(c));
+                    }
+                }
+                Frame::Emit(v) => {
+                    walk.push(v);
+                }
+            }
+        }
+        debug_assert_eq!(walk.len(), 2 * n - 1);
+        let walk_depth: Vec<u32> = walk.iter().map(|&v| tree.depth(v)).collect();
+        let len = walk.len();
+        let levels = (usize::BITS - len.leading_zeros()) as usize;
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..len as u32).collect());
+        let mut j = 1;
+        while (1 << j) <= len {
+            let half = 1 << (j - 1);
+            let prev = &table[j - 1];
+            let row: Vec<u32> = (0..=(len - (1 << j)))
+                .into_par_iter()
+                .map(|i| {
+                    let a = prev[i];
+                    let b = prev[i + half];
+                    if walk_depth[a as usize] <= walk_depth[b as usize] {
+                        a
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            table.push(row);
+            j += 1;
+        }
+        LcaIndex {
+            first,
+            table,
+            walk,
+            walk_depth,
+        }
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, u: u32, v: u32) -> u32 {
+        let (mut lo, mut hi) = (
+            self.first[u as usize] as usize,
+            self.first[v as usize] as usize,
+        );
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let len = hi - lo + 1;
+        let j = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let a = self.table[j][lo];
+        let b = self.table[j][hi + 1 - (1 << j)];
+        let idx = if self.walk_depth[a as usize] <= self.walk_depth[b as usize] {
+            a
+        } else {
+            b
+        };
+        self.walk[idx as usize]
+    }
+
+    /// LCAs of many pairs, computed in parallel.
+    pub fn lca_batch(&self, pairs: &[(u32, u32)]) -> Vec<u32> {
+        pairs.par_iter().map(|&(u, v)| self.lca(u, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NO_PARENT;
+
+    fn sample() -> RootedTree {
+        RootedTree::from_parents(0, vec![NO_PARENT, 0, 0, 1, 1, 2, 3])
+    }
+
+    #[test]
+    fn small_tree_lcas() {
+        let t = sample();
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(3, 4), 1);
+        assert_eq!(idx.lca(6, 4), 1);
+        assert_eq!(idx.lca(6, 5), 0);
+        assert_eq!(idx.lca(3, 6), 3); // ancestor case
+        assert_eq!(idx.lca(2, 5), 2);
+        assert_eq!(idx.lca(0, 6), 0);
+        assert_eq!(idx.lca(4, 4), 4); // self
+    }
+
+    fn naive_lca(t: &RootedTree, mut u: u32, mut v: u32) -> u32 {
+        while t.depth(u) > t.depth(v) {
+            u = t.parent(u);
+        }
+        while t.depth(v) > t.depth(u) {
+            v = t.parent(v);
+        }
+        while u != v {
+            u = t.parent(u);
+            v = t.parent(v);
+        }
+        u
+    }
+
+    #[test]
+    fn random_tree_matches_naive() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let n = 500;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut parent = vec![NO_PARENT; n];
+        for v in 1..n {
+            parent[v] = rng.gen_range(0..v) as u32;
+        }
+        let t = RootedTree::from_parents(0, parent);
+        let idx = LcaIndex::new(&t);
+        let pairs: Vec<(u32, u32)> = (0..2000)
+            .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+            .collect();
+        let got = idx.lca_batch(&pairs);
+        for (&(u, v), &l) in pairs.iter().zip(&got) {
+            assert_eq!(l, naive_lca(&t, u, v), "lca({u},{v})");
+        }
+    }
+
+    #[test]
+    fn path_tree_lca_is_shallower() {
+        let n = 200;
+        let mut parent = vec![NO_PARENT; n];
+        for v in 1..n {
+            parent[v] = (v - 1) as u32;
+        }
+        let t = RootedTree::from_parents(0, parent);
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(150, 80), 80);
+        assert_eq!(idx.lca(0, 199), 0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let t = RootedTree::from_parents(0, vec![NO_PARENT]);
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(0, 0), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph substrate for the parallel minimum-cut reproduction.
+//!
+//! Provides the undirected weighted multigraph type ([`Graph`]), rooted
+//! spanning trees ([`RootedTree`]), Euler tours and constant-time LCA
+//! queries ([`lca`]), connected components, graph contraction (the
+//! bough-phase cascade of §4.1.3 contracts graphs and trees in lock-step),
+//! cut evaluation, and a family of workload generators used by the tests and
+//! the benchmark harness.
+
+pub mod certificate;
+pub mod components;
+pub mod contract;
+pub mod euler;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod lca;
+pub mod tree;
+
+pub use certificate::{mincut_certificate, ni_certificate, Certificate};
+pub use components::{connected_components, is_connected, UnionFind};
+pub use contract::contract;
+pub use euler::EulerTour;
+pub use graph::{Edge, Graph, GraphError, Weight};
+pub use io::{read_dimacs, read_edge_list, read_path, write_dimacs, IoError};
+pub use lca::LcaIndex;
+pub use tree::RootedTree;

@@ -1,0 +1,332 @@
+//! Rooted spanning trees.
+//!
+//! The two-respect search (§4) works on a rooted spanning tree `T` of the
+//! input graph: every vertex except the root has a parent, `v↓` denotes the
+//! descendant set of `v` (including `v`), and the algorithm repeatedly needs
+//! child counts (bough detection), subtree aggregation (1-respecting cuts),
+//! and ancestor tests (guard placement).
+
+use rayon::prelude::*;
+
+/// Sentinel parent of the root.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A rooted tree over vertices `0..n` in parent-array + children-CSR form.
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: u32,
+    parent: Vec<u32>,
+    /// Children of `v` are `children[child_offsets[v]..child_offsets[v+1]]`.
+    child_offsets: Vec<usize>,
+    children: Vec<u32>,
+    /// Depth of each vertex (root has depth 0).
+    depth: Vec<u32>,
+    /// Vertices in a topological (BFS) order: every parent precedes its
+    /// children. Used for top-down sweeps; reversed for bottom-up sweeps.
+    bfs_order: Vec<u32>,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from a parent array (`parent[root] == NO_PARENT`).
+    ///
+    /// # Panics
+    /// Panics if the parent array does not describe a tree rooted at `root`
+    /// (wrong root sentinel, cycles, or out-of-range parents).
+    pub fn from_parents(root: u32, parent: Vec<u32>) -> Self {
+        let n = parent.len();
+        assert!((root as usize) < n, "root out of range");
+        assert_eq!(parent[root as usize], NO_PARENT, "root must have no parent");
+        let mut child_counts = vec![0usize; n];
+        for (v, &p) in parent.iter().enumerate() {
+            if v as u32 == root {
+                continue;
+            }
+            assert!(p != NO_PARENT && (p as usize) < n, "vertex {v} has invalid parent");
+            child_counts[p as usize] += 1;
+        }
+        let mut child_offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            child_offsets[v + 1] = child_offsets[v] + child_counts[v];
+        }
+        let mut cursor = child_offsets.clone();
+        let mut children = vec![0u32; n - 1];
+        for (v, &p) in parent.iter().enumerate() {
+            if v as u32 != root {
+                children[cursor[p as usize]] = v as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+        // BFS to get depths and a topological order; also validates
+        // reachability (a cycle would leave vertices unvisited).
+        let mut depth = vec![u32::MAX; n];
+        let mut bfs_order = Vec::with_capacity(n);
+        depth[root as usize] = 0;
+        bfs_order.push(root);
+        let mut head = 0;
+        while head < bfs_order.len() {
+            let v = bfs_order[head];
+            head += 1;
+            let d = depth[v as usize] + 1;
+            for &c in &children[child_offsets[v as usize]..child_offsets[v as usize + 1]] {
+                depth[c as usize] = d;
+                bfs_order.push(c);
+            }
+        }
+        assert_eq!(bfs_order.len(), n, "parent array contains a cycle");
+        RootedTree {
+            root,
+            parent,
+            child_offsets,
+            children,
+            depth,
+            bfs_order,
+        }
+    }
+
+    /// Builds a rooted tree from an undirected edge list by BFS from `root`.
+    ///
+    /// # Panics
+    /// Panics if the edges do not form a spanning tree of `0..n`.
+    pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)], root: u32) -> Self {
+        assert_eq!(edges.len(), n - 1, "a spanning tree on {n} vertices needs {} edges", n - 1);
+        let mut adj_off = vec![0usize; n + 1];
+        for &(u, v) in edges {
+            adj_off[u as usize + 1] += 1;
+            adj_off[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            adj_off[i + 1] += adj_off[i];
+        }
+        let mut cursor = adj_off.clone();
+        let mut adj = vec![0u32; 2 * edges.len()];
+        for &(u, v) in edges {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        let mut parent = vec![NO_PARENT; n];
+        let mut visited = vec![false; n];
+        let mut queue = Vec::with_capacity(n);
+        visited[root as usize] = true;
+        queue.push(root);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            for &u in &adj[adj_off[v as usize]..adj_off[v as usize + 1]] {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    parent[u as usize] = v;
+                    queue.push(u);
+                }
+            }
+        }
+        assert!(
+            visited.iter().all(|&x| x),
+            "edge list does not span all vertices"
+        );
+        Self::from_parents(root, parent)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Parent of `v` ([`NO_PARENT`] for the root).
+    pub fn parent(&self, v: u32) -> u32 {
+        self.parent[v as usize]
+    }
+
+    /// Full parent array.
+    pub fn parents(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: u32) -> &[u32] {
+        &self.children[self.child_offsets[v as usize]..self.child_offsets[v as usize + 1]]
+    }
+
+    /// Number of children of `v`.
+    pub fn child_count(&self, v: u32) -> usize {
+        self.child_offsets[v as usize + 1] - self.child_offsets[v as usize]
+    }
+
+    /// Depth of `v` (root: 0).
+    pub fn depth(&self, v: u32) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// BFS (topological) order: parents before children.
+    pub fn bfs_order(&self) -> &[u32] {
+        &self.bfs_order
+    }
+
+    /// True if `v` is a leaf.
+    pub fn is_leaf(&self, v: u32) -> bool {
+        self.child_count(v) == 0
+    }
+
+    /// The undirected tree edges as `(parent, child)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n() as u32)
+            .filter(move |&v| v != self.root)
+            .map(move |v| (self.parent[v as usize], v))
+    }
+
+    /// Aggregates a per-vertex value over every subtree, bottom-up:
+    /// `out[v] = value[v] + Σ_{c child of v} out[c]`.
+    ///
+    /// Sequential over the BFS order (`O(n)`); the parallel algorithm uses
+    /// Euler-tour prefix sums instead (see [`crate::euler`]), this method is
+    /// the simple reference used by tests and small phases.
+    pub fn subtree_sums(&self, value: &[i64]) -> Vec<i64> {
+        assert_eq!(value.len(), self.n());
+        let mut out = value.to_vec();
+        for &v in self.bfs_order.iter().rev() {
+            let p = self.parent[v as usize];
+            if p != NO_PARENT {
+                out[p as usize] += out[v as usize];
+            }
+        }
+        out
+    }
+
+    /// Subtree sizes (`|v↓|`, counting `v` itself).
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        self.subtree_sums(&vec![1i64; self.n()])
+            .into_iter()
+            .map(|x| x as u32)
+            .collect()
+    }
+
+    /// Collects the vertices of `v↓` by an explicit traversal (`O(|v↓|)`).
+    pub fn descendants(&self, v: u32) -> Vec<u32> {
+        let mut out = vec![v];
+        let mut head = 0;
+        while head < out.len() {
+            let x = out[head];
+            head += 1;
+            out.extend_from_slice(self.children(x));
+        }
+        out
+    }
+
+    /// Leaves of the tree, in vertex order.
+    pub fn leaves(&self) -> Vec<u32> {
+        (0..self.n() as u32)
+            .into_par_iter()
+            .filter(|&v| self.is_leaf(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fixed tree:
+    /// ```text
+    ///        0
+    ///       / \
+    ///      1   2
+    ///     /|    \
+    ///    3 4     5
+    ///    |
+    ///    6
+    /// ```
+    fn sample() -> RootedTree {
+        RootedTree::from_parents(0, vec![NO_PARENT, 0, 0, 1, 1, 2, 3])
+    }
+
+    #[test]
+    fn structure() {
+        let t = sample();
+        assert_eq!(t.n(), 7);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3, 4]);
+        assert_eq!(t.child_count(3), 1);
+        assert!(t.is_leaf(6) && t.is_leaf(4) && t.is_leaf(5));
+        assert_eq!(t.depth(6), 3);
+        assert_eq!(t.leaves(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn bfs_order_is_topological() {
+        let t = sample();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; t.n()];
+            for (i, &v) in t.bfs_order().iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        for (p, c) in t.edges() {
+            assert!(pos[p as usize] < pos[c as usize]);
+        }
+    }
+
+    #[test]
+    fn subtree_sums_and_sizes() {
+        let t = sample();
+        assert_eq!(t.subtree_sizes(), vec![7, 4, 2, 2, 1, 1, 1]);
+        let vals = vec![1i64, 2, 3, 4, 5, 6, 7];
+        let sums = t.subtree_sums(&vals);
+        assert_eq!(sums[6], 7);
+        assert_eq!(sums[3], 11);
+        assert_eq!(sums[1], 18);
+        assert_eq!(sums[0], 28);
+    }
+
+    #[test]
+    fn descendants_collects_subtree() {
+        let t = sample();
+        let mut d = t.descendants(1);
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 3, 4, 6]);
+    }
+
+    #[test]
+    fn from_undirected_edges_roundtrip() {
+        let edges = vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6)];
+        let t = RootedTree::from_undirected_edges(7, &edges, 0);
+        assert_eq!(t.parent(6), 3);
+        assert_eq!(t.parent(5), 2);
+        assert_eq!(t.depth(6), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn rejects_cycle() {
+        // 1 and 2 point at each other; unreachable from root 0.
+        let _ = RootedTree::from_parents(0, vec![NO_PARENT, 2, 1]);
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let t = RootedTree::from_parents(0, vec![NO_PARENT]);
+        assert_eq!(t.n(), 1);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.subtree_sizes(), vec![1]);
+    }
+
+    #[test]
+    fn path_tree() {
+        let n = 100;
+        let mut parent = vec![NO_PARENT; n];
+        for v in 1..n {
+            parent[v] = (v - 1) as u32;
+        }
+        let t = RootedTree::from_parents(0, parent);
+        assert_eq!(t.depth((n - 1) as u32), (n - 1) as u32);
+        assert_eq!(t.leaves(), vec![(n - 1) as u32]);
+    }
+}

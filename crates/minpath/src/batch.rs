@@ -1,0 +1,801 @@
+//! Parallel batched `MinPrefix` / `AddPrefix` on a single list
+//! (paper §3.1 and §3.2, Lemmas 5 and 6).
+//!
+//! A batch of `k` operations on a list of length `n` is executed *as if*
+//! sequentially, but the whole binary tree is swept bottom-up once, level by
+//! level. For every tree node `b` the sweep materializes:
+//!
+//! * `H(b)` — the sorted times of the updates relevant at `b` (those whose
+//!   prefix ends in `b`'s subtree), by merging the children's arrays
+//!   (Observation 2);
+//! * `Φ(b)` — how much `b`'s subtree minimum changed at each such time,
+//!   derived from the children's `Φ` plus the trivial "missing" values of
+//!   Observation 4 (`φ = 0` for an untouched right child, `φ = x` for a
+//!   fully-covered left child);
+//! * `Δ(b)` — the intermediate `Δ` states, via the telescoping identity of
+//!   Observation 3 computed with two all-prefix-sums.
+//!
+//! Queries ride along: each query carries its running difference
+//! `d = prefix-min-within-subtree − subtree-min`, is merged by time with the
+//! sibling's queries, reads "the last `Δ` before me" via a merge plus
+//! segmented broadcast, and applies the §3.2 update rule. At the root, the
+//! overall minima `min_i(root) = min_0 + Σ_{j≤i} φ_j(root)` come from one
+//! more prefix sum, and each query's answer is `d + min_{t(q)}(root)`.
+//!
+//! Work `O(k (log n + log k) + n)`, depth `O(log n log k)`: every level
+//! processes its nodes in parallel, and within a node the merges, scans and
+//! broadcasts use the `pmc-par` primitives once the node's arrays exceed a
+//! threshold.
+
+use pmc_par::merge::merge_by_key;
+use pmc_par::scan::inclusive_scan_in_place;
+use pmc_par::seg::segmented_broadcast;
+use rayon::prelude::*;
+
+use crate::PAD;
+
+/// Threshold above which within-node steps switch to parallel primitives.
+const NODE_PAR_THRESHOLD: usize = 1 << 13;
+
+/// One operation on a list, stamped with its batch time. Times must be
+/// strictly increasing across the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefixOp {
+    /// `AddPrefix(pos, x)` at the given time: adds `x` to elements `0..=pos`.
+    Add {
+        /// Batch timestamp (strictly increasing across ops).
+        time: u32,
+        /// Last list position affected.
+        pos: u32,
+        /// Increment.
+        x: i64,
+    },
+    /// `MinPrefix(pos)` at the given time; the result is reported under
+    /// `qid`.
+    Min {
+        /// Batch timestamp (strictly increasing across ops).
+        time: u32,
+        /// Last list position included in the minimum.
+        pos: u32,
+        /// Caller-chosen query identifier.
+        qid: u32,
+    },
+}
+
+impl PrefixOp {
+    fn time(&self) -> u32 {
+        match *self {
+            PrefixOp::Add { time, .. } | PrefixOp::Min { time, .. } => time,
+        }
+    }
+    fn pos(&self) -> u32 {
+        match *self {
+            PrefixOp::Add { pos, .. } | PrefixOp::Min { pos, .. } => pos,
+        }
+    }
+}
+
+/// Execution statistics of one list batch, accumulated during the level
+/// sweep. `work_items` counts every record processed at every node (the
+/// quantity Lemma 5 bounds by `O(k(log n + log k) + n)`); `depth_est` sums
+/// `log₂(max node batch) + 1` over the levels (the Lemma 5 depth
+/// `O(log n log k)`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Total records processed across all nodes and levels.
+    pub work_items: u64,
+    /// Estimated critical-path length (sum over levels of the log of the
+    /// largest per-node batch).
+    pub depth_est: u64,
+    /// Number of binary-tree levels swept.
+    pub levels: u32,
+}
+
+impl BatchStats {
+    /// Merges stats from independently processed lists: work adds, depth
+    /// takes the maximum (lists run in parallel).
+    pub fn merge_parallel(&mut self, other: &BatchStats) {
+        self.work_items += other.work_items;
+        self.depth_est = self.depth_est.max(other.depth_est);
+        self.levels = self.levels.max(other.levels);
+    }
+}
+
+/// An update record travelling up the tree: `phi` is `φ_time(b)` for the
+/// node that currently owns the record.
+#[derive(Clone, Copy, Debug)]
+struct Upd {
+    time: u32,
+    x: i64,
+    phi: i64,
+}
+
+/// A query record travelling up the tree: `d` is the running difference,
+/// `pos` identifies the original leaf (used to derive the child side at
+/// every level).
+#[derive(Clone, Copy, Debug)]
+struct Qry {
+    time: u32,
+    qid: u32,
+    pos: u32,
+    d: i64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct NodeState {
+    upds: Vec<Upd>,
+    qrys: Vec<Qry>,
+}
+
+/// Executes a batch of prefix operations on a list with the given initial
+/// weights; returns `(qid, value)` pairs for every `Min` operation (order
+/// unspecified; qids identify them).
+///
+/// # Panics
+/// Panics if times are not strictly increasing, a position is out of range,
+/// or the list is empty.
+pub fn run_list_batch(init: &[i64], ops: &[PrefixOp]) -> Vec<(u32, i64)> {
+    run_list_batch_impl(init, ops, NODE_PAR_THRESHOLD, None)
+}
+
+/// [`run_list_batch`] with all internal parallelism disabled: one strictly
+/// sequential, memory-monotone bottom-up sweep — the execution model of the
+/// cache-oblivious predecessor algorithm (paper §2.3/§5), useful as the
+/// single-thread baseline in the cache experiments.
+pub fn run_list_batch_seq(init: &[i64], ops: &[PrefixOp]) -> Vec<(u32, i64)> {
+    run_list_batch_impl(init, ops, usize::MAX, None)
+}
+
+/// [`run_list_batch`] that also reports [`BatchStats`].
+pub fn run_list_batch_stats(init: &[i64], ops: &[PrefixOp]) -> (Vec<(u32, i64)>, BatchStats) {
+    let mut stats = BatchStats::default();
+    let out = run_list_batch_impl(init, ops, NODE_PAR_THRESHOLD, Some(&mut stats));
+    (out, stats)
+}
+
+fn run_list_batch_impl(
+    init: &[i64],
+    ops: &[PrefixOp],
+    par_threshold: usize,
+    mut stats: Option<&mut BatchStats>,
+) -> Vec<(u32, i64)> {
+    let n = init.len();
+    assert!(n > 0, "empty list");
+    for w in ops.windows(2) {
+        assert!(w[0].time() < w[1].time(), "times must strictly increase");
+    }
+    for op in ops {
+        assert!((op.pos() as usize) < n, "position out of range");
+    }
+    let cap = n.next_power_of_two();
+
+    // Initial subtree minima and Δ⁰ per inner node (heap layout, root = 1).
+    let mut mins = vec![PAD; 2 * cap];
+    for (i, &w) in init.iter().enumerate() {
+        mins[cap + i] = w;
+    }
+    for i in (1..cap).rev() {
+        mins[i] = mins[2 * i].min(mins[2 * i + 1]);
+    }
+    let delta0 = |node: usize| mins[2 * node + 1] - mins[2 * node];
+    let min0_root = mins[1.min(2 * cap - 1)];
+
+    // Leaf states: bucket ops by position, preserving time order.
+    let mut level: Vec<NodeState> = vec![NodeState::default(); cap];
+    for op in ops {
+        let state = &mut level[op.pos() as usize];
+        match *op {
+            PrefixOp::Add { time, x, .. } => state.upds.push(Upd { time, x, phi: x }),
+            PrefixOp::Min { time, qid, pos } => state.qrys.push(Qry {
+                time,
+                qid,
+                pos,
+                d: 0,
+            }),
+        }
+    }
+
+    if let Some(stats) = stats.as_deref_mut() {
+        // Leaf level counts as processed work.
+        stats.work_items += ops.len() as u64;
+    }
+
+    // Bottom-up level sweep.
+    let mut child_level_shift = 0u32; // leaves sit at shift 0
+    while level.len() > 1 {
+        let parents = level.len() / 2;
+        let heap_base = parents; // parent nodes occupy heap ids parents..2*parents
+        let next: Vec<NodeState> = if par_threshold == usize::MAX {
+            // Strictly sequential, monotone sweep over the level.
+            (0..parents)
+                .map(|p| {
+                    combine(
+                        &level[2 * p],
+                        &level[2 * p + 1],
+                        delta0(heap_base + p),
+                        child_level_shift,
+                        par_threshold,
+                    )
+                })
+                .collect()
+        } else {
+            (0..parents)
+                .into_par_iter()
+                .map(|p| {
+                    combine(
+                        &level[2 * p],
+                        &level[2 * p + 1],
+                        delta0(heap_base + p),
+                        child_level_shift,
+                        par_threshold,
+                    )
+                })
+                .collect()
+        };
+        level = next;
+        child_level_shift += 1;
+        if let Some(stats) = stats.as_deref_mut() {
+            let mut level_items = 0u64;
+            let mut max_node = 0u64;
+            for st in &level {
+                let items = (st.upds.len() + st.qrys.len()) as u64;
+                level_items += items;
+                max_node = max_node.max(items);
+            }
+            stats.work_items += level_items;
+            stats.depth_est += 64 - max_node.leading_zeros() as u64 + 1;
+            stats.levels += 1;
+        }
+    }
+
+    finish_root(&level[0], min0_root, par_threshold)
+}
+
+/// A merged update with the per-child φ contributions filled in
+/// (Observation 4 supplies the trivial side).
+#[derive(Clone, Copy, Debug)]
+struct MergedUpd {
+    time: u32,
+    x: i64,
+    phi_l: i64,
+    phi_r: i64,
+}
+
+fn combine(
+    l: &NodeState,
+    r: &NodeState,
+    delta0: i64,
+    child_shift: u32,
+    thr: usize,
+) -> NodeState {
+    let nu = l.upds.len() + r.upds.len();
+    let nq = l.qrys.len() + r.qrys.len();
+    if nu == 0 && nq == 0 {
+        return NodeState::default();
+    }
+
+    // --- Updates: H(b), φ_l/φ_r, Δ(b), Φ(b) ---------------------------------
+    let merged: Vec<MergedUpd> = merge_upds(&l.upds, &r.upds, thr);
+    // Prefix sums of φ_l and φ_r give Δ via Observation 3.
+    let mut sum_l: Vec<i64> = merged.iter().map(|u| u.phi_l).collect();
+    let mut sum_r: Vec<i64> = merged.iter().map(|u| u.phi_r).collect();
+    if nu >= thr {
+        inclusive_scan_in_place(&mut sum_l);
+        inclusive_scan_in_place(&mut sum_r);
+    } else {
+        seq_scan(&mut sum_l);
+        seq_scan(&mut sum_r);
+    }
+    let delta_at = |i: usize| -> i64 {
+        if i == 0 {
+            delta0
+        } else {
+            delta0 + sum_r[i - 1] - sum_l[i - 1]
+        }
+    };
+    let mk_upd = |i: usize, u: &MergedUpd| -> Upd {
+        let old = delta_at(i);
+        let new = delta0 + sum_r[i] - sum_l[i];
+        let phi = match (old > 0, new > 0) {
+            (true, true) => u.phi_l,
+            (false, false) => u.phi_r,
+            (false, true) => u.phi_l - old,
+            (true, false) => u.phi_r + old,
+        };
+        Upd {
+            time: u.time,
+            x: u.x,
+            phi,
+        }
+    };
+    let upds: Vec<Upd> = if nu >= thr {
+        merged.par_iter().enumerate().map(|(i, u)| mk_upd(i, u)).collect()
+    } else {
+        merged.iter().enumerate().map(|(i, u)| mk_upd(i, u)).collect()
+    };
+
+    // --- Queries -------------------------------------------------------------
+    let qrys = if nq == 0 {
+        Vec::new()
+    } else {
+        let merged_q: Vec<Qry> = merge_qrys(&l.qrys, &r.qrys, thr);
+        // Δ value current at each query's time (last update strictly before;
+        // times are unique so "≤ previous update" ≡ "< query time").
+        let upd_times: Vec<u32> = merged.iter().map(|u| u.time).collect();
+        let deltas_after: Vec<i64> = (0..nu)
+            .map(|i| delta0 + sum_r[i] - sum_l[i])
+            .collect();
+        let delta_cur = attach_latest(&merged_q, &upd_times, &deltas_after, delta0, thr);
+        let apply = |(q, dcur): (&Qry, i64)| -> Qry {
+            // Child side of the query leaf at this node (paper §3.2 rule).
+            let from_right = (q.pos >> child_shift) & 1 == 1;
+            let d = if from_right {
+                if dcur > 0 {
+                    0
+                } else if q.d + dcur < 0 {
+                    q.d
+                } else {
+                    -dcur
+                }
+            } else if dcur <= 0 {
+                q.d - dcur
+            } else {
+                q.d
+            };
+            Qry { d, ..*q }
+        };
+        if nq >= thr {
+            merged_q
+                .par_iter()
+                .zip(delta_cur.par_iter().copied())
+                .map(apply)
+                .collect()
+        } else {
+            merged_q
+                .iter()
+                .zip(delta_cur.iter().copied())
+                .map(apply)
+                .collect()
+        }
+    };
+
+    NodeState { upds, qrys }
+}
+
+fn finish_root(root: &NodeState, min0: i64, thr: usize) -> Vec<(u32, i64)> {
+    // Running overall minima after each update (§3.1.3).
+    let mut run_min: Vec<i64> = root.upds.iter().map(|u| u.phi).collect();
+    if run_min.len() >= thr {
+        inclusive_scan_in_place(&mut run_min);
+    } else {
+        seq_scan(&mut run_min);
+    }
+    for m in run_min.iter_mut() {
+        *m += min0;
+    }
+    let times: Vec<u32> = root.upds.iter().map(|u| u.time).collect();
+    let min_cur = attach_latest(&root.qrys, &times, &run_min, min0, thr);
+    root.qrys
+        .iter()
+        .zip(min_cur)
+        .map(|(q, m)| (q.qid, q.d + m))
+        .collect()
+}
+
+fn seq_scan(xs: &mut [i64]) {
+    let mut acc = 0i64;
+    for x in xs.iter_mut() {
+        acc += *x;
+        *x = acc;
+    }
+}
+
+/// Merges the children's update arrays by time, filling in the trivial φ
+/// contribution of the non-owning child (Observation 4).
+fn merge_upds(l: &[Upd], r: &[Upd], thr: usize) -> Vec<MergedUpd> {
+    let total = l.len() + r.len();
+    if total < thr {
+        let mut out = Vec::with_capacity(total);
+        let (mut i, mut j) = (0, 0);
+        while i < l.len() || j < r.len() {
+            let take_left = j == r.len() || (i < l.len() && l[i].time < r[j].time);
+            if take_left {
+                out.push(MergedUpd {
+                    time: l[i].time,
+                    x: l[i].x,
+                    phi_l: l[i].phi,
+                    phi_r: 0,
+                });
+                i += 1;
+            } else {
+                out.push(MergedUpd {
+                    time: r[j].time,
+                    x: r[j].x,
+                    phi_l: r[j].x,
+                    phi_r: r[j].phi,
+                });
+                j += 1;
+            }
+        }
+        out
+    } else {
+        // Tag side, merge in parallel, map to MergedUpd in parallel.
+        let lt: Vec<(Upd, bool)> = l.iter().map(|&u| (u, false)).collect();
+        let rt: Vec<(Upd, bool)> = r.iter().map(|&u| (u, true)).collect();
+        let merged = merge_by_key(&lt, &rt, |(u, _)| u.time);
+        merged
+            .par_iter()
+            .map(|&(u, from_right)| {
+                if from_right {
+                    MergedUpd {
+                        time: u.time,
+                        x: u.x,
+                        phi_l: u.x,
+                        phi_r: u.phi,
+                    }
+                } else {
+                    MergedUpd {
+                        time: u.time,
+                        x: u.x,
+                        phi_l: u.phi,
+                        phi_r: 0,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+fn merge_qrys(l: &[Qry], r: &[Qry], thr: usize) -> Vec<Qry> {
+    let total = l.len() + r.len();
+    if total < thr {
+        let mut out = Vec::with_capacity(total);
+        let (mut i, mut j) = (0, 0);
+        while i < l.len() || j < r.len() {
+            let take_left = j == r.len() || (i < l.len() && l[i].time < r[j].time);
+            if take_left {
+                out.push(l[i]);
+                i += 1;
+            } else {
+                out.push(r[j]);
+                j += 1;
+            }
+        }
+        out
+    } else {
+        merge_by_key(l, r, |q| q.time)
+    }
+}
+
+/// For each query (sorted by time), the value associated with the last
+/// event time `< query time`, or `default` if none: the merge + segmented
+/// broadcast of §3.2.
+fn attach_latest(
+    qrys: &[Qry],
+    times: &[u32],
+    values: &[i64],
+    default: i64,
+    thr: usize,
+) -> Vec<i64> {
+    debug_assert_eq!(times.len(), values.len());
+    let total = qrys.len() + times.len();
+    if total < thr {
+        let mut out = Vec::with_capacity(qrys.len());
+        let mut j = 0usize;
+        let mut cur = default;
+        for q in qrys {
+            while j < times.len() && times[j] < q.time {
+                cur = values[j];
+                j += 1;
+            }
+            out.push(cur);
+        }
+        out
+    } else {
+        // Merge (time, Some(value)) events with (time, None) query slots by
+        // time, broadcast, read back the query slots in order.
+        #[derive(Clone, Copy)]
+        struct Slot {
+            time: u32,
+            val: Option<i64>,
+        }
+        let ev: Vec<Slot> = times
+            .iter()
+            .zip(values)
+            .map(|(&t, &v)| Slot {
+                time: t,
+                val: Some(v),
+            })
+            .collect();
+        let qs: Vec<Slot> = qrys
+            .iter()
+            .map(|q| Slot {
+                time: q.time,
+                val: None,
+            })
+            .collect();
+        // Events sort before queries at equal time; times are unique anyway.
+        let merged = merge_by_key(&ev, &qs, |s| s.time);
+        let opts: Vec<Option<i64>> = merged.iter().map(|s| s.val).collect();
+        let carried = segmented_broadcast(&opts);
+        merged
+            .iter()
+            .zip(carried)
+            .filter(|(s, _)| s.val.is_none())
+            .map(|(_, c)| c.unwrap_or(default))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference: execute the ops one by one on a plain array.
+    fn reference(init: &[i64], ops: &[PrefixOp]) -> Vec<(u32, i64)> {
+        let mut arr = init.to_vec();
+        let mut out = Vec::new();
+        for op in ops {
+            match *op {
+                PrefixOp::Add { pos, x, .. } => {
+                    for w in arr[..=pos as usize].iter_mut() {
+                        *w += x;
+                    }
+                }
+                PrefixOp::Min { pos, qid, .. } => {
+                    out.push((qid, *arr[..=pos as usize].iter().min().unwrap()));
+                }
+            }
+        }
+        out
+    }
+
+    fn sorted(mut v: Vec<(u32, i64)>) -> Vec<(u32, i64)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(run_list_batch(&[1, 2, 3], &[]).is_empty());
+    }
+
+    #[test]
+    fn query_only_batch() {
+        let ops = vec![
+            PrefixOp::Min { time: 0, pos: 2, qid: 0 },
+            PrefixOp::Min { time: 1, pos: 0, qid: 1 },
+        ];
+        let got = sorted(run_list_batch(&[5, 1, 7], &ops));
+        assert_eq!(got, vec![(0, 1), (1, 5)]);
+    }
+
+    #[test]
+    fn update_then_query() {
+        let ops = vec![
+            PrefixOp::Min { time: 0, pos: 3, qid: 0 },
+            PrefixOp::Add { time: 1, pos: 1, x: -10 },
+            PrefixOp::Min { time: 2, pos: 3, qid: 1 },
+            PrefixOp::Min { time: 3, pos: 0, qid: 2 },
+            PrefixOp::Add { time: 4, pos: 3, x: 100 },
+            PrefixOp::Min { time: 5, pos: 3, qid: 3 },
+        ];
+        let init = [4i64, 8, 2, 9];
+        assert_eq!(
+            sorted(run_list_batch(&init, &ops)),
+            sorted(reference(&init, &ops))
+        );
+    }
+
+    #[test]
+    fn single_element_list() {
+        let ops = vec![
+            PrefixOp::Min { time: 0, pos: 0, qid: 0 },
+            PrefixOp::Add { time: 1, pos: 0, x: -3 },
+            PrefixOp::Min { time: 2, pos: 0, qid: 1 },
+        ];
+        let got = sorted(run_list_batch(&[10], &ops));
+        assert_eq!(got, vec![(0, 10), (1, 7)]);
+    }
+
+    #[test]
+    fn two_leaf_counterexample_case() {
+        // Exercises the (old>0, new≤0) φ branch the paper's table garbles.
+        let ops = vec![
+            PrefixOp::Add { time: 0, pos: 0, x: 100 },
+            PrefixOp::Min { time: 1, pos: 1, qid: 0 },
+            PrefixOp::Min { time: 2, pos: 0, qid: 1 },
+        ];
+        let got = sorted(run_list_batch(&[5, 10], &ops));
+        assert_eq!(got, vec![(0, 10), (1, 105)]);
+    }
+
+    #[test]
+    fn randomized_vs_reference_small() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for trial in 0..300 {
+            let n = rng.gen_range(1..24);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-100..100)).collect();
+            let k = rng.gen_range(0..50);
+            let mut qid = 0;
+            let ops: Vec<PrefixOp> = (0..k)
+                .map(|t| {
+                    let pos = rng.gen_range(0..n) as u32;
+                    if rng.gen_bool(0.5) {
+                        PrefixOp::Add {
+                            time: t,
+                            pos,
+                            x: rng.gen_range(-50..50),
+                        }
+                    } else {
+                        qid += 1;
+                        PrefixOp::Min {
+                            time: t,
+                            pos,
+                            qid: qid - 1,
+                        }
+                    }
+                })
+                .collect();
+            assert_eq!(
+                sorted(run_list_batch(&init, &ops)),
+                sorted(reference(&init, &ops)),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_vs_reference_larger() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for trial in 0..10 {
+            let n = rng.gen_range(100..1000);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
+            let mut qid = 0;
+            let ops: Vec<PrefixOp> = (0..2000u32)
+                .map(|t| {
+                    let pos = rng.gen_range(0..n) as u32;
+                    if rng.gen_bool(0.6) {
+                        PrefixOp::Add {
+                            time: t,
+                            pos,
+                            x: rng.gen_range(-500..500),
+                        }
+                    } else {
+                        qid += 1;
+                        PrefixOp::Min {
+                            time: t,
+                            pos,
+                            qid: qid - 1,
+                        }
+                    }
+                })
+                .collect();
+            assert_eq!(
+                sorted(run_list_batch(&init, &ops)),
+                sorted(reference(&init, &ops)),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_batch_crosses_parallel_threshold() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 64;
+        let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
+        let mut qid = 0;
+        let k = 40_000u32; // forces the NODE_PAR_THRESHOLD branches near the root
+        let ops: Vec<PrefixOp> = (0..k)
+            .map(|t| {
+                let pos = rng.gen_range(0..n) as u32;
+                if rng.gen_bool(0.7) {
+                    PrefixOp::Add {
+                        time: t,
+                        pos,
+                        x: rng.gen_range(-5..5),
+                    }
+                } else {
+                    qid += 1;
+                    PrefixOp::Min {
+                        time: t,
+                        pos,
+                        qid: qid - 1,
+                    }
+                }
+            })
+            .collect();
+        assert_eq!(
+            sorted(run_list_batch(&init, &ops)),
+            sorted(reference(&init, &ops))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_nonincreasing_times() {
+        let ops = vec![
+            PrefixOp::Add { time: 3, pos: 0, x: 1 },
+            PrefixOp::Add { time: 3, pos: 0, x: 1 },
+        ];
+        let _ = run_list_batch(&[0, 0], &ops);
+    }
+
+    #[test]
+    fn seq_sweep_matches_parallel() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..200);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-500..500)).collect();
+            let mut qid = 0;
+            let ops: Vec<PrefixOp> = (0..rng.gen_range(0..400u32))
+                .map(|t| {
+                    let pos = rng.gen_range(0..n) as u32;
+                    if rng.gen_bool(0.5) {
+                        PrefixOp::Add {
+                            time: t,
+                            pos,
+                            x: rng.gen_range(-100..100),
+                        }
+                    } else {
+                        qid += 1;
+                        PrefixOp::Min {
+                            time: t,
+                            pos,
+                            qid: qid - 1,
+                        }
+                    }
+                })
+                .collect();
+            assert_eq!(
+                sorted(run_list_batch(&init, &ops)),
+                sorted(run_list_batch_seq(&init, &ops)),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_lemma5_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 256usize;
+        let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-500..500)).collect();
+        let k = 4096u32;
+        let mut qid = 0;
+        let ops: Vec<PrefixOp> = (0..k)
+            .map(|t| {
+                let pos = rng.gen_range(0..n) as u32;
+                if rng.gen_bool(0.5) {
+                    PrefixOp::Add {
+                        time: t,
+                        pos,
+                        x: rng.gen_range(-100..100),
+                    }
+                } else {
+                    qid += 1;
+                    PrefixOp::Min {
+                        time: t,
+                        pos,
+                        qid: qid - 1,
+                    }
+                }
+            })
+            .collect();
+        let (res, stats) = run_list_batch_stats(&init, &ops);
+        assert_eq!(res.len(), qid as usize);
+        assert_eq!(stats.levels, 8); // log2(256)
+        // Every op survives to the root, so at least k items per level are
+        // processed somewhere; the Lemma 5 bound caps the total.
+        assert!(stats.work_items >= k as u64);
+        let (logn, logk) = (8u64, 12u64);
+        assert!(
+            stats.work_items <= 4 * k as u64 * (logn + logk) + 4 * n as u64,
+            "work {} exceeds the Lemma 5 budget",
+            stats.work_items
+        );
+        // Depth: at most log2(k)+1 per level.
+        assert!(stats.depth_est <= (logn + 1) * (logk + 2));
+    }
+}

@@ -1,0 +1,665 @@
+//! Tree decomposition into vertex-disjoint paths (paper §3.3).
+//!
+//! The bough decomposition repeatedly peels *boughs*: maximal paths that
+//! start at a leaf and continue upwards until (and including) the first
+//! vertex that has a sibling. Since every bough vertex has at most one
+//! child, a vertex `v` lies in a bough **iff its subtree is a path** — this
+//! characterization lets us mark all bough vertices of a phase with two
+//! subtree aggregations (size and max depth) instead of a graph search.
+//!
+//! Properties (Lemma 7): the number of leaves at least halves per phase, so
+//! there are at most `log₂ n` phases and every root-to-leaf path of `T`
+//! intersects at most `log₂ n` decomposition paths.
+//!
+//! Strategies:
+//! * [`Strategy::BoughWalk`] — mark bough vertices, then walk each bough
+//!   from its top (parallel over boughs). The default.
+//! * [`Strategy::BoughListRank`] — identical output; positions within
+//!   boughs are assigned with Wyllie pointer-jumping list ranking (the
+//!   PRAM-faithful route of Lemma 8, `O(log n)` depth per phase even for a
+//!   single long bough).
+//! * [`Strategy::BoughRandomMate`] — identical output; chains are
+//!   assembled by the paper's Lemma 8 contraction of random-mate
+//!   independent edge sets (Las Vegas).
+//! * [`Strategy::BoughDeterministic`] — identical output; the §3.3.1
+//!   deterministic route, contracting independent sets obtained from a
+//!   Cole–Vishkin 3-colouring of the chains.
+//! * [`Strategy::HeavyLight`] — classic heavy-path decomposition. Also
+//!   guarantees `≤ log₂ n` paths per root-to-leaf path; usable by the
+//!   Minimum Path structures but **not** by the two-respect search (which
+//!   needs bough semantics). Provided as an ablation point.
+
+use pmc_graph::tree::{RootedTree, NO_PARENT};
+use pmc_par::list_rank::{list_rank, NIL};
+use rayon::prelude::*;
+
+/// Which decomposition algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Mark boughs via subtree statistics, walk each bough sequentially
+    /// (boughs in parallel).
+    BoughWalk,
+    /// Same boughs; within-bough positions via parallel list ranking.
+    BoughListRank,
+    /// Same boughs; chains assembled by the paper's Lemma 8 Las Vegas
+    /// procedure — repeated contraction of random-mate independent edge
+    /// sets, with merged vertices keeping their original labels as linked
+    /// lists. `O(n)` work and `O(log n)` depth per phase w.h.p.
+    BoughRandomMate,
+    /// Same boughs; the deterministic variant of §3.3.1 — independent
+    /// edge sets come from a Cole–Vishkin 3-colouring of the chains
+    /// instead of coin flips. `O(n log* n)` work per contraction round.
+    BoughDeterministic,
+    /// Heavy-light decomposition (single phase).
+    HeavyLight,
+}
+
+/// Sentinel for "no path" / "no parent".
+pub const NONE: u32 = u32::MAX;
+
+/// A decomposition of a rooted tree into vertex-disjoint downward paths.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Each path lists its vertices top-first (closest to the root at the
+    /// front, as required by the Minimum Prefix list view).
+    paths: Vec<Vec<u32>>,
+    /// `path_of[v]`: index of the path containing `v`.
+    path_of: Vec<u32>,
+    /// `pos_in_path[v]`: position of `v` within its path (0 = top).
+    pos_in_path: Vec<u32>,
+    /// For each path: the tree parent of the path's top vertex
+    /// ([`NONE`] if the path contains the root).
+    parent_of_top: Vec<u32>,
+    /// For each path: the bough phase in which it was peeled (0-based;
+    /// heavy-light uses phase 0 for all paths).
+    phase_of_path: Vec<u32>,
+    /// Total number of phases.
+    nphases: u32,
+}
+
+impl Decomposition {
+    /// Decomposes `tree` with the given strategy.
+    pub fn new(tree: &RootedTree, strategy: Strategy) -> Self {
+        match strategy {
+            Strategy::BoughWalk => bough_decomposition(tree, ChainOrdering::Walk),
+            Strategy::BoughListRank => bough_decomposition(tree, ChainOrdering::ListRank),
+            Strategy::BoughRandomMate => bough_decomposition(tree, ChainOrdering::RandomMate),
+            Strategy::BoughDeterministic => bough_decomposition(tree, ChainOrdering::Coloring),
+            Strategy::HeavyLight => heavy_light(tree),
+        }
+    }
+
+    /// The paths (each top-first).
+    pub fn paths(&self) -> &[Vec<u32>] {
+        &self.paths
+    }
+
+    /// Path index containing vertex `v`.
+    pub fn path_of(&self, v: u32) -> u32 {
+        self.path_of[v as usize]
+    }
+
+    /// Position of `v` within its path (0 = closest to root).
+    pub fn pos_in_path(&self, v: u32) -> u32 {
+        self.pos_in_path[v as usize]
+    }
+
+    /// Tree parent of path `p`'s top vertex, or [`NONE`].
+    pub fn parent_of_top(&self, p: u32) -> u32 {
+        self.parent_of_top[p as usize]
+    }
+
+    /// Bough phase in which path `p` was peeled.
+    pub fn phase_of_path(&self, p: u32) -> u32 {
+        self.phase_of_path[p as usize]
+    }
+
+    /// Number of peel phases.
+    pub fn nphases(&self) -> u32 {
+        self.nphases
+    }
+
+    /// Number of paths.
+    pub fn npaths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of decomposition paths intersected by the `v → root` path.
+    /// Lemma 7 guarantees `≤ log₂ n` for the bough strategies.
+    pub fn paths_on_root_path(&self, tree: &RootedTree, v: u32) -> usize {
+        let mut count = 0;
+        let mut cur = v;
+        loop {
+            count += 1;
+            let p = self.path_of(cur);
+            let top_parent = self.parent_of_top(p);
+            if top_parent == NONE {
+                debug_assert!(self.paths[p as usize].contains(&tree.root()));
+                return count;
+            }
+            cur = top_parent;
+        }
+    }
+
+    /// Validates structural invariants (used by tests and debug builds):
+    /// paths are vertex-disjoint, cover all vertices, run strictly downward
+    /// (each successive vertex is a child of the previous), and bookkeeping
+    /// arrays agree with the path lists.
+    pub fn validate(&self, tree: &RootedTree) {
+        let n = tree.n();
+        let mut seen = vec![false; n];
+        for (pid, path) in self.paths.iter().enumerate() {
+            assert!(!path.is_empty(), "path {pid} is empty");
+            for (i, &v) in path.iter().enumerate() {
+                assert!(!seen[v as usize], "vertex {v} in two paths");
+                seen[v as usize] = true;
+                assert_eq!(self.path_of(v), pid as u32);
+                assert_eq!(self.pos_in_path(v) as usize, i);
+                if i > 0 {
+                    assert_eq!(
+                        tree.parent(v),
+                        path[i - 1],
+                        "path {pid} not a downward tree path"
+                    );
+                }
+            }
+            let top = path[0];
+            let expect = if top == tree.root() {
+                NONE
+            } else {
+                tree.parent(top)
+            };
+            assert_eq!(self.parent_of_top(pid as u32), expect);
+        }
+        assert!(seen.iter().all(|&s| s), "decomposition misses vertices");
+    }
+}
+
+/// Marks every vertex whose subtree is a path (equivalently: every vertex
+/// that lies in a bough of the current phase).
+fn mark_bough_vertices(
+    alive_children: &[u32],
+    parent: &[u32],
+    order: &[u32],
+    alive: &[bool],
+) -> Vec<bool> {
+    // subtree_is_path[v] = v has 0 alive children, or exactly 1 alive child
+    // whose subtree is a path. Computed bottom-up over the BFS order.
+    let n = parent.len();
+    let mut path_below = vec![false; n];
+    let mut single_child_path = vec![0u32; n]; // # children with path subtree
+    for &v in order.iter().rev() {
+        let v = v as usize;
+        if !alive[v] {
+            continue;
+        }
+        path_below[v] = alive_children[v] == 0
+            || (alive_children[v] == 1 && single_child_path[v] == 1);
+        let p = parent[v];
+        if p != NO_PARENT && path_below[v] {
+            single_child_path[p as usize] += 1;
+        }
+    }
+    path_below
+}
+
+/// How bough chains are linearized after marking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChainOrdering {
+    Walk,
+    ListRank,
+    RandomMate,
+    Coloring,
+}
+
+fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposition {
+    let n = tree.n();
+    let parent = tree.parents();
+    let order = tree.bfs_order();
+    let mut alive = vec![true; n];
+    let mut alive_children: Vec<u32> = (0..n as u32).map(|v| tree.child_count(v) as u32).collect();
+
+    let mut path_of = vec![NONE; n];
+    let mut pos_in_path = vec![0u32; n];
+    let mut paths: Vec<Vec<u32>> = Vec::new();
+    let mut parent_of_top: Vec<u32> = Vec::new();
+    let mut phase_of_path: Vec<u32> = Vec::new();
+
+    let mut remaining = n;
+    let mut phase = 0u32;
+    while remaining > 0 {
+        let marked = mark_bough_vertices(&alive_children, parent, order, &alive);
+        // Tops: marked vertices whose parent is unmarked/dead/absent.
+        let tops: Vec<u32> = (0..n as u32)
+            .into_par_iter()
+            .filter(|&v| {
+                alive[v as usize]
+                    && marked[v as usize]
+                    && (parent[v as usize] == NO_PARENT
+                        || !alive[parent[v as usize] as usize]
+                        || !marked[parent[v as usize] as usize])
+            })
+            .collect();
+        debug_assert!(!tops.is_empty(), "no boughs found in a non-empty tree");
+
+        let bough_lists: Vec<Vec<u32>> = match ordering {
+            ChainOrdering::ListRank => boughs_by_list_rank(tree, &alive, &marked, &tops),
+            ChainOrdering::RandomMate => {
+                boughs_by_contraction(tree, &alive, &marked, &tops, EdgeSelector::RandomMate(phase as u64))
+            }
+            ChainOrdering::Coloring => {
+                boughs_by_contraction(tree, &alive, &marked, &tops, EdgeSelector::Coloring)
+            }
+            ChainOrdering::Walk => tops
+                .par_iter()
+                .map(|&top| {
+                    // Walk down the chain: every bough vertex has at most one
+                    // alive child, and that child is marked too.
+                    let mut list = vec![top];
+                    let mut cur = top;
+                    loop {
+                        let next = tree
+                            .children(cur)
+                            .iter()
+                            .copied()
+                            .find(|&c| alive[c as usize]);
+                        match next {
+                            Some(c) => {
+                                debug_assert!(marked[c as usize]);
+                                list.push(c);
+                                cur = c;
+                            }
+                            None => break,
+                        }
+                    }
+                    list
+                })
+                .collect()
+        };
+
+        for list in bough_lists {
+            let pid = paths.len() as u32;
+            for (i, &v) in list.iter().enumerate() {
+                path_of[v as usize] = pid;
+                pos_in_path[v as usize] = i as u32;
+            }
+            let top = list[0];
+            parent_of_top.push(if top == tree.root() {
+                NONE
+            } else {
+                parent[top as usize]
+            });
+            phase_of_path.push(phase);
+            remaining -= list.len();
+            paths.push(list);
+        }
+
+        // Remove the peeled vertices and fix alive child counts.
+        for pid in (0..paths.len()).rev() {
+            if phase_of_path[pid] != phase {
+                break;
+            }
+            for &v in &paths[pid] {
+                alive[v as usize] = false;
+            }
+            let top = paths[pid][0];
+            let tp = parent[top as usize];
+            if tp != NO_PARENT {
+                alive_children[tp as usize] -= 1;
+            }
+        }
+        phase += 1;
+        debug_assert!(phase as usize <= usize::BITS as usize + 1, "too many phases");
+    }
+
+    Decomposition {
+        paths,
+        path_of,
+        pos_in_path,
+        parent_of_top,
+        phase_of_path,
+        nphases: phase,
+    }
+}
+
+/// PRAM-faithful bough ordering: build the successor array of the marked
+/// chains (top → child) and list-rank it; a vertex's position within its
+/// bough is `bough_len - 1 - rank`. Heads are propagated by walking only
+/// `O(log n)` pointer-jumping rounds inside `list_rank`.
+fn boughs_by_list_rank(
+    tree: &RootedTree,
+    alive: &[bool],
+    marked: &[bool],
+    tops: &[u32],
+) -> Vec<Vec<u32>> {
+    let n = tree.n();
+    // next[v] = the only alive (marked) child of v, for marked v.
+    let next: Vec<usize> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            if !alive[v] || !marked[v] {
+                return NIL;
+            }
+            tree.children(v as u32)
+                .iter()
+                .copied()
+                .find(|&c| alive[c as usize])
+                .map_or(NIL, |c| c as usize)
+        })
+        .collect();
+    let rank = list_rank(&next); // rank = #nodes strictly after v in its chain
+    tops.par_iter()
+        .map(|&top| {
+            let len = rank[top as usize] + 1;
+            let mut list = vec![0u32; len];
+            // Scatter every chain vertex to its position. We walk the chain
+            // here only to enumerate its members; positions come from ranks.
+            let mut cur = top as usize;
+            loop {
+                list[len - 1 - rank[cur]] = cur as u32;
+                match next[cur] {
+                    NIL => break,
+                    c => cur = c,
+                }
+            }
+            list
+        })
+        .collect()
+}
+
+/// How the contraction-based bough assembly picks independent edge sets:
+/// the paper's Las Vegas random-mate coins, or the deterministic
+/// Cole–Vishkin 3-colouring route (§3.3.1).
+#[derive(Clone, Copy, Debug)]
+enum EdgeSelector {
+    RandomMate(u64),
+    Coloring,
+}
+
+/// Lemma 8's bough assembly: repeatedly contract an independent set of
+/// chain edges, with each merged supernode keeping the original labels as
+/// a linked list with head and tail pointers (the paper's §3.3.1
+/// procedure). Random-mate: expected `O(n)` work, `O(log n)` rounds
+/// w.h.p. Colouring: deterministic, `O(n log* n)` work per round, at most
+/// `log_{3/2} n` rounds (each removes ≥ a third of the chain edges).
+fn boughs_by_contraction(
+    tree: &RootedTree,
+    alive: &[bool],
+    marked: &[bool],
+    tops: &[u32],
+    selector: EdgeSelector,
+) -> Vec<Vec<u32>> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let n = tree.n();
+    // Supernode state. The representative of a merged run is its topmost
+    // vertex; label lists run top-to-bottom.
+    let mut succ_label: Vec<u32> = vec![u32::MAX; n];
+    let mut tail: Vec<u32> = (0..n as u32).collect();
+    // Chain successor (the only alive child), per supernode.
+    let mut next: Vec<u32> = (0..n)
+        .map(|v| {
+            if !alive[v] || !marked[v] {
+                return u32::MAX;
+            }
+            tree.children(v as u32)
+                .iter()
+                .copied()
+                .find(|&c| alive[c as usize])
+                .unwrap_or(u32::MAX)
+        })
+        .collect();
+    let mut active: Vec<u32> = (0..n as u32)
+        .filter(|&v| next[v as usize] != u32::MAX)
+        .collect();
+    let mut absorbed = vec![false; n];
+    let mut rng = match selector {
+        EdgeSelector::RandomMate(seed) => Some(SmallRng::seed_from_u64(0xB0063 ^ seed)),
+        EdgeSelector::Coloring => None,
+    };
+    let mut rounds = 0usize;
+    while !active.is_empty() {
+        rounds += 1;
+        // Guard: for random-mate, non-convergence is astronomically
+        // unlikely; for colouring, ≥ 1/3 of edges contract per round.
+        assert!(rounds < 64 * usize::BITS as usize, "contraction failed to converge");
+        let selected: Vec<u32> = match &mut rng {
+            Some(rng) => {
+                // HEADS absorbs its TAILS successor. This is an independent
+                // set: a selected source is HEADS while a selected target is
+                // TAILS, so no supernode participates in two contractions,
+                // and a chain's unique-predecessor property rules out
+                // duplicate targets.
+                let coins: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+                active
+                    .iter()
+                    .copied()
+                    .filter(|&u| coins[u as usize] && !coins[next[u as usize] as usize])
+                    .collect()
+            }
+            None => {
+                // Deterministic: 3-colour the current supernode chains and
+                // contract the edges rooted at the biggest colour class.
+                let next_sub: Vec<usize> = (0..n)
+                    .map(|v| {
+                        if absorbed[v] || next[v] == u32::MAX || (!alive[v] || !marked[v]) {
+                            pmc_par::list_rank::NIL
+                        } else {
+                            next[v] as usize
+                        }
+                    })
+                    .collect();
+                pmc_par::coloring::chain_independent_set_by_coloring(&next_sub)
+                    .into_iter()
+                    .map(|v| v as u32)
+                    .collect()
+            }
+        };
+        for &u in &selected {
+            let v = next[u as usize];
+            absorbed[v as usize] = true;
+            // Splice v's label list after u's (O(1): head/tail pointers).
+            succ_label[tail[u as usize] as usize] = v;
+            tail[u as usize] = tail[v as usize];
+            next[u as usize] = next[v as usize];
+        }
+        active.retain(|&u| !absorbed[u as usize] && next[u as usize] != u32::MAX);
+    }
+    tops.iter()
+        .map(|&top| {
+            let mut list = Vec::new();
+            let mut cur = top;
+            while cur != u32::MAX {
+                list.push(cur);
+                cur = succ_label[cur as usize];
+            }
+            list
+        })
+        .collect()
+}
+
+fn heavy_light(tree: &RootedTree) -> Decomposition {
+    let n = tree.n();
+    let size = tree.subtree_sizes();
+    // Heavy child of v = child with the largest subtree (ties: first).
+    let heavy: Vec<u32> = (0..n as u32)
+        .into_par_iter()
+        .map(|v| {
+            tree.children(v)
+                .iter()
+                .copied()
+                .max_by_key(|&c| size[c as usize])
+                .unwrap_or(NONE)
+        })
+        .collect();
+    // Path heads: root, plus every non-heavy child.
+    let mut path_of = vec![NONE; n];
+    let mut pos_in_path = vec![0u32; n];
+    let mut paths = Vec::new();
+    let mut parent_of_top = Vec::new();
+    let heads: Vec<u32> = (0..n as u32)
+        .filter(|&v| {
+            v == tree.root() || heavy[tree.parent(v) as usize] != v
+        })
+        .collect();
+    for head in heads {
+        let pid = paths.len() as u32;
+        let mut list = Vec::new();
+        let mut cur = head;
+        loop {
+            path_of[cur as usize] = pid;
+            pos_in_path[cur as usize] = list.len() as u32;
+            list.push(cur);
+            match heavy[cur as usize] {
+                NONE => break,
+                c => cur = c,
+            }
+        }
+        parent_of_top.push(if head == tree.root() {
+            NONE
+        } else {
+            tree.parent(head)
+        });
+        paths.push(list);
+    }
+    let npaths = paths.len();
+    Decomposition {
+        paths,
+        path_of,
+        pos_in_path,
+        parent_of_top,
+        phase_of_path: vec![0; npaths],
+        nphases: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_graph::gen;
+
+    fn check_all(tree: &RootedTree) {
+        let n = tree.n();
+        let log2n = (usize::BITS - n.leading_zeros()) as usize;
+        for strat in [
+            Strategy::BoughWalk,
+            Strategy::BoughListRank,
+            Strategy::BoughRandomMate,
+            Strategy::BoughDeterministic,
+            Strategy::HeavyLight,
+        ] {
+            let d = Decomposition::new(tree, strat);
+            d.validate(tree);
+            for &leaf in &tree.leaves() {
+                let k = d.paths_on_root_path(tree, leaf);
+                assert!(
+                    k <= log2n.max(1),
+                    "{strat:?}: root-leaf path crosses {k} > log2({n}) paths"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex() {
+        let t = gen::path_tree(1);
+        let d = Decomposition::new(&t, Strategy::BoughWalk);
+        assert_eq!(d.npaths(), 1);
+        assert_eq!(d.nphases(), 1);
+        d.validate(&t);
+    }
+
+    #[test]
+    fn path_is_one_bough() {
+        let t = gen::path_tree(50);
+        let d = Decomposition::new(&t, Strategy::BoughWalk);
+        assert_eq!(d.npaths(), 1);
+        assert_eq!(d.paths()[0].len(), 50);
+        assert_eq!(d.paths()[0][0], 0, "top-first ordering");
+        assert_eq!(d.nphases(), 1);
+        check_all(&t);
+    }
+
+    #[test]
+    fn star_peels_in_two_phases() {
+        let t = gen::star_tree(10);
+        let d = Decomposition::new(&t, Strategy::BoughWalk);
+        // Phase 0: 9 leaf boughs; phase 1: the root alone.
+        assert_eq!(d.npaths(), 10);
+        assert_eq!(d.nphases(), 2);
+        check_all(&t);
+    }
+
+    #[test]
+    fn example_tree_from_paper_fig11_shape() {
+        // A tree with 4 boughs in the first phase, like Figure 11.
+        //        0
+        //       / \
+        //      1   2
+        //     /|   |
+        //    3 4   5
+        //    |
+        //    6
+        let t = RootedTree::from_parents(0, vec![NO_PARENT, 0, 0, 1, 1, 2, 3]);
+        let d = Decomposition::new(&t, Strategy::BoughWalk);
+        // Phase 0 boughs: [3,6], [4], [2,5] — wait: 2 has one child 5, and 2
+        // has a sibling (1), so bough [2,5]; 1 is branching. Then phase 1:
+        // tree is 0-1, a path: one bough [0,1].
+        assert_eq!(d.nphases(), 2);
+        let mut phase0: Vec<Vec<u32>> = (0..d.npaths())
+            .filter(|&p| d.phase_of_path(p as u32) == 0)
+            .map(|p| d.paths()[p].clone())
+            .collect();
+        phase0.sort();
+        assert_eq!(phase0, vec![vec![2, 5], vec![3, 6], vec![4]]);
+        check_all(&t);
+    }
+
+    #[test]
+    fn strategies_agree_on_boughs() {
+        for seed in 0..10 {
+            let t = gen::random_tree(200, seed);
+            let a = Decomposition::new(&t, Strategy::BoughWalk);
+            let mut pa = a.paths().to_vec();
+            pa.sort();
+            for other in [
+                Strategy::BoughListRank,
+                Strategy::BoughRandomMate,
+                Strategy::BoughDeterministic,
+            ] {
+                let b = Decomposition::new(&t, other);
+                let mut pb = b.paths().to_vec();
+                pb.sort();
+                assert_eq!(pa, pb, "seed {seed} strategy {other:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_trees_satisfy_lemma7() {
+        for seed in 0..20 {
+            let t = gen::random_tree(1000, seed);
+            check_all(&t);
+        }
+    }
+
+    #[test]
+    fn adversarial_shapes() {
+        check_all(&gen::caterpillar_tree(100, 2));
+        check_all(&gen::balanced_binary_tree(255));
+        check_all(&gen::broom_tree(50, 50));
+        check_all(&gen::star_tree(1000));
+        check_all(&gen::path_tree(1000));
+    }
+
+    #[test]
+    fn caterpillar_phases() {
+        // Caterpillar: legs peel in phase 0, spine becomes a path => 2 phases.
+        let t = gen::caterpillar_tree(20, 3);
+        let d = Decomposition::new(&t, Strategy::BoughWalk);
+        assert_eq!(d.nphases(), 2);
+    }
+
+    use pmc_graph::tree::NO_PARENT;
+    use pmc_graph::RootedTree;
+}

@@ -1,0 +1,93 @@
+//! Naive Minimum Path oracle.
+//!
+//! Walks the `v → root` path explicitly for every operation: `O(depth)` per
+//! op. Exists purely as a correctness reference for the `Δ`-tree structures
+//! and the batch engine — every nontrivial test in this crate compares
+//! against it.
+
+use pmc_graph::tree::{RootedTree, NO_PARENT};
+
+/// Plain-array Minimum Path structure (`O(depth)` per operation).
+#[derive(Clone, Debug)]
+pub struct NaiveMinPath<'t> {
+    tree: &'t RootedTree,
+    weight: Vec<i64>,
+}
+
+impl<'t> NaiveMinPath<'t> {
+    /// Creates the structure with the given initial vertex weights.
+    pub fn new(tree: &'t RootedTree, init: &[i64]) -> Self {
+        assert_eq!(init.len(), tree.n());
+        NaiveMinPath {
+            tree,
+            weight: init.to_vec(),
+        }
+    }
+
+    /// Adds `x` to every vertex on the `v → root` path.
+    pub fn add_path(&mut self, v: u32, x: i64) {
+        let mut cur = v;
+        loop {
+            self.weight[cur as usize] += x;
+            let p = self.tree.parent(cur);
+            if p == NO_PARENT {
+                break;
+            }
+            cur = p;
+        }
+    }
+
+    /// Minimum weight on the `v → root` path, together with the vertex
+    /// achieving it (the deepest such vertex on ties along the walk order —
+    /// deterministic but unspecified, matching the structures' contract that
+    /// any argmin is acceptable).
+    pub fn min_path(&self, v: u32) -> (i64, u32) {
+        let mut cur = v;
+        let (mut best, mut arg) = (self.weight[cur as usize], cur);
+        loop {
+            let p = self.tree.parent(cur);
+            if p == NO_PARENT {
+                break;
+            }
+            cur = p;
+            if self.weight[cur as usize] < best {
+                best = self.weight[cur as usize];
+                arg = cur;
+            }
+        }
+        (best, arg)
+    }
+
+    /// Current weight of a single vertex.
+    pub fn weight(&self, v: u32) -> i64 {
+        self.weight[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_graph::gen;
+
+    #[test]
+    fn basic_ops() {
+        let t = gen::path_tree(5); // 0 - 1 - 2 - 3 - 4, rooted at 0
+        let mut mp = NaiveMinPath::new(&t, &[10, 20, 30, 40, 50]);
+        assert_eq!(mp.min_path(4), (10, 0));
+        mp.add_path(2, -25); // weights: -15, -5, 5, 40, 50
+        assert_eq!(mp.weight(0), -15);
+        assert_eq!(mp.min_path(4), (-15, 0));
+        assert_eq!(mp.min_path(1), (-15, 0));
+        mp.add_path(4, 100); // 85, 95, 105, 140, 150
+        assert_eq!(mp.min_path(4), (85, 0));
+        assert_eq!(mp.min_path(2).0, 85);
+    }
+
+    #[test]
+    fn argmin_at_query_vertex() {
+        let t = gen::star_tree(4);
+        let mp = NaiveMinPath::new(&t, &[100, 1, 2, 3]);
+        assert_eq!(mp.min_path(1), (1, 1));
+        assert_eq!(mp.min_path(0), (100, 0));
+    }
+}

@@ -1,0 +1,273 @@
+//! Tree-level batched Minimum Path operations (paper §3.4, Lemma 9).
+//!
+//! Each `MinPath`/`AddPath` on the tree decomposes into at most `log₂ n`
+//! `MinPrefix`/`AddPrefix` operations — one per decomposition path crossed
+//! by the `v → root` path, each covering a *prefix* of that path's list
+//! (paths run downward from their tops). All per-list batches then execute
+//! independently in parallel, and every `MinPath` result is the minimum of
+//! its sub-results.
+
+use rayon::prelude::*;
+
+use crate::batch::{run_list_batch, run_list_batch_stats, BatchStats, PrefixOp};
+use crate::decompose::{Decomposition, NONE};
+use pmc_graph::RootedTree;
+
+/// One tree-level operation. Times are implicit: the batch index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeOp {
+    /// `AddPath(v, x)`: add `x` to every vertex on the `v → root` path.
+    Add {
+        /// Deepest vertex of the updated path.
+        v: u32,
+        /// Increment.
+        x: i64,
+    },
+    /// `MinPath(v)`: smallest weight on the `v → root` path.
+    Min {
+        /// Deepest vertex of the queried path.
+        v: u32,
+    },
+}
+
+/// Executes a batch of tree operations as if sequentially; returns one
+/// result per `Min` op, in the order the `Min` ops appear in `ops`.
+///
+/// Work `O(k log n (log n + log k) + n log n)`,
+/// depth `O(log n (log n + log k))` — Lemma 9.
+///
+/// ```
+/// use pmc_graph::gen;
+/// use pmc_minpath::decompose::{Decomposition, Strategy};
+/// use pmc_minpath::{run_tree_batch, TreeOp};
+///
+/// let tree = gen::star_tree(4); // root 0 with leaves 1, 2, 3
+/// let decomp = Decomposition::new(&tree, Strategy::BoughWalk);
+/// let ops = vec![
+///     TreeOp::Min { v: 1 },           // min(100, 1)  = 1
+///     TreeOp::Add { v: 2, x: -50 },   // root: 50, leaf 2: -48
+///     TreeOp::Min { v: 3 },           // min(50, 3)   = 3
+///     TreeOp::Min { v: 2 },           // min(50, -48) = -48
+/// ];
+/// let results = run_tree_batch(&tree, &decomp, &[100, 1, 2, 3], &ops);
+/// assert_eq!(results, vec![1, 3, -48]);
+/// ```
+pub fn run_tree_batch(
+    tree: &RootedTree,
+    decomp: &Decomposition,
+    init: &[i64],
+    ops: &[TreeOp],
+) -> Vec<i64> {
+    run_tree_batch_impl(tree, decomp, init, ops, None)
+}
+
+/// [`run_tree_batch`] that also reports aggregated [`BatchStats`] across
+/// the per-list batches: total work items, and the depth estimate of the
+/// deepest list (lists run in parallel). Used by the Lemma 9 validation
+/// experiment, which checks `work / k = Θ(log n (log n + log k))`.
+pub fn run_tree_batch_stats(
+    tree: &RootedTree,
+    decomp: &Decomposition,
+    init: &[i64],
+    ops: &[TreeOp],
+) -> (Vec<i64>, BatchStats) {
+    let mut stats = BatchStats::default();
+    let out = run_tree_batch_impl(tree, decomp, init, ops, Some(&mut stats));
+    (out, stats)
+}
+
+fn run_tree_batch_impl(
+    tree: &RootedTree,
+    decomp: &Decomposition,
+    init: &[i64],
+    ops: &[TreeOp],
+    stats: Option<&mut BatchStats>,
+) -> Vec<i64> {
+    assert_eq!(init.len(), tree.n());
+    let npaths = decomp.npaths();
+
+    // Decompose every tree op into per-list prefix ops. Each op walks the
+    // chain of path tops; ops are independent, so this fans out in parallel.
+    let per_op: Vec<Vec<(u32, PrefixOp)>> = ops
+        .par_iter()
+        .enumerate()
+        .map(|(t, op)| {
+            let time = t as u32;
+            let (v0, qid) = match *op {
+                TreeOp::Add { v, .. } => (v, 0),
+                TreeOp::Min { v } => (v, time),
+            };
+            let mut out = Vec::new();
+            let mut cur = v0;
+            loop {
+                let pid = decomp.path_of(cur);
+                let pos = decomp.pos_in_path(cur);
+                let pop = match *op {
+                    TreeOp::Add { x, .. } => PrefixOp::Add { time, pos, x },
+                    TreeOp::Min { .. } => PrefixOp::Min { time, pos, qid },
+                };
+                out.push((pid, pop));
+                let up = decomp.parent_of_top(pid);
+                if up == NONE {
+                    break;
+                }
+                cur = up;
+            }
+            out
+        })
+        .collect();
+
+    // Bucket prefix ops by list. Sequential scatter keeps per-list time
+    // order (ops were generated in time order).
+    let mut per_list: Vec<Vec<PrefixOp>> = vec![Vec::new(); npaths];
+    for group in &per_op {
+        for &(pid, pop) in group {
+            per_list[pid as usize].push(pop);
+        }
+    }
+
+    // Initial weights per list, then run all list batches in parallel.
+    let want_stats = stats.is_some();
+    let (results, list_stats): (Vec<Vec<(u32, i64)>>, Vec<BatchStats>) = decomp
+        .paths()
+        .par_iter()
+        .zip(per_list.par_iter())
+        .map(|(path, list_ops)| {
+            if list_ops.iter().all(|op| !matches!(op, PrefixOp::Min { .. })) {
+                // No queries on this list — nothing to report.
+                return (Vec::new(), BatchStats::default());
+            }
+            let ws: Vec<i64> = path.iter().map(|&v| init[v as usize]).collect();
+            if want_stats {
+                run_list_batch_stats(&ws, list_ops)
+            } else {
+                (run_list_batch(&ws, list_ops), BatchStats::default())
+            }
+        })
+        .unzip();
+    if let Some(stats) = stats {
+        for ls in &list_stats {
+            stats.merge_parallel(ls);
+        }
+    }
+
+    // Combine: each Min op takes the min over its sub-results. qid = the
+    // op's batch time; map back to the Min op's ordinal position.
+    let mut result_index = vec![u32::MAX; ops.len()];
+    let mut nqueries = 0u32;
+    for (t, op) in ops.iter().enumerate() {
+        if matches!(op, TreeOp::Min { .. }) {
+            result_index[t] = nqueries;
+            nqueries += 1;
+        }
+    }
+    let mut out = vec![i64::MAX; nqueries as usize];
+    for list_results in results {
+        for (qid, val) in list_results {
+            let slot = result_index[qid as usize] as usize;
+            if val < out[slot] {
+                out[slot] = val;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Strategy;
+    use crate::naive::NaiveMinPath;
+    use pmc_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn reference(tree: &RootedTree, init: &[i64], ops: &[TreeOp]) -> Vec<i64> {
+        let mut naive = NaiveMinPath::new(tree, init);
+        let mut out = Vec::new();
+        for op in ops {
+            match *op {
+                TreeOp::Add { v, x } => naive.add_path(v, x),
+                TreeOp::Min { v } => out.push(naive.min_path(v).0),
+            }
+        }
+        out
+    }
+
+    fn random_ops(n: usize, k: usize, rng: &mut SmallRng) -> Vec<TreeOp> {
+        (0..k)
+            .map(|_| {
+                let v = rng.gen_range(0..n) as u32;
+                if rng.gen_bool(0.5) {
+                    TreeOp::Add {
+                        v,
+                        x: rng.gen_range(-100..100),
+                    }
+                } else {
+                    TreeOp::Min { v }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let t = gen::path_tree(1);
+        let d = Decomposition::new(&t, Strategy::BoughWalk);
+        let ops = vec![
+            TreeOp::Min { v: 0 },
+            TreeOp::Add { v: 0, x: 5 },
+            TreeOp::Min { v: 0 },
+        ];
+        assert_eq!(run_tree_batch(&t, &d, &[10], &ops), vec![10, 15]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..150);
+            let t = gen::random_tree(n, trial);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-500..500)).collect();
+            let ops = random_ops(n, rng.gen_range(0..200), &mut rng);
+            let want = reference(&t, &init, &ops);
+            for strat in [Strategy::BoughWalk, Strategy::HeavyLight] {
+                let d = Decomposition::new(&t, strat);
+                let got = run_tree_batch(&t, &d, &init, &ops);
+                assert_eq!(got, want, "trial {trial} strat {strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_adversarial_shapes() {
+        let mut rng = SmallRng::seed_from_u64(72);
+        let shapes: Vec<RootedTree> = vec![
+            gen::path_tree(100),
+            gen::star_tree(100),
+            gen::caterpillar_tree(30, 3),
+            gen::balanced_binary_tree(127),
+            gen::broom_tree(40, 40),
+        ];
+        for (si, t) in shapes.iter().enumerate() {
+            let n = t.n();
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-500..500)).collect();
+            let ops = random_ops(n, 300, &mut rng);
+            let want = reference(t, &init, &ops);
+            let d = Decomposition::new(t, Strategy::BoughWalk);
+            assert_eq!(run_tree_batch(t, &d, &init, &ops), want, "shape {si}");
+        }
+    }
+
+    #[test]
+    fn big_batch_on_big_tree() {
+        let mut rng = SmallRng::seed_from_u64(73);
+        let n = 3000;
+        let t = gen::random_tree(n, 9);
+        let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-5000..5000)).collect();
+        let ops = random_ops(n, 20_000, &mut rng);
+        let want = reference(&t, &init, &ops);
+        let d = Decomposition::new(&t, Strategy::BoughWalk);
+        assert_eq!(run_tree_batch(&t, &d, &init, &ops), want);
+    }
+}

@@ -1,0 +1,411 @@
+//! Sequential Minimum Path structure (paper §2.3) with argmin tracking.
+//!
+//! Each decomposition path is viewed as a list with a complete binary tree
+//! on top. An inner node `b` with children `l, r` stores only the
+//! difference `Δ(b) = min(r) − min(l)` of the smallest leaf weights in its
+//! subtrees; the list additionally tracks its overall minimum. Updates and
+//! queries walk one leaf-to-root path of the binary tree: `O(log n)` per
+//! list, `O(log² n)` per tree operation (Lemma 7 bounds the number of lists
+//! a root path crosses).
+//!
+//! ### The `φ` recurrence (§2.3.3, corrected)
+//!
+//! Let `φ_i(b) = min_i(b) − min_{i−1}(b)` be the change of `b`'s subtree
+//! minimum caused by update `i`, `old = Δ_{i−1}(b)`, `new = Δ_i(b)`
+//! (`Δ > 0` ⟺ the minimum sits in the left subtree). Then
+//!
+//! * `old > 0, new > 0` → `φ(b) = φ(l)`
+//! * `old ≤ 0, new ≤ 0` → `φ(b) = φ(r)`
+//! * `old ≤ 0, new > 0` → `φ(b) = φ(l) − old` (min moved right → left)
+//! * `old > 0, new ≤ 0` → `φ(b) = φ(r) + old` (min moved left → right)
+//!
+//! (The paper's table literally uses the *post*-update `Δ` in the mixed
+//! cases, which fails on a two-leaf counterexample — see DESIGN.md §6; the
+//! forms above are algebraically derived and property-tested against the
+//! naive oracle.)
+
+use crate::decompose::{Decomposition, NONE};
+use crate::PAD;
+use pmc_graph::RootedTree;
+
+/// A Minimum Prefix structure over a single list (§2.3.2–2.3.4).
+///
+/// Heap indexing: the root is node 1; node `i` has children `2i, 2i+1`;
+/// leaves are nodes `cap..2·cap` where `cap` is the padded power of two.
+#[derive(Clone, Debug)]
+pub struct SeqPrefixTree {
+    len: usize,
+    cap: usize,
+    /// `Δ` values for inner nodes `1..cap` (index 0 unused).
+    delta: Vec<i64>,
+    /// Current overall minimum of the list.
+    root_min: i64,
+}
+
+impl SeqPrefixTree {
+    /// Builds the structure over `weights` (the list's initial values).
+    pub fn new(weights: &[i64]) -> Self {
+        let len = weights.len();
+        assert!(len > 0, "empty list");
+        let cap = len.next_power_of_two();
+        // mins[i] = min weight in node i's subtree (temporary).
+        let mut mins = vec![PAD; 2 * cap];
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w < PAD);
+            mins[cap + i] = w;
+        }
+        let mut delta = vec![0i64; cap.max(2)];
+        for i in (1..cap).rev() {
+            mins[i] = mins[2 * i].min(mins[2 * i + 1]);
+            delta[i] = mins[2 * i + 1] - mins[2 * i];
+        }
+        SeqPrefixTree {
+            len,
+            cap,
+            delta,
+            root_min: mins[1.min(2 * cap - 1)],
+        }
+    }
+
+    /// Number of (real) list elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the list has no elements (never: construction requires > 0).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current minimum over the whole list.
+    pub fn overall_min(&self) -> i64 {
+        self.root_min
+    }
+
+    /// `AddPrefix(pos, x)`: adds `x` to elements `0..=pos`.
+    pub fn add_prefix(&mut self, pos: usize, x: i64) {
+        assert!(pos < self.len);
+        if self.cap == 1 {
+            self.root_min += x;
+            return;
+        }
+        let mut node = self.cap + pos;
+        let mut phi = x; // φ of the current (path) node
+        while node > 1 {
+            let parent = node / 2;
+            let from_right = node % 2 == 1;
+            let old = self.delta[parent];
+            // Off-path child's φ is trivial (Observation 4): 0 if the
+            // off-path child is right of the prefix end, x if left of it.
+            let (phi_l, phi_r) = if from_right {
+                (x, phi)
+            } else {
+                (phi, 0)
+            };
+            let new = old + phi_r - phi_l;
+            self.delta[parent] = new;
+            phi = match (old > 0, new > 0) {
+                (true, true) => phi_l,
+                (false, false) => phi_r,
+                (false, true) => phi_l - old,
+                (true, false) => phi_r + old,
+            };
+            node = parent;
+        }
+        self.root_min += phi;
+    }
+
+    /// `MinPrefix(pos)`: smallest weight among elements `0..=pos`, plus the
+    /// index of a smallest element.
+    pub fn min_prefix(&self, pos: usize) -> (i64, usize) {
+        assert!(pos < self.len);
+        if self.cap == 1 {
+            return (self.root_min, 0);
+        }
+        // d = (prefix-min within current subtree) − (current subtree min);
+        // the argmin is either a known leaf or "the min of some subtree",
+        // resolved at the end by descending along Δ signs.
+        #[derive(Clone, Copy)]
+        enum Arg {
+            Leaf(usize),
+            Subtree(usize), // heap index
+        }
+        let mut d: i64 = 0;
+        let mut arg = Arg::Leaf(pos);
+        let mut node = self.cap + pos;
+        while node > 1 {
+            let parent = node / 2;
+            let from_right = node % 2 == 1;
+            let dl = self.delta[parent];
+            if from_right {
+                if dl > 0 {
+                    // Subtree min is in the untouched left child and the
+                    // whole left child is inside the prefix.
+                    d = 0;
+                    arg = Arg::Subtree(2 * parent);
+                } else if d + dl < 0 {
+                    // keep d and arg (prefix min stays in right child)
+                } else {
+                    d = -dl;
+                    arg = Arg::Subtree(2 * parent);
+                }
+            } else {
+                // Query path through the left child: the prefix min is in
+                // the left subtree regardless of where the overall min is.
+                if dl <= 0 {
+                    d -= dl;
+                }
+                // arg unchanged
+            }
+            node = parent;
+        }
+        let value = d + self.root_min;
+        let leaf = match arg {
+            Arg::Leaf(p) => p,
+            Arg::Subtree(mut b) => {
+                while b < self.cap {
+                    // Δ > 0 ⟺ min(right) > min(left): descend left.
+                    b = if self.delta[b] > 0 { 2 * b } else { 2 * b + 1 };
+                }
+                b - self.cap
+            }
+        };
+        debug_assert!(leaf <= pos);
+        (value, leaf)
+    }
+}
+
+/// Sequential Minimum Path structure over a rooted tree.
+///
+/// ```
+/// use pmc_graph::gen;
+/// use pmc_minpath::decompose::{Decomposition, Strategy};
+/// use pmc_minpath::SeqMinPath;
+///
+/// let tree = gen::path_tree(5); // 0 - 1 - 2 - 3 - 4, rooted at 0
+/// let decomp = Decomposition::new(&tree, Strategy::BoughWalk);
+/// let mut mp = SeqMinPath::new(&tree, &decomp, &[10, 20, 30, 40, 50]);
+/// assert_eq!(mp.min_path(4), (10, 0));   // min on 4 → root, with argmin
+/// mp.add_path(2, -25);                   // weights: -15, -5, 5, 40, 50
+/// assert_eq!(mp.min_path(4), (-15, 0));
+/// ```
+pub struct SeqMinPath<'t> {
+    tree: &'t RootedTree,
+    decomp: &'t Decomposition,
+    lists: Vec<SeqPrefixTree>,
+}
+
+impl<'t> SeqMinPath<'t> {
+    /// Builds the structure from a tree, its decomposition, and initial
+    /// per-vertex weights.
+    pub fn new(tree: &'t RootedTree, decomp: &'t Decomposition, init: &[i64]) -> Self {
+        assert_eq!(init.len(), tree.n());
+        let lists = decomp
+            .paths()
+            .iter()
+            .map(|path| {
+                let ws: Vec<i64> = path.iter().map(|&v| init[v as usize]).collect();
+                SeqPrefixTree::new(&ws)
+            })
+            .collect();
+        SeqMinPath {
+            tree,
+            decomp,
+            lists,
+        }
+    }
+
+    /// Calls `f(path_id, prefix_end)` for every decomposition path
+    /// intersected by the `v → root` path. The intersection with each path
+    /// is always a prefix of that path's list (paths run downward from
+    /// their tops).
+    fn for_each_segment(&self, v: u32, mut f: impl FnMut(u32, usize)) {
+        let mut cur = v;
+        loop {
+            let pid = self.decomp.path_of(cur);
+            f(pid, self.decomp.pos_in_path(cur) as usize);
+            let up = self.decomp.parent_of_top(pid);
+            if up == NONE {
+                break;
+            }
+            cur = up;
+        }
+    }
+
+    /// `AddPath(v, x)` — `O(log² n)`.
+    pub fn add_path(&mut self, v: u32, x: i64) {
+        let mut segs = Vec::new();
+        self.for_each_segment(v, |pid, pos| segs.push((pid, pos)));
+        for (pid, pos) in segs {
+            self.lists[pid as usize].add_prefix(pos, x);
+        }
+    }
+
+    /// `MinPath(v)` — `O(log² n)`. Returns `(value, argmin_vertex)`.
+    pub fn min_path(&self, v: u32) -> (i64, u32) {
+        let mut best = i64::MAX;
+        let mut arg = v;
+        self.for_each_segment(v, |pid, pos| {
+            let (val, leaf) = self.lists[pid as usize].min_prefix(pos);
+            if val < best {
+                best = val;
+                arg = self.decomp.paths()[pid as usize][leaf];
+            }
+        });
+        (best, arg)
+    }
+
+    /// The tree this structure operates on.
+    pub fn tree(&self) -> &RootedTree {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Strategy;
+    use crate::naive::NaiveMinPath;
+    use pmc_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn prefix_tree_basics() {
+        let mut t = SeqPrefixTree::new(&[5, 3, 8, 1, 9]);
+        assert_eq!(t.overall_min(), 1);
+        assert_eq!(t.min_prefix(0), (5, 0));
+        assert_eq!(t.min_prefix(1), (3, 1));
+        assert_eq!(t.min_prefix(4).0, 1);
+        assert_eq!(t.min_prefix(4).1, 3);
+        t.add_prefix(2, -10); // [-5, -7, -2, 1, 9]
+        assert_eq!(t.min_prefix(4), (-7, 1));
+        assert_eq!(t.min_prefix(0), (-5, 0));
+        assert_eq!(t.overall_min(), -7);
+        t.add_prefix(4, 100); // [95, 93, 98, 101, 109]
+        assert_eq!(t.min_prefix(3), (93, 1));
+    }
+
+    #[test]
+    fn prefix_tree_two_leaf_counterexample() {
+        // The case that refutes the paper's literal φ table.
+        let mut t = SeqPrefixTree::new(&[5, 10]);
+        t.add_prefix(0, 100); // [105, 10]
+        assert_eq!(t.overall_min(), 10);
+        assert_eq!(t.min_prefix(1), (10, 1));
+        assert_eq!(t.min_prefix(0), (105, 0));
+    }
+
+    #[test]
+    fn prefix_tree_single_element() {
+        let mut t = SeqPrefixTree::new(&[42]);
+        assert_eq!(t.min_prefix(0), (42, 0));
+        t.add_prefix(0, -50);
+        assert_eq!(t.min_prefix(0), (-8, 0));
+        assert_eq!(t.overall_min(), -8);
+    }
+
+    #[test]
+    fn prefix_tree_randomized_vs_array() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for trial in 0..200 {
+            let n = rng.gen_range(1..40);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-100..100)).collect();
+            let mut tree = SeqPrefixTree::new(&init);
+            let mut arr = init.clone();
+            for step in 0..60 {
+                let pos = rng.gen_range(0..n);
+                if rng.gen_bool(0.5) {
+                    let x = rng.gen_range(-50..50);
+                    tree.add_prefix(pos, x);
+                    for w in arr[..=pos].iter_mut() {
+                        *w += x;
+                    }
+                } else {
+                    let (val, _) = tree.min_prefix(pos);
+                    let want = *arr[..=pos].iter().min().unwrap();
+                    assert_eq!(val, want, "trial {trial} step {step}");
+                }
+            }
+            assert_eq!(tree.overall_min(), *arr.iter().min().unwrap());
+        }
+    }
+
+    #[test]
+    fn prefix_tree_argmin_is_valid() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..30);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-100..100)).collect();
+            let mut tree = SeqPrefixTree::new(&init);
+            let mut arr = init.clone();
+            for _ in 0..50 {
+                if rng.gen_bool(0.5) {
+                    let pos = rng.gen_range(0..n);
+                    let x = rng.gen_range(-50..50);
+                    tree.add_prefix(pos, x);
+                    for w in arr[..=pos].iter_mut() {
+                        *w += x;
+                    }
+                } else {
+                    let pos = rng.gen_range(0..n);
+                    let (val, leaf) = tree.min_prefix(pos);
+                    let want = *arr[..=pos].iter().min().unwrap();
+                    assert_eq!(val, want);
+                    assert!(leaf <= pos);
+                    assert_eq!(arr[leaf], val, "argmin leaf must achieve the min");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_level_matches_naive() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..120);
+            let t = gen::random_tree(n, trial as u64);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
+            for strat in [Strategy::BoughWalk, Strategy::HeavyLight] {
+                let d = Decomposition::new(&t, strat);
+                let mut seq = SeqMinPath::new(&t, &d, &init);
+                let mut naive = NaiveMinPath::new(&t, &init);
+                for _ in 0..100 {
+                    let v = rng.gen_range(0..n) as u32;
+                    if rng.gen_bool(0.5) {
+                        let x = rng.gen_range(-100..100);
+                        seq.add_path(v, x);
+                        naive.add_path(v, x);
+                    } else {
+                        let (gv, ga) = seq.min_path(v);
+                        let (wv, _) = naive.min_path(v);
+                        assert_eq!(gv, wv, "trial {trial} value mismatch");
+                        // argmin must achieve the min and lie on the path
+                        assert_eq!(naive.weight(ga), gv, "argmin weight");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_level_path_and_star() {
+        for t in [gen::path_tree(64), gen::star_tree(64)] {
+            let d = Decomposition::new(&t, Strategy::BoughWalk);
+            let init = vec![7i64; 64];
+            let mut seq = SeqMinPath::new(&t, &d, &init);
+            let mut naive = NaiveMinPath::new(&t, &init);
+            let mut rng = SmallRng::seed_from_u64(2);
+            for _ in 0..200 {
+                let v = rng.gen_range(0..64) as u32;
+                if rng.gen_bool(0.6) {
+                    let x = rng.gen_range(-10..10);
+                    seq.add_path(v, x);
+                    naive.add_path(v, x);
+                } else {
+                    assert_eq!(seq.min_path(v).0, naive.min_path(v).0);
+                }
+            }
+        }
+    }
+}

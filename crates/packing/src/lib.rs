@@ -1,0 +1,28 @@
+//! Karger's tree packing (paper Lemma 1).
+//!
+//! Produces a set `S` of `O(log n)` spanning trees of the input graph such
+//! that, with high probability, some tree in `S` crosses a minimum cut at
+//! most twice ("2-constrains" it). The pipeline, following Karger \[16\] and
+//! Plotkin–Shmoys–Tardos \[25\]:
+//!
+//! 1. **Skeleton sampling** ([`skeleton`]): sample each unit of edge weight
+//!    with probability `p`, chosen by an exponential search so that the
+//!    skeleton's packing value lands in a `Θ(log n)` band. Cut values are
+//!    preserved within `(1 ± ε)` relative error w.h.p.
+//! 2. **Greedy packing** ([`pack`]): repeatedly compute a minimum spanning
+//!    tree with respect to current edge loads and increment the loads of
+//!    the chosen tree's edges — `O(log² n)` rounds approximate the maximum
+//!    fractional tree packing.
+//! 3. **Selection**: sample `O(log n)` *distinct* trees from the packing,
+//!    proportionally to their packing weights.
+//!
+//! MSTs come from a parallel Borůvka implementation ([`mst`]); a Kruskal
+//! fallback exists for testing and small inputs.
+
+pub mod mst;
+pub mod pack;
+pub mod skeleton;
+
+pub use mst::{boruvka_mst, kruskal_mst};
+pub use pack::{pack_greedy, pack_trees, rooted_tree_from_edges, PackingConfig, TreePacking};
+pub use skeleton::{sample_skeleton, Skeleton};

@@ -1,0 +1,386 @@
+//! Greedy tree packing with multiplicative loads (Lemma 1's engine).
+//!
+//! `pack_greedy` runs the Plotkin–Shmoys–Tardos-style loop: in each round,
+//! compute an MST with respect to the per-edge load ratio `ℓ_e / c_e`
+//! (load so far over sampled capacity) and increment the loads of the
+//! chosen tree. After `R` rounds the multiset of chosen trees, scaled by
+//! `1 / max_ratio`, is an approximately maximum fractional tree packing;
+//! `R / max_ratio` estimates the packing value, which Nash-Williams ties to
+//! the minimum cut (`c/2 ≤ packing ≤ c`).
+//!
+//! `pack_trees` wraps the full Lemma 1 pipeline: exponential search for a
+//! sampling rate whose skeleton has packing value `Θ(log n)`, a final
+//! packing at that rate, and weighted sampling of `O(log n)` distinct
+//! trees. Karger's theorem guarantees that w.h.p. at least one selected
+//! tree crosses a minimum cut of the *original* graph at most twice.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pmc_graph::{Graph, RootedTree};
+
+use crate::mst::boruvka_mst;
+use crate::skeleton::{full_skeleton, sample_skeleton, Skeleton};
+
+/// Fixed-point shift for load-ratio MST keys.
+const RATIO_SHIFT: u32 = 20;
+
+/// Configuration for [`pack_trees`]. `Default` picks the paper's
+/// asymptotics with practical constants.
+#[derive(Clone, Debug)]
+pub struct PackingConfig {
+    /// RNG seed (the packing is deterministic given the seed).
+    pub seed: u64,
+    /// Number of distinct trees to select; `0` = `3·⌈log₂ n⌉ + 3`.
+    pub trees_wanted: usize,
+    /// Packing rounds for the final packing; `0` = `3·⌈log₂ n⌉²`, clamped
+    /// to `[32, 2048]`.
+    pub packing_rounds: usize,
+    /// Packing rounds used while searching for the sampling rate;
+    /// `0` = `4·⌈log₂ n⌉`, clamped to `[16, 256]`.
+    pub estimation_rounds: usize,
+    /// Target packing value of the skeleton, as a multiple of `ln n`;
+    /// default 12 (Karger's analysis wants `Θ(log n)` with a healthy
+    /// constant).
+    pub target_factor: f64,
+    /// Skip sampling and pack the full graph (used by tests and by callers
+    /// with tiny inputs where sampling buys nothing).
+    pub force_full_skeleton: bool,
+}
+
+impl Default for PackingConfig {
+    fn default() -> Self {
+        PackingConfig {
+            seed: 0x5eed_cafe,
+            trees_wanted: 0,
+            packing_rounds: 0,
+            estimation_rounds: 0,
+            target_factor: 12.0,
+            force_full_skeleton: false,
+        }
+    }
+}
+
+/// Result of the packing pipeline.
+#[derive(Clone, Debug)]
+pub struct TreePacking {
+    /// Selected spanning trees, each as a sorted list of edge ids of the
+    /// original graph.
+    pub trees: Vec<Vec<u32>>,
+    /// Packing multiplicity of each selected tree (how many greedy rounds
+    /// produced exactly this tree).
+    pub tree_weights: Vec<u32>,
+    /// Sampling rate of the accepted skeleton.
+    pub skeleton_p: f64,
+    /// Estimated packing value of the accepted skeleton.
+    pub packing_value: f64,
+    /// Number of greedy rounds in the final packing.
+    pub rounds: usize,
+    /// Number of distinct trees the full packing contained.
+    pub distinct_trees: usize,
+}
+
+/// One greedy packing run on a skeleton. Returns `(distinct trees with
+/// multiplicities, packing value estimate)` or `None` if the skeleton does
+/// not span the graph (caller should raise the sampling rate).
+pub fn pack_greedy(
+    g: &Graph,
+    sk: &Skeleton,
+    rounds: usize,
+) -> Option<(Vec<(Vec<u32>, u32)>, f64)> {
+    assert!(rounds > 0);
+    let n = g.n();
+    if n == 1 {
+        return Some((vec![(Vec::new(), rounds as u32)], f64::INFINITY));
+    }
+    // Build the skeleton subgraph once; skeleton edge i maps to original
+    // edge live_edges[i].
+    let live = &sk.live_edges;
+    let sub_edges: Vec<(u32, u32, u64)> = live
+        .iter()
+        .map(|&eid| {
+            let e = g.edges()[eid as usize];
+            (e.u, e.v, 1)
+        })
+        .collect();
+    if sub_edges.len() < n - 1 {
+        return None;
+    }
+    let sub = Graph::from_edges(n, &sub_edges).expect("skeleton subgraph is valid");
+    let mut load = vec![0u64; live.len()];
+    let mut trees: std::collections::HashMap<Vec<u32>, u32> = std::collections::HashMap::new();
+    let mut max_ratio: f64 = 0.0;
+    for _round in 0..rounds {
+        let cost: Vec<u64> = load
+            .iter()
+            .zip(live.iter())
+            .map(|(&l, &eid)| (l << RATIO_SHIFT) / sk.multiplicity[eid as usize] as u64)
+            .collect();
+        let chosen = boruvka_mst(&sub, &cost);
+        if chosen.len() != n - 1 {
+            return None; // skeleton disconnected
+        }
+        let mut orig: Vec<u32> = chosen.iter().map(|&se| live[se as usize]).collect();
+        orig.sort_unstable();
+        for &se in &chosen {
+            load[se as usize] += 1;
+            let r = load[se as usize] as f64 / sk.multiplicity[live[se as usize] as usize] as f64;
+            if r > max_ratio {
+                max_ratio = r;
+            }
+        }
+        *trees.entry(orig).or_insert(0) += 1;
+    }
+    let value = rounds as f64 / max_ratio.max(f64::MIN_POSITIVE);
+    // Deterministic order (HashMap iteration order is randomized): heaviest
+    // trees first, ties broken lexicographically by edge ids.
+    let mut list: Vec<(Vec<u32>, u32)> = trees.into_iter().collect();
+    list.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Some((list, value))
+}
+
+/// The full Lemma 1 pipeline. See module docs.
+///
+/// ```
+/// use pmc_graph::gen;
+/// use pmc_packing::{pack_trees, PackingConfig};
+///
+/// let g = gen::gnm_connected(64, 200, 8, 7);
+/// let packing = pack_trees(&g, &PackingConfig::default());
+/// assert!(!packing.trees.is_empty());
+/// for tree in &packing.trees {
+///     assert_eq!(tree.len(), g.n() - 1); // each is a spanning tree
+/// }
+/// ```
+///
+/// # Panics
+/// Panics if `g` is disconnected (callers check connectivity first — a
+/// disconnected graph has minimum cut 0 and needs no packing).
+pub fn pack_trees(g: &Graph, cfg: &PackingConfig) -> TreePacking {
+    let n = g.n();
+    assert!(n >= 2, "packing needs at least two vertices");
+    let log2n = (usize::BITS - (n - 1).leading_zeros()).max(1) as usize;
+    let trees_wanted = if cfg.trees_wanted == 0 {
+        3 * log2n + 3
+    } else {
+        cfg.trees_wanted
+    };
+    let final_rounds = if cfg.packing_rounds == 0 {
+        (3 * log2n * log2n).clamp(32, 2048)
+    } else {
+        cfg.packing_rounds
+    };
+    let est_rounds = if cfg.estimation_rounds == 0 {
+        (4 * log2n).clamp(16, 256)
+    } else {
+        cfg.estimation_rounds
+    };
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // --- Rate search -------------------------------------------------------
+    let target = cfg.target_factor * (n.max(2) as f64).ln();
+    let mut p: f64;
+    let skeleton: Skeleton;
+    if cfg.force_full_skeleton || g.total_weight() as f64 <= 4.0 * target {
+        skeleton = full_skeleton(g);
+    } else {
+        // Initial guess: make the *upper bound* on the min cut (the minimum
+        // weighted degree) sample down to the target.
+        let dmin = g.min_weighted_degree().max(1) as f64;
+        p = (target / dmin).min(1.0);
+        let mut accepted: Option<Skeleton> = None;
+        for _ in 0..64 {
+            let sk = if p >= 1.0 {
+                full_skeleton(g)
+            } else {
+                sample_skeleton(g, p, &mut rng)
+            };
+            match pack_greedy(g, &sk, est_rounds) {
+                None => {
+                    // Disconnected: not enough sampled edges.
+                    if p >= 1.0 {
+                        panic!("pack_trees requires a connected graph");
+                    }
+                    p = (p * 2.0).min(1.0);
+                }
+                Some((_, value)) => {
+                    if value < target / 2.0 && p < 1.0 {
+                        p = (p * 2.0).min(1.0);
+                    } else if value > 4.0 * target && p > 1e-9 {
+                        p /= 2.0;
+                    } else {
+                        accepted = Some(sk);
+                        break;
+                    }
+                }
+            }
+        }
+        skeleton = accepted.unwrap_or_else(|| full_skeleton(g));
+    }
+
+    // --- Final packing ------------------------------------------------------
+    let (mut distinct, value) = pack_greedy(g, &skeleton, final_rounds)
+        .expect("accepted skeleton must span the graph");
+    let distinct_trees = distinct.len();
+
+    // --- Weighted selection without replacement -----------------------------
+    // Draw trees proportionally to multiplicity until we have the requested
+    // number of distinct trees (or exhaust the packing).
+    let mut selected: Vec<(Vec<u32>, u32)> = Vec::new();
+    while selected.len() < trees_wanted && !distinct.is_empty() {
+        let total: u64 = distinct.iter().map(|(_, w)| *w as u64).sum();
+        let mut draw = rng.gen_range(0..total);
+        let mut idx = 0;
+        for (i, (_, w)) in distinct.iter().enumerate() {
+            if draw < *w as u64 {
+                idx = i;
+                break;
+            }
+            draw -= *w as u64;
+        }
+        selected.push(distinct.swap_remove(idx));
+    }
+
+    let (trees, tree_weights): (Vec<Vec<u32>>, Vec<u32>) = selected.into_iter().unzip();
+    TreePacking {
+        trees,
+        tree_weights,
+        skeleton_p: skeleton.p,
+        packing_value: value,
+        rounds: final_rounds,
+        distinct_trees,
+    }
+}
+
+/// Roots a spanning tree given by graph edge ids at `root`.
+pub fn rooted_tree_from_edges(g: &Graph, tree_edges: &[u32], root: u32) -> RootedTree {
+    let pairs: Vec<(u32, u32)> = tree_edges
+        .iter()
+        .map(|&eid| {
+            let e = g.edges()[eid as usize];
+            (e.u, e.v)
+        })
+        .collect();
+    RootedTree::from_undirected_edges(g.n(), &pairs, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_graph::gen;
+    use pmc_graph::UnionFind;
+
+    fn is_spanning_tree(g: &Graph, edges: &[u32]) -> bool {
+        if edges.len() != g.n() - 1 {
+            return false;
+        }
+        let mut uf = UnionFind::new(g.n());
+        edges.iter().all(|&eid| {
+            let e = g.edges()[eid as usize];
+            uf.union(e.u, e.v)
+        })
+    }
+
+    #[test]
+    fn greedy_pack_produces_spanning_trees() {
+        let g = gen::gnm_connected(60, 200, 10, 5);
+        let sk = full_skeleton(&g);
+        let (trees, value) = pack_greedy(&g, &sk, 50).unwrap();
+        assert!(value > 0.0);
+        for (t, mult) in &trees {
+            assert!(*mult >= 1);
+            assert!(is_spanning_tree(&g, t));
+        }
+        let total: u32 = trees.iter().map(|(_, m)| m).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn packing_value_tracks_min_cut_on_cycle() {
+        // A cycle has min cut 2 and maximum tree packing value exactly 1
+        // (n-1 of n edges per tree); the estimate must land within a
+        // constant factor of 1.
+        let g = gen::cycle_with_chords(40, 0, 0);
+        let sk = full_skeleton(&g);
+        let (_, value) = pack_greedy(&g, &sk, 200).unwrap();
+        assert!(value <= 1.5 && value > 0.4, "value {value}");
+    }
+
+    #[test]
+    fn packing_value_scales_with_connectivity() {
+        // Doubling all weights doubles capacities and the packing value.
+        let g1 = gen::gnm_connected(40, 160, 1, 6);
+        let edges2: Vec<(u32, u32, u64)> = g1
+            .edges()
+            .iter()
+            .map(|e| (e.u, e.v, e.w * 2))
+            .collect();
+        let g2 = Graph::from_edges(40, &edges2).unwrap();
+        let (_, v1) = pack_greedy(&g1, &full_skeleton(&g1), 100).unwrap();
+        let (_, v2) = pack_greedy(&g2, &full_skeleton(&g2), 100).unwrap();
+        assert!(v2 > 1.5 * v1, "v1={v1} v2={v2}");
+    }
+
+    #[test]
+    fn disconnected_skeleton_rejected() {
+        let g = gen::gnm_connected(30, 60, 1, 7);
+        // Empty skeleton: zero multiplicities.
+        let sk = Skeleton {
+            p: 0.001,
+            multiplicity: vec![0; g.m()],
+            live_edges: vec![],
+            total_units: 0,
+        };
+        assert!(pack_greedy(&g, &sk, 10).is_none());
+    }
+
+    #[test]
+    fn pack_trees_end_to_end() {
+        let (g, _, _) = gen::planted_bisection(20, 20, 10, 3, 10, 8);
+        let packing = pack_trees(&g, &PackingConfig::default());
+        assert!(!packing.trees.is_empty());
+        assert!(packing.trees.len() <= 3 * 6 + 3 + 1);
+        for t in &packing.trees {
+            assert!(is_spanning_tree(&g, t));
+        }
+    }
+
+    #[test]
+    fn pack_trees_finds_two_respecting_tree_on_planted_cut() {
+        // The planted minimum cut must be 2-respected by some selected tree.
+        let (g, _, side) = gen::planted_bisection(30, 30, 50, 3, 15, 9);
+        let packing = pack_trees(&g, &PackingConfig::default());
+        let two_respecting = packing.trees.iter().any(|t| {
+            let crossing = t
+                .iter()
+                .filter(|&&eid| {
+                    let e = g.edges()[eid as usize];
+                    side[e.u as usize] != side[e.v as usize]
+                })
+                .count();
+            crossing <= 2
+        });
+        assert!(two_respecting, "no selected tree 2-respects the planted cut");
+    }
+
+    #[test]
+    fn sampling_kicks_in_for_heavy_graphs() {
+        let (g, _, _) = gen::planted_bisection(60, 60, 2000, 3, 30, 10);
+        let packing = pack_trees(&g, &PackingConfig::default());
+        assert!(
+            packing.skeleton_p < 1.0,
+            "heavy graph should be sampled, p = {}",
+            packing.skeleton_p
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen::gnm_connected(40, 120, 30, 11);
+        let a = pack_trees(&g, &PackingConfig::default());
+        let b = pack_trees(&g, &PackingConfig::default());
+        assert_eq!(a.trees, b.trees);
+    }
+
+    use pmc_graph::Graph;
+}

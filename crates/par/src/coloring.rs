@@ -1,0 +1,171 @@
+//! Deterministic chain colouring (Cole–Vishkin).
+//!
+//! §3.3.1 of the paper notes the bough-finding contraction can be made
+//! deterministic by replacing random-mate with a 3-colouring: "Construct a
+//! 3-coloring of the tree and choose the color with the largest number of
+//! non-branching internal vertices" — on chains, a colour class is an
+//! independent vertex set, so the edges hanging off the largest class form
+//! an independent *edge* set of at least a third of the chain edges.
+//!
+//! [`color3_chains`] implements the classic deferred-decision scheme on
+//! successor-array chains: starting from the (unique) node ids, each round
+//! replaces a node's colour by `2k + bit_k`, where `k` is the lowest bit
+//! position at which its colour differs from its predecessor's — shrinking
+//! `b`-bit colours to `O(log b)` bits, hence `O(log* n)` rounds to six
+//! colours — followed by a palette reduction from 6 to 3.
+
+use rayon::prelude::*;
+
+use crate::list_rank::NIL;
+
+/// Computes a proper 3-colouring (`0, 1, 2`) of the chains encoded by the
+/// successor array `next` (`next[v]` = successor or [`NIL`]). Nodes in
+/// different chains never constrain each other.
+///
+/// Deterministic; `O(n log* n)` work, `O(log* n)` rounds.
+pub fn color3_chains(next: &[usize]) -> Vec<u8> {
+    let n = next.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Predecessors.
+    let mut pred = vec![NIL; n];
+    for (v, &s) in next.iter().enumerate() {
+        if s != NIL {
+            debug_assert_eq!(pred[s], NIL, "node with two predecessors");
+            pred[s] = v;
+        }
+    }
+    // Cole–Vishkin rounds.
+    let mut color: Vec<u64> = (0..n as u64).collect();
+    let mut guard = 0;
+    while color.iter().any(|&c| c >= 6) {
+        guard += 1;
+        assert!(guard <= 64, "colouring failed to converge");
+        color = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let cv = color[v];
+                match pred[v] {
+                    NIL => cv & 1,
+                    p => {
+                        let diff = cv ^ color[p];
+                        debug_assert_ne!(diff, 0, "adjacent equal colours");
+                        let k = diff.trailing_zeros() as u64;
+                        2 * k + ((cv >> k) & 1)
+                    }
+                }
+            })
+            .collect();
+    }
+    // Palette reduction 6 → 3: nodes of colour c (an independent set) all
+    // recolour simultaneously to the smallest colour unused by neighbours.
+    let mut color: Vec<u8> = color.into_iter().map(|c| c as u8).collect();
+    for c in (3..6u8).rev() {
+        let updates: Vec<(usize, u8)> = (0..n)
+            .into_par_iter()
+            .filter(|&v| color[v] == c)
+            .map(|v| {
+                let mut used = [false; 3];
+                if pred[v] != NIL && color[pred[v]] < 3 {
+                    used[color[pred[v]] as usize] = true;
+                }
+                if next[v] != NIL && color[next[v]] < 3 {
+                    used[color[next[v]] as usize] = true;
+                }
+                let fresh = (0..3).find(|&x| !used[x]).unwrap() as u8;
+                (v, fresh)
+            })
+            .collect();
+        for (v, fresh) in updates {
+            color[v] = fresh;
+        }
+    }
+    debug_assert!(is_proper(next, &color));
+    color
+}
+
+/// A deterministic independent set of chain edges `(v, next[v])` from a
+/// 3-colouring: select every non-tail node of the most common colour.
+/// At least a third of the chain edges are selected.
+pub fn chain_independent_set_by_coloring(next: &[usize]) -> Vec<usize> {
+    let color = color3_chains(next);
+    let mut count = [0usize; 3];
+    for (v, &c) in color.iter().enumerate() {
+        if next[v] != NIL {
+            count[c as usize] += 1;
+        }
+    }
+    let best = (0..3).max_by_key(|&c| count[c]).unwrap() as u8;
+    (0..next.len())
+        .filter(|&v| color[v] == best && next[v] != NIL)
+        .collect()
+}
+
+fn is_proper(next: &[usize], color: &[u8]) -> bool {
+    next.iter().enumerate().all(|(v, &s)| {
+        s == NIL || (color[v] != color[s] && color[v] < 3 && color[s] < 3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Vec<usize> {
+        (0..n).map(|i| if i + 1 < n { i + 1 } else { NIL }).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(color3_chains(&[]).is_empty());
+        assert_eq!(color3_chains(&[NIL]).len(), 1);
+        assert!(color3_chains(&[NIL])[0] < 3);
+    }
+
+    #[test]
+    fn long_chain_proper() {
+        let next = chain(100_000);
+        let color = color3_chains(&next);
+        assert!(is_proper(&next, &color));
+    }
+
+    #[test]
+    fn scrambled_chains_proper() {
+        use rand::rngs::SmallRng;
+        use rand::{seq::SliceRandom, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(9);
+        // Several chains over a permuted id space.
+        let n = 5000;
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(&mut rng);
+        let mut next = vec![NIL; n];
+        for c in 0..50 {
+            let span = &ids[c * 100..(c + 1) * 100];
+            for w in span.windows(2) {
+                next[w[0]] = w[1];
+            }
+        }
+        let color = color3_chains(&next);
+        assert!(is_proper(&next, &color));
+    }
+
+    #[test]
+    fn independent_set_is_large_and_independent() {
+        let next = chain(9999);
+        let sel = chain_independent_set_by_coloring(&next);
+        // Independence: no selected node is the successor of another.
+        let chosen: std::collections::HashSet<usize> = sel.iter().copied().collect();
+        for &v in &sel {
+            assert!(!chosen.contains(&next[v]), "adjacent edges selected");
+        }
+        // Size: at least a third of the edges.
+        assert!(sel.len() * 3 >= 9998, "only {} of 9998 edges", sel.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let next = chain(1234);
+        assert_eq!(color3_chains(&next), color3_chains(&next));
+    }
+}

@@ -1,0 +1,125 @@
+//! Random-mate independent set selection on chains.
+//!
+//! Lemma 8 of the paper contracts, in each round, an independent set of
+//! edges whose endpoints are both non-branching tree vertices. The classic
+//! random-mate technique flips a fair coin per vertex; an edge `(u, v)` with
+//! `u` HEADS and `v` TAILS joins the set. In expectation a quarter of the
+//! eligible edges are selected, so `O(log n)` rounds shrink any chain to a
+//! point — this gives the Las Vegas bound of Lemma 8.
+//!
+//! A deterministic parity-based fallback ([`chain_independent_set_parity`])
+//! selects edges whose head has even rank within its chain; this replaces
+//! the paper's `O(log* n)` 3-colouring route with an even simpler scheme
+//! that still guarantees a constant fraction (documented in DESIGN.md).
+
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Given candidate edges `(u, v)` (directed child-to-parent, both endpoints
+/// eligible), returns indices of a subset forming an independent set
+/// (no two chosen edges share an endpoint), using one round of random-mate
+/// with the given RNG-seeded coin flips.
+///
+/// `nvertices` bounds the vertex ids appearing in `edges`.
+pub fn chain_independent_set<R: Rng>(
+    edges: &[(usize, usize)],
+    nvertices: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let coins: Vec<bool> = (0..nvertices).map(|_| rng.gen::<bool>()).collect();
+    select_by_coins(edges, &coins)
+}
+
+/// Deterministic variant: treats each vertex's id parity as its coin.
+/// Only useful when ids along chains alternate in parity (e.g. after
+/// list-ranking renumbering); provided for the deterministic path discussed
+/// in §3.3.1 of the paper.
+pub fn chain_independent_set_parity(edges: &[(usize, usize)]) -> Vec<usize> {
+    let max_v = edges
+        .iter()
+        .map(|&(u, v)| u.max(v))
+        .max()
+        .map_or(0, |m| m + 1);
+    let coins: Vec<bool> = (0..max_v).map(|i| i % 2 == 0).collect();
+    select_by_coins(edges, &coins)
+}
+
+fn select_by_coins(edges: &[(usize, usize)], coins: &[bool]) -> Vec<usize> {
+    edges
+        .par_iter()
+        .enumerate()
+        .filter_map(|(i, &(u, v))| {
+            if coins[u] && !coins[v] {
+                Some(i)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Checks that the selected edge indices form an independent set
+/// (used by debug assertions and tests).
+pub fn is_independent(edges: &[(usize, usize)], selected: &[usize]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    for &i in selected {
+        let (u, v) = edges[i];
+        if !seen.insert(u) || !seen.insert(v) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn chain_edges(n: usize) -> Vec<(usize, usize)> {
+        (0..n - 1).map(|i| (i, i + 1)).collect()
+    }
+
+    #[test]
+    fn selection_is_independent() {
+        let edges = chain_edges(1000);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let sel = chain_independent_set(&edges, 1000, &mut rng);
+            assert!(is_independent(&edges, &sel));
+        }
+    }
+
+    #[test]
+    fn expected_quarter_selected() {
+        // Over many rounds on a long chain, roughly 1/4 of edges selected.
+        let n = 10_000;
+        let edges = chain_edges(n);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let total: usize = (0..50)
+            .map(|_| chain_independent_set(&edges, n, &mut rng).len())
+            .sum();
+        let avg = total as f64 / 50.0 / (n - 1) as f64;
+        assert!(
+            (avg - 0.25).abs() < 0.02,
+            "average selected fraction {avg} far from 1/4"
+        );
+    }
+
+    #[test]
+    fn parity_on_alternating_chain() {
+        // Consecutive ids: every even-headed edge selected, half the edges.
+        let edges = chain_edges(100);
+        let sel = chain_independent_set_parity(&edges);
+        assert!(is_independent(&edges, &sel));
+        assert_eq!(sel.len(), 50);
+    }
+
+    #[test]
+    fn empty_edges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(chain_independent_set(&[], 10, &mut rng).is_empty());
+        assert!(chain_independent_set_parity(&[]).is_empty());
+    }
+}

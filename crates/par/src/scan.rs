@@ -1,0 +1,207 @@
+//! All-prefix-sums (scan) over an arbitrary monoid.
+//!
+//! The parallel `AddPrefix` procedure (paper §3.1, Observation 3) and the
+//! root minima computation (§3.1.3) both reduce to prefix sums. The classic
+//! two-pass blocked scan below performs `O(n)` work in `O(log n)` depth
+//! (block partials are combined by a sequential pass over `O(p)` blocks,
+//! which is `O(n / SEQ_THRESHOLD)` and counted as depth only).
+
+use rayon::prelude::*;
+
+use crate::SEQ_THRESHOLD;
+
+/// An associative combining operation with an identity element.
+///
+/// Implementations must satisfy, for all `a, b, c`:
+/// `combine(a, identity()) == a`, `combine(identity(), a) == a`, and
+/// `combine(combine(a, b), c) == combine(a, combine(b, c))`.
+pub trait Monoid: Copy + Send + Sync {
+    /// The identity element of the monoid.
+    fn identity() -> Self;
+    /// The associative combining operation.
+    fn combine(self, other: Self) -> Self;
+}
+
+impl Monoid for i64 {
+    fn identity() -> Self {
+        0
+    }
+    fn combine(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+impl Monoid for u64 {
+    fn identity() -> Self {
+        0
+    }
+    fn combine(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+impl Monoid for usize {
+    fn identity() -> Self {
+        0
+    }
+    fn combine(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+/// Minimum-monoid wrapper: `combine` takes the smaller value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinI64(pub i64);
+
+impl Monoid for MinI64 {
+    fn identity() -> Self {
+        MinI64(i64::MAX)
+    }
+    fn combine(self, other: Self) -> Self {
+        MinI64(self.0.min(other.0))
+    }
+}
+
+/// Inclusive scan: `out[i] = xs[0] ⊕ … ⊕ xs[i]`.
+pub fn inclusive_scan<T: Monoid>(xs: &[T]) -> Vec<T> {
+    let mut out = xs.to_vec();
+    inclusive_scan_in_place(&mut out);
+    out
+}
+
+/// Exclusive scan: `out[i] = xs[0] ⊕ … ⊕ xs[i-1]`, `out[0] = identity`.
+/// Returns the scanned vector and the total `xs[0] ⊕ … ⊕ xs[n-1]`.
+pub fn exclusive_scan<T: Monoid>(xs: &[T]) -> (Vec<T>, T) {
+    let n = xs.len();
+    if n == 0 {
+        return (Vec::new(), T::identity());
+    }
+    let inc = inclusive_scan(xs);
+    let total = inc[n - 1];
+    let mut out = Vec::with_capacity(n);
+    out.push(T::identity());
+    out.extend_from_slice(&inc[..n - 1]);
+    (out, total)
+}
+
+/// In-place inclusive scan. Two-pass blocked algorithm:
+/// (1) scan each block independently in parallel,
+/// (2) exclusive-scan the block totals sequentially (`O(#blocks)`),
+/// (3) add each block's offset to its elements in parallel.
+pub fn inclusive_scan_in_place<T: Monoid>(xs: &mut [T]) {
+    let n = xs.len();
+    if n <= SEQ_THRESHOLD {
+        seq_inclusive_scan(xs);
+        return;
+    }
+    let nblocks = (n + SEQ_THRESHOLD - 1) / SEQ_THRESHOLD;
+    let mut partials: Vec<T> = xs
+        .par_chunks_mut(SEQ_THRESHOLD)
+        .map(|chunk| {
+            seq_inclusive_scan(chunk);
+            chunk[chunk.len() - 1]
+        })
+        .collect();
+    debug_assert_eq!(partials.len(), nblocks);
+    // Exclusive scan of block totals (cheap: one element per block).
+    let mut acc = T::identity();
+    for p in partials.iter_mut() {
+        let next = acc.combine(*p);
+        *p = acc;
+        acc = next;
+    }
+    xs.par_chunks_mut(SEQ_THRESHOLD)
+        .zip(partials.par_iter())
+        .for_each(|(chunk, &offset)| {
+            for x in chunk.iter_mut() {
+                *x = offset.combine(*x);
+            }
+        });
+}
+
+fn seq_inclusive_scan<T: Monoid>(xs: &mut [T]) {
+    let mut acc = T::identity();
+    for x in xs.iter_mut() {
+        acc = acc.combine(*x);
+        *x = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_scan() {
+        let xs: Vec<i64> = vec![];
+        assert!(inclusive_scan(&xs).is_empty());
+        let (e, total) = exclusive_scan(&xs);
+        assert!(e.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(inclusive_scan(&[7i64]), vec![7]);
+        let (e, total) = exclusive_scan(&[7i64]);
+        assert_eq!(e, vec![0]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn small_inclusive() {
+        assert_eq!(inclusive_scan(&[1i64, 2, 3, 4]), vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn small_exclusive() {
+        let (e, total) = exclusive_scan(&[1i64, 2, 3, 4]);
+        assert_eq!(e, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn negative_values() {
+        assert_eq!(inclusive_scan(&[-1i64, 5, -10, 3]), vec![-1, 4, -6, -3]);
+    }
+
+    #[test]
+    fn min_monoid() {
+        let xs: Vec<MinI64> = [5i64, 3, 8, 1, 9].iter().map(|&x| MinI64(x)).collect();
+        let got: Vec<i64> = inclusive_scan(&xs).iter().map(|m| m.0).collect();
+        assert_eq!(got, vec![5, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn large_matches_sequential() {
+        let n = 100_000;
+        let xs: Vec<i64> = (0..n as u64).map(|i| ((i * 2654435761) % 1000) as i64 - 500).collect();
+        let par = inclusive_scan(&xs);
+        let mut acc = 0i64;
+        for (i, &x) in xs.iter().enumerate() {
+            acc += x;
+            assert_eq!(par[i], acc, "mismatch at index {i}");
+        }
+    }
+
+    #[test]
+    fn large_exclusive_total() {
+        let n = 50_000;
+        let xs: Vec<u64> = (0..n).map(|i| (i % 7) as u64).collect();
+        let (e, total) = exclusive_scan(&xs);
+        assert_eq!(total, xs.iter().sum::<u64>());
+        assert_eq!(e[0], 0);
+        assert_eq!(e[n - 1] + xs[n - 1], total);
+    }
+
+    #[test]
+    fn exactly_threshold_boundary() {
+        for n in [SEQ_THRESHOLD - 1, SEQ_THRESHOLD, SEQ_THRESHOLD + 1] {
+            let xs: Vec<i64> = (0..n as i64).collect();
+            let got = inclusive_scan(&xs);
+            assert_eq!(got[n - 1], (n as i64 - 1) * n as i64 / 2);
+        }
+    }
+
+    use crate::SEQ_THRESHOLD;
+}

@@ -1,0 +1,84 @@
+//! Segmented broadcast.
+//!
+//! In the parallel `MinPrefix` procedure (§3.2 of the paper) the merged
+//! array contains a mix of `Δ`-state entries and queries, sorted by time;
+//! each query must read the last `Δ`-state entry to its left. The paper
+//! implements this with "a variant of the parallel all-prefix-sums
+//! algorithm": a scan over the *last-defined-value* monoid, which is exactly
+//! what [`segmented_broadcast`] provides.
+
+use crate::scan::{inclusive_scan_in_place, Monoid};
+
+#[derive(Clone, Copy, Debug)]
+struct LastSome<T: Copy>(Option<T>);
+
+impl<T: Copy + Send + Sync> Monoid for LastSome<T> {
+    fn identity() -> Self {
+        LastSome(None)
+    }
+    fn combine(self, other: Self) -> Self {
+        match other.0 {
+            Some(_) => other,
+            None => self,
+        }
+    }
+}
+
+/// For each position `i`, returns the value of the nearest `Some` entry at a
+/// position `j <= i` (or `None` if no such entry exists). Broadcast values
+/// "flow right" until overwritten — the parallel analogue of a sequential
+/// left-to-right sweep carrying the latest seen value.
+///
+/// `O(n)` work, `O(log n)` depth.
+pub fn segmented_broadcast<T: Copy + Send + Sync>(xs: &[Option<T>]) -> Vec<Option<T>> {
+    let mut wrapped: Vec<LastSome<T>> = xs.iter().map(|x| LastSome(*x)).collect();
+    inclusive_scan_in_place(&mut wrapped);
+    wrapped.into_iter().map(|w| w.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert!(segmented_broadcast::<i64>(&[]).is_empty());
+    }
+
+    #[test]
+    fn leading_none_stays_none() {
+        let xs = [None, None, Some(3i64), None, Some(5), None];
+        assert_eq!(
+            segmented_broadcast(&xs),
+            vec![None, None, Some(3), Some(3), Some(5), Some(5)]
+        );
+    }
+
+    #[test]
+    fn all_none() {
+        let xs = [None::<u64>; 17];
+        assert!(segmented_broadcast(&xs).iter().all(|x| x.is_none()));
+    }
+
+    #[test]
+    fn all_some() {
+        let xs: Vec<Option<usize>> = (0..10).map(Some).collect();
+        assert_eq!(segmented_broadcast(&xs), xs);
+    }
+
+    #[test]
+    fn large_matches_sequential_sweep() {
+        let n = 80_000;
+        let xs: Vec<Option<i64>> = (0..n)
+            .map(|i| if i % 37 == 0 { Some(i as i64) } else { None })
+            .collect();
+        let got = segmented_broadcast(&xs);
+        let mut last = None;
+        for (i, &x) in xs.iter().enumerate() {
+            if x.is_some() {
+                last = x;
+            }
+            assert_eq!(got[i], last, "mismatch at {i}");
+        }
+    }
+}

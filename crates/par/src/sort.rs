@@ -1,0 +1,78 @@
+//! Parallel merge sort.
+//!
+//! The paper leans on Cole's parallel merge sort \[7\] for `O(k log k)` work
+//! and `O(log k)` depth sorting (Lemma 12's batch ordering, the leaf
+//! grouping of §3.1.1). This is the textbook fork-join realization: split,
+//! sort halves concurrently, merge with the divide-and-conquer parallel
+//! merge from [`crate::merge`] — `O(n log n)` work, `O(log³ n)` span
+//! (each of the `log n` merge levels has `O(log² n)` span), which is
+//! indistinguishable from Cole's schedule on real hardware.
+
+use crate::merge::merge_by_key;
+use crate::SEQ_THRESHOLD;
+
+/// Sorts by the given key, stably, returning a new vector.
+pub fn par_merge_sort_by_key<T, K, F>(xs: &[T], key: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    if xs.len() <= SEQ_THRESHOLD {
+        let mut out = xs.to_vec();
+        out.sort_by_key(key);
+        return out;
+    }
+    let mid = xs.len() / 2;
+    let (lo, hi) = rayon::join(
+        || par_merge_sort_by_key(&xs[..mid], key),
+        || par_merge_sort_by_key(&xs[mid..], key),
+    );
+    merge_by_key(&lo, &hi, key)
+}
+
+/// Sorts a `Copy + Ord` slice ascending, returning a new vector.
+pub fn par_merge_sort<T: Copy + Ord + Send + Sync>(xs: &[T]) -> Vec<T> {
+    par_merge_sort_by_key(xs, |x| *x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert!(par_merge_sort::<u64>(&[]).is_empty());
+        assert_eq!(par_merge_sort(&[5]), vec![5]);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let asc: Vec<i64> = (0..10_000).collect();
+        let desc: Vec<i64> = (0..10_000).rev().collect();
+        assert_eq!(par_merge_sort(&asc), asc);
+        assert_eq!(par_merge_sort(&desc), asc);
+    }
+
+    #[test]
+    fn large_random_matches_std() {
+        let xs: Vec<u64> = (0..200_000u64).map(|i| (i * 2654435761) % 100_000).collect();
+        let got = par_merge_sort(&xs);
+        let mut want = xs.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stability() {
+        // Key collisions must preserve input order of payloads.
+        let xs: Vec<(u32, u32)> = (0..50_000u32).map(|i| (i % 16, i)).collect();
+        let got = par_merge_sort_by_key(&xs, |p| p.0);
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Small parallel helpers shared across the workspace.
+
+use rayon::prelude::*;
+
+/// Parallel argmin over a slice of keys; ties broken toward the smallest
+/// index (deterministic regardless of the rayon schedule). Returns `None`
+/// for an empty slice.
+pub fn par_argmin<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<usize> {
+    xs.par_iter()
+        .enumerate()
+        .map(|(i, &x)| (x, i))
+        .min()
+        .map(|(_, i)| i)
+}
+
+/// Parallel minimum of a slice; `None` for empty input.
+pub fn par_min<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<T> {
+    xs.par_iter().copied().min()
+}
+
+/// Stable counting of elements per bucket followed by an exclusive scan:
+/// returns `(offsets, total)` such that bucket `b` occupies
+/// `offsets[b]..offsets[b+1]` in a bucket-sorted layout. `offsets` has
+/// `nbuckets + 1` entries.
+pub fn bucket_offsets(bucket_of: &[usize], nbuckets: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; nbuckets + 1];
+    for &b in bucket_of {
+        counts[b + 1] += 1;
+    }
+    for i in 1..=nbuckets {
+        counts[i] += counts[i - 1];
+    }
+    counts
+}
+
+/// Scatters `items` into a bucket-sorted vector given precomputed offsets,
+/// preserving input order within each bucket.
+pub fn bucket_scatter<T: Clone>(
+    items: &[T],
+    bucket_of: &[usize],
+    offsets: &[usize],
+) -> Vec<T> {
+    assert_eq!(items.len(), bucket_of.len());
+    let mut cursor = offsets.to_vec();
+    let mut out: Vec<Option<T>> = vec![None; items.len()];
+    for (item, &b) in items.iter().zip(bucket_of) {
+        out[cursor[b]] = Some(item.clone());
+        cursor[b] += 1;
+    }
+    out.into_iter().map(|x| x.unwrap()).collect()
+}
+
+/// Rounds `n` up to the next power of two (`0 -> 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Integer `ceil(log2(n))` with `ilog2_ceil(1) == 0`.
+pub fn ilog2_ceil(n: usize) -> u32 {
+    assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmin_basics() {
+        assert_eq!(par_argmin::<i64>(&[]), None);
+        assert_eq!(par_argmin(&[3i64]), Some(0));
+        assert_eq!(par_argmin(&[5i64, 2, 8, 2]), Some(1)); // first of the ties
+    }
+
+    #[test]
+    fn argmin_large_deterministic() {
+        let xs: Vec<i64> = (0..100_000).map(|i| ((i * 37) % 1000) as i64).collect();
+        let want = xs
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &x)| (x, i))
+            .map(|(i, _)| i);
+        assert_eq!(par_argmin(&xs), want);
+    }
+
+    #[test]
+    fn buckets_roundtrip() {
+        let bucket_of = vec![2, 0, 1, 0, 2, 2];
+        let offsets = bucket_offsets(&bucket_of, 3);
+        assert_eq!(offsets, vec![0, 2, 3, 6]);
+        let items = vec!['a', 'b', 'c', 'd', 'e', 'f'];
+        let sorted = bucket_scatter(&items, &bucket_of, &offsets);
+        assert_eq!(sorted, vec!['b', 'd', 'c', 'a', 'e', 'f']);
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(16), 16);
+        assert_eq!(ilog2_ceil(1), 0);
+        assert_eq!(ilog2_ceil(2), 1);
+        assert_eq!(ilog2_ceil(5), 3);
+        assert_eq!(ilog2_ceil(8), 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! File-based workflow: generate a workload, persist it as DIMACS, read it
+//! back, sparsify with a Nagamochi–Ibaraki certificate, compute the
+//! minimum cut, and verify against the exact oracle — the full round trip
+//! a benchmark or CI harness would run.
+//!
+//! ```sh
+//! cargo run --release --example dimacs_pipeline
+//! ```
+
+use parallel_mincut::baseline::stoer_wagner;
+use parallel_mincut::graph::certificate::mincut_certificate;
+use parallel_mincut::graph::{gen, io};
+use parallel_mincut::{minimum_cut, MinCutConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dense similarity graph with one weak vertex (degree 2).
+    let dense = gen::complete(120, 3, 11);
+    let mut edges: Vec<(u32, u32, u64)> =
+        dense.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    edges.push((0, 120, 2));
+    let g = parallel_mincut::Graph::from_edges(121, &edges)?;
+
+    // Persist and reload.
+    let path = std::env::temp_dir().join("pmc_pipeline_demo.dimacs");
+    io::write_dimacs(&g, std::fs::File::create(&path)?)?;
+    let loaded = io::read_path(&path)?;
+    println!(
+        "wrote + reloaded {}: {} vertices, {} edges, total weight {}",
+        path.display(),
+        loaded.n(),
+        loaded.m(),
+        loaded.total_weight()
+    );
+
+    // Certificate sparsification (exact for minimum cuts).
+    match mincut_certificate(&loaded) {
+        Some(cert) => println!(
+            "NI certificate at k = {}: kept {:.1}% of the weight ({} edges)",
+            cert.k,
+            100.0 * cert.kept_fraction,
+            cert.graph.m()
+        ),
+        None => println!("certificate would not shrink this graph"),
+    }
+
+    // Minimum cut (the library applies the certificate internally).
+    let cut = minimum_cut(&loaded, &MinCutConfig::default())?;
+    println!("minimum cut: {} ({:?})", cut.value, cut.kind);
+
+    // Cross-check against the deterministic exact oracle.
+    let exact = stoer_wagner(&loaded).unwrap();
+    assert_eq!(cut.value, exact.value, "Monte Carlo result disagrees");
+    println!("verified against Stoer–Wagner: {}", exact.value);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Stage-by-stage introspection with `minimum_cut_report`: where does the
+//! time go, how sparse did the certificate and skeleton make the problem,
+//! and how many Minimum Path operations did the 2-respect search generate?
+//!
+//! ```sh
+//! cargo run --release --example pipeline_report
+//! ```
+
+use parallel_mincut::core_alg::{minimum_cut_report, MinCutConfig};
+use parallel_mincut::graph::gen;
+
+fn main() {
+    let workloads: Vec<(&str, parallel_mincut::Graph)> = vec![
+        ("sparse gnm (n=4096, m=16k)", gen::gnm_connected(4096, 16384, 8, 1)),
+        ("planted bisection (n=2048)", gen::planted_bisection(1024, 1024, 40, 5, 2048, 2).0),
+        ("dense + weak vertex", {
+            let dense = gen::complete(300, 3, 3);
+            let mut edges: Vec<(u32, u32, u64)> =
+                dense.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+            edges.push((0, 300, 4));
+            parallel_mincut::Graph::from_edges(301, &edges).unwrap()
+        }),
+    ];
+    for (name, g) in &workloads {
+        let (cut, r) = minimum_cut_report(g, &MinCutConfig::default()).unwrap();
+        println!("== {name}");
+        println!("   n = {}, m = {}, min cut = {} ({:?})", g.n(), g.m(), cut.value, cut.kind);
+        if r.certificate_applied {
+            println!(
+                "   certificate: kept {:.1}% of the weight ({:.1} ms)",
+                100.0 * r.certificate_kept,
+                r.t_certificate.as_secs_f64() * 1e3
+            );
+        } else {
+            println!("   certificate: skipped (input already sparse)");
+        }
+        println!(
+            "   packing: skeleton p = {:.3}, value = {:.1}, {} distinct trees, {} examined ({:.1} ms)",
+            r.skeleton_p,
+            r.packing_value,
+            r.distinct_trees,
+            r.trees_examined,
+            r.t_packing.as_secs_f64() * 1e3
+        );
+        println!(
+            "   2-respect: {} phases, {} MinPath ops total ({:.1} ms)",
+            r.phases,
+            r.batch_ops_total,
+            r.t_two_respect.as_secs_f64() * 1e3
+        );
+        println!();
+    }
+}

@@ -1,0 +1,192 @@
+//! `pmc` — command-line front end for the parallel minimum-cut library.
+//!
+//! ```text
+//! pmc mincut <file> [--seed S] [--trees T] [--quiet]   compute a minimum cut
+//! pmc gen <family> <args..> [--out FILE]               generate a workload
+//! pmc info <file>                                      print graph statistics
+//! pmc verify <file> <value>                            recompute and compare
+//! ```
+//!
+//! Files are DIMACS-like (`.dimacs`) or whitespace edge lists (anything
+//! else); `-` means stdin. Generator families: `gnm n m [max_w] [seed]`,
+//! `planted n_a n_b inner cross chords [seed]`, `cycle n chords [seed]`,
+//! `grid rows cols`, `barbell k`.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+use parallel_mincut::baseline::stoer_wagner;
+use parallel_mincut::core_alg::{minimum_cut, MinCutConfig};
+use parallel_mincut::graph::{gen, io};
+use parallel_mincut::Graph;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("mincut") => cmd_mincut(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pmc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pmc mincut <file> [--seed S] [--trees T] [--quiet]
+  pmc gen gnm <n> <m> [max_w] [seed] [--out FILE]
+  pmc gen planted <n_a> <n_b> <inner_w> <cross> <chords> [seed] [--out FILE]
+  pmc gen cycle <n> <chords> [seed] [--out FILE]
+  pmc gen grid <rows> <cols> [--out FILE]
+  pmc gen barbell <k> [--out FILE]
+  pmc info <file>
+  pmc verify <file> <value>";
+
+fn load(path: &str) -> Result<Graph, String> {
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::Read::read_to_end(&mut std::io::stdin(), &mut buf)
+            .map_err(|e| e.to_string())?;
+        io::read_edge_list(&buf[..])
+            .or_else(|_| io::read_dimacs(&buf[..]))
+            .map_err(|e| format!("stdin: {e}"))
+    } else {
+        io::read_path(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_mincut(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("mincut: missing input file")?;
+    let g = load(path)?;
+    let mut cfg = MinCutConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| "bad --seed")?;
+    }
+    if let Some(t) = flag_value(args, "--trees") {
+        cfg.packing.trees_wanted = t.parse().map_err(|_| "bad --trees")?;
+    }
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let start = std::time::Instant::now();
+    let cut = minimum_cut(&g, &cfg).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    println!("value: {}", cut.value);
+    if !quiet {
+        let (a, b) = cut.partition();
+        println!("sides: {} / {} vertices", a.len(), b.len());
+        println!("kind: {:?}", cut.kind);
+        println!("crossing edges: {}", cut.crossing_edges(&g).len());
+        println!("time: {:.1} ms", elapsed.as_secs_f64() * 1e3);
+        let smaller = if a.len() <= b.len() { &a } else { &b };
+        if smaller.len() <= 32 {
+            println!("smaller side: {smaller:?}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let family = args.first().ok_or("gen: missing family")?;
+    let nums: Vec<u64> = args[1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(|a| a.parse().map_err(|_| format!("bad number {a:?}")))
+        .collect::<Result<_, _>>()?;
+    let arg = |i: usize, default: Option<u64>| -> Result<u64, String> {
+        nums.get(i)
+            .copied()
+            .or(default)
+            .ok_or_else(|| format!("gen {family}: missing argument {i}"))
+    };
+    let g = match family.as_str() {
+        "gnm" => gen::gnm_connected(
+            arg(0, None)? as usize,
+            arg(1, None)? as usize,
+            arg(2, Some(10))?,
+            arg(3, Some(1))?,
+        ),
+        "planted" => {
+            gen::planted_bisection(
+                arg(0, None)? as usize,
+                arg(1, None)? as usize,
+                arg(2, None)?,
+                arg(3, None)? as usize,
+                arg(4, None)? as usize,
+                arg(5, Some(1))?,
+            )
+            .0
+        }
+        "cycle" => gen::cycle_with_chords(
+            arg(0, None)? as usize,
+            arg(1, Some(0))? as usize,
+            arg(2, Some(1))?,
+        ),
+        "grid" => gen::grid(arg(0, None)? as usize, arg(1, None)? as usize),
+        "barbell" => gen::barbell(arg(0, None)? as usize),
+        other => return Err(format!("unknown family {other:?}\n{USAGE}")),
+    };
+    match flag_value(args, "--out") {
+        Some(path) => {
+            let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            io::write_dimacs(&g, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} vertices, {} edges to {path}", g.n(), g.m());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            io::write_dimacs(&g, stdout.lock()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("info: missing input file")?;
+    let g = load(path)?;
+    println!("vertices: {}", g.n());
+    println!("edges: {}", g.m());
+    println!("total weight: {}", g.total_weight());
+    println!("min weighted degree: {}", g.min_weighted_degree());
+    println!(
+        "connected: {}",
+        parallel_mincut::graph::is_connected(&g)
+    );
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("verify: missing input file")?;
+    let claimed: u64 = args
+        .get(1)
+        .ok_or("verify: missing claimed value")?
+        .parse()
+        .map_err(|_| "verify: bad value")?;
+    let g = load(path)?;
+    if g.n() > 2500 {
+        return Err("verify: exact oracle limited to n <= 2500".into());
+    }
+    let exact = stoer_wagner(&g).ok_or("verify: graph too small")?;
+    if exact.value == claimed {
+        println!("OK: exact minimum cut is {}", exact.value);
+        Ok(())
+    } else {
+        let mut err = std::io::stderr();
+        let _ = writeln!(err, "MISMATCH: exact = {}, claimed = {claimed}", exact.value);
+        Err("verification failed".into())
+    }
+}

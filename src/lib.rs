@@ -1,0 +1,40 @@
+//! # parallel-mincut
+//!
+//! A Rust reproduction of **"Parallel Minimum Cuts in Near-linear Work and
+//! Low Depth"** (Geissmann & Gianinazzi, SPAA 2018): a Monte Carlo parallel
+//! minimum-cut algorithm with `O(m log⁴ n)` work and `O(log³ n)` depth,
+//! realized on shared memory with rayon.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`Graph`], generators and spanning-tree machinery from `pmc-graph`;
+//! * the sequential and parallel-batch Minimum Path structures from
+//!   `pmc-minpath` (the paper's §3 data structure);
+//! * Karger tree packing from `pmc-packing` (Lemma 1);
+//! * the top-level [`minimum_cut`] algorithm from `pmc-core` (Theorem 10);
+//! * exact and randomized baselines from `pmc-baseline`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parallel_mincut::{Graph, MinCutConfig, minimum_cut};
+//!
+//! // A 6-cycle with one heavy chord: the minimum cut has value 2.
+//! let g = Graph::from_edges(
+//!     6,
+//!     &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 0, 1), (0, 3, 5)],
+//! )
+//! .unwrap();
+//! let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
+//! assert_eq!(cut.value, 2);
+//! ```
+
+pub use pmc_baseline as baseline;
+pub use pmc_core as core_alg;
+pub use pmc_graph as graph;
+pub use pmc_minpath as minpath;
+pub use pmc_packing as packing;
+pub use pmc_par as par;
+
+pub use pmc_core::{minimum_cut, MinCutConfig, MinCutResult};
+pub use pmc_graph::{Graph, RootedTree};

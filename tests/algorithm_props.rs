@@ -1,0 +1,88 @@
+//! Property-based tests of the full algorithm and its key substrates
+//! against exact oracles on randomly generated graphs.
+
+use parallel_mincut::baseline::{quadratic_two_respect, stoer_wagner};
+use parallel_mincut::core_alg::{minimum_cut, two_respect_mincut, MinCutConfig};
+use parallel_mincut::graph::Graph;
+use parallel_mincut::packing::{boruvka_mst, kruskal_mst, rooted_tree_from_edges};
+use proptest::prelude::*;
+
+/// Arbitrary connected weighted graph: spanning-tree backbone + extras.
+fn arb_connected_graph(max_n: usize, extra: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        let backbone: Vec<BoxedStrategy<(u32, u32, u64)>> = (1..n)
+            .map(|v| {
+                ((0..v as u32), (1u64..10))
+                    .prop_map(move |(p, w)| (p, v as u32, w))
+                    .boxed()
+            })
+            .collect();
+        let extras = prop::collection::vec(
+            ((0..n as u32), (0..n as u32), (1u64..10)),
+            0..extra,
+        );
+        (backbone, extras).prop_map(move |(mut edges, extras)| {
+            for (u, v, w) in extras {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn minimum_cut_matches_stoer_wagner(g in arb_connected_graph(28, 60), seed in 0u64..1 << 20) {
+        let want = stoer_wagner(&g).unwrap().value;
+        let cfg = MinCutConfig { seed, ..MinCutConfig::default() };
+        let got = minimum_cut(&g, &cfg).unwrap();
+        prop_assert_eq!(got.value, want);
+        prop_assert!(g.is_proper_cut(&got.side));
+        prop_assert_eq!(g.cut_value(&got.side), got.value);
+    }
+
+    #[test]
+    fn two_respect_engines_agree(g in arb_connected_graph(26, 50), seed in 0u64..1000) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cost: Vec<u64> = (0..g.m()).map(|_| rng.gen_range(0..100)).collect();
+        let mst = boruvka_mst(&g, &cost);
+        let tree = rooted_tree_from_edges(&g, &mst, 0);
+        let ours = two_respect_mincut(&g, &tree);
+        let base = quadratic_two_respect(&g, &tree);
+        prop_assert_eq!(ours.value as u64, base.value);
+        prop_assert_eq!(g.cut_value(&ours.side), ours.value as u64);
+        prop_assert_eq!(g.cut_value(&base.side), base.value);
+    }
+
+    #[test]
+    fn mst_implementations_agree(g in arb_connected_graph(40, 80), seed in 0u64..1000) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cost: Vec<u64> = (0..g.m()).map(|_| rng.gen_range(0..50)).collect();
+        prop_assert_eq!(boruvka_mst(&g, &cost), kruskal_mst(&g, &cost));
+    }
+
+    #[test]
+    fn min_cut_value_lower_bounds_every_cut(g in arb_connected_graph(20, 40)) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let mut side: Vec<bool> = (0..g.n()).map(|_| rng.gen()).collect();
+            if !g.is_proper_cut(&side) {
+                side[0] = !side[0];
+            }
+            if g.is_proper_cut(&side) {
+                prop_assert!(g.cut_value(&side) >= cut.value);
+            }
+        }
+    }
+}

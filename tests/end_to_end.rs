@@ -1,0 +1,180 @@
+//! Cross-crate integration: the full Theorem 10 pipeline against exact
+//! oracles, over several graph families.
+
+use parallel_mincut::baseline::{brute_force_min_cut, karger_stein, stoer_wagner};
+use parallel_mincut::core_alg::{minimum_cut, MinCutConfig, RespectKind};
+use parallel_mincut::graph::gen;
+use parallel_mincut::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_exact(g: &Graph, seed: u64) -> u64 {
+    let want = stoer_wagner(g).unwrap().value;
+    let cfg = MinCutConfig {
+        seed,
+        ..MinCutConfig::default()
+    };
+    let got = minimum_cut(g, &cfg).unwrap();
+    assert_eq!(got.value, want, "value mismatch");
+    assert!(g.is_proper_cut(&got.side));
+    assert_eq!(g.cut_value(&got.side), got.value, "witness mismatch");
+    want
+}
+
+#[test]
+fn random_sparse_graphs() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for trial in 0..30 {
+        let n = rng.gen_range(3..80);
+        let m = rng.gen_range(n - 1..3 * n);
+        let g = gen::gnm_connected(n, m, 10, trial);
+        assert_exact(&g, trial);
+    }
+}
+
+#[test]
+fn random_dense_graphs() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    for trial in 0..10 {
+        let n = rng.gen_range(8..40);
+        let g = gen::complete(n, 6, trial);
+        assert_exact(&g, trial);
+    }
+}
+
+#[test]
+fn planted_bisections_at_scale() {
+    for seed in 0..5 {
+        let (g, value, side) = gen::planted_bisection(60, 80, 40, 4, 60, seed);
+        let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
+        assert_eq!(cut.value, value);
+        let same = cut.side == side;
+        let comp = cut.side.iter().zip(&side).all(|(a, b)| a != b);
+        assert!(same || comp, "recovered wrong partition");
+    }
+}
+
+#[test]
+fn grids_and_cycles() {
+    assert_exact(&gen::grid(8, 8), 3);
+    assert_exact(&gen::grid(2, 30), 4);
+    let g = gen::cycle_with_chords(100, 10, 5);
+    assert_exact(&g, 6);
+}
+
+#[test]
+fn barbells() {
+    for k in [3usize, 5, 9] {
+        let g = gen::barbell(k);
+        let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
+        assert_eq!(cut.value, 1);
+    }
+}
+
+#[test]
+fn heavy_weights() {
+    // Weights near the supported bound exercise the INF headroom math.
+    let w = 1 << 30;
+    let g = Graph::from_edges(
+        6,
+        &[
+            (0, 1, w),
+            (1, 2, w),
+            (2, 0, w),
+            (3, 4, w),
+            (4, 5, w),
+            (5, 3, w),
+            (0, 3, 7),
+        ],
+    )
+    .unwrap();
+    let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
+    assert_eq!(cut.value, 7);
+    assert_eq!(g.cut_value(&cut.side), 7);
+}
+
+#[test]
+fn parallel_edge_multigraphs() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    for trial in 0..10 {
+        let n = rng.gen_range(3..20);
+        // Heavy duplication of a few vertex pairs.
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+        for v in 1..n {
+            edges.push((rng.gen_range(0..v) as u32, v as u32, rng.gen_range(1..5)));
+        }
+        for _ in 0..3 * n {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                let w = rng.gen_range(1..4);
+                edges.push((u, v, w));
+                edges.push((u, v, w)); // exact duplicate
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        assert_exact(&g, trial);
+    }
+}
+
+#[test]
+fn determinism_given_seed() {
+    let g = gen::gnm_connected(60, 180, 9, 44);
+    let cfg = MinCutConfig::default();
+    let a = minimum_cut(&g, &cfg).unwrap();
+    let b = minimum_cut(&g, &cfg).unwrap();
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.side, b.side);
+    assert_eq!(a.tree_index, b.tree_index);
+}
+
+#[test]
+fn agreement_with_karger_stein() {
+    for seed in 0..5 {
+        let g = gen::gnm_connected(30, 90, 7, 700 + seed);
+        let ks = karger_stein(&g, 30, seed).unwrap().value;
+        let ours = minimum_cut(
+            &g,
+            &MinCutConfig {
+                seed,
+                ..MinCutConfig::default()
+            },
+        )
+        .unwrap()
+        .value;
+        assert_eq!(ours, ks);
+    }
+}
+
+#[test]
+fn tiny_graphs_against_brute_force() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for trial in 0..25 {
+        let n = rng.gen_range(2..9);
+        let m = rng.gen_range(n - 1..2 * n + 3);
+        let g = gen::gnm_connected(n, m, 6, 900 + trial);
+        let want = brute_force_min_cut(&g).unwrap().value;
+        let got = minimum_cut(
+            &g,
+            &MinCutConfig {
+                seed: trial,
+                ..MinCutConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got.value, want, "trial {trial}");
+    }
+}
+
+#[test]
+fn respect_kind_is_reported() {
+    // A cut that must cross two tree edges for most spanning trees: the
+    // cycle. Just sanity-check that the field is populated consistently.
+    let g = gen::cycle_with_chords(32, 0, 0);
+    let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
+    assert_eq!(cut.value, 2);
+    match cut.kind {
+        RespectKind::One | RespectKind::TwoIncomparable | RespectKind::TwoAncestor => {}
+    }
+    assert!(cut.tree_index.is_some());
+}

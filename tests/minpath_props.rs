@@ -1,0 +1,138 @@
+//! Property-based tests: the parallel batch engine is extensionally equal
+//! to the naive one-op-at-a-time oracle on arbitrary trees and op
+//! sequences, for both decomposition strategies.
+
+use parallel_mincut::graph::RootedTree;
+use parallel_mincut::minpath::{
+    decompose::{Decomposition, Strategy as DecompStrategy},
+    run_tree_batch, NaiveMinPath, SeqMinPath, TreeOp,
+};
+use proptest::prelude::*;
+
+/// Arbitrary parent array: vertex v attaches to some earlier vertex.
+fn arb_tree(max_n: usize) -> impl Strategy<Value = RootedTree> {
+    (1..max_n).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<u32>> = (0..n)
+            .map(|v| {
+                if v == 0 {
+                    Just(u32::MAX).boxed()
+                } else {
+                    (0..v as u32).boxed()
+                }
+            })
+            .collect();
+        parents.prop_map(|p| RootedTree::from_parents(0, p))
+    })
+}
+
+fn arb_ops(n: usize, max_k: usize) -> impl Strategy<Value = Vec<TreeOp>> {
+    prop::collection::vec(
+        (0..n as u32, -500i64..500, prop::bool::ANY).prop_map(|(v, x, is_add)| {
+            if is_add {
+                TreeOp::Add { v, x }
+            } else {
+                TreeOp::Min { v }
+            }
+        }),
+        0..max_k,
+    )
+}
+
+fn reference(tree: &RootedTree, init: &[i64], ops: &[TreeOp]) -> Vec<i64> {
+    let mut naive = NaiveMinPath::new(tree, init);
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            TreeOp::Add { v, x } => naive.add_path(v, x),
+            TreeOp::Min { v } => out.push(naive.min_path(v).0),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_equals_naive(
+        tree in arb_tree(48),
+        seed in 0u64..1000,
+    ) {
+        let n = tree.n();
+        let mut r = rand::rngs::mock::StepRng::new(seed, 0x9e3779b97f4a7c15);
+        use rand::RngCore;
+        let init: Vec<i64> = (0..n).map(|_| (r.next_u32() % 2000) as i64 - 1000).collect();
+        let ops: Vec<TreeOp> = (0..80)
+            .map(|_| {
+                let v = (r.next_u32() as usize % n) as u32;
+                if r.next_u32() % 2 == 0 {
+                    TreeOp::Add { v, x: (r.next_u32() % 600) as i64 - 300 }
+                } else {
+                    TreeOp::Min { v }
+                }
+            })
+            .collect();
+        let want = reference(&tree, &init, &ops);
+        for strat in [DecompStrategy::BoughWalk, DecompStrategy::HeavyLight] {
+            let d = Decomposition::new(&tree, strat);
+            let got = run_tree_batch(&tree, &d, &init, &ops);
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    #[test]
+    fn seq_structure_equals_naive(
+        tree in arb_tree(48),
+        ops in arb_ops(48, 120),
+    ) {
+        let n = tree.n();
+        let ops: Vec<TreeOp> = ops.into_iter().map(|op| match op {
+            TreeOp::Add { v, x } => TreeOp::Add { v: v % n as u32, x },
+            TreeOp::Min { v } => TreeOp::Min { v: v % n as u32 },
+        }).collect();
+        let init: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 1000 - 500).collect();
+        let d = Decomposition::new(&tree, DecompStrategy::BoughWalk);
+        let mut seq = SeqMinPath::new(&tree, &d, &init);
+        let mut naive = NaiveMinPath::new(&tree, &init);
+        for op in &ops {
+            match *op {
+                TreeOp::Add { v, x } => {
+                    seq.add_path(v, x);
+                    naive.add_path(v, x);
+                }
+                TreeOp::Min { v } => {
+                    let (gv, ga) = seq.min_path(v);
+                    let (wv, _) = naive.min_path(v);
+                    prop_assert_eq!(gv, wv);
+                    // argmin must achieve the value
+                    prop_assert_eq!(naive.weight(ga), gv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_invariants(tree in arb_tree(200)) {
+        let n = tree.n();
+        let log2n = (usize::BITS - n.leading_zeros()) as usize;
+        for strat in [DecompStrategy::BoughWalk, DecompStrategy::BoughListRank, DecompStrategy::BoughRandomMate, DecompStrategy::BoughDeterministic, DecompStrategy::HeavyLight] {
+            let d = Decomposition::new(&tree, strat);
+            d.validate(&tree);
+            for &leaf in &tree.leaves() {
+                prop_assert!(d.paths_on_root_path(&tree, leaf) <= log2n.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn bough_strategies_agree(tree in arb_tree(150)) {
+        let a = Decomposition::new(&tree, DecompStrategy::BoughWalk);
+        let b = Decomposition::new(&tree, DecompStrategy::BoughListRank);
+        let mut pa = a.paths().to_vec();
+        let mut pb = b.paths().to_vec();
+        pa.sort();
+        pb.sort();
+        prop_assert_eq!(pa, pb);
+        prop_assert_eq!(a.nphases(), b.nphases());
+    }
+}
