@@ -3,21 +3,28 @@
 //! `O(2^n · m)` — the ultimate oracle for `n ≤ ~20`, used to validate the
 //! other baselines, which in turn validate the parallel algorithm.
 
-use pmc_graph::Graph;
+use pmc_graph::{Graph, PmcError};
 use rayon::prelude::*;
 
 use crate::Cut;
 
-/// Exhaustively finds a minimum cut. `None` if `n < 2`.
-///
-/// # Panics
-/// Panics if `n > 24` (the enumeration would be infeasible).
-pub fn brute_force_min_cut(g: &Graph) -> Option<Cut> {
+/// Largest vertex count [`brute_force_min_cut`] will enumerate.
+pub const BRUTE_MAX_N: usize = 24;
+
+/// Exhaustively finds a minimum cut. Fails with [`PmcError::TooSmall`] if
+/// `n < 2` and [`PmcError::Unsupported`] if `n > `[`BRUTE_MAX_N`] (the
+/// enumeration would be infeasible).
+pub fn brute_force_min_cut(g: &Graph) -> Result<Cut, PmcError> {
     let n = g.n();
     if n < 2 {
-        return None;
+        return Err(PmcError::TooSmall);
     }
-    assert!(n <= 24, "brute force limited to n <= 24");
+    if n > BRUTE_MAX_N {
+        return Err(PmcError::Unsupported {
+            algorithm: "brute",
+            reason: format!("n = {n} exceeds the n <= {BRUTE_MAX_N} enumeration bound"),
+        });
+    }
     // Fix vertex 0 on the `false` side: enumerate masks over vertices 1..n.
     let masks = 1u32 << (n - 1);
     let best = (1..masks)
@@ -35,10 +42,11 @@ pub fn brute_force_min_cut(g: &Graph) -> Option<Cut> {
                 .sum();
             (value, mask)
         })
-        .min()?;
+        .min()
+        .ok_or(PmcError::NoCutFound { algorithm: "brute" })?;
     let (value, mask) = best;
     let side: Vec<bool> = (0..n as u32).map(|v| side_of(mask, v)).collect();
-    Some(Cut { value, side })
+    Ok(Cut { value, side })
 }
 
 #[inline]

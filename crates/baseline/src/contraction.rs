@@ -7,7 +7,7 @@
 //! to `Ω(1/log n)` per run at `O(n² log n)` work — the Table 1 row
 //! "`O(n² log³ n)` work" when repeated `O(log² n)` times.
 
-use pmc_graph::Graph;
+use pmc_graph::{Graph, PmcError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,9 +36,7 @@ impl Dense {
             w[e.u as usize * n + e.v as usize] += e.w;
             w[e.v as usize * n + e.u as usize] += e.w;
         }
-        let deg = (0..n)
-            .map(|u| (0..n).map(|v| w[u * n + v]).sum())
-            .collect();
+        let deg = (0..n).map(|u| (0..n).map(|v| w[u * n + v]).sum()).collect();
         Dense {
             n,
             orig_n: n,
@@ -154,40 +152,45 @@ impl Dense {
 
 /// One full Karger contraction run (down to 2 vertices).
 /// Succeeds in returning *a* cut; it is a minimum cut with probability
-/// `Ω(1/n²)`. Returns `None` when the graph disconnects mid-run (in which
-/// case the caller already has a 0-cut) or has `n < 2`.
-pub fn karger_contract_once(g: &Graph, seed: u64) -> Option<Cut> {
+/// `Ω(1/n²)`. Fails with [`PmcError::TooSmall`] for `n < 2` and
+/// [`PmcError::NoCutFound`] when the graph disconnects mid-run (in which
+/// case the caller already has a 0-cut).
+pub fn karger_contract_once(g: &Graph, seed: u64) -> Result<Cut, PmcError> {
     if g.n() < 2 {
-        return None;
+        return Err(PmcError::TooSmall);
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut d = Dense::new(g);
     d.contract_to(2, &mut rng);
-    d.as_cut()
+    d.as_cut().ok_or(PmcError::NoCutFound {
+        algorithm: "contract",
+    })
 }
 
 /// Repeats plain contraction `runs` times, keeping the best cut found.
-pub fn repeated_contraction(g: &Graph, runs: usize, seed: u64) -> Option<Cut> {
+pub fn repeated_contraction(g: &Graph, runs: usize, seed: u64) -> Result<Cut, PmcError> {
     if g.n() < 2 {
-        return None;
+        return Err(PmcError::TooSmall);
     }
     let mut best: Option<Cut> = None;
     for r in 0..runs {
-        if let Some(c) = karger_contract_once(g, seed.wrapping_add(r as u64)) {
-            if best.as_ref().map_or(true, |b| c.value < b.value) {
+        if let Ok(c) = karger_contract_once(g, seed.wrapping_add(r as u64)) {
+            if best.as_ref().is_none_or(|b| c.value < b.value) {
                 best = Some(c);
             }
         }
     }
-    best
+    best.ok_or(PmcError::NoCutFound {
+        algorithm: "contract",
+    })
 }
 
 /// Karger–Stein recursive contraction. `repetitions` independent runs are
 /// performed (each succeeds with probability `Ω(1/log n)`); pass
 /// `O(log² n)` repetitions for a high-probability guarantee.
-pub fn karger_stein(g: &Graph, repetitions: usize, seed: u64) -> Option<Cut> {
+pub fn karger_stein(g: &Graph, repetitions: usize, seed: u64) -> Result<Cut, PmcError> {
     if g.n() < 2 {
-        return None;
+        return Err(PmcError::TooSmall);
     }
     let mut best: Option<Cut> = None;
     for r in 0..repetitions {
@@ -195,12 +198,14 @@ pub fn karger_stein(g: &Graph, repetitions: usize, seed: u64) -> Option<Cut> {
         let d = Dense::new(g);
         let c = recurse(d, &mut rng);
         if let Some(c) = c {
-            if best.as_ref().map_or(true, |b| c.value < b.value) {
+            if best.as_ref().is_none_or(|b| c.value < b.value) {
                 best = Some(c);
             }
         }
     }
-    best
+    best.ok_or(PmcError::NoCutFound {
+        algorithm: "contract",
+    })
 }
 
 fn recurse(mut d: Dense, rng: &mut SmallRng) -> Option<Cut> {
@@ -265,7 +270,7 @@ mod tests {
         assert_eq!(karger_contract_once(&g, 0).unwrap().value, 4);
         assert_eq!(karger_stein(&g, 1, 0).unwrap().value, 4);
         let g1 = Graph::from_edges(1, &[]).unwrap();
-        assert!(karger_stein(&g1, 1, 0).is_none());
+        assert_eq!(karger_stein(&g1, 1, 0), Err(PmcError::TooSmall));
     }
 
     use pmc_graph::Graph;

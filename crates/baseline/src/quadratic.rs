@@ -16,18 +16,30 @@
 //!   internal edges of `v↓` twice, and `D[v][v] = 2·ρ(v↓)`, so the cut
 //!   `t↓ ∖ v↓` has value `cut(t↓) − cut(v↓) + 2·(D[v][t] − D[v][v])`.
 
-use pmc_graph::{EulerTour, Graph, RootedTree};
+use pmc_graph::{EulerTour, Graph, PmcError, RootedTree};
 use rayon::prelude::*;
 
 use crate::Cut;
 
+/// Largest vertex count [`quadratic_two_respect`] will accept (Θ(n²)
+/// memory).
+pub const QUADRATIC_MAX_N: usize = 1 << 13;
+
 /// Smallest cut of `g` crossing at most two edges of `tree`, by dense DP.
 /// Returns the best `(value, side)`; the 1-respecting cuts (single tree
-/// edge) are included. Intended for `n ≤ ~4096` (Θ(n²) memory).
-pub fn quadratic_two_respect(g: &Graph, tree: &RootedTree) -> Cut {
+/// edge) are included. Fails with [`PmcError::TooSmall`] for `n < 2` and
+/// [`PmcError::Unsupported`] beyond [`QUADRATIC_MAX_N`].
+pub fn quadratic_two_respect(g: &Graph, tree: &RootedTree) -> Result<Cut, PmcError> {
     let n = g.n();
-    assert!(n >= 2, "need at least two vertices");
-    assert!(n <= 1 << 13, "quadratic baseline capped at n = 8192");
+    if n < 2 {
+        return Err(PmcError::TooSmall);
+    }
+    if n > QUADRATIC_MAX_N {
+        return Err(PmcError::Unsupported {
+            algorithm: "quadratic",
+            reason: format!("n = {n} exceeds the n <= {QUADRATIC_MAX_N} dense-DP bound"),
+        });
+    }
     let euler = EulerTour::new(tree);
     let root = tree.root();
 
@@ -162,10 +174,10 @@ pub fn quadratic_two_respect(g: &Graph, tree: &RootedTree) -> Cut {
             .map(|x| euler.is_ancestor(t, x) && !euler.is_ancestor(v, x))
             .collect(),
     };
-    Cut {
+    Ok(Cut {
         value: best_val as u64,
         side,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +197,7 @@ mod tests {
     fn two_vertices() {
         let g = Graph::from_edges(2, &[(0, 1, 5)]).unwrap();
         let t = spanning_tree(&g);
-        let cut = quadratic_two_respect(&g, &t).verified(&g);
+        let cut = quadratic_two_respect(&g, &t).unwrap().verified(&g);
         assert_eq!(cut.value, 5);
     }
 
@@ -194,7 +206,7 @@ mod tests {
         let g = gen::cycle_with_chords(12, 0, 0);
         let t = spanning_tree(&g);
         // A cycle's spanning tree is a path; every cut 2-respects it.
-        let cut = quadratic_two_respect(&g, &t).verified(&g);
+        let cut = quadratic_two_respect(&g, &t).unwrap().verified(&g);
         assert_eq!(cut.value, 2);
     }
 
@@ -217,7 +229,7 @@ mod tests {
                 .iter()
                 .map(|te| {
                     let t = rooted_tree_from_edges(&g, te, 0);
-                    quadratic_two_respect(&g, &t).verified(&g).value
+                    quadratic_two_respect(&g, &t).unwrap().verified(&g).value
                 })
                 .min()
                 .unwrap();
@@ -234,7 +246,7 @@ mod tests {
             .iter()
             .map(|te| {
                 let t = rooted_tree_from_edges(&g, te, 0);
-                quadratic_two_respect(&g, &t).verified(&g).value
+                quadratic_two_respect(&g, &t).unwrap().verified(&g).value
             })
             .min()
             .unwrap();

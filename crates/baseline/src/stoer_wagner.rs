@@ -5,16 +5,17 @@
 //! vertex merge. Deterministic and exact — the workspace's ground-truth
 //! oracle for graphs up to a few thousand vertices.
 
-use pmc_graph::Graph;
+use pmc_graph::{Graph, PmcError};
 
 use crate::Cut;
 
-/// Computes an exact minimum cut. Returns `None` for single-vertex graphs
-/// (no proper cut exists). Disconnected graphs return a value-0 cut.
-pub fn stoer_wagner(g: &Graph) -> Option<Cut> {
+/// Computes an exact minimum cut. Fails with [`PmcError::TooSmall`] for
+/// single-vertex graphs (no proper cut exists). Disconnected graphs return
+/// a value-0 cut.
+pub fn stoer_wagner(g: &Graph) -> Result<Cut, PmcError> {
     let n = g.n();
     if n < 2 {
-        return None;
+        return Err(PmcError::TooSmall);
     }
     // Dense adjacency (parallel edges merged — harmless for cut values).
     let mut w = vec![0u64; n * n];
@@ -59,7 +60,7 @@ pub fn stoer_wagner(g: &Graph) -> Option<Cut> {
         let s = order[order.len() - 2];
         // Cut of the phase: {t's merged set} vs rest.
         let phase_value = key[t];
-        if best.as_ref().map_or(true, |b| phase_value < b.value) {
+        if best.as_ref().is_none_or(|b| phase_value < b.value) {
             let mut side = vec![false; n];
             for &orig in &merged[t] {
                 side[orig as usize] = true;
@@ -81,7 +82,7 @@ pub fn stoer_wagner(g: &Graph) -> Option<Cut> {
         }
         active.retain(|&v| v != t);
     }
-    best
+    best.ok_or(PmcError::NoCutFound { algorithm: "sw" })
 }
 
 #[cfg(test)]
@@ -98,9 +99,9 @@ mod tests {
     }
 
     #[test]
-    fn single_vertex_none() {
+    fn single_vertex_too_small() {
         let g = Graph::from_edges(1, &[]).unwrap();
-        assert!(stoer_wagner(&g).is_none());
+        assert_eq!(stoer_wagner(&g), Err(PmcError::TooSmall));
     }
 
     #[test]

@@ -1,24 +1,26 @@
-//! Criterion companion to E2: thread scaling of the full algorithm.
+//! Criterion companion to E2: thread scaling of the full algorithm,
+//! driven through the `MinCutSolver` seam (`SolverConfig::threads`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pmc_core::{minimum_cut, MinCutConfig};
+use pmc_bench::{solver, with_threads, SolverConfig};
 use pmc_graph::gen;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling");
     group.sample_size(10);
     let (g, value, _) = gen::planted_bisection(1024, 1024, 50, 5, 3 * 1024, 7);
+    let paper = solver("paper");
     let max = std::thread::available_parallelism().map_or(4, |x| x.get());
+    // Pool construction stays outside the timed region: the solver runs
+    // with `threads: None` inside a pre-built pool of the swept size, so
+    // each iteration measures the algorithm, not thread spawn/join.
+    let cfg = SolverConfig::default();
     let mut threads = 1;
     while threads <= max {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .unwrap();
-        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
-            b.iter(|| {
-                pool.install(|| {
-                    let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            with_threads(t, || {
+                b.iter(|| {
+                    let cut = paper.solve(&g, &cfg).unwrap();
                     assert_eq!(cut.value, value);
                 })
             })

@@ -1,20 +1,22 @@
 //! Criterion companion to E1 (Table 1): full minimum-cut wall time, ours
-//! vs. the quadratic-work baseline over the same packed trees.
+//! vs. the quadratic-work baseline over the same packed trees. Whole-
+//! algorithm rows go through the `MinCutSolver` dispatch seam.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmc_baseline::quadratic_two_respect;
-use pmc_bench::table1_graph;
-use pmc_core::{minimum_cut, two_respect_mincut, MinCutConfig};
+use pmc_bench::{solver, table1_graph, SolverConfig};
+use pmc_core::two_respect_mincut;
 use pmc_packing::{pack_trees, rooted_tree_from_edges, PackingConfig};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
+    let paper = solver("paper");
     for &n in &[256usize, 512, 1024] {
         let g = table1_graph(n, 4, 42 + n as u64);
-        let cfg = MinCutConfig::default();
+        let cfg = SolverConfig::default();
         group.bench_with_input(BenchmarkId::new("ours_full", n), &n, |b, _| {
-            b.iter(|| minimum_cut(&g, &cfg).unwrap().value)
+            b.iter(|| paper.solve(&g, &cfg).unwrap().value)
         });
         let packing = pack_trees(&g, &PackingConfig::default());
         let trees: Vec<_> = packing
@@ -35,7 +37,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 trees
                     .iter()
-                    .map(|t| quadratic_two_respect(&g, t).value)
+                    .map(|t| quadratic_two_respect(&g, t).unwrap().value)
                     .min()
                     .unwrap()
             })

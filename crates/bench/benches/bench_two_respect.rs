@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| two_respect_mincut(&g, &tree).value)
         });
         group.bench_with_input(BenchmarkId::new("quadratic", &id), &id, |b, _| {
-            b.iter(|| quadratic_two_respect(&g, &tree).value)
+            b.iter(|| quadratic_two_respect(&g, &tree).unwrap().value)
         });
     }
     group.finish();

@@ -22,7 +22,14 @@ fn crossing_stats(tree: &RootedTree, d: &Decomposition) -> (usize, f64) {
 fn main() {
     println!("# E4: bough decomposition — Lemma 7 invariants and strategy timing\n");
     header(&[
-        "shape", "n", "strategy", "paths", "phases", "max-cross", "log2(n)", "avg-cross",
+        "shape",
+        "n",
+        "strategy",
+        "paths",
+        "phases",
+        "max-cross",
+        "log2(n)",
+        "avg-cross",
         "time_ms",
     ]);
     let shapes: Vec<(&str, RootedTree)> = vec![

@@ -6,12 +6,13 @@
 //! ```
 //!
 //! Every trial draws a random family, size, weights and seed; computes
-//! the minimum cut with `minimum_cut` (all preprocessing enabled) and with
-//! Stoer–Wagner; and compares values plus witness validity. Any mismatch
-//! prints a replayable description and exits non-zero.
+//! the minimum cut with every randomized solver in the registry (paper,
+//! contraction, quadratic) and with the exact Stoer–Wagner oracle, all
+//! through the `MinCutSolver` seam; and compares values plus witness
+//! validity. Any mismatch prints a replayable description and exits
+//! non-zero.
 
-use pmc_baseline::stoer_wagner;
-use pmc_core::{minimum_cut, MinCutConfig};
+use pmc_bench::{solver, SolverConfig};
 use pmc_graph::{gen, Graph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -33,7 +34,14 @@ fn random_graph(rng: &mut SmallRng, max_n: usize) -> (String, Graph) {
         1 => {
             let a = rng.gen_range(3..max_n / 2 + 3);
             let b = rng.gen_range(3..max_n / 2 + 3);
-            let (g, _, _) = gen::planted_bisection(a, b, rng.gen_range(5..40), rng.gen_range(1..6), a + b, seed);
+            let (g, _, _) = gen::planted_bisection(
+                a,
+                b,
+                rng.gen_range(5..40),
+                rng.gen_range(1..6),
+                a + b,
+                seed,
+            );
             (format!("planted a={a} b={b} seed={seed}"), g)
         }
         2 => {
@@ -45,12 +53,15 @@ fn random_graph(rng: &mut SmallRng, max_n: usize) -> (String, Graph) {
         }
         3 => {
             let r = rng.gen_range(2..8);
-            let c = rng.gen_range(2..12);
+            let c = rng.gen_range(2..12usize);
             (format!("grid {r}x{c}"), gen::grid(r, c.max(2)))
         }
         4 => {
             let n = rng.gen_range(6..max_n.min(40));
-            (format!("complete n={n} seed={seed}"), gen::complete(n, 9, seed))
+            (
+                format!("complete n={n} seed={seed}"),
+                gen::complete(n, 9, seed),
+            )
         }
         5 => {
             let d = rng.gen_range(2..6);
@@ -75,27 +86,31 @@ fn main() {
             .unwrap()
             .as_nanos() as u64,
     );
+    let oracle = solver("sw");
+    let candidates = [solver("paper"), solver("contract"), solver("quadratic")];
     let start = Instant::now();
     let mut trials = 0u64;
     while start.elapsed() < budget {
         trials += 1;
         let (desc, g) = random_graph(&mut rng, max_n);
-        let want = stoer_wagner(&g).unwrap().value;
-        let cfg = MinCutConfig {
-            seed: rng.gen(),
-            ..MinCutConfig::default()
-        };
-        let got = minimum_cut(&g, &cfg).unwrap();
-        if got.value != want || g.cut_value(&got.side) != got.value {
-            eprintln!("MISMATCH after {trials} trials");
-            eprintln!("  instance: {desc}");
-            eprintln!("  config seed: {}", cfg.seed);
-            eprintln!("  exact: {want}, got: {}", got.value);
-            std::process::exit(1);
+        let want = oracle.solve(&g, &SolverConfig::default()).unwrap().value;
+        let cfg = SolverConfig::with_seed(rng.gen());
+        for cand in &candidates {
+            let got = cand.solve(&g, &cfg).unwrap();
+            if got.value != want || g.cut_value(&got.side) != got.value {
+                eprintln!("MISMATCH after {trials} trials");
+                eprintln!("  instance: {desc}");
+                eprintln!("  algorithm: {}", cand.name());
+                eprintln!("  config seed: {}", cfg.seed);
+                eprintln!("  exact: {want}, got: {}", got.value);
+                std::process::exit(1);
+            }
         }
     }
     println!(
-        "fuzz_diff: {trials} randomized instances agreed with the exact oracle in {:.1}s",
+        "fuzz_diff: {trials} randomized instances x {} solvers agreed with the exact \
+         oracle in {:.1}s",
+        candidates.len(),
         start.elapsed().as_secs_f64()
     );
 }

@@ -6,7 +6,6 @@
 //! the rayon pool size.
 
 use pmc_bench::*;
-use pmc_core::{minimum_cut, MinCutConfig};
 use pmc_graph::gen;
 
 fn main() {
@@ -20,13 +19,17 @@ fn main() {
         value
     );
     header(&["threads", "time_ms", "speedup", "efficiency"]);
+    let paper = solver("paper");
+    // Pool construction stays outside the timed region: the solver runs
+    // with `threads: None` inside a pre-built pool of the swept size, so
+    // the timings measure the algorithm, not thread spawn/join.
+    let cfg = SolverConfig::default();
     let mut t1 = None;
     let mut threads = 1;
     while threads <= max_threads {
-        let cfg = MinCutConfig::default();
         let d = with_threads(threads, || {
             time_best(3, || {
-                let cut = minimum_cut(&g, &cfg).unwrap();
+                let cut = paper.solve(&g, &cfg).unwrap();
                 assert_eq!(cut.value, value);
             })
         });

@@ -36,11 +36,25 @@ fn success_rate(trials: u64, rounds: usize, trees: usize) -> (usize, usize) {
 
 fn main() {
     println!("# E8: Monte Carlo success rate vs packing effort (planted bisections)\n");
-    header(&["packing rounds", "trees selected", "successes", "trials", "rate"]);
+    header(&[
+        "packing rounds",
+        "trees selected",
+        "successes",
+        "trials",
+        "rate",
+    ]);
     for &(rounds, trees) in &[(1usize, 1usize), (2, 1), (8, 2), (0, 0)] {
         let (ok, total) = success_rate(200, rounds, trees);
-        let label_r = if rounds == 0 { "auto (3·log²n)".into() } else { rounds.to_string() };
-        let label_t = if trees == 0 { "auto (3·log n+3)".into() } else { trees.to_string() };
+        let label_r = if rounds == 0 {
+            "auto (3·log²n)".into()
+        } else {
+            rounds.to_string()
+        };
+        let label_t = if trees == 0 {
+            "auto (3·log n+3)".into()
+        } else {
+            trees.to_string()
+        };
         row(&[
             label_r,
             label_t,

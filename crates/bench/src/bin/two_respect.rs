@@ -19,7 +19,7 @@ fn main() {
             let g = table1_graph(n, density, 99 + n as u64);
             let tree = arbitrary_spanning_tree(&g, 7);
             let (t_ours, v1) = time_once(|| two_respect_mincut(&g, &tree).value as u64);
-            let (t_quad, v2) = time_once(|| quadratic_two_respect(&g, &tree).value);
+            let (t_quad, v2) = time_once(|| quadratic_two_respect(&g, &tree).unwrap().value);
             assert_eq!(v1, v2, "engines disagree (n={n}, density={density})");
             row(&[
                 n.to_string(),
@@ -27,10 +27,7 @@ fn main() {
                 g.m().to_string(),
                 ms(t_ours),
                 ms(t_quad),
-                format!(
-                    "{:.2}x",
-                    t_quad.as_secs_f64() / t_ours.as_secs_f64()
-                ),
+                format!("{:.2}x", t_quad.as_secs_f64() / t_ours.as_secs_f64()),
             ]);
         }
         println!();

@@ -12,6 +12,8 @@ use pmc_packing::{boruvka_mst, rooted_tree_from_edges};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+pub use pmc_core::{solver_by_name, solvers, MinCutResult, MinCutSolver, SolverConfig};
+
 /// Times one invocation of `f`.
 pub fn time_once<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
     let start = Instant::now();
@@ -19,13 +21,31 @@ pub fn time_once<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
     (start.elapsed(), out)
 }
 
+/// Looks up a solver by registry name, panicking on unknown names — the
+/// experiment harness variant of [`solver_by_name`].
+pub fn solver(name: &str) -> Box<dyn MinCutSolver> {
+    solver_by_name(name).expect("unknown solver name in experiment harness")
+}
+
+/// Times one `solve` call of `solver` on `g`. All end-to-end experiment
+/// timings go through this helper so every algorithm is measured through
+/// the same dispatch seam.
+pub fn time_solver(
+    solver: &dyn MinCutSolver,
+    g: &Graph,
+    cfg: &SolverConfig,
+) -> (Duration, MinCutResult) {
+    time_once(|| {
+        solver
+            .solve(g, cfg)
+            .unwrap_or_else(|e| panic!("solver {} failed: {e}", solver.name()))
+    })
+}
+
 /// Times `f` `reps` times and returns the minimum (least-noise estimator
 /// for compute-bound kernels).
 pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
-    (0..reps.max(1))
-        .map(|_| time_once(&mut f).0)
-        .min()
-        .unwrap()
+    (0..reps.max(1)).map(|_| time_once(&mut f).0).min().unwrap()
 }
 
 /// Runs `f` on a dedicated rayon pool with `threads` workers.
@@ -82,7 +102,10 @@ pub fn row(cells: &[String]) {
 /// Prints a markdown-style table header (plus separator line).
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]
@@ -99,7 +122,7 @@ mod tests {
         assert_eq!(ops.len(), 100);
         let d = time_best(2, || (0..1000u64).sum::<u64>());
         assert!(d.as_nanos() > 0 || d.as_nanos() == 0);
-        let out = with_threads(2, || rayon::current_num_threads());
+        let out = with_threads(2, rayon::current_num_threads);
         assert_eq!(out, 2);
     }
 }

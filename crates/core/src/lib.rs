@@ -25,6 +25,7 @@
 pub mod gen_ops;
 pub mod phases;
 pub mod respect1;
+pub mod solver;
 pub mod two_respect;
 
 use rayon::prelude::*;
@@ -32,7 +33,12 @@ use rayon::prelude::*;
 use pmc_graph::{connected_components, Graph};
 use pmc_packing::{pack_trees, rooted_tree_from_edges, PackingConfig};
 
+pub use pmc_graph::PmcError;
 pub use respect1::{best_one_respect, one_respect_cuts, SubtreeCuts};
+pub use solver::{
+    solver_by_name, solver_names, solvers, BruteSolver, ContractionSolver, MinCutSolver,
+    PaperSolver, QuadraticSolver, SolverConfig, StoerWagnerSolver,
+};
 pub use two_respect::{
     two_respect_mincut, two_respect_mincut_with, ExecMode, RespectKind, TwoRespectCut,
 };
@@ -65,7 +71,7 @@ impl Default for MinCutConfig {
     }
 }
 
-/// Result of [`minimum_cut`].
+/// Result of [`minimum_cut`] and of every [`MinCutSolver`].
 #[derive(Clone, Debug)]
 pub struct MinCutResult {
     /// The minimum cut value (0 for disconnected graphs).
@@ -73,8 +79,11 @@ pub struct MinCutResult {
     /// One side of the witness bipartition (`side[v] == true` for one
     /// part); always a proper cut.
     pub side: Vec<bool>,
-    /// Which structural case produced the winning cut.
-    pub kind: RespectKind,
+    /// Registry name of the algorithm that produced the result.
+    pub algorithm: &'static str,
+    /// Which structural case produced the winning cut, for the
+    /// tree-respecting algorithms ([`None`] for the other baselines).
+    pub kind: Option<RespectKind>,
     /// Index (within the packing) of the winning spanning tree, when the
     /// cut came from the 2-respect search.
     pub tree_index: Option<usize>,
@@ -140,27 +149,10 @@ pub struct MinCutReport {
     pub t_two_respect: std::time::Duration,
 }
 
-/// Errors from [`minimum_cut`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MinCutError {
-    /// Minimum cuts require at least two vertices.
-    TooSmall,
-}
-
-impl std::fmt::Display for MinCutError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MinCutError::TooSmall => write!(f, "graph needs at least 2 vertices"),
-        }
-    }
-}
-
-impl std::error::Error for MinCutError {}
-
 /// Computes a minimum cut of `g` (Theorem 10). Monte Carlo: the result is
 /// a true minimum cut with high probability; the returned partition always
 /// *is* a cut of the returned value (verified when `cfg.verify`).
-pub fn minimum_cut(g: &Graph, cfg: &MinCutConfig) -> Result<MinCutResult, MinCutError> {
+pub fn minimum_cut(g: &Graph, cfg: &MinCutConfig) -> Result<MinCutResult, PmcError> {
     minimum_cut_report(g, cfg).map(|(r, _)| r)
 }
 
@@ -169,10 +161,10 @@ pub fn minimum_cut(g: &Graph, cfg: &MinCutConfig) -> Result<MinCutResult, MinCut
 pub fn minimum_cut_report(
     g: &Graph,
     cfg: &MinCutConfig,
-) -> Result<(MinCutResult, MinCutReport), MinCutError> {
+) -> Result<(MinCutResult, MinCutReport), PmcError> {
     let n = g.n();
     if n < 2 {
-        return Err(MinCutError::TooSmall);
+        return Err(PmcError::TooSmall);
     }
 
     let mut report = MinCutReport {
@@ -188,7 +180,8 @@ pub fn minimum_cut_report(
             MinCutResult {
                 value: 0,
                 side,
-                kind: RespectKind::One,
+                algorithm: "paper",
+                kind: Some(RespectKind::One),
                 tree_index: None,
             },
             report,
@@ -200,7 +193,8 @@ pub fn minimum_cut_report(
             MinCutResult {
                 value: g.total_weight(),
                 side,
-                kind: RespectKind::One,
+                algorithm: "paper",
+                kind: Some(RespectKind::One),
                 tree_index: None,
             },
             report,
@@ -266,7 +260,8 @@ pub fn minimum_cut_report(
         MinCutResult {
             value,
             side: best.side,
-            kind: best.kind,
+            algorithm: "paper",
+            kind: Some(best.kind),
             tree_index: Some(ti),
         },
         report,
@@ -286,7 +281,7 @@ mod tests {
         let g = Graph::from_edges(1, &[]).unwrap();
         assert!(matches!(
             minimum_cut(&g, &MinCutConfig::default()),
-            Err(MinCutError::TooSmall)
+            Err(PmcError::TooSmall)
         ));
     }
 

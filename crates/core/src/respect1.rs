@@ -48,11 +48,7 @@ pub fn one_respect_cuts(g: &Graph, tree: &RootedTree) -> SubtreeCuts {
     }
     let rho = euler.subtree_sums(&lca_weight);
 
-    let cut1 = degsum
-        .iter()
-        .zip(&rho)
-        .map(|(&d, &r)| d - 2 * r)
-        .collect();
+    let cut1 = degsum.iter().zip(&rho).map(|(&d, &r)| d - 2 * r).collect();
     SubtreeCuts { cut1, rho }
 }
 
@@ -115,10 +111,7 @@ mod tests {
         let tree = rooted_tree_from_edges(&g, &mst, 0);
         let cuts = one_respect_cuts(&g, &tree);
         assert_eq!(cuts.cut1[tree.root() as usize], 0);
-        assert_eq!(
-            cuts.rho[tree.root() as usize],
-            g.total_weight() as i64
-        );
+        assert_eq!(cuts.rho[tree.root() as usize], g.total_weight() as i64);
     }
 
     #[test]

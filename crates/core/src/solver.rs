@@ -1,0 +1,591 @@
+//! The unified minimum-cut engine layer.
+//!
+//! Every minimum-cut algorithm in the workspace — the paper's parallel
+//! algorithm (Theorem 10) and all four baselines — implements one trait,
+//! [`MinCutSolver`], takes one configuration type, [`SolverConfig`], and
+//! reports failures through one error enum,
+//! [`PmcError`](pmc_graph::PmcError). Consumers (the `pmc` CLI, the
+//! benchmark harness, integration tests) dispatch through this seam and
+//! never name a concrete algorithm function.
+//!
+//! Solvers are looked up by registry name via [`solver_by_name`]:
+//!
+//! | name        | aliases          | algorithm                                        |
+//! |-------------|------------------|--------------------------------------------------|
+//! | `paper`     | `gg`, `ours`     | Geissmann–Gianinazzi parallel min-cut (Thm. 10)  |
+//! | `sw`        | `stoer-wagner`   | Stoer–Wagner, deterministic `O(n³)` oracle       |
+//! | `contract`  | `karger-stein`   | Karger–Stein recursive contraction               |
+//! | `quadratic` | `karger-parallel`| dense 2-respect DP over a tree packing           |
+//! | `brute`     | —                | exhaustive bipartition enumeration (`n ≤ 24`)    |
+
+use pmc_baseline::{brute_force_min_cut, karger_stein, quadratic_two_respect, stoer_wagner, Cut};
+use pmc_graph::{Graph, PmcError};
+use pmc_packing::{pack_trees, rooted_tree_from_edges, PackingConfig};
+use rayon::prelude::*;
+
+use crate::{minimum_cut, MinCutConfig, MinCutResult};
+
+/// Algorithm-independent solver configuration.
+///
+/// Each solver interprets the fields it can honor and ignores the rest
+/// (documented per implementation): a deterministic solver ignores `seed`,
+/// a sequential one ignores `threads`.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Seed for all randomness (sampling, packing, tree selection,
+    /// contraction order).
+    pub seed: u64,
+    /// Number of spanning trees the tree-packing algorithms examine;
+    /// `None` = the Lemma 1 default of `Θ(log n)`.
+    pub trees: Option<usize>,
+    /// Thread budget: run the solver inside a dedicated pool of this many
+    /// workers. `None` = the process-global pool.
+    pub threads: Option<usize>,
+    /// Target failure probability `δ` of the Monte Carlo solvers: the
+    /// repetition budget is scaled so the returned cut is minimum with
+    /// probability at least `1 − δ`. Deterministic solvers ignore it.
+    pub failure_probability: f64,
+    /// Check the witness partition against the reported value before
+    /// returning (one pass over the edges).
+    pub verify: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            seed: 0xC0FFEE,
+            trees: None,
+            threads: None,
+            failure_probability: 1e-3,
+            verify: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A config differing from the default only in its `seed` — the common
+    /// case in tests and experiment sweeps.
+    pub fn with_seed(seed: u64) -> Self {
+        SolverConfig {
+            seed,
+            ..SolverConfig::default()
+        }
+    }
+
+    fn validate(&self) -> Result<(), PmcError> {
+        if !(self.failure_probability > 0.0 && self.failure_probability < 1.0) {
+            return Err(PmcError::InvalidConfig(format!(
+                "failure_probability must be in (0, 1), got {}",
+                self.failure_probability
+            )));
+        }
+        if self.threads == Some(0) {
+            return Err(PmcError::InvalidConfig("threads must be >= 1".into()));
+        }
+        if self.trees == Some(0) {
+            return Err(PmcError::InvalidConfig("trees must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Repetitions needed so `reps` independent trials, each succeeding
+    /// with probability `>= p_success`, all fail with probability `<= δ`.
+    fn repetitions(&self, p_success: f64) -> usize {
+        let delta = self.failure_probability;
+        ((-delta.ln()) / p_success).ceil().max(1.0) as usize
+    }
+}
+
+/// A minimum-cut algorithm behind the uniform dispatch seam.
+///
+/// Implementations must be stateless (all run-to-run variation comes from
+/// the [`SolverConfig`]), so a solver value can be shared freely and two
+/// calls with equal inputs return equal cut values.
+///
+/// # Examples
+///
+/// Dispatch by registry name:
+///
+/// ```
+/// use pmc_core::{solver_by_name, SolverConfig};
+/// use pmc_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 3), (3, 0, 2)]).unwrap();
+/// let solver = solver_by_name("sw").unwrap();
+/// let cut = solver.solve(&g, &SolverConfig::default()).unwrap();
+/// assert_eq!(cut.value, 3); // cheapest pair of cycle edges: 1 + 2
+/// assert_eq!(cut.algorithm, "sw");
+/// ```
+///
+/// Every registered solver agrees on the cut value:
+///
+/// ```
+/// use pmc_core::{solver_by_name, solvers, SolverConfig};
+/// use pmc_graph::gen;
+///
+/// let g = gen::gnm_connected(14, 30, 6, 7);
+/// let cfg = SolverConfig::with_seed(1);
+/// let want = solver_by_name("sw").unwrap().solve(&g, &cfg).unwrap().value;
+/// for solver in solvers() {
+///     assert_eq!(solver.solve(&g, &cfg).unwrap().value, want, "{}", solver.name());
+/// }
+/// ```
+pub trait MinCutSolver: Send + Sync {
+    /// Registry name (stable, lowercase; used by `pmc mincut --algo`).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for `--help` output and tables.
+    fn description(&self) -> &'static str;
+
+    /// Computes a minimum cut of `g` under `cfg`.
+    ///
+    /// The returned partition is always a proper cut whose value matches
+    /// `value` (enforced when `cfg.verify`); for Monte Carlo solvers it is
+    /// a *minimum* cut with probability `>= 1 − cfg.failure_probability`.
+    fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError>;
+}
+
+/// Runs `f` on a dedicated pool when `threads` is set; inline otherwise.
+fn with_thread_budget<T: Send>(
+    threads: Option<usize>,
+    f: impl FnOnce() -> T + Send,
+) -> Result<T, PmcError> {
+    match threads {
+        None => Ok(f()),
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .map_err(|e| PmcError::InvalidConfig(format!("thread pool: {e}")))
+            .map(|pool| pool.install(f)),
+    }
+}
+
+fn result_from_cut(cut: Cut, algorithm: &'static str) -> MinCutResult {
+    MinCutResult {
+        value: cut.value,
+        side: cut.side,
+        algorithm,
+        kind: None,
+        tree_index: None,
+    }
+}
+
+fn verify_result(g: &Graph, r: &MinCutResult) -> Result<(), PmcError> {
+    if !g.is_proper_cut(&r.side) {
+        return Err(PmcError::Verification {
+            algorithm: r.algorithm,
+            detail: "witness partition is not a proper cut".into(),
+        });
+    }
+    let check = g.cut_value(&r.side);
+    if check != r.value {
+        return Err(PmcError::Verification {
+            algorithm: r.algorithm,
+            detail: format!("witness value {check} != reported {}", r.value),
+        });
+    }
+    Ok(())
+}
+
+/// Extra spanning trees to examine beyond the Lemma 1 default, honoring an
+/// explicit `trees` override or a tightened `failure_probability`.
+///
+/// Each extra examined tree is an independent chance (Lemma 1) to
+/// 2-constrain the minimum cut, so the default `Θ(log n)` selection widens
+/// proportionally to the extra nines requested below the stock `δ = 1e-3`.
+fn trees_override(g: &Graph, cfg: &SolverConfig) -> Option<usize> {
+    if let Some(t) = cfg.trees {
+        Some(t)
+    } else if cfg.failure_probability < 1e-3 {
+        let n = g.n().max(2) as f64;
+        let base = 3.0 * n.log2().ceil() + 3.0;
+        let extra = (1e-3f64.ln() / cfg.failure_probability.ln()).recip();
+        Some((base * extra.max(1.0)).ceil() as usize)
+    } else {
+        None
+    }
+}
+
+/// The uniform zero-value cut every solver must return on a disconnected
+/// graph: one whole component versus the rest.
+fn disconnected_zero_cut(g: &Graph, algorithm: &'static str) -> Option<MinCutResult> {
+    if pmc_graph::is_connected(g) {
+        return None;
+    }
+    let (labels, _) = pmc_graph::connected_components(g);
+    let side: Vec<bool> = labels.iter().map(|&l| l == labels[0]).collect();
+    Some(MinCutResult {
+        value: 0,
+        side,
+        algorithm,
+        kind: None,
+        tree_index: None,
+    })
+}
+
+/// The paper algorithm (Theorem 10): tree packing + 2-respect search.
+///
+/// Honors every [`SolverConfig`] field. `failure_probability` scales the
+/// number of packed trees beyond the Lemma 1 default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PaperSolver;
+
+impl MinCutSolver for PaperSolver {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn description(&self) -> &'static str {
+        "Geissmann-Gianinazzi parallel minimum cut (SPAA 2018, Theorem 10)"
+    }
+
+    fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError> {
+        cfg.validate()?;
+        let mut mc = MinCutConfig {
+            seed: cfg.seed,
+            verify: cfg.verify,
+            ..MinCutConfig::default()
+        };
+        if let Some(t) = trees_override(g, cfg) {
+            mc.packing.trees_wanted = t;
+        }
+        with_thread_budget(cfg.threads, || minimum_cut(g, &mc))?
+    }
+}
+
+/// Stoer–Wagner: deterministic exact `O(n³)` baseline.
+///
+/// Ignores `seed`, `trees`, `threads` (sequential) and
+/// `failure_probability` (exact).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoerWagnerSolver;
+
+impl MinCutSolver for StoerWagnerSolver {
+    fn name(&self) -> &'static str {
+        "sw"
+    }
+
+    fn description(&self) -> &'static str {
+        "Stoer-Wagner deterministic O(n^3) exact minimum cut"
+    }
+
+    fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError> {
+        cfg.validate()?;
+        let r = result_from_cut(stoer_wagner(g)?, self.name());
+        if cfg.verify {
+            verify_result(g, &r)?;
+        }
+        Ok(r)
+    }
+}
+
+/// Karger–Stein recursive contraction.
+///
+/// Honors `seed` and `failure_probability` (each run succeeds with
+/// probability `Ω(1/log n)`; the repetition count is scaled to reach the
+/// requested confidence). Ignores `trees` and `threads` — the baseline is
+/// deliberately sequential, with repetitions run in seed order so results
+/// are reproducible.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ContractionSolver;
+
+impl MinCutSolver for ContractionSolver {
+    fn name(&self) -> &'static str {
+        "contract"
+    }
+
+    fn description(&self) -> &'static str {
+        "Karger-Stein recursive contraction (Monte Carlo)"
+    }
+
+    fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError> {
+        cfg.validate()?;
+        if g.n() < 2 {
+            return Err(PmcError::TooSmall);
+        }
+        if let Some(r) = disconnected_zero_cut(g, self.name()) {
+            // Contraction runs out of edges before reaching two super-nodes
+            // on a disconnected graph; short-circuit to the uniform 0-cut.
+            return Ok(r);
+        }
+        let n = g.n().max(2) as f64;
+        // Success probability per Karger–Stein run: c / log n, with c ~ 1.
+        let reps = cfg.repetitions(1.0 / n.log2().max(1.0));
+        let r = result_from_cut(karger_stein(g, reps, cfg.seed)?, self.name());
+        if cfg.verify {
+            verify_result(g, &r)?;
+        }
+        Ok(r)
+    }
+}
+
+/// The "best previous polylog-depth" baseline: dense `Θ(n²)` 2-respect DP
+/// over the same Lemma 1 tree packing the paper algorithm uses.
+///
+/// Honors every [`SolverConfig`] field; `trees` bounds the packing size.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuadraticSolver;
+
+impl MinCutSolver for QuadraticSolver {
+    fn name(&self) -> &'static str {
+        "quadratic"
+    }
+
+    fn description(&self) -> &'static str {
+        "dense Theta(n^2) two-respect DP over a tree packing (Karger's parallel baseline)"
+    }
+
+    fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError> {
+        cfg.validate()?;
+        if g.n() < 2 {
+            return Err(PmcError::TooSmall);
+        }
+        if let Some(r) = disconnected_zero_cut(g, self.name()) {
+            // The packing needs a connected graph; a disconnected one has a
+            // trivial 0-cut along any component.
+            return Ok(r);
+        }
+        let mut pcfg = PackingConfig {
+            seed: cfg.seed,
+            ..PackingConfig::default()
+        };
+        if let Some(t) = trees_override(g, cfg) {
+            pcfg.trees_wanted = t;
+        }
+        let packing = pack_trees(g, &pcfg);
+        let outcomes = with_thread_budget(cfg.threads, || {
+            packing
+                .trees
+                .par_iter()
+                .enumerate()
+                .map(|(i, te)| {
+                    let tree = rooted_tree_from_edges(g, te, 0);
+                    quadratic_two_respect(g, &tree).map(|c| (i, c))
+                })
+                .collect::<Vec<_>>()
+        })?;
+        let (ti, best) = outcomes
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .min_by_key(|(i, c)| (c.value, *i))
+            .ok_or(PmcError::NoCutFound {
+                algorithm: "quadratic",
+            })?;
+        let mut r = result_from_cut(best, self.name());
+        r.tree_index = Some(ti);
+        if cfg.verify {
+            verify_result(g, &r)?;
+        }
+        Ok(r)
+    }
+}
+
+/// Exhaustive bipartition enumeration — the oracle of last resort.
+///
+/// Exact for `n ≤ 24`; refuses larger inputs with
+/// [`PmcError::Unsupported`]. Ignores everything but `threads` and
+/// `verify`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BruteSolver;
+
+impl MinCutSolver for BruteSolver {
+    fn name(&self) -> &'static str {
+        "brute"
+    }
+
+    fn description(&self) -> &'static str {
+        "exhaustive bipartition enumeration (exact, n <= 24)"
+    }
+
+    fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError> {
+        cfg.validate()?;
+        let r = with_thread_budget(cfg.threads, || brute_force_min_cut(g))??;
+        let r = result_from_cut(r, self.name());
+        if cfg.verify {
+            verify_result(g, &r)?;
+        }
+        Ok(r)
+    }
+}
+
+/// All registered solvers, paper algorithm first.
+pub fn solvers() -> Vec<Box<dyn MinCutSolver>> {
+    vec![
+        Box::new(PaperSolver),
+        Box::new(StoerWagnerSolver),
+        Box::new(ContractionSolver),
+        Box::new(QuadraticSolver),
+        Box::new(BruteSolver),
+    ]
+}
+
+/// Registry names of all solvers, in [`solvers`] order.
+pub fn solver_names() -> Vec<&'static str> {
+    solvers().iter().map(|s| s.name()).collect()
+}
+
+/// Looks up a solver by registry name or alias (case-insensitive).
+///
+/// ```
+/// use pmc_core::solver_by_name;
+///
+/// assert_eq!(solver_by_name("stoer-wagner").unwrap().name(), "sw");
+/// assert!(solver_by_name("nope").is_err());
+/// ```
+pub fn solver_by_name(name: &str) -> Result<Box<dyn MinCutSolver>, PmcError> {
+    match name.to_ascii_lowercase().as_str() {
+        "paper" | "gg" | "ours" => Ok(Box::new(PaperSolver)),
+        "sw" | "stoer-wagner" | "stoer_wagner" => Ok(Box::new(StoerWagnerSolver)),
+        "contract" | "karger-stein" | "karger_stein" | "ks" => Ok(Box::new(ContractionSolver)),
+        "quadratic" | "karger-parallel" => Ok(Box::new(QuadraticSolver)),
+        "brute" => Ok(Box::new(BruteSolver)),
+        other => Err(PmcError::UnknownAlgorithm(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_graph::gen;
+
+    fn fixed_graph() -> Graph {
+        gen::gnm_connected(18, 45, 9, 0xFEED)
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        for s in solvers() {
+            assert_eq!(solver_by_name(s.name()).unwrap().name(), s.name());
+        }
+        assert!(matches!(
+            solver_by_name("does-not-exist"),
+            Err(PmcError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn all_solvers_agree_on_fixed_graph() {
+        let g = fixed_graph();
+        let want = stoer_wagner(&g).unwrap().value;
+        let cfg = SolverConfig::with_seed(3);
+        for s in solvers() {
+            let got = s.solve(&g, &cfg).unwrap();
+            assert_eq!(got.value, want, "solver {}", s.name());
+            assert_eq!(got.algorithm, s.name());
+            assert!(g.is_proper_cut(&got.side), "solver {}", s.name());
+            assert_eq!(g.cut_value(&got.side), got.value, "solver {}", s.name());
+        }
+    }
+
+    #[test]
+    fn solvers_respect_thread_budget() {
+        let g = fixed_graph();
+        let cfg = SolverConfig {
+            threads: Some(2),
+            ..SolverConfig::with_seed(4)
+        };
+        let want = stoer_wagner(&g).unwrap().value;
+        for s in solvers() {
+            assert_eq!(
+                s.solve(&g, &cfg).unwrap().value,
+                want,
+                "solver {}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_solver_honors_tree_override() {
+        let g = fixed_graph();
+        let cfg = SolverConfig {
+            trees: Some(40),
+            ..SolverConfig::with_seed(9)
+        };
+        let got = PaperSolver.solve(&g, &cfg).unwrap();
+        assert_eq!(got.value, stoer_wagner(&g).unwrap().value);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let g = fixed_graph();
+        for cfg in [
+            SolverConfig {
+                failure_probability: 0.0,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                failure_probability: 1.5,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                threads: Some(0),
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                trees: Some(0),
+                ..SolverConfig::default()
+            },
+        ] {
+            for s in solvers() {
+                assert!(
+                    matches!(s.solve(&g, &cfg), Err(PmcError::InvalidConfig(_))),
+                    "solver {} accepted {cfg:?}",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_refuses_large_graphs() {
+        let g = gen::gnm_connected(40, 80, 3, 1);
+        assert!(matches!(
+            BruteSolver.solve(&g, &SolverConfig::default()),
+            Err(PmcError::Unsupported {
+                algorithm: "brute",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn too_small_is_uniform_across_solvers() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        for s in solvers() {
+            assert_eq!(
+                s.solve(&g, &SolverConfig::default()).unwrap_err(),
+                PmcError::TooSmall,
+                "solver {}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_failure_probability_still_correct() {
+        let g = fixed_graph();
+        let want = stoer_wagner(&g).unwrap().value;
+        let cfg = SolverConfig {
+            failure_probability: 1e-9,
+            ..SolverConfig::with_seed(2)
+        };
+        for name in ["paper", "contract"] {
+            let s = solver_by_name(name).unwrap();
+            assert_eq!(s.solve(&g, &cfg).unwrap().value, want, "solver {name}");
+        }
+    }
+
+    #[test]
+    fn every_solver_handles_disconnected() {
+        // Three components — contraction runs out of edges before reaching
+        // two super-nodes unless the dispatch layer short-circuits.
+        let g = Graph::from_edges(6, &[(0, 1, 3), (2, 3, 2), (4, 5, 2)]).unwrap();
+        for s in solvers() {
+            let got = s.solve(&g, &SolverConfig::default()).unwrap();
+            assert_eq!(got.value, 0, "solver {}", s.name());
+            assert!(g.is_proper_cut(&got.side), "solver {}", s.name());
+        }
+    }
+}

@@ -172,8 +172,7 @@ mod tests {
     #[test]
     fn path_is_connected() {
         let n = 1000;
-        let edges: Vec<(u32, u32, u64)> =
-            (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1)).collect();
+        let edges: Vec<(u32, u32, u64)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1)).collect();
         let g = Graph::from_edges(n, &edges).unwrap();
         assert!(is_connected(&g));
         assert_eq!(parallel_components(&g), 1);

@@ -38,10 +38,7 @@ pub fn contract(g: &Graph, mapping: &[u32], new_n: usize) -> Graph {
 
 /// Composes two contraction mappings: `out[v] = second[first[v]]`.
 pub fn compose_mappings(first: &[u32], second: &[u32]) -> Vec<u32> {
-    first
-        .par_iter()
-        .map(|&mid| second[mid as usize])
-        .collect()
+    first.par_iter().map(|&mid| second[mid as usize]).collect()
 }
 
 #[cfg(test)]

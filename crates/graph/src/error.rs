@@ -1,0 +1,118 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible public entry point in the workspace — the paper solver,
+//! the baselines, the CLI loaders — reports failures as [`PmcError`], so
+//! callers handle one enum regardless of which algorithm or layer raised
+//! the problem. Lower-level structural errors ([`GraphError`], [`IoError`])
+//! stay precise and are wrapped via `From`.
+
+use crate::graph::GraphError;
+use crate::io::IoError;
+
+/// Unified error for all minimum-cut solvers and their supporting layers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PmcError {
+    /// Minimum cuts require at least two vertices.
+    TooSmall,
+    /// The requested algorithm name is not in the registry. Carries the
+    /// offending name; `pmc_core::solver::solver_names` lists valid ones.
+    UnknownAlgorithm(String),
+    /// The algorithm exists but cannot run on this input (e.g. brute force
+    /// beyond its enumeration bound).
+    Unsupported {
+        /// Registry name of the algorithm.
+        algorithm: &'static str,
+        /// Human-readable explanation of the limit that was hit.
+        reason: String,
+    },
+    /// A configuration field has a value the solver cannot honor.
+    InvalidConfig(String),
+    /// A randomized algorithm exhausted its repetition budget without
+    /// producing any cut (never observed for connected inputs; kept so the
+    /// dispatch layer is total).
+    NoCutFound {
+        /// Registry name of the algorithm.
+        algorithm: &'static str,
+    },
+    /// A solver returned a witness partition that fails post-hoc
+    /// verification (improper cut, or value mismatch with the reported
+    /// cut). Always indicates a solver bug, never bad input.
+    Verification {
+        /// Registry name of the algorithm.
+        algorithm: &'static str,
+        /// What the verification pass observed.
+        detail: String,
+    },
+    /// Structural problem with the input graph.
+    Graph(GraphError),
+    /// Problem reading or parsing a graph file.
+    Io(String),
+}
+
+impl std::fmt::Display for PmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmcError::TooSmall => write!(f, "graph needs at least 2 vertices"),
+            PmcError::UnknownAlgorithm(name) => {
+                write!(f, "unknown algorithm {name:?}")
+            }
+            PmcError::Unsupported { algorithm, reason } => {
+                write!(
+                    f,
+                    "algorithm {algorithm:?} cannot run on this input: {reason}"
+                )
+            }
+            PmcError::InvalidConfig(msg) => write!(f, "invalid solver config: {msg}"),
+            PmcError::NoCutFound { algorithm } => {
+                write!(f, "algorithm {algorithm:?} produced no cut")
+            }
+            PmcError::Verification { algorithm, detail } => {
+                write!(f, "algorithm {algorithm:?} failed verification: {detail}")
+            }
+            PmcError::Graph(e) => write!(f, "invalid graph: {e}"),
+            PmcError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PmcError {}
+
+impl From<GraphError> for PmcError {
+    fn from(e: GraphError) -> Self {
+        PmcError::Graph(e)
+    }
+}
+
+impl From<IoError> for PmcError {
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::Graph(g) => PmcError::Graph(g),
+            other => PmcError::Io(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(PmcError::TooSmall.to_string().contains("2 vertices"));
+        assert!(PmcError::UnknownAlgorithm("xyz".into())
+            .to_string()
+            .contains("xyz"));
+        let e = PmcError::Unsupported {
+            algorithm: "brute",
+            reason: "n = 100 exceeds the n <= 24 enumeration bound".into(),
+        };
+        assert!(e.to_string().contains("brute"));
+        assert!(e.to_string().contains("n <= 24"));
+    }
+
+    #[test]
+    fn io_graph_errors_collapse_to_graph() {
+        let io = IoError::Graph(GraphError::Empty);
+        assert_eq!(PmcError::from(io), PmcError::Graph(GraphError::Empty));
+    }
+}

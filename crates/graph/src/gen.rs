@@ -232,11 +232,7 @@ pub fn community_ring(
         let lo = c * size;
         for i in 0..size {
             label[lo + i] = c as u32;
-            edges.push((
-                (lo + i) as u32,
-                (lo + (i + 1) % size) as u32,
-                inner_w,
-            ));
+            edges.push(((lo + i) as u32, (lo + (i + 1) % size) as u32, inner_w));
         }
         for _ in 0..size {
             let a = (lo + rng.gen_range(0..size)) as u32;

@@ -71,7 +71,10 @@ impl std::fmt::Display for GraphError {
                 write!(f, "edge {edge_index} is a self-loop")
             }
             GraphError::ZeroWeight { edge_index } => {
-                write!(f, "edge {edge_index} has zero weight (weights must be positive)")
+                write!(
+                    f,
+                    "edge {edge_index} has zero weight (weights must be positive)"
+                )
             }
             GraphError::TotalWeightOverflow => {
                 write!(f, "total edge weight exceeds 2^40")
@@ -103,7 +106,10 @@ impl Graph {
     /// Builds a graph from `(u, v, w)` triples, validating endpoints,
     /// weights, and the total-weight budget.
     pub fn from_edges(n: usize, triples: &[(u32, u32, Weight)]) -> Result<Self, GraphError> {
-        let edges: Vec<Edge> = triples.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
+        let edges: Vec<Edge> = triples
+            .iter()
+            .map(|&(u, v, w)| Edge::new(u, v, w))
+            .collect();
         Self::from_edge_structs(n, edges)
     }
 
@@ -342,7 +348,14 @@ mod tests {
     fn induced_subgraph() {
         let g = Graph::from_edges(
             5,
-            &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (4, 0, 5), (1, 3, 6)],
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (2, 3, 3),
+                (3, 4, 4),
+                (4, 0, 5),
+                (1, 3, 6),
+            ],
         )
         .unwrap();
         let sub = g.induced(&[1, 2, 3]);

@@ -112,10 +112,7 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<Graph, IoError> {
                     Some(t) => t.parse().map_err(|_| parse_err(lineno, "bad weight"))?,
                 };
                 if u == 0 || v == 0 || u > n || v > n {
-                    return Err(parse_err(
-                        lineno,
-                        format!("endpoint out of range 1..={n}"),
-                    ));
+                    return Err(parse_err(lineno, format!("endpoint out of range 1..={n}")));
                 }
                 edges.push((u as u32 - 1, v as u32 - 1, w));
             }

@@ -10,6 +10,7 @@
 pub mod certificate;
 pub mod components;
 pub mod contract;
+pub mod error;
 pub mod euler;
 pub mod gen;
 pub mod graph;
@@ -20,6 +21,7 @@ pub mod tree;
 pub use certificate::{mincut_certificate, ni_certificate, Certificate};
 pub use components::{connected_components, is_connected, UnionFind};
 pub use contract::contract;
+pub use error::PmcError;
 pub use euler::EulerTour;
 pub use graph::{Edge, Graph, GraphError, Weight};
 pub use io::{read_dimacs, read_edge_list, read_path, write_dimacs, IoError};

@@ -41,7 +41,10 @@ impl RootedTree {
             if v as u32 == root {
                 continue;
             }
-            assert!(p != NO_PARENT && (p as usize) < n, "vertex {v} has invalid parent");
+            assert!(
+                p != NO_PARENT && (p as usize) < n,
+                "vertex {v} has invalid parent"
+            );
             child_counts[p as usize] += 1;
         }
         let mut child_offsets = vec![0usize; n + 1];
@@ -88,7 +91,12 @@ impl RootedTree {
     /// # Panics
     /// Panics if the edges do not form a spanning tree of `0..n`.
     pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)], root: u32) -> Self {
-        assert_eq!(edges.len(), n - 1, "a spanning tree on {n} vertices needs {} edges", n - 1);
+        assert_eq!(
+            edges.len(),
+            n - 1,
+            "a spanning tree on {n} vertices needs {} edges",
+            n - 1
+        );
         let mut adj_off = vec![0usize; n + 1];
         for &(u, v) in edges {
             adj_off[u as usize + 1] += 1;

@@ -261,13 +261,7 @@ struct MergedUpd {
     phi_r: i64,
 }
 
-fn combine(
-    l: &NodeState,
-    r: &NodeState,
-    delta0: i64,
-    child_shift: u32,
-    thr: usize,
-) -> NodeState {
+fn combine(l: &NodeState, r: &NodeState, delta0: i64, child_shift: u32, thr: usize) -> NodeState {
     let nu = l.upds.len() + r.upds.len();
     let nq = l.qrys.len() + r.qrys.len();
     if nu == 0 && nq == 0 {
@@ -309,9 +303,17 @@ fn combine(
         }
     };
     let upds: Vec<Upd> = if nu >= thr {
-        merged.par_iter().enumerate().map(|(i, u)| mk_upd(i, u)).collect()
+        merged
+            .par_iter()
+            .enumerate()
+            .map(|(i, u)| mk_upd(i, u))
+            .collect()
     } else {
-        merged.iter().enumerate().map(|(i, u)| mk_upd(i, u)).collect()
+        merged
+            .iter()
+            .enumerate()
+            .map(|(i, u)| mk_upd(i, u))
+            .collect()
     };
 
     // --- Queries -------------------------------------------------------------
@@ -322,9 +324,7 @@ fn combine(
         // Δ value current at each query's time (last update strictly before;
         // times are unique so "≤ previous update" ≡ "< query time").
         let upd_times: Vec<u32> = merged.iter().map(|u| u.time).collect();
-        let deltas_after: Vec<i64> = (0..nu)
-            .map(|i| delta0 + sum_r[i] - sum_l[i])
-            .collect();
+        let deltas_after: Vec<i64> = (0..nu).map(|i| delta0 + sum_r[i] - sum_l[i]).collect();
         let delta_cur = attach_latest(&merged_q, &upd_times, &deltas_after, delta0, thr);
         let apply = |(q, dcur): (&Qry, i64)| -> Qry {
             // Child side of the query leaf at this node (paper §3.2 rule).
@@ -565,8 +565,16 @@ mod tests {
     #[test]
     fn query_only_batch() {
         let ops = vec![
-            PrefixOp::Min { time: 0, pos: 2, qid: 0 },
-            PrefixOp::Min { time: 1, pos: 0, qid: 1 },
+            PrefixOp::Min {
+                time: 0,
+                pos: 2,
+                qid: 0,
+            },
+            PrefixOp::Min {
+                time: 1,
+                pos: 0,
+                qid: 1,
+            },
         ];
         let got = sorted(run_list_batch(&[5, 1, 7], &ops));
         assert_eq!(got, vec![(0, 1), (1, 5)]);
@@ -575,12 +583,36 @@ mod tests {
     #[test]
     fn update_then_query() {
         let ops = vec![
-            PrefixOp::Min { time: 0, pos: 3, qid: 0 },
-            PrefixOp::Add { time: 1, pos: 1, x: -10 },
-            PrefixOp::Min { time: 2, pos: 3, qid: 1 },
-            PrefixOp::Min { time: 3, pos: 0, qid: 2 },
-            PrefixOp::Add { time: 4, pos: 3, x: 100 },
-            PrefixOp::Min { time: 5, pos: 3, qid: 3 },
+            PrefixOp::Min {
+                time: 0,
+                pos: 3,
+                qid: 0,
+            },
+            PrefixOp::Add {
+                time: 1,
+                pos: 1,
+                x: -10,
+            },
+            PrefixOp::Min {
+                time: 2,
+                pos: 3,
+                qid: 1,
+            },
+            PrefixOp::Min {
+                time: 3,
+                pos: 0,
+                qid: 2,
+            },
+            PrefixOp::Add {
+                time: 4,
+                pos: 3,
+                x: 100,
+            },
+            PrefixOp::Min {
+                time: 5,
+                pos: 3,
+                qid: 3,
+            },
         ];
         let init = [4i64, 8, 2, 9];
         assert_eq!(
@@ -592,9 +624,21 @@ mod tests {
     #[test]
     fn single_element_list() {
         let ops = vec![
-            PrefixOp::Min { time: 0, pos: 0, qid: 0 },
-            PrefixOp::Add { time: 1, pos: 0, x: -3 },
-            PrefixOp::Min { time: 2, pos: 0, qid: 1 },
+            PrefixOp::Min {
+                time: 0,
+                pos: 0,
+                qid: 0,
+            },
+            PrefixOp::Add {
+                time: 1,
+                pos: 0,
+                x: -3,
+            },
+            PrefixOp::Min {
+                time: 2,
+                pos: 0,
+                qid: 1,
+            },
         ];
         let got = sorted(run_list_batch(&[10], &ops));
         assert_eq!(got, vec![(0, 10), (1, 7)]);
@@ -604,9 +648,21 @@ mod tests {
     fn two_leaf_counterexample_case() {
         // Exercises the (old>0, new≤0) φ branch the paper's table garbles.
         let ops = vec![
-            PrefixOp::Add { time: 0, pos: 0, x: 100 },
-            PrefixOp::Min { time: 1, pos: 1, qid: 0 },
-            PrefixOp::Min { time: 2, pos: 0, qid: 1 },
+            PrefixOp::Add {
+                time: 0,
+                pos: 0,
+                x: 100,
+            },
+            PrefixOp::Min {
+                time: 1,
+                pos: 1,
+                qid: 0,
+            },
+            PrefixOp::Min {
+                time: 2,
+                pos: 0,
+                qid: 1,
+            },
         ];
         let got = sorted(run_list_batch(&[5, 10], &ops));
         assert_eq!(got, vec![(0, 10), (1, 105)]);
@@ -717,8 +773,16 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn rejects_nonincreasing_times() {
         let ops = vec![
-            PrefixOp::Add { time: 3, pos: 0, x: 1 },
-            PrefixOp::Add { time: 3, pos: 0, x: 1 },
+            PrefixOp::Add {
+                time: 3,
+                pos: 0,
+                x: 1,
+            },
+            PrefixOp::Add {
+                time: 3,
+                pos: 0,
+                x: 1,
+            },
         ];
         let _ = run_list_batch(&[0, 0], &ops);
     }
@@ -786,8 +850,8 @@ mod tests {
         let (res, stats) = run_list_batch_stats(&init, &ops);
         assert_eq!(res.len(), qid as usize);
         assert_eq!(stats.levels, 8); // log2(256)
-        // Every op survives to the root, so at least k items per level are
-        // processed somewhere; the Lemma 5 bound caps the total.
+                                     // Every op survives to the root, so at least k items per level are
+                                     // processed somewhere; the Lemma 5 bound caps the total.
         assert!(stats.work_items >= k as u64);
         let (logn, logk) = (8u64, 12u64);
         assert!(

@@ -193,8 +193,8 @@ fn mark_bough_vertices(
         if !alive[v] {
             continue;
         }
-        path_below[v] = alive_children[v] == 0
-            || (alive_children[v] == 1 && single_child_path[v] == 1);
+        path_below[v] =
+            alive_children[v] == 0 || (alive_children[v] == 1 && single_child_path[v] == 1);
         let p = parent[v];
         if p != NO_PARENT && path_below[v] {
             single_child_path[p as usize] += 1;
@@ -244,9 +244,13 @@ fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposit
 
         let bough_lists: Vec<Vec<u32>> = match ordering {
             ChainOrdering::ListRank => boughs_by_list_rank(tree, &alive, &marked, &tops),
-            ChainOrdering::RandomMate => {
-                boughs_by_contraction(tree, &alive, &marked, &tops, EdgeSelector::RandomMate(phase as u64))
-            }
+            ChainOrdering::RandomMate => boughs_by_contraction(
+                tree,
+                &alive,
+                &marked,
+                &tops,
+                EdgeSelector::RandomMate(phase as u64),
+            ),
             ChainOrdering::Coloring => {
                 boughs_by_contraction(tree, &alive, &marked, &tops, EdgeSelector::Coloring)
             }
@@ -274,7 +278,7 @@ fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposit
                     }
                     list
                 })
-                .collect()
+                .collect(),
         };
 
         for list in bough_lists {
@@ -309,7 +313,10 @@ fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposit
             }
         }
         phase += 1;
-        debug_assert!(phase as usize <= usize::BITS as usize + 1, "too many phases");
+        debug_assert!(
+            phase as usize <= usize::BITS as usize + 1,
+            "too many phases"
+        );
     }
 
     Decomposition {
@@ -422,7 +429,10 @@ fn boughs_by_contraction(
         rounds += 1;
         // Guard: for random-mate, non-convergence is astronomically
         // unlikely; for colouring, ≥ 1/3 of edges contract per round.
-        assert!(rounds < 64 * usize::BITS as usize, "contraction failed to converge");
+        assert!(
+            rounds < 64 * usize::BITS as usize,
+            "contraction failed to converge"
+        );
         let selected: Vec<u32> = match &mut rng {
             Some(rng) => {
                 // HEADS absorbs its TAILS successor. This is an independent
@@ -498,9 +508,7 @@ fn heavy_light(tree: &RootedTree) -> Decomposition {
     let mut paths = Vec::new();
     let mut parent_of_top = Vec::new();
     let heads: Vec<u32> = (0..n as u32)
-        .filter(|&v| {
-            v == tree.root() || heavy[tree.parent(v) as usize] != v
-        })
+        .filter(|&v| v == tree.root() || heavy[tree.parent(v) as usize] != v)
         .collect();
     for head in heads {
         let pid = paths.len() as u32;

@@ -133,7 +133,10 @@ fn run_tree_batch_impl(
         .par_iter()
         .zip(per_list.par_iter())
         .map(|(path, list_ops)| {
-            if list_ops.iter().all(|op| !matches!(op, PrefixOp::Min { .. })) {
+            if list_ops
+                .iter()
+                .all(|op| !matches!(op, PrefixOp::Min { .. }))
+            {
                 // No queries on this list — nothing to report.
                 return (Vec::new(), BatchStats::default());
             }

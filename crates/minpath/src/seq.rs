@@ -97,11 +97,7 @@ impl SeqPrefixTree {
             let old = self.delta[parent];
             // Off-path child's φ is trivial (Observation 4): 0 if the
             // off-path child is right of the prefix end, x if left of it.
-            let (phi_l, phi_r) = if from_right {
-                (x, phi)
-            } else {
-                (phi, 0)
-            };
+            let (phi_l, phi_r) = if from_right { (x, phi) } else { (phi, 0) };
             let new = old + phi_r - phi_l;
             self.delta[parent] = new;
             phi = match (old > 0, new > 0) {

@@ -42,7 +42,7 @@ pub fn boruvka_mst(g: &Graph, cost: &[u64]) -> Vec<u32> {
                 .filter_map(|(eid, e)| {
                     let cu = comp[e.u as usize];
                     let cv = comp[e.v as usize];
-                    (cu != cv).then(|| (eid, e, cu, cv))
+                    (cu != cv).then_some((eid, e, cu, cv))
                 })
                 .flat_map_iter(|(eid, _e, cu, cv)| {
                     let k = key(cost[eid], eid as u32);

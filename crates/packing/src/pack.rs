@@ -80,14 +80,14 @@ pub struct TreePacking {
     pub distinct_trees: usize,
 }
 
+/// Distinct packed trees (each a sorted skeleton-edge-id list) with their
+/// greedy multiplicities.
+pub type PackedTrees = Vec<(Vec<u32>, u32)>;
+
 /// One greedy packing run on a skeleton. Returns `(distinct trees with
 /// multiplicities, packing value estimate)` or `None` if the skeleton does
 /// not span the graph (caller should raise the sampling rate).
-pub fn pack_greedy(
-    g: &Graph,
-    sk: &Skeleton,
-    rounds: usize,
-) -> Option<(Vec<(Vec<u32>, u32)>, f64)> {
+pub fn pack_greedy(g: &Graph, sk: &Skeleton, rounds: usize) -> Option<(PackedTrees, f64)> {
     assert!(rounds > 0);
     let n = g.n();
     if n == 1 {
@@ -219,8 +219,8 @@ pub fn pack_trees(g: &Graph, cfg: &PackingConfig) -> TreePacking {
     }
 
     // --- Final packing ------------------------------------------------------
-    let (mut distinct, value) = pack_greedy(g, &skeleton, final_rounds)
-        .expect("accepted skeleton must span the graph");
+    let (mut distinct, value) =
+        pack_greedy(g, &skeleton, final_rounds).expect("accepted skeleton must span the graph");
     let distinct_trees = distinct.len();
 
     // --- Weighted selection without replacement -----------------------------
@@ -310,11 +310,7 @@ mod tests {
     fn packing_value_scales_with_connectivity() {
         // Doubling all weights doubles capacities and the packing value.
         let g1 = gen::gnm_connected(40, 160, 1, 6);
-        let edges2: Vec<(u32, u32, u64)> = g1
-            .edges()
-            .iter()
-            .map(|e| (e.u, e.v, e.w * 2))
-            .collect();
+        let edges2: Vec<(u32, u32, u64)> = g1.edges().iter().map(|e| (e.u, e.v, e.w * 2)).collect();
         let g2 = Graph::from_edges(40, &edges2).unwrap();
         let (_, v1) = pack_greedy(&g1, &full_skeleton(&g1), 100).unwrap();
         let (_, v2) = pack_greedy(&g2, &full_skeleton(&g2), 100).unwrap();
@@ -360,7 +356,10 @@ mod tests {
                 .count();
             crossing <= 2
         });
-        assert!(two_respecting, "no selected tree 2-respects the planted cut");
+        assert!(
+            two_respecting,
+            "no selected tree 2-respects the planted cut"
+        );
     }
 
     #[test]

@@ -103,9 +103,9 @@ pub fn chain_independent_set_by_coloring(next: &[usize]) -> Vec<usize> {
 }
 
 fn is_proper(next: &[usize], color: &[u8]) -> bool {
-    next.iter().enumerate().all(|(v, &s)| {
-        s == NIL || (color[v] != color[s] && color[v] < 3 && color[s] < 3)
-    })
+    next.iter()
+        .enumerate()
+        .all(|(v, &s)| s == NIL || (color[v] != color[s] && color[v] < 3 && color[s] < 3))
 }
 
 #[cfg(test)]
@@ -113,7 +113,9 @@ mod tests {
     use super::*;
 
     fn chain(n: usize) -> Vec<usize> {
-        (0..n).map(|i| if i + 1 < n { i + 1 } else { NIL }).collect()
+        (0..n)
+            .map(|i| if i + 1 < n { i + 1 } else { NIL })
+            .collect()
     }
 
     #[test]

@@ -29,10 +29,7 @@ pub fn list_rank(next: &[usize]) -> Vec<usize> {
     let n = next.len();
     debug_assert!(next.iter().all(|&s| s == NIL || s < n));
     let mut ptr: Vec<usize> = next.to_vec();
-    let mut rank: Vec<usize> = next
-        .iter()
-        .map(|&s| if s == NIL { 0 } else { 1 })
-        .collect();
+    let mut rank: Vec<usize> = next.iter().map(|&s| if s == NIL { 0 } else { 1 }).collect();
     // ceil(log2(n)) + 1 rounds suffice: after round r every pointer has
     // jumped 2^r nodes or reached the tail.
     let rounds = usize::BITS - n.leading_zeros();
@@ -110,7 +107,9 @@ mod tests {
 
     fn chain(n: usize) -> Vec<usize> {
         // 0 -> 1 -> 2 -> ... -> n-1
-        (0..n).map(|i| if i + 1 < n { i + 1 } else { NIL }).collect()
+        (0..n)
+            .map(|i| if i + 1 < n { i + 1 } else { NIL })
+            .collect()
     }
 
     #[test]

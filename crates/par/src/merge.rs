@@ -41,7 +41,11 @@ fn vec_uninit_like<T: Clone>(a: &[T], b: &[T]) -> Vec<T> {
     if n == 0 {
         return Vec::new();
     }
-    let filler = if !a.is_empty() { a[0].clone() } else { b[0].clone() };
+    let filler = if !a.is_empty() {
+        a[0].clone()
+    } else {
+        b[0].clone()
+    };
     vec![filler; n]
 }
 
@@ -134,10 +138,7 @@ mod tests {
         let a = [(1, 'a'), (2, 'a'), (2, 'a')];
         let b = [(2, 'b'), (3, 'b')];
         let got = merge_by_key(&a, &b, |x| x.0);
-        assert_eq!(
-            got,
-            vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'b')]
-        );
+        assert_eq!(got, vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'b')]);
     }
 
     #[test]

@@ -98,7 +98,7 @@ proptest! {
         for w in got.windows(2) {
             prop_assert!(w[0].0 <= w[1].0);
             if w[0].0 == w[1].0 {
-                prop_assert!(!(w[0].2 && !w[1].2), "b item before a item on equal keys");
+                prop_assert!(!w[0].2 || w[1].2, "b item before a item on equal keys");
             }
         }
     }

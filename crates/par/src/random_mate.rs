@@ -48,13 +48,15 @@ fn select_by_coins(edges: &[(usize, usize)], coins: &[bool]) -> Vec<usize> {
     edges
         .par_iter()
         .enumerate()
-        .filter_map(|(i, &(u, v))| {
-            if coins[u] && !coins[v] {
-                Some(i)
-            } else {
-                None
-            }
-        })
+        .filter_map(
+            |(i, &(u, v))| {
+                if coins[u] && !coins[v] {
+                    Some(i)
+                } else {
+                    None
+                }
+            },
+        )
         .collect()
 }
 

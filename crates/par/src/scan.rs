@@ -94,7 +94,7 @@ pub fn inclusive_scan_in_place<T: Monoid>(xs: &mut [T]) {
         seq_inclusive_scan(xs);
         return;
     }
-    let nblocks = (n + SEQ_THRESHOLD - 1) / SEQ_THRESHOLD;
+    let nblocks = n.div_ceil(SEQ_THRESHOLD);
     let mut partials: Vec<T> = xs
         .par_chunks_mut(SEQ_THRESHOLD)
         .map(|chunk| {
@@ -175,7 +175,9 @@ mod tests {
     #[test]
     fn large_matches_sequential() {
         let n = 100_000;
-        let xs: Vec<i64> = (0..n as u64).map(|i| ((i * 2654435761) % 1000) as i64 - 500).collect();
+        let xs: Vec<i64> = (0..n as u64)
+            .map(|i| ((i * 2654435761) % 1000) as i64 - 500)
+            .collect();
         let par = inclusive_scan(&xs);
         let mut acc = 0i64;
         for (i, &x) in xs.iter().enumerate() {

@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn large_random_matches_std() {
-        let xs: Vec<u64> = (0..200_000u64).map(|i| (i * 2654435761) % 100_000).collect();
+        let xs: Vec<u64> = (0..200_000u64)
+            .map(|i| (i * 2654435761) % 100_000)
+            .collect();
         let got = par_merge_sort(&xs);
         let mut want = xs.clone();
         want.sort_unstable();

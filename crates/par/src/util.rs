@@ -35,11 +35,7 @@ pub fn bucket_offsets(bucket_of: &[usize], nbuckets: usize) -> Vec<usize> {
 
 /// Scatters `items` into a bucket-sorted vector given precomputed offsets,
 /// preserving input order within each bucket.
-pub fn bucket_scatter<T: Clone>(
-    items: &[T],
-    bucket_of: &[usize],
-    offsets: &[usize],
-) -> Vec<T> {
+pub fn bucket_scatter<T: Clone>(items: &[T], bucket_of: &[usize], offsets: &[usize]) -> Vec<T> {
     assert_eq!(items.len(), bucket_of.len());
     let mut cursor = offsets.to_vec();
     let mut out: Vec<Option<T>> = vec![None; items.len()];

@@ -21,7 +21,7 @@ fn planted_communities(sizes: &[usize], seed: u64) -> (Graph, Vec<usize>) {
     let n: usize = sizes.iter().sum();
     let mut label = Vec::with_capacity(n);
     for (ci, &s) in sizes.iter().enumerate() {
-        label.extend(std::iter::repeat(ci).take(s));
+        label.extend(std::iter::repeat_n(ci, s));
     }
     let offsets: Vec<usize> = sizes
         .iter()
@@ -117,7 +117,11 @@ fn main() {
             pure += 1;
         }
     }
-    assert_eq!(clusters.len(), 3, "expected exactly the 3 planted communities");
+    assert_eq!(
+        clusters.len(),
+        3,
+        "expected exactly the 3 planted communities"
+    );
     assert_eq!(pure, 3, "every cluster should be pure");
     println!("\nall clusters pure — communities recovered exactly");
 }

@@ -15,8 +15,7 @@ use parallel_mincut::{minimum_cut, MinCutConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A dense similarity graph with one weak vertex (degree 2).
     let dense = gen::complete(120, 3, 11);
-    let mut edges: Vec<(u32, u32, u64)> =
-        dense.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    let mut edges: Vec<(u32, u32, u64)> = dense.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
     edges.push((0, 120, 2));
     let g = parallel_mincut::Graph::from_edges(121, &edges)?;
 

@@ -44,14 +44,17 @@ fn main() {
             if rng.gen_bool(0.7) {
                 TreeOp::Add {
                     v,
-                    x: -rng.gen_range(1..50),
+                    x: -rng.gen_range(1..50i64),
                 }
             } else {
                 TreeOp::Min { v }
             }
         })
         .collect();
-    let nqueries = ops.iter().filter(|o| matches!(o, TreeOp::Min { .. })).count();
+    let nqueries = ops
+        .iter()
+        .filter(|o| matches!(o, TreeOp::Min { .. }))
+        .count();
 
     let start = std::time::Instant::now();
     let results = run_tree_batch(&tree, &decomp, &init, &ops);

@@ -54,6 +54,9 @@ fn main() {
         .collect();
     let g2 = Graph::from_edges(g.n(), &reinforced).unwrap();
     let cut2 = minimum_cut(&g2, &MinCutConfig::default()).unwrap();
-    println!("\nafter reinforcing the bottleneck: capacity {}", cut2.value);
+    println!(
+        "\nafter reinforcing the bottleneck: capacity {}",
+        cut2.value
+    );
     assert!(cut2.value > cut.value);
 }

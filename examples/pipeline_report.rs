@@ -11,8 +11,14 @@ use parallel_mincut::graph::gen;
 
 fn main() {
     let workloads: Vec<(&str, parallel_mincut::Graph)> = vec![
-        ("sparse gnm (n=4096, m=16k)", gen::gnm_connected(4096, 16384, 8, 1)),
-        ("planted bisection (n=2048)", gen::planted_bisection(1024, 1024, 40, 5, 2048, 2).0),
+        (
+            "sparse gnm (n=4096, m=16k)",
+            gen::gnm_connected(4096, 16384, 8, 1),
+        ),
+        (
+            "planted bisection (n=2048)",
+            gen::planted_bisection(1024, 1024, 40, 5, 2048, 2).0,
+        ),
         ("dense + weak vertex", {
             let dense = gen::complete(300, 3, 3);
             let mut edges: Vec<(u32, u32, u64)> =
@@ -24,7 +30,13 @@ fn main() {
     for (name, g) in &workloads {
         let (cut, r) = minimum_cut_report(g, &MinCutConfig::default()).unwrap();
         println!("== {name}");
-        println!("   n = {}, m = {}, min cut = {} ({:?})", g.n(), g.m(), cut.value, cut.kind);
+        println!(
+            "   n = {}, m = {}, min cut = {} ({:?})",
+            g.n(),
+            g.m(),
+            cut.value,
+            cut.kind
+        );
         if r.certificate_applied {
             println!(
                 "   certificate: kept {:.1}% of the weight ({:.1} ms)",

@@ -35,4 +35,16 @@ fn main() {
     // always matches the returned value:
     assert_eq!(g.cut_value(&cut.side), cut.value);
     assert_eq!(cut.value, 2);
+
+    // The same computation through the algorithm registry: any solver —
+    // paper or baseline — behind the one MinCutSolver seam.
+    use parallel_mincut::{solver_by_name, SolverConfig};
+    for name in ["paper", "sw", "contract", "quadratic", "brute"] {
+        let solver = solver_by_name(name).expect("registered");
+        let cut = solver
+            .solve(&g, &SolverConfig::default())
+            .expect("solvable");
+        println!("{:<10} -> {}", solver.name(), cut.value);
+        assert_eq!(cut.value, 2);
+    }
 }

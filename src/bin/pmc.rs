@@ -1,25 +1,26 @@
 //! `pmc` — command-line front end for the parallel minimum-cut library.
 //!
 //! ```text
-//! pmc mincut <file> [--seed S] [--trees T] [--quiet]   compute a minimum cut
+//! pmc mincut <file> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
 //! pmc gen <family> <args..> [--out FILE]               generate a workload
 //! pmc info <file>                                      print graph statistics
-//! pmc verify <file> <value>                            recompute and compare
+//! pmc verify <file> <value> [--algo A]                 recompute and compare
+//! pmc algos                                            list registered algorithms
 //! ```
 //!
-//! Files are DIMACS-like (`.dimacs`) or whitespace edge lists (anything
-//! else); `-` means stdin. Generator families: `gnm n m [max_w] [seed]`,
-//! `planted n_a n_b inner cross chords [seed]`, `cycle n chords [seed]`,
-//! `grid rows cols`, `barbell k`.
+//! Every algorithm — the paper's parallel solver and all baselines — runs
+//! through the same [`MinCutSolver`] registry; `--algo` picks one by name
+//! (default `paper`). Files are DIMACS-like (`.dimacs`) or whitespace edge
+//! lists (anything else); `-` means stdin. Generator families:
+//! `gnm n m [max_w] [seed]`, `planted n_a n_b inner cross chords [seed]`,
+//! `cycle n chords [seed]`, `grid rows cols`, `barbell k`.
 
 use std::io::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
-use parallel_mincut::baseline::stoer_wagner;
-use parallel_mincut::core_alg::{minimum_cut, MinCutConfig};
 use parallel_mincut::graph::{gen, io};
-use parallel_mincut::Graph;
+use parallel_mincut::{solver_by_name, solvers, Graph, MinCutSolver, SolverConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,9 +29,14 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
-        Some("--help") | Some("-h") | None => {
+        Some("algos") => cmd_algos(),
+        Some("--help") | Some("-h") => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
+        }
+        None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::FAILURE;
         }
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
@@ -44,20 +50,22 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  pmc mincut <file> [--seed S] [--trees T] [--quiet]
+  pmc mincut <file> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
   pmc gen gnm <n> <m> [max_w] [seed] [--out FILE]
   pmc gen planted <n_a> <n_b> <inner_w> <cross> <chords> [seed] [--out FILE]
   pmc gen cycle <n> <chords> [seed] [--out FILE]
   pmc gen grid <rows> <cols> [--out FILE]
   pmc gen barbell <k> [--out FILE]
   pmc info <file>
-  pmc verify <file> <value>";
+  pmc verify <file> <value> [--algo A]
+  pmc algos
+
+algorithms (--algo): paper (default), sw, contract, quadratic, brute";
 
 fn load(path: &str) -> Result<Graph, String> {
     if path == "-" {
         let mut buf = Vec::new();
-        std::io::Read::read_to_end(&mut std::io::stdin(), &mut buf)
-            .map_err(|e| e.to_string())?;
+        std::io::Read::read_to_end(&mut std::io::stdin(), &mut buf).map_err(|e| e.to_string())?;
         io::read_edge_list(&buf[..])
             .or_else(|_| io::read_dimacs(&buf[..]))
             .map_err(|e| format!("stdin: {e}"))
@@ -72,25 +80,68 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn cmd_mincut(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("mincut: missing input file")?;
-    let g = load(path)?;
-    let mut cfg = MinCutConfig::default();
+/// Rejects any `--flag` the subcommand does not know. Flags marked `true`
+/// consume the following argument as their value.
+fn check_flags(args: &[String], allowed: &[(&str, bool)]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            match allowed.iter().find(|(name, _)| *name == a) {
+                Some((_, takes_value)) => i += usize::from(*takes_value),
+                None => return Err(format!("unknown flag {a:?}\n{USAGE}")),
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Builds the shared solver config from the common CLI flags.
+fn solver_setup(args: &[String]) -> Result<(Box<dyn MinCutSolver>, SolverConfig), String> {
+    let algo = flag_value(args, "--algo").unwrap_or_else(|| "paper".into());
+    let solver = solver_by_name(&algo).map_err(|e| e.to_string())?;
+    let mut cfg = SolverConfig::default();
     if let Some(s) = flag_value(args, "--seed") {
         cfg.seed = s.parse().map_err(|_| "bad --seed")?;
     }
     if let Some(t) = flag_value(args, "--trees") {
-        cfg.packing.trees_wanted = t.parse().map_err(|_| "bad --trees")?;
+        cfg.trees = Some(t.parse().map_err(|_| "bad --trees")?);
     }
+    if let Some(p) = flag_value(args, "--threads") {
+        cfg.threads = Some(p.parse().map_err(|_| "bad --threads")?);
+    }
+    Ok((solver, cfg))
+}
+
+fn cmd_mincut(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            ("--algo", true),
+            ("--seed", true),
+            ("--trees", true),
+            ("--threads", true),
+            ("--quiet", false),
+        ],
+    )?;
+    let path = args.first().ok_or("mincut: missing input file")?;
+    // Resolve the algorithm before touching the input so a bad --algo
+    // fails fast even when reading from stdin.
+    let (solver, cfg) = solver_setup(args)?;
+    let g = load(path)?;
     let quiet = args.iter().any(|a| a == "--quiet");
     let start = std::time::Instant::now();
-    let cut = minimum_cut(&g, &cfg).map_err(|e| e.to_string())?;
+    let cut = solver.solve(&g, &cfg).map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     println!("value: {}", cut.value);
     if !quiet {
         let (a, b) = cut.partition();
+        println!("algorithm: {}", cut.algorithm);
         println!("sides: {} / {} vertices", a.len(), b.len());
-        println!("kind: {:?}", cut.kind);
+        if let Some(kind) = cut.kind {
+            println!("kind: {kind:?}");
+        }
         println!("crossing edges: {}", cut.crossing_edges(&g).len());
         println!("time: {:.1} ms", elapsed.as_secs_f64() * 1e3);
         let smaller = if a.len() <= b.len() { &a } else { &b };
@@ -102,6 +153,7 @@ fn cmd_mincut(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[("--out", true)])?;
     let family = args.first().ok_or("gen: missing family")?;
     let nums: Vec<u64> = args[1..]
         .iter()
@@ -156,20 +208,19 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
     let path = args.first().ok_or("info: missing input file")?;
     let g = load(path)?;
     println!("vertices: {}", g.n());
     println!("edges: {}", g.m());
     println!("total weight: {}", g.total_weight());
     println!("min weighted degree: {}", g.min_weighted_degree());
-    println!(
-        "connected: {}",
-        parallel_mincut::graph::is_connected(&g)
-    );
+    println!("connected: {}", parallel_mincut::graph::is_connected(&g));
     Ok(())
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[("--algo", true)])?;
     let path = args.first().ok_or("verify: missing input file")?;
     let claimed: u64 = args
         .get(1)
@@ -177,16 +228,34 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "verify: bad value")?;
     let g = load(path)?;
-    if g.n() > 2500 {
-        return Err("verify: exact oracle limited to n <= 2500".into());
+    // Default to the deterministic exact oracle; honor --algo for
+    // cross-checking one randomized solver against another.
+    let algo = flag_value(args, "--algo").unwrap_or_else(|| "sw".into());
+    let solver = solver_by_name(&algo).map_err(|e| e.to_string())?;
+    if solver.name() == "sw" && g.n() > 2500 {
+        return Err("verify: exact oracle limited to n <= 2500 (pick --algo paper)".into());
     }
-    let exact = stoer_wagner(&g).ok_or("verify: graph too small")?;
+    let exact = solver
+        .solve(&g, &SolverConfig::default())
+        .map_err(|e| e.to_string())?;
     if exact.value == claimed {
-        println!("OK: exact minimum cut is {}", exact.value);
+        println!("OK: {} minimum cut is {}", solver.name(), exact.value);
         Ok(())
     } else {
         let mut err = std::io::stderr();
-        let _ = writeln!(err, "MISMATCH: exact = {}, claimed = {claimed}", exact.value);
+        let _ = writeln!(
+            err,
+            "MISMATCH: {} = {}, claimed = {claimed}",
+            solver.name(),
+            exact.value
+        );
         Err("verification failed".into())
     }
+}
+
+fn cmd_algos() -> Result<(), String> {
+    for s in solvers() {
+        println!("{:<10} {}", s.name(), s.description());
+    }
+    Ok(())
 }

@@ -14,6 +14,10 @@
 //! * the top-level [`minimum_cut`] algorithm from `pmc-core` (Theorem 10);
 //! * exact and randomized baselines from `pmc-baseline`.
 //!
+//! All algorithms sit behind one dispatch seam: the [`MinCutSolver`] trait
+//! with its [`solver_by_name`] registry and the shared [`SolverConfig`] /
+//! [`PmcError`] types.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -28,6 +32,22 @@
 //! let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
 //! assert_eq!(cut.value, 2);
 //! ```
+//!
+//! Or pick any algorithm — paper or baseline — through the registry:
+//!
+//! ```
+//! use parallel_mincut::{solver_by_name, Graph, SolverConfig};
+//!
+//! let g = Graph::from_edges(
+//!     6,
+//!     &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 0, 1), (0, 3, 5)],
+//! )
+//! .unwrap();
+//! for name in ["paper", "sw", "contract", "quadratic", "brute"] {
+//!     let solver = solver_by_name(name).unwrap();
+//!     assert_eq!(solver.solve(&g, &SolverConfig::default()).unwrap().value, 2);
+//! }
+//! ```
 
 pub use pmc_baseline as baseline;
 pub use pmc_core as core_alg;
@@ -36,5 +56,8 @@ pub use pmc_minpath as minpath;
 pub use pmc_packing as packing;
 pub use pmc_par as par;
 
-pub use pmc_core::{minimum_cut, MinCutConfig, MinCutResult};
-pub use pmc_graph::{Graph, RootedTree};
+pub use pmc_core::{
+    minimum_cut, solver_by_name, solver_names, solvers, MinCutConfig, MinCutResult, MinCutSolver,
+    SolverConfig,
+};
+pub use pmc_graph::{Graph, PmcError, RootedTree};

@@ -1,0 +1,514 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate implements the slice of proptest's API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, strategies for ranges, tuples, `Vec<S>` and
+//! [`Just`], [`any`], `prop::collection::vec`, `prop::option::of`,
+//! `prop::bool::ANY`, the [`proptest!`] macro (with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the assertion failure (the
+//!   case index is printed by the harness) but is not minimized.
+//! * **Deterministic seeding.** Each test function derives its RNG from a
+//!   hash of the test name, so runs are reproducible without a persistence
+//!   file.
+//! * `prop_assert*` delegate to the std `assert*` macros (panic instead of
+//!   returning `Err`), which is equivalent under `cargo test`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-time configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The source of randomness handed to strategies. A thin wrapper so the
+/// public API does not expose the rand stub directly.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner: the seed is derived from `name` (FNV-1a).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn ObjectSafeStrategy<Value = T>>,
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait ObjectSafeStrategy {
+    type Value;
+    fn generate_dyn(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+impl<S: Strategy> ObjectSafeStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, runner: &mut TestRunner) -> S::Value {
+        self.generate(runner)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        self.inner.generate_dyn(runner)
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.base.generate(runner))
+    }
+}
+
+/// `prop_flat_map` combinator.
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.base.generate(runner)).generate(runner)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// `Vec<S>` is the "each element has its own strategy" strategy.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        self.iter().map(|s| s.generate(runner)).collect()
+    }
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical "arbitrary" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen::<bool>()
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// The strategy of all values of `T` (uniform over the representation).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Mirrors `proptest::collection`.
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+    pub trait SizeRange {
+        fn pick(&self, runner: &mut TestRunner) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _runner: &mut TestRunner) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S, impl SizeRange> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = self.size.pick(runner);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Mirrors `proptest::option`.
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise (matching
+    /// proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            if runner.rng().gen_range(0..4usize) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(runner))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    //! Mirrors `proptest::bool`.
+    use super::{Any, Arbitrary, Strategy, TestRunner};
+
+    /// The strategy of both booleans, uniformly.
+    pub const ANY: AnyBool = AnyBool;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, runner: &mut TestRunner) -> bool {
+            bool::arbitrary(runner)
+        }
+    }
+
+    #[allow(unused)]
+    fn _assert_any_bool_exists() -> Any<bool> {
+        super::any::<bool>()
+    }
+}
+
+pub mod strategy {
+    //! Mirrors `proptest::strategy`.
+    pub use super::{BoxedStrategy, Just, Strategy};
+}
+
+pub mod prelude {
+    //! Drop-in for `proptest::prelude::*`.
+    pub use super::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` alias conventionally available via the prelude.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Delegates to `assert!`. The real proptest records a failure for
+/// shrinking; under `cargo test` the observable behavior (test fails with
+/// message) is the same.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Delegates to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Delegates to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Mirrors proptest's `proptest!` block macro: each contained test becomes
+/// a `#[test]` that generates inputs from its strategies and runs the body
+/// for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner = $crate::TestRunner::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                // Bind strategies once per case so `prop_flat_map` closures
+                // may consume moved captures by reference.
+                let ($($pat,)+) = {
+                    let strategies = ($(&$strat,)+);
+                    $crate::__generate_tuple!(runner, strategies, $($pat),+)
+                };
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest stub: {} failed on case {}/{} (no shrinking)",
+                        stringify!($name), case + 1, config.cases
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __generate_tuple {
+    ($runner:ident, $strats:ident, $p1:pat) => {{
+        ($crate::Strategy::generate($strats.0, &mut $runner),)
+    }};
+    ($runner:ident, $strats:ident, $p1:pat, $p2:pat) => {{
+        (
+            $crate::Strategy::generate($strats.0, &mut $runner),
+            $crate::Strategy::generate($strats.1, &mut $runner),
+        )
+    }};
+    ($runner:ident, $strats:ident, $p1:pat, $p2:pat, $p3:pat) => {{
+        (
+            $crate::Strategy::generate($strats.0, &mut $runner),
+            $crate::Strategy::generate($strats.1, &mut $runner),
+            $crate::Strategy::generate($strats.2, &mut $runner),
+        )
+    }};
+    ($runner:ident, $strats:ident, $p1:pat, $p2:pat, $p3:pat, $p4:pat) => {{
+        (
+            $crate::Strategy::generate($strats.0, &mut $runner),
+            $crate::Strategy::generate($strats.1, &mut $runner),
+            $crate::Strategy::generate($strats.2, &mut $runner),
+            $crate::Strategy::generate($strats.3, &mut $runner),
+        )
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(xs in prop::collection::vec(0u32..100, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn flat_map_threads_values(pair in (1usize..20).prop_flat_map(|n| (Just(n), 0..n))) {
+            let (n, k) = pair;
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn option_of_mixes(xs in prop::collection::vec(prop::option::of(0i64..10), 64..65)) {
+            // With 64 draws at 3/4 Some, both variants virtually always appear.
+            prop_assert!(xs.iter().any(Option::is_some));
+        }
+
+        #[test]
+        fn boxed_strategies_generate(v in (0u32..5).boxed()) {
+            prop_assert!(v < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = super::TestRunner::deterministic("name");
+        let mut r2 = super::TestRunner::deterministic("name");
+        let s = prop::collection::vec(0u64..1000, 10..20);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

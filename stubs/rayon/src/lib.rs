@@ -1,0 +1,511 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the subset of rayon's API the workspace uses, with
+//! **sequential** execution. Every primitive here is extensionally equal to
+//! its rayon counterpart — same results, same types at the call sites — so
+//! swapping the real rayon back in (delete this stub, point the workspace
+//! dependency at crates.io) requires no source changes in the workspace.
+//!
+//! What is covered:
+//!
+//! * [`prelude`] — `par_iter` / `par_iter_mut` / `into_par_iter` returning a
+//!   [`ParIter`] wrapper that mirrors rayon's `ParallelIterator` adapter and
+//!   reduction surface (including the two-argument `reduce(identity, op)`),
+//!   plus the `par_sort*` / `par_chunks*` slice extensions.
+//! * [`join`] — sequential `(a(), b())`.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] / [`current_num_threads`] — a
+//!   pool that records its configured width (so `current_num_threads`
+//!   reports it inside `install`) but runs closures inline.
+//!
+//! The scheduling-dependent performance characteristics of rayon are, of
+//! course, not reproduced: work is `O(same)`, depth is `O(work)`.
+
+use std::cell::Cell;
+
+thread_local! {
+    static POOL_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of logical threads the "pool" claims to have. Inside
+/// [`ThreadPool::install`] this is the builder's `num_threads`; outside it
+/// falls back to the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let w = POOL_WIDTH.with(Cell::get);
+    if w > 0 {
+        w
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Runs both closures and returns both results. The real rayon may run them
+/// on different workers; the stub runs `a` then `b` on the caller's thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Error type kept for signature compatibility; the stub never fails to
+/// build a pool.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (unreachable in the stub)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested width; `0` means "default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            width: if self.num_threads == 0 {
+                std::thread::available_parallelism().map_or(1, usize::from)
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A "pool" that executes closures inline on the calling thread.
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with [`current_num_threads`] reporting this pool's width.
+    pub fn install<T: Send>(&self, f: impl FnOnce() -> T + Send) -> T {
+        let prev = POOL_WIDTH.with(|w| w.replace(self.width));
+        let out = f();
+        POOL_WIDTH.with(|w| w.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator`.
+///
+/// Wraps an ordinary [`Iterator`] and exposes rayon's method surface as
+/// inherent methods so that rayon-specific signatures (notably the
+/// two-argument `reduce(identity, op)` and `with_min_len`) type-check
+/// unchanged. Adapters re-wrap so chains stay inside the parallel "world",
+/// exactly as with the real rayon.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+/// Escape hatch back to the sequential world; also lets a `ParIter` be
+/// `zip`ped with another `ParIter`, as rayon allows.
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter {
+            inner: self.inner.filter_map(f),
+        }
+    }
+
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    /// In rayon, `flat_map_iter` flattens a *serial* iterator per item; in
+    /// the stub it is identical to [`ParIter::flat_map`].
+    pub fn flat_map_iter<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter {
+            inner: self.inner.zip(other),
+        }
+    }
+
+    pub fn cloned<'a, T: 'a + Clone>(self) -> ParIter<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter {
+            inner: self.inner.cloned(),
+        }
+    }
+
+    pub fn copied<'a, T: 'a + Copy>(self) -> ParIter<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter {
+            inner: self.inner.copied(),
+        }
+    }
+
+    pub fn chain<J: IntoIterator<Item = I::Item>>(
+        self,
+        other: J,
+    ) -> ParIter<std::iter::Chain<I, J::IntoIter>> {
+        ParIter {
+            inner: self.inner.chain(other),
+        }
+    }
+
+    pub fn take(self, n: usize) -> ParIter<std::iter::Take<I>> {
+        ParIter {
+            inner: self.inner.take(n),
+        }
+    }
+
+    pub fn skip(self, n: usize) -> ParIter<std::iter::Skip<I>> {
+        ParIter {
+            inner: self.inner.skip(n),
+        }
+    }
+
+    pub fn step_by(self, n: usize) -> ParIter<std::iter::StepBy<I>> {
+        ParIter {
+            inner: self.inner.step_by(n),
+        }
+    }
+
+    /// Scheduling hint in rayon; a no-op here.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Scheduling hint in rayon; a no-op here.
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+
+    // ---- reductions / terminals ----------------------------------------
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// rayon's two-argument reduce: fold from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.inner.min_by(f)
+    }
+
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.inner.min_by_key(f)
+    }
+
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.inner.max_by_key(f)
+    }
+
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.inner;
+        let f = f;
+        it.any(f)
+    }
+
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.inner;
+        let f = f;
+        it.all(f)
+    }
+
+    /// rayon's "any matching item" search; deterministic (first) here.
+    pub fn find_any<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut it = self.inner;
+        let mut f = f;
+        it.find(|x| f(x))
+    }
+
+    pub fn find_first<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut it = self.inner;
+        let mut f = f;
+        it.find(|x| f(x))
+    }
+
+    pub fn position_any<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
+        let mut it = self.inner;
+        let f = f;
+        it.position(f)
+    }
+
+    pub fn unzip<A, B, CA, CB>(self) -> (CA, CB)
+    where
+        I: Iterator<Item = (A, B)>,
+        CA: Default + Extend<A>,
+        CB: Default + Extend<B>,
+    {
+        self.inner.unzip()
+    }
+}
+
+pub mod iter {
+    //! Mirrors `rayon::iter` just far enough for `use rayon::iter::...`.
+    pub use crate::prelude::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+    pub use crate::ParIter;
+}
+
+pub mod slice {
+    //! Mirrors `rayon::slice` (extension traits re-exported via the prelude).
+    pub use crate::prelude::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+    use super::ParIter;
+
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator;
+        fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Iter: Iterator;
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator,
+    {
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+            ParIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+        fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+            ParIter {
+                inner: self.chunks(size),
+            }
+        }
+        fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+            ParIter {
+                inner: self.windows(size),
+            }
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+        fn par_sort(&mut self)
+        where
+            T: Ord;
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter {
+                inner: self.chunks_mut(size),
+            }
+        }
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort();
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+        fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+            self.sort_by(f);
+        }
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+            self.sort_unstable_by(f);
+        }
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_by_key(f);
+        }
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_unstable_by_key(f);
+        }
+    }
+
+    pub use super::ParIter as ParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10, 18, 4, 12]);
+        let s: u64 = v.par_iter().copied().sum();
+        assert_eq!(s, 31);
+        let r = v.par_iter().map(|&x| x > 4).reduce(|| false, |a, b| a || b);
+        assert!(r);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x");
+        assert_eq!((a, b), (2, "x"));
+    }
+
+    #[test]
+    fn pool_width_visible_in_install() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+    }
+
+    #[test]
+    fn par_sort_slice_ext() {
+        let mut v = vec![5, 2, 9, 1];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 5, 9]);
+    }
+}

@@ -17,10 +17,7 @@ fn arb_connected_graph(max_n: usize, extra: usize) -> impl Strategy<Value = Grap
                     .boxed()
             })
             .collect();
-        let extras = prop::collection::vec(
-            ((0..n as u32), (0..n as u32), (1u64..10)),
-            0..extra,
-        );
+        let extras = prop::collection::vec(((0..n as u32), (0..n as u32), (1u64..10)), 0..extra);
         (backbone, extras).prop_map(move |(mut edges, extras)| {
             for (u, v, w) in extras {
                 if u != v {
@@ -54,7 +51,7 @@ proptest! {
         let mst = boruvka_mst(&g, &cost);
         let tree = rooted_tree_from_edges(&g, &mst, 0);
         let ours = two_respect_mincut(&g, &tree);
-        let base = quadratic_two_respect(&g, &tree);
+        let base = quadratic_two_respect(&g, &tree).unwrap();
         prop_assert_eq!(ours.value as u64, base.value);
         prop_assert_eq!(g.cut_value(&ours.side), ours.value as u64);
         prop_assert_eq!(g.cut_value(&base.side), base.value);

@@ -1,0 +1,116 @@
+//! End-to-end CLI smoke test for the solver dispatch layer: `pmc gen` →
+//! `pmc mincut --algo <each>` → `pmc verify`, all through the installed
+//! binary (`CARGO_BIN_EXE_pmc`).
+
+use std::process::Command;
+
+fn pmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmc"))
+}
+
+fn stdout_of(out: std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn cut_value(text: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix("value: "))
+        .expect("value line")
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn gen_mincut_verify_through_every_algo() {
+    let dir = std::env::temp_dir().join("pmc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("cli_smoke.dimacs");
+    let file_s = file.to_str().unwrap();
+
+    // Small enough for `brute`, structured enough to be non-trivial.
+    let out = pmc()
+        .args([
+            "gen", "planted", "9", "10", "20", "2", "5", "4", "--out", file_s,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    let mut values = Vec::new();
+    for algo in ["paper", "sw", "contract", "quadratic", "brute"] {
+        let text = stdout_of(
+            pmc()
+                .args(["mincut", file_s, "--algo", algo, "--seed", "11"])
+                .output()
+                .unwrap(),
+        );
+        assert!(
+            text.contains(&format!("algorithm: {algo}")),
+            "missing algorithm line for {algo}: {text}"
+        );
+        values.push((algo, cut_value(&text)));
+    }
+    let (_, reference) = values[0];
+    for &(algo, v) in &values {
+        assert_eq!(v, reference, "algorithm {algo} disagrees: {values:?}");
+    }
+
+    // verify recomputes with the exact oracle by default...
+    let out = pmc()
+        .args(["verify", file_s, &reference.to_string()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "verify rejected {reference}: {out:?}");
+    // ...and accepts --algo for cross-checks through the same registry.
+    let out = pmc()
+        .args(["verify", file_s, &reference.to_string(), "--algo", "paper"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "verify --algo paper failed: {out:?}");
+}
+
+#[test]
+fn unknown_algo_is_rejected_with_clear_message() {
+    let out = pmc()
+        .args(["mincut", "-", "--algo", "nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown algorithm"), "{err}");
+}
+
+#[test]
+fn algos_lists_the_registry() {
+    let text = stdout_of(pmc().args(["algos"]).output().unwrap());
+    for name in ["paper", "sw", "contract", "quadratic", "brute"] {
+        assert!(text.contains(name), "missing {name} in: {text}");
+    }
+}
+
+#[test]
+fn threads_flag_is_honored() {
+    let dir = std::env::temp_dir().join("pmc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("cli_smoke_threads.dimacs");
+    let file_s = file.to_str().unwrap();
+    let out = pmc()
+        .args(["gen", "gnm", "40", "120", "8", "2", "--out", file_s])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let a = cut_value(&stdout_of(
+        pmc()
+            .args(["mincut", file_s, "--threads", "2"])
+            .output()
+            .unwrap(),
+    ));
+    let b = cut_value(&stdout_of(pmc().args(["mincut", file_s]).output().unwrap()));
+    assert_eq!(a, b);
+}

@@ -174,7 +174,9 @@ fn respect_kind_is_reported() {
     let cut = minimum_cut(&g, &MinCutConfig::default()).unwrap();
     assert_eq!(cut.value, 2);
     match cut.kind {
-        RespectKind::One | RespectKind::TwoIncomparable | RespectKind::TwoAncestor => {}
+        Some(RespectKind::One | RespectKind::TwoIncomparable | RespectKind::TwoAncestor) => {}
+        None => panic!("paper solver must report a respect kind"),
     }
+    assert_eq!(cut.algorithm, "paper");
     assert!(cut.tree_index.is_some());
 }

@@ -83,8 +83,7 @@ fn report_reflects_certificate_on_dense_family() {
     // A dense torus-of-communities style graph with a weak vertex: the
     // report must show the certificate firing and all stages populated.
     let dense = gen::complete(80, 4, 5);
-    let mut edges: Vec<(u32, u32, u64)> =
-        dense.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    let mut edges: Vec<(u32, u32, u64)> = dense.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
     edges.push((0, 80, 2));
     let g = parallel_mincut::Graph::from_edges(81, &edges).unwrap();
     let (cut, report) = minimum_cut_report(&g, &MinCutConfig::default()).unwrap();

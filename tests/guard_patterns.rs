@@ -41,7 +41,9 @@ fn mincut_shaped_ops(tree: &RootedTree, rng: &mut SmallRng) -> Vec<TreeOp> {
             ops.push(TreeOp::Add { v: x, x: -w });
             undo.push(TreeOp::Add { v: x, x: w });
             if rng.gen_bool(0.7) {
-                ops.push(TreeOp::Min { v: rng.gen_range(0..n) as u32 });
+                ops.push(TreeOp::Min {
+                    v: rng.gen_range(0..n) as u32,
+                });
             }
             if rng.gen_bool(0.3) {
                 // point-bump pattern

@@ -38,7 +38,9 @@ fn cli_gen_info_mincut_verify_pipeline() {
     let file_s = file.to_str().unwrap();
 
     let out = pmc()
-        .args(["gen", "planted", "15", "15", "25", "3", "8", "9", "--out", file_s])
+        .args([
+            "gen", "planted", "15", "15", "25", "3", "8", "9", "--out", file_s,
+        ])
         .output()
         .unwrap();
     assert!(out.status.success(), "gen failed: {out:?}");
@@ -49,7 +51,10 @@ fn cli_gen_info_mincut_verify_pipeline() {
     assert!(text.contains("vertices: 30"), "{text}");
     assert!(text.contains("connected: true"), "{text}");
 
-    let out = pmc().args(["mincut", file_s, "--seed", "3"]).output().unwrap();
+    let out = pmc()
+        .args(["mincut", file_s, "--seed", "3"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     let value: u64 = text
@@ -101,7 +106,10 @@ fn cli_reads_edge_lists_from_stdin() {
 #[test]
 fn cli_rejects_malformed_input() {
     let path = write_temp("bad.dimacs", b"p cut 3 1\ne 1 99 2\n");
-    let out = pmc().args(["mincut", path.to_str().unwrap()]).output().unwrap();
+    let out = pmc()
+        .args(["mincut", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("line 2"), "{err}");

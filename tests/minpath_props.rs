@@ -65,7 +65,7 @@ proptest! {
         let ops: Vec<TreeOp> = (0..80)
             .map(|_| {
                 let v = (r.next_u32() as usize % n) as u32;
-                if r.next_u32() % 2 == 0 {
+                if r.next_u32().is_multiple_of(2) {
                     TreeOp::Add { v, x: (r.next_u32() % 600) as i64 - 300 }
                 } else {
                     TreeOp::Min { v }

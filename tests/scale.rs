@@ -74,9 +74,7 @@ fn million_op_minpath_batch() {
 fn deep_path_graph_stress() {
     // A 100k-vertex near-path graph: single bough, maximal-depth lists.
     let n = 100_000;
-    let mut edges: Vec<(u32, u32, u64)> = (0..n - 1)
-        .map(|i| (i as u32, i as u32 + 1, 5))
-        .collect();
+    let mut edges: Vec<(u32, u32, u64)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1, 5)).collect();
     let mut rng = SmallRng::seed_from_u64(8);
     for _ in 0..n / 10 {
         let u = rng.gen_range(0..n) as u32;

@@ -1,0 +1,103 @@
+//! Integration tests of the `MinCutSolver` dispatch seam through the
+//! facade: every registered algorithm must agree on the minimum cut value
+//! of fixed seeded graphs and produce valid witnesses.
+
+use parallel_mincut::graph::gen;
+use parallel_mincut::{solver_by_name, solver_names, solvers, Graph, PmcError, SolverConfig};
+
+/// Fixed seeded instance small enough for every solver (brute included).
+fn fixed_small() -> Graph {
+    gen::gnm_connected(16, 40, 7, 0xA11CE)
+}
+
+#[test]
+fn all_solvers_agree_on_fixed_seeded_graph() {
+    let g = fixed_small();
+    let cfg = SolverConfig::with_seed(42);
+    let reference = solver_by_name("sw").unwrap().solve(&g, &cfg).unwrap().value;
+    for solver in solvers() {
+        let cut = solver.solve(&g, &cfg).unwrap();
+        assert_eq!(cut.value, reference, "solver {}", solver.name());
+        assert_eq!(cut.algorithm, solver.name());
+        assert!(g.is_proper_cut(&cut.side), "solver {}", solver.name());
+        assert_eq!(
+            g.cut_value(&cut.side),
+            cut.value,
+            "solver {}",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn all_solvers_agree_on_structured_families() {
+    // Families with known minimum cuts; brute excluded where n > 24.
+    let cases: Vec<(Graph, u64)> = vec![
+        (gen::barbell(8), 1),
+        (gen::cycle_with_chords(40, 0, 0), 2),
+        (gen::grid(5, 6), 2),
+    ];
+    let cfg = SolverConfig::with_seed(7);
+    for (g, want) in cases {
+        for name in ["paper", "sw", "contract", "quadratic"] {
+            let cut = solver_by_name(name).unwrap().solve(&g, &cfg).unwrap();
+            assert_eq!(cut.value, want, "solver {name} on n={}", g.n());
+        }
+    }
+}
+
+#[test]
+fn registry_exposes_expected_names() {
+    assert_eq!(
+        solver_names(),
+        vec!["paper", "sw", "contract", "quadratic", "brute"]
+    );
+    assert!(matches!(
+        solver_by_name("not-a-solver"),
+        Err(PmcError::UnknownAlgorithm(_))
+    ));
+}
+
+#[test]
+fn seeds_change_randomness_not_answers() {
+    let g = fixed_small();
+    let want = solver_by_name("sw")
+        .unwrap()
+        .solve(&g, &SolverConfig::default())
+        .unwrap()
+        .value;
+    for seed in [0u64, 1, 99, 0xDEAD_BEEF] {
+        for name in ["paper", "contract", "quadratic"] {
+            let cut = solver_by_name(name)
+                .unwrap()
+                .solve(&g, &SolverConfig::with_seed(seed))
+                .unwrap();
+            assert_eq!(cut.value, want, "solver {name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn errors_are_uniform_across_the_seam() {
+    let singleton = Graph::from_edges(1, &[]).unwrap();
+    for solver in solvers() {
+        assert_eq!(
+            solver
+                .solve(&singleton, &SolverConfig::default())
+                .unwrap_err(),
+            PmcError::TooSmall,
+            "solver {}",
+            solver.name()
+        );
+    }
+    let big = gen::gnm_connected(30, 60, 4, 5);
+    assert!(matches!(
+        solver_by_name("brute")
+            .unwrap()
+            .solve(&big, &SolverConfig::default()),
+        Err(PmcError::Unsupported {
+            algorithm: "brute",
+            ..
+        })
+    ));
+}
