@@ -1,0 +1,294 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate implements the slice of criterion's API the workspace's
+//! benches use — `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input` / `bench_function`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and `Bencher::iter` — backed by a deliberately simple
+//! harness: warm up once, run a fixed number of timed iterations, report
+//! min / median / mean to stdout.
+//!
+//! No statistical analysis, outlier detection, or HTML reports; for
+//! publication-grade numbers swap the real criterion back in (the call
+//! sites compile unchanged).
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, displayed alongside results).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark's identity: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Runs the measured closure; handed to the closure of `bench_function` /
+/// `bench_with_input`.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up (fills caches, triggers lazy init) that we discard.
+        black_box(routine());
+        self.timings.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        black_box(routine(setup()));
+        self.timings.reserve(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, throughput: Option<Throughput>, timings: &mut [Duration]) {
+    if timings.is_empty() {
+        return;
+    }
+    timings.sort_unstable();
+    let min = timings[0];
+    let median = timings[timings.len() / 2];
+    let mean = timings.iter().sum::<Duration>() / timings.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) => format!("  {:.0} B/s", n as f64 / median.as_secs_f64()),
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id}: min {}  median {}  mean {}{rate}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (criterion's minimum is 10;
+    /// the stub honors whatever it is given, minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted and ignored (the stub has no global time budget).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, self.throughput, &mut b.timings);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), self.throughput, &mut b.timings);
+        self
+    }
+
+    pub fn finish(&mut self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The harness entry point handed to each registered bench function.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    #[allow(clippy::should_implement_trait)]
+    pub fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher {
+            samples: self.default_sample_size.max(1),
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        report("bench", &id.to_string(), None, &mut b.timings);
+        self
+    }
+}
+
+/// Mirrors criterion's `criterion_group!`: defines a function running each
+/// listed benchmark with a fresh default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c = $crate::Criterion::default();
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Mirrors criterion's `criterion_main!`: a `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).throughput(Throughput::Elements(100));
+        let mut ran = 0;
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            timings: Vec::new(),
+        };
+        b.iter(|| black_box(2 + 2));
+        assert_eq!(b.timings.len(), 5);
+    }
+}
