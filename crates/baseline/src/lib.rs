@@ -15,7 +15,7 @@ pub mod stoer_wagner;
 pub use brute::brute_force_min_cut;
 pub use contraction::{karger_contract_once, karger_stein, repeated_contraction};
 pub use quadratic::quadratic_two_respect;
-pub use stoer_wagner::stoer_wagner;
+pub use stoer_wagner::{stoer_wagner, stoer_wagner_ws, SwScratch};
 
 /// A minimum cut candidate: value plus one side of the bipartition.
 #[derive(Clone, Debug, PartialEq, Eq)]

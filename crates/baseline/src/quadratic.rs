@@ -94,7 +94,7 @@ pub fn quadratic_two_respect(g: &Graph, tree: &RootedTree) -> Result<Cut, PmcErr
     }
 
     // cut1 via degree subtree sums minus internal edges (D[v][v]).
-    let degs: Vec<i64> = g.weighted_degrees().into_iter().map(|d| d as i64).collect();
+    let degs: Vec<i64> = g.weighted_degrees().iter().map(|&d| d as i64).collect();
     let degsum = euler.subtree_sums(&degs);
     let cut1: Vec<i64> = (0..n)
         .into_par_iter()

@@ -4,6 +4,14 @@
 //! adjacency search phases, each ending with a "cut-of-the-phase" and a
 //! vertex merge. Deterministic and exact — the workspace's ground-truth
 //! oracle for graphs up to a few thousand vertices.
+//!
+//! Two implementations share the algorithm: the original allocation-per-call
+//! [`stoer_wagner`] (a fresh dense matrix plus per-phase scratch vectors on
+//! every invocation), and the arena variant [`stoer_wagner_ws`] that runs
+//! entirely inside a caller-owned [`SwScratch`] — the hot path for repeated
+//! solves through `MinCutSolver::solve_with` / `solve_batch`, where a serving
+//! loop answers many small cut queries back to back and per-call `malloc`
+//! traffic dominates the `O(n³)` arithmetic.
 
 use pmc_graph::{Graph, PmcError};
 
@@ -12,37 +20,122 @@ use crate::Cut;
 /// Computes an exact minimum cut. Fails with [`PmcError::TooSmall`] for
 /// single-vertex graphs (no proper cut exists). Disconnected graphs return
 /// a value-0 cut.
+///
+/// Thin wrapper over [`stoer_wagner_ws`] with a fresh arena per call — the
+/// allocation-per-call path; repeated solves should hold a [`SwScratch`]
+/// (or a `pmc_core` `SolverWorkspace`) and call the arena variant.
 pub fn stoer_wagner(g: &Graph) -> Result<Cut, PmcError> {
+    stoer_wagner_ws(g, &mut SwScratch::new())
+}
+
+/// Sentinel terminating a merged-set chain in [`SwScratch`].
+const NIL: u32 = u32::MAX;
+
+/// Reusable arena for [`stoer_wagner_ws`]: the dense adjacency matrix, the
+/// per-phase maximum-adjacency-search state, and the merged-set chains.
+/// Buffers grow to the high-water `n` and stay; at steady state a solve
+/// allocates only its returned witness vector.
+#[derive(Clone, Debug, Default)]
+pub struct SwScratch {
+    /// Dense adjacency, row-major `n × n` (parallel edges merged).
+    w: Vec<u64>,
+    in_a: Vec<bool>,
+    key: Vec<u64>,
+    order: Vec<usize>,
+    active: Vec<usize>,
+    /// Merged sets as intrusive singly-linked chains over original ids:
+    /// the set fused into `v` is `head[v], next_in_set[head[v]], …`.
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    next_in_set: Vec<u32>,
+    best_side: Vec<bool>,
+}
+
+impl SwScratch {
+    /// A fresh, empty arena (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently held — the arena's steady-state footprint.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.w.capacity() + self.key.capacity()) * std::mem::size_of::<u64>()
+            + self.in_a.capacity()
+            + self.best_side.capacity()
+            + (self.order.capacity() + self.active.capacity()) * std::mem::size_of::<usize>()
+            + (self.head.capacity() + self.tail.capacity() + self.next_in_set.capacity())
+                * std::mem::size_of::<u32>()
+    }
+}
+
+/// [`stoer_wagner`] running entirely inside a reusable [`SwScratch`]:
+/// identical results (value *and* witness side), no per-call allocation
+/// beyond the returned `Cut`.
+pub fn stoer_wagner_ws(g: &Graph, ws: &mut SwScratch) -> Result<Cut, PmcError> {
     let n = g.n();
     if n < 2 {
         return Err(PmcError::TooSmall);
     }
+    // Destructure the arena into independent locals so the hot loops see
+    // non-aliasing slices (same codegen as the allocating path's locals).
+    let SwScratch {
+        w,
+        in_a,
+        key,
+        order,
+        active,
+        head,
+        tail,
+        next_in_set,
+        best_side,
+    } = ws;
     // Dense adjacency (parallel edges merged — harmless for cut values).
-    let mut w = vec![0u64; n * n];
+    w.clear();
+    w.resize(n * n, 0);
     for e in g.edges() {
         w[e.u as usize * n + e.v as usize] += e.w;
         w[e.v as usize * n + e.u as usize] += e.w;
     }
-    // merged[v] = original vertices currently fused into v.
-    let mut merged: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
-    let mut active: Vec<usize> = (0..n).collect();
-    let mut best: Option<Cut> = None;
+    head.clear();
+    tail.clear();
+    next_in_set.clear();
+    for v in 0..n as u32 {
+        head.push(v);
+        tail.push(v);
+        next_in_set.push(NIL);
+    }
+    active.clear();
+    active.extend(0..n);
+    in_a.clear();
+    in_a.resize(n, false);
+    key.clear();
+    key.resize(n, 0);
+    best_side.clear();
+    best_side.resize(n, false);
+    let mut best_value: Option<u64> = None;
+
+    // Hot loops index plain slices (one pointer load each), not `&mut Vec`s.
+    let w = w.as_mut_slice();
+    let in_a = in_a.as_mut_slice();
+    let key = key.as_mut_slice();
+    let head = head.as_mut_slice();
+    let tail = tail.as_mut_slice();
+    let next_in_set = next_in_set.as_mut_slice();
 
     while active.len() > 1 {
         // Maximum adjacency search from active[0].
-        let mut in_a = vec![false; n];
-        let mut key = vec![0u64; n];
-        let mut order = Vec::with_capacity(active.len());
+        in_a[..n].fill(false);
+        order.clear();
         let first = active[0];
         in_a[first] = true;
         order.push(first);
-        for &v in &active {
+        for &v in active.iter() {
             key[v] = w[first * n + v];
         }
         while order.len() < active.len() {
             let mut next = usize::MAX;
             let mut nk = 0u64;
-            for &v in &active {
+            for &v in active.iter() {
                 if !in_a[v] && (next == usize::MAX || key[v] > nk) {
                     next = v;
                     nk = key[v];
@@ -50,7 +143,7 @@ pub fn stoer_wagner(g: &Graph) -> Result<Cut, PmcError> {
             }
             in_a[next] = true;
             order.push(next);
-            for &v in &active {
+            for &v in active.iter() {
                 if !in_a[v] {
                     key[v] += w[next * n + v];
                 }
@@ -60,20 +153,19 @@ pub fn stoer_wagner(g: &Graph) -> Result<Cut, PmcError> {
         let s = order[order.len() - 2];
         // Cut of the phase: {t's merged set} vs rest.
         let phase_value = key[t];
-        if best.as_ref().is_none_or(|b| phase_value < b.value) {
-            let mut side = vec![false; n];
-            for &orig in &merged[t] {
-                side[orig as usize] = true;
+        if best_value.is_none_or(|b| phase_value < b) {
+            best_value = Some(phase_value);
+            best_side.fill(false);
+            let mut cur = head[t];
+            while cur != NIL {
+                best_side[cur as usize] = true;
+                cur = next_in_set[cur as usize];
             }
-            best = Some(Cut {
-                value: phase_value,
-                side,
-            });
         }
-        // Merge t into s.
-        let moved = std::mem::take(&mut merged[t]);
-        merged[s].extend(moved);
-        for &v in &active {
+        // Merge t into s: append t's chain to s's.
+        next_in_set[tail[s] as usize] = head[t];
+        tail[s] = tail[t];
+        for &v in active.iter() {
             if v != s && v != t {
                 let add = w[t * n + v];
                 w[s * n + v] += add;
@@ -82,7 +174,13 @@ pub fn stoer_wagner(g: &Graph) -> Result<Cut, PmcError> {
         }
         active.retain(|&v| v != t);
     }
-    best.ok_or(PmcError::NoCutFound { algorithm: "sw" })
+    match best_value {
+        Some(value) => Ok(Cut {
+            value,
+            side: best_side.clone(),
+        }),
+        None => Err(PmcError::NoCutFound { algorithm: "sw" }),
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +257,41 @@ mod tests {
             let bf = brute_force_min_cut(&g).unwrap();
             assert_eq!(sw.value, bf.value, "trial {trial}");
         }
+    }
+
+    #[test]
+    fn arena_variant_is_bit_identical() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut ws = SwScratch::new();
+        // One arena across many differently-sized graphs: same value AND
+        // same witness side as the allocating path, every time.
+        for trial in 0..40 {
+            let n = rng.gen_range(2..40);
+            let m = rng.gen_range(1..4 * n);
+            let edges: Vec<(u32, u32, u64)> = (0..m)
+                .filter_map(|_| {
+                    let u = rng.gen_range(0..n) as u32;
+                    let v = rng.gen_range(0..n) as u32;
+                    (u != v).then(|| (u, v, rng.gen_range(1..12)))
+                })
+                .collect();
+            if edges.is_empty() {
+                continue;
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let want = stoer_wagner(&g);
+            let got = stoer_wagner_ws(&g, &mut ws);
+            assert_eq!(got, want, "trial {trial}");
+            if let Ok(c) = got {
+                c.verified(&g);
+            }
+        }
+        assert!(ws.capacity_bytes() > 0);
+        // Error cases agree too.
+        let g1 = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(stoer_wagner_ws(&g1, &mut ws), Err(PmcError::TooSmall));
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Criterion companion of the E11 `alloc_report` binary: repeated solves
+//! through the one-shot `solve` path vs the amortized `solve_batch` path
+//! with a shared [`SolverWorkspace`]. Same workload builders, same
+//! dispatch seam — only the allocation strategy differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmc_bench::{solver, SolverConfig, SolverWorkspace};
+use pmc_graph::{gen, Graph};
+
+fn batch(n: usize, density: usize, b: usize, seed: u64) -> Vec<Graph> {
+    (0..b as u64)
+        .map(|i| gen::gnm_connected(n, density * n, 8, seed + i))
+        .collect()
+}
+
+fn bench_workspace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workspace_reuse");
+    group.sample_size(10);
+    for (algo, n, b, seed) in [("sw", 24usize, 32usize, 100u64), ("paper", 64, 8, 400)] {
+        let graphs = batch(n, 3, b, seed);
+        let s = solver(algo);
+        let cfg = SolverConfig::default();
+        group.throughput(Throughput::Elements(b as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{algo}_one_shot"), n),
+            &graphs,
+            |bench, graphs| {
+                bench.iter(|| {
+                    for g in graphs {
+                        criterion::black_box(s.solve(g, &cfg).unwrap());
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{algo}_workspace"), n),
+            &graphs,
+            |bench, graphs| {
+                let mut ws = SolverWorkspace::new();
+                bench.iter(|| {
+                    for g in graphs {
+                        criterion::black_box(s.solve_with(g, &cfg, &mut ws).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workspace);
+criterion_main!(benches);

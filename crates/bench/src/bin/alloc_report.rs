@@ -1,0 +1,225 @@
+//! E11 — workspace reuse: one-shot `solve` vs amortized `solve_batch`.
+//!
+//! Measures repeated-solve throughput through the `MinCutSolver` seam two
+//! ways: the allocation-per-call path (`solve` in a loop, fresh buffers
+//! every request) and the arena path (`solve_batch`, one
+//! [`SolverWorkspace`] shared across the whole batch). Emits a
+//! machine-readable `BENCH_workspace.json` alongside the stdout table so
+//! CI and future PRs can diff the numbers.
+//!
+//! ```text
+//! cargo run --release -p pmc-bench --bin alloc_report [--quick] [--out FILE]
+//! ```
+//!
+//! `--quick` shrinks the workload to a smoke-test size (used by CI to keep
+//! the JSON emitter honest); `--out` overrides the default output path.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use pmc_bench::{header, row, solver, time_best, SolverConfig, SolverWorkspace};
+use pmc_graph::{gen, Graph};
+
+/// One repeated-solve workload: `batch` distinct graphs from one family,
+/// solved back to back.
+struct Family {
+    name: &'static str,
+    algo: &'static str,
+    graphs: Vec<Graph>,
+}
+
+fn families(quick: bool) -> Vec<Family> {
+    let batch = |quick: bool, full: usize| if quick { 4 } else { full };
+    let gnm_batch = |n: usize, density: usize, b: usize, seed: u64| -> Vec<Graph> {
+        (0..b as u64)
+            .map(|i| gen::gnm_connected(n, density * n, 8, seed + i))
+            .collect()
+    };
+    let mut out = vec![
+        Family {
+            name: "sw_tiny_n24",
+            algo: "sw",
+            graphs: gnm_batch(24, 3, batch(quick, 64), 100),
+        },
+        Family {
+            name: "sw_small_n48",
+            algo: "sw",
+            graphs: gnm_batch(48, 3, batch(quick, 32), 200),
+        },
+        Family {
+            name: "paper_sparse_n64",
+            algo: "paper",
+            graphs: gnm_batch(64, 3, batch(quick, 8), 400),
+        },
+    ];
+    if !quick {
+        out.push(Family {
+            name: "sw_medium_n96",
+            algo: "sw",
+            graphs: gnm_batch(96, 3, 16, 300),
+        });
+        out.push(Family {
+            name: "paper_planted_n64",
+            algo: "paper",
+            graphs: (0..8u64)
+                .map(|i| gen::planted_bisection(32, 32, 40, 3, 16, 500 + i).0)
+                .collect(),
+        });
+    }
+    out
+}
+
+struct Measurement {
+    name: &'static str,
+    algo: &'static str,
+    n: usize,
+    m: usize,
+    batch_size: usize,
+    one_shot_ns: u128,
+    workspace_ns: u128,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.one_shot_ns as f64 / self.workspace_ns.max(1) as f64
+    }
+}
+
+fn ns_per_solve(total: Duration, solves: usize) -> u128 {
+    total.as_nanos() / solves.max(1) as u128
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_workspace.json".into());
+    let rounds = if quick { 2 } else { 7 };
+    let cfg = SolverConfig::default();
+
+    println!("# E11 — workspace reuse vs one-shot allocation");
+    println!();
+    header(&[
+        "family",
+        "algo",
+        "n",
+        "m",
+        "batch",
+        "one-shot ns/solve",
+        "workspace ns/solve",
+        "speedup",
+    ]);
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for fam in families(quick) {
+        let s = solver(fam.algo);
+        let graphs = &fam.graphs;
+
+        // Correctness guard: both paths must agree before being timed.
+        let batch_results = s
+            .solve_batch(graphs, &cfg)
+            .expect("solve_batch failed in alloc_report");
+        for (g, r) in graphs.iter().zip(&batch_results) {
+            let want = s.solve(g, &cfg).expect("solve failed in alloc_report");
+            assert_eq!(r.value, want.value, "batch/one-shot divergence");
+        }
+
+        // One-shot path: fresh allocations per request.
+        let one_shot = time_best(rounds, || {
+            for g in graphs {
+                std::hint::black_box(s.solve(g, &cfg).unwrap());
+            }
+        });
+        // Arena path: one workspace amortized over the batch. The
+        // workspace is pre-grown once (steady-state serving), so the
+        // timing reflects reuse rather than first-call growth.
+        let mut ws = SolverWorkspace::new();
+        for g in graphs {
+            let _ = s.solve_with(g, &cfg, &mut ws).unwrap();
+        }
+        let reuse = time_best(rounds, || {
+            for g in graphs {
+                std::hint::black_box(s.solve_with(g, &cfg, &mut ws).unwrap());
+            }
+        });
+
+        let m = Measurement {
+            name: fam.name,
+            algo: fam.algo,
+            n: graphs[0].n(),
+            m: graphs[0].m(),
+            batch_size: graphs.len(),
+            one_shot_ns: ns_per_solve(one_shot, graphs.len()),
+            workspace_ns: ns_per_solve(reuse, graphs.len()),
+        };
+        row(&[
+            m.name.to_string(),
+            m.algo.to_string(),
+            m.n.to_string(),
+            m.m.to_string(),
+            m.batch_size.to_string(),
+            m.one_shot_ns.to_string(),
+            m.workspace_ns.to_string(),
+            format!("{:.2}x", m.speedup()),
+        ]);
+        measurements.push(m);
+    }
+
+    let max_speedup = measurements
+        .iter()
+        .map(Measurement::speedup)
+        .fold(0.0f64, f64::max);
+    println!();
+    println!("max speedup: {max_speedup:.2}x");
+
+    let json = render_json(&measurements, rounds, quick, max_speedup);
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
+/// Hand-rolled JSON (the workspace has no serde); every value is a number,
+/// bool, or controlled ASCII string, so escaping is not needed.
+fn render_json(ms: &[Measurement], rounds: usize, quick: bool, max_speedup: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"workspace_reuse\",\n");
+    s.push_str(
+        "  \"description\": \"repeated-solve throughput: one-shot solve() vs solve_batch() with a shared SolverWorkspace\",\n",
+    );
+    s.push_str("  \"regenerate\": \"cargo run --release -p pmc-bench --bin alloc_report\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"rounds\": {rounds},\n"));
+    s.push_str(&format!("  \"max_speedup\": {max_speedup:.3},\n"));
+    s.push_str("  \"families\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", m.name));
+        s.push_str(&format!("      \"algo\": \"{}\",\n", m.algo));
+        s.push_str(&format!("      \"n\": {},\n", m.n));
+        s.push_str(&format!("      \"m\": {},\n", m.m));
+        s.push_str(&format!("      \"batch_size\": {},\n", m.batch_size));
+        s.push_str(&format!(
+            "      \"one_shot_ns_per_solve\": {},\n",
+            m.one_shot_ns
+        ));
+        s.push_str(&format!(
+            "      \"workspace_ns_per_solve\": {},\n",
+            m.workspace_ns
+        ));
+        s.push_str(&format!("      \"speedup\": {:.3}\n", m.speedup()));
+        s.push_str(if i + 1 == ms.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

@@ -12,7 +12,9 @@ use pmc_packing::{boruvka_mst, rooted_tree_from_edges};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-pub use pmc_core::{solver_by_name, solvers, MinCutResult, MinCutSolver, SolverConfig};
+pub use pmc_core::{
+    solver_by_name, solvers, MinCutResult, MinCutSolver, SolverConfig, SolverWorkspace,
+};
 
 /// Times one invocation of `f`.
 pub fn time_once<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
@@ -46,6 +48,21 @@ pub fn time_solver(
 /// for compute-bound kernels).
 pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
     (0..reps.max(1)).map(|_| time_once(&mut f).0).min().unwrap()
+}
+
+/// Times one `solve_batch` call over `graphs` — the amortized counterpart
+/// of [`time_solver`], dispatching through the same seam. Panics on solver
+/// failure so benchmark tables never silently skip rows.
+pub fn time_solver_batch(
+    solver: &dyn MinCutSolver,
+    graphs: &[Graph],
+    cfg: &SolverConfig,
+) -> (Duration, Vec<MinCutResult>) {
+    time_once(|| {
+        solver
+            .solve_batch(graphs, cfg)
+            .unwrap_or_else(|e| panic!("solver {} failed: {e}", solver.name()))
+    })
 }
 
 /// Runs `f` on a dedicated rayon pool with `threads` workers.

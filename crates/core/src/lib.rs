@@ -27,21 +27,24 @@ pub mod phases;
 pub mod respect1;
 pub mod solver;
 pub mod two_respect;
+pub mod workspace;
 
 use rayon::prelude::*;
 
 use pmc_graph::{connected_components, Graph};
-use pmc_packing::{pack_trees, rooted_tree_from_edges, PackingConfig};
+use pmc_packing::{pack_trees, pack_trees_with, rooted_tree_from_edges, PackingConfig};
 
 pub use pmc_graph::PmcError;
 pub use respect1::{best_one_respect, one_respect_cuts, SubtreeCuts};
 pub use solver::{
     solver_by_name, solver_names, solvers, BruteSolver, ContractionSolver, MinCutSolver,
-    PaperSolver, QuadraticSolver, SolverConfig, StoerWagnerSolver,
+    PaperSolver, QuadraticSolver, SolverConfig, StoerWagnerSolver, ALGORITHM_ALIASES,
 };
 pub use two_respect::{
-    two_respect_mincut, two_respect_mincut_with, ExecMode, RespectKind, TwoRespectCut,
+    two_respect_mincut, two_respect_mincut_reusing, two_respect_mincut_with, ExecMode, RespectKind,
+    TwoRespectCut,
 };
+pub use workspace::SolverWorkspace;
 
 /// Configuration for [`minimum_cut`].
 #[derive(Clone, Debug)]
@@ -154,6 +157,98 @@ pub struct MinCutReport {
 /// *is* a cut of the returned value (verified when `cfg.verify`).
 pub fn minimum_cut(g: &Graph, cfg: &MinCutConfig) -> Result<MinCutResult, PmcError> {
     minimum_cut_report(g, cfg).map(|(r, _)| r)
+}
+
+/// [`minimum_cut`] with all per-call working memory drawn from a reusable
+/// [`SolverWorkspace`]: the certificate sweep and its output graph, the
+/// greedy packing buffers, and the batch engine's scratch are recycled
+/// across calls. Identical results for identical `(g, cfg)`.
+///
+/// The per-tree 2-respect searches run back to back through the shared
+/// scratch instead of fanning out — the amortized serving path, where
+/// concurrency comes from independent requests (each with its own
+/// workspace), not from within one solve.
+pub fn minimum_cut_with(
+    g: &Graph,
+    cfg: &MinCutConfig,
+    ws: &mut SolverWorkspace,
+) -> Result<MinCutResult, PmcError> {
+    let n = g.n();
+    if n < 2 {
+        return Err(PmcError::TooSmall);
+    }
+
+    // Disconnected graphs have a 0-valued cut along any component.
+    let (labels, ncomp) = connected_components(g);
+    if ncomp > 1 {
+        let side: Vec<bool> = labels.iter().map(|&l| l == labels[0]).collect();
+        return Ok(MinCutResult {
+            value: 0,
+            side,
+            algorithm: "paper",
+            kind: Some(RespectKind::One),
+            tree_index: None,
+        });
+    }
+    if n == 2 {
+        return Ok(MinCutResult {
+            value: g.total_weight(),
+            side: vec![true, false],
+            algorithm: "paper",
+            kind: Some(RespectKind::One),
+            tree_index: None,
+        });
+    }
+
+    // Optional exact sparsification into the workspace's certificate arena.
+    let use_cert = cfg.use_certificate && {
+        let cert_graph = ws
+            .cert_graph
+            .get_or_insert_with(|| Graph::from_edges(1, &[]).expect("placeholder graph"));
+        pmc_graph::mincut_certificate_with(g, &mut ws.cert, cert_graph).is_some()
+    };
+    // Split the borrow: the certificate graph is read while the rest of
+    // the workspace keeps feeding the pipeline mutably.
+    let (cert_slot, ws_rest) = (&ws.cert_graph, &mut ws.packing);
+    let work_graph: &Graph = if use_cert {
+        cert_slot.as_ref().expect("certificate arena initialized")
+    } else {
+        g
+    };
+
+    // Lemma 1: O(log n) candidate trees, packed through the reusable arena.
+    let mut pcfg = cfg.packing.clone();
+    pcfg.seed = pcfg.seed.wrapping_add(cfg.seed);
+    let packing = pack_trees_with(work_graph, &pcfg, ws_rest);
+
+    // Lemma 13 per tree, back to back through the batch scratch.
+    let outcomes = packing.trees.iter().enumerate().map(|(i, te)| {
+        let tree = rooted_tree_from_edges(work_graph, te, 0);
+        (
+            i,
+            two_respect_mincut_reusing(work_graph, &tree, &mut ws.minpath),
+        )
+    });
+    let (ti, best) = outcomes
+        .min_by_key(|(i, c)| (c.value, *i))
+        .expect("packing returned no trees");
+
+    let value = best.value as u64;
+    if cfg.verify {
+        assert!(g.is_proper_cut(&best.side), "witness is not a proper cut");
+        let check = g.cut_value(&best.side);
+        assert_eq!(
+            check, value,
+            "internal error: witness value {check} != reported {value}"
+        );
+    }
+    Ok(MinCutResult {
+        value,
+        side: best.side,
+        algorithm: "paper",
+        kind: Some(best.kind),
+        tree_index: Some(ti),
+    })
 }
 
 /// [`minimum_cut`] plus a stage-by-stage [`MinCutReport`] with timings and

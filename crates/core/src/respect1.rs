@@ -33,7 +33,7 @@ pub fn one_respect_cuts(g: &Graph, tree: &RootedTree) -> SubtreeCuts {
     let euler = EulerTour::new(tree);
 
     // Weighted degrees.
-    let degs: Vec<i64> = g.weighted_degrees().into_iter().map(|d| d as i64).collect();
+    let degs: Vec<i64> = g.weighted_degrees().iter().map(|&d| d as i64).collect();
     let degsum = euler.subtree_sums(&degs);
 
     // Charge every edge to its LCA, then subtree-sum the charges.

@@ -4,7 +4,7 @@
 //! algorithm (Theorem 10) and all four baselines — implements one trait,
 //! [`MinCutSolver`], takes one configuration type, [`SolverConfig`], and
 //! reports failures through one error enum,
-//! [`PmcError`](pmc_graph::PmcError). Consumers (the `pmc` CLI, the
+//! [`PmcError`]. Consumers (the `pmc` CLI, the
 //! benchmark harness, integration tests) dispatch through this seam and
 //! never name a concrete algorithm function.
 //!
@@ -18,12 +18,15 @@
 //! | `quadratic` | `karger-parallel`| dense 2-respect DP over a tree packing           |
 //! | `brute`     | —                | exhaustive bipartition enumeration (`n ≤ 24`)    |
 
-use pmc_baseline::{brute_force_min_cut, karger_stein, quadratic_two_respect, stoer_wagner, Cut};
+use pmc_baseline::{
+    brute_force_min_cut, karger_stein, quadratic_two_respect, stoer_wagner, stoer_wagner_ws, Cut,
+};
 use pmc_graph::{Graph, PmcError};
 use pmc_packing::{pack_trees, rooted_tree_from_edges, PackingConfig};
 use rayon::prelude::*;
 
-use crate::{minimum_cut, MinCutConfig, MinCutResult};
+use crate::workspace::SolverWorkspace;
+use crate::{minimum_cut, minimum_cut_with, MinCutConfig, MinCutResult};
 
 /// Algorithm-independent solver configuration.
 ///
@@ -143,6 +146,66 @@ pub trait MinCutSolver: Send + Sync {
     /// `value` (enforced when `cfg.verify`); for Monte Carlo solvers it is
     /// a *minimum* cut with probability `>= 1 − cfg.failure_probability`.
     fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError>;
+
+    /// [`solve`](MinCutSolver::solve) with per-call working memory drawn
+    /// from a reusable [`SolverWorkspace`] — the amortized path for
+    /// repeated solves. Always returns the same result as `solve` for the
+    /// same `(g, cfg)`; the default implementation simply ignores the
+    /// workspace, and solvers with a real arena implementation (the paper
+    /// algorithm, Stoer–Wagner) override it.
+    ///
+    /// ```
+    /// use pmc_core::{solver_by_name, SolverConfig, SolverWorkspace};
+    /// use pmc_graph::gen;
+    ///
+    /// let solver = solver_by_name("sw").unwrap();
+    /// let cfg = SolverConfig::default();
+    /// let mut ws = SolverWorkspace::new();
+    /// for seed in 0..4 {
+    ///     let g = gen::gnm_connected(20, 50, 6, seed);
+    ///     let amortized = solver.solve_with(&g, &cfg, &mut ws).unwrap();
+    ///     assert_eq!(amortized.value, solver.solve(&g, &cfg).unwrap().value);
+    /// }
+    /// ```
+    fn solve_with(
+        &self,
+        g: &Graph,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> Result<MinCutResult, PmcError> {
+        let _ = ws;
+        self.solve(g, cfg)
+    }
+
+    /// Solves every graph in `graphs`, reusing one workspace across the
+    /// whole batch — the serving-loop entry point. Equivalent to calling
+    /// [`solve`](MinCutSolver::solve) on each graph in order (results come
+    /// back in input order; the first error aborts the batch).
+    ///
+    /// ```
+    /// use pmc_core::{solver_by_name, SolverConfig};
+    /// use pmc_graph::gen;
+    ///
+    /// let solver = solver_by_name("paper").unwrap();
+    /// let cfg = SolverConfig::default();
+    /// let graphs: Vec<_> = (0..3).map(|s| gen::gnm_connected(18, 40, 5, s)).collect();
+    /// let batch = solver.solve_batch(&graphs, &cfg).unwrap();
+    /// assert_eq!(batch.len(), 3);
+    /// for (g, r) in graphs.iter().zip(&batch) {
+    ///     assert_eq!(r.value, solver.solve(g, &cfg).unwrap().value);
+    /// }
+    /// ```
+    fn solve_batch(
+        &self,
+        graphs: &[Graph],
+        cfg: &SolverConfig,
+    ) -> Result<Vec<MinCutResult>, PmcError> {
+        let mut ws = SolverWorkspace::new();
+        graphs
+            .iter()
+            .map(|g| self.solve_with(g, cfg, &mut ws))
+            .collect()
+    }
 }
 
 /// Runs `f` on a dedicated pool when `threads` is set; inline otherwise.
@@ -230,6 +293,22 @@ fn disconnected_zero_cut(g: &Graph, algorithm: &'static str) -> Option<MinCutRes
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PaperSolver;
 
+/// Maps the algorithm-independent [`SolverConfig`] onto the paper
+/// algorithm's [`MinCutConfig`] — the single translation both the one-shot
+/// and amortized entry points use, so `solve_with == solve` by
+/// construction.
+fn paper_config(g: &Graph, cfg: &SolverConfig) -> MinCutConfig {
+    let mut mc = MinCutConfig {
+        seed: cfg.seed,
+        verify: cfg.verify,
+        ..MinCutConfig::default()
+    };
+    if let Some(t) = trees_override(g, cfg) {
+        mc.packing.trees_wanted = t;
+    }
+    mc
+}
+
 impl MinCutSolver for PaperSolver {
     fn name(&self) -> &'static str {
         "paper"
@@ -241,15 +320,19 @@ impl MinCutSolver for PaperSolver {
 
     fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError> {
         cfg.validate()?;
-        let mut mc = MinCutConfig {
-            seed: cfg.seed,
-            verify: cfg.verify,
-            ..MinCutConfig::default()
-        };
-        if let Some(t) = trees_override(g, cfg) {
-            mc.packing.trees_wanted = t;
-        }
+        let mc = paper_config(g, cfg);
         with_thread_budget(cfg.threads, || minimum_cut(g, &mc))?
+    }
+
+    fn solve_with(
+        &self,
+        g: &Graph,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> Result<MinCutResult, PmcError> {
+        cfg.validate()?;
+        let mc = paper_config(g, cfg);
+        with_thread_budget(cfg.threads, || minimum_cut_with(g, &mc, ws))?
     }
 }
 
@@ -272,6 +355,20 @@ impl MinCutSolver for StoerWagnerSolver {
     fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError> {
         cfg.validate()?;
         let r = result_from_cut(stoer_wagner(g)?, self.name());
+        if cfg.verify {
+            verify_result(g, &r)?;
+        }
+        Ok(r)
+    }
+
+    fn solve_with(
+        &self,
+        g: &Graph,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> Result<MinCutResult, PmcError> {
+        cfg.validate()?;
+        let r = result_from_cut(stoer_wagner_ws(g, &mut ws.sw)?, self.name());
         if cfg.verify {
             verify_result(g, &r)?;
         }
@@ -425,13 +522,42 @@ pub fn solver_names() -> Vec<&'static str> {
     solvers().iter().map(|s| s.name()).collect()
 }
 
-/// Looks up a solver by registry name or alias (case-insensitive).
+/// Registry names with their aliases, in [`solvers`] order — the single
+/// source the lookup and its error message are both derived from.
+pub const ALGORITHM_ALIASES: &[(&str, &[&str])] = &[
+    ("paper", &["gg", "ours"]),
+    ("sw", &["stoer-wagner", "stoer_wagner"]),
+    ("contract", &["karger-stein", "karger_stein", "ks"]),
+    ("quadratic", &["karger-parallel"]),
+    ("brute", &[]),
+];
+
+/// Human-readable listing of every registry name and alias, used in the
+/// [`PmcError::UnknownAlgorithm`] message so a typo'd `--algo` is
+/// self-correcting.
+fn registry_listing() -> String {
+    ALGORITHM_ALIASES
+        .iter()
+        .map(|(name, aliases)| {
+            if aliases.is_empty() {
+                (*name).to_string()
+            } else {
+                format!("{name} (aliases: {})", aliases.join(", "))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Looks up a solver by registry name or alias (case-insensitive). The
+/// error for an unknown name lists every valid name and alias.
 ///
 /// ```
 /// use pmc_core::solver_by_name;
 ///
 /// assert_eq!(solver_by_name("stoer-wagner").unwrap().name(), "sw");
-/// assert!(solver_by_name("nope").is_err());
+/// let err = solver_by_name("nope").err().unwrap().to_string();
+/// assert!(err.contains("nope") && err.contains("paper") && err.contains("karger-stein"));
 /// ```
 pub fn solver_by_name(name: &str) -> Result<Box<dyn MinCutSolver>, PmcError> {
     match name.to_ascii_lowercase().as_str() {
@@ -440,7 +566,10 @@ pub fn solver_by_name(name: &str) -> Result<Box<dyn MinCutSolver>, PmcError> {
         "contract" | "karger-stein" | "karger_stein" | "ks" => Ok(Box::new(ContractionSolver)),
         "quadratic" | "karger-parallel" => Ok(Box::new(QuadraticSolver)),
         "brute" => Ok(Box::new(BruteSolver)),
-        other => Err(PmcError::UnknownAlgorithm(other.to_string())),
+        other => Err(PmcError::UnknownAlgorithm(format!(
+            "{other}; valid algorithms: {}",
+            registry_listing()
+        ))),
     }
 }
 
@@ -462,6 +591,89 @@ mod tests {
             solver_by_name("does-not-exist"),
             Err(PmcError::UnknownAlgorithm(_))
         ));
+    }
+
+    #[test]
+    fn alias_table_matches_lookup() {
+        // Every name and alias in the table resolves to its name; the table
+        // covers exactly the registry.
+        assert_eq!(
+            ALGORITHM_ALIASES
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>(),
+            solver_names()
+        );
+        for (name, aliases) in ALGORITHM_ALIASES {
+            assert_eq!(solver_by_name(name).unwrap().name(), *name);
+            for alias in *aliases {
+                assert_eq!(solver_by_name(alias).unwrap().name(), *name, "{alias}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_error_lists_registry() {
+        let msg = solver_by_name("nope").err().unwrap().to_string();
+        assert!(msg.contains("nope"), "{msg}");
+        for (name, aliases) in ALGORITHM_ALIASES {
+            assert!(msg.contains(name), "missing {name} in: {msg}");
+            for alias in *aliases {
+                assert!(msg.contains(alias), "missing alias {alias} in: {msg}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_with_matches_solve_for_every_solver() {
+        let g = fixed_graph();
+        let cfg = SolverConfig::with_seed(7);
+        let mut ws = SolverWorkspace::new();
+        // One workspace across all solvers and repeated calls.
+        for s in solvers() {
+            let want = s.solve(&g, &cfg).unwrap();
+            for _ in 0..2 {
+                let got = s.solve_with(&g, &cfg, &mut ws).unwrap();
+                assert_eq!(got.value, want.value, "solver {}", s.name());
+                assert_eq!(got.side, want.side, "solver {}", s.name());
+                assert_eq!(got.kind, want.kind, "solver {}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_batch_matches_sequential_solves() {
+        let graphs: Vec<Graph> = (0..4)
+            .map(|s| gen::gnm_connected(16, 40, 7, 40 + s))
+            .collect();
+        let cfg = SolverConfig::with_seed(5);
+        for s in solvers() {
+            let batch = s.solve_batch(&graphs, &cfg).unwrap();
+            assert_eq!(batch.len(), graphs.len());
+            for (g, r) in graphs.iter().zip(&batch) {
+                let want = s.solve(g, &cfg).unwrap();
+                assert_eq!(r.value, want.value, "solver {}", s.name());
+                assert_eq!(r.side, want.side, "solver {}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_batch_propagates_errors() {
+        // A too-small graph mid-batch aborts with the solver's error.
+        let graphs = vec![
+            gen::gnm_connected(10, 20, 4, 1),
+            Graph::from_edges(1, &[]).unwrap(),
+        ];
+        for s in solvers() {
+            assert_eq!(
+                s.solve_batch(&graphs, &SolverConfig::default())
+                    .unwrap_err(),
+                PmcError::TooSmall,
+                "solver {}",
+                s.name()
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use rayon::prelude::*;
 
 use pmc_graph::{EulerTour, Graph, RootedTree};
-use pmc_minpath::{run_tree_batch, SeqMinPath, TreeOp, INF};
+use pmc_minpath::{run_tree_batch, run_tree_batch_with, SeqMinPath, TreeBatchScratch, TreeOp, INF};
 
 use crate::gen_ops::{gen_ancestor, gen_incomparable, GenBatch};
 use crate::phases::{build_phases, Phase};
@@ -88,6 +88,28 @@ pub fn two_respect_mincut(g: &Graph, tree: &RootedTree) -> TwoRespectCut {
 
 /// [`two_respect_mincut`] with an explicit execution mode.
 pub fn two_respect_mincut_with(g: &Graph, tree: &RootedTree, mode: ExecMode) -> TwoRespectCut {
+    two_respect_impl(g, tree, Exec::PerMode(mode))
+}
+
+/// [`two_respect_mincut`] with the batch-engine working state drawn from a
+/// reusable [`TreeBatchScratch`]. Identical results. Phases execute back to
+/// back through the shared scratch instead of fanning out — the amortized
+/// serving path behind `MinCutSolver::solve_with` / `solve_batch`.
+pub fn two_respect_mincut_reusing(
+    g: &Graph,
+    tree: &RootedTree,
+    ws: &mut TreeBatchScratch,
+) -> TwoRespectCut {
+    two_respect_impl(g, tree, Exec::Amortized(ws))
+}
+
+/// How `two_respect_impl` runs the per-phase batches.
+enum Exec<'a> {
+    PerMode(ExecMode),
+    Amortized(&'a mut TreeBatchScratch),
+}
+
+fn two_respect_impl(g: &Graph, tree: &RootedTree, exec: Exec<'_>) -> TwoRespectCut {
     assert!(g.n() >= 2, "need at least two vertices");
     let phases = build_phases(g, tree);
 
@@ -97,27 +119,46 @@ pub fn two_respect_mincut_with(g: &Graph, tree: &RootedTree, mode: ExecMode) -> 
         .map(|p| (gen_incomparable(p), gen_ancestor(p)))
         .collect();
 
-    // Execute every batch in parallel (phases are independent; the paper
-    // runs them all at once).
-    let results: Vec<(Vec<i64>, Vec<i64>)> = phases
-        .par_iter()
-        .zip(batches.par_iter())
-        .map(|(p, (inc, anc))| {
-            let run = |b: &GenBatch| {
-                if b.ops.is_empty() {
-                    Vec::new()
-                } else {
-                    match mode {
-                        ExecMode::ParallelBatch => {
-                            run_tree_batch(&p.tree, &p.decomp, &b.init, &b.ops)
+    // Execute every batch: in parallel for the one-shot modes (phases are
+    // independent; the paper runs them all at once), back to back through
+    // the scratch for the amortized mode.
+    let results: Vec<(Vec<i64>, Vec<i64>)> = match exec {
+        Exec::PerMode(mode) => phases
+            .par_iter()
+            .zip(batches.par_iter())
+            .map(|(p, (inc, anc))| {
+                let run = |b: &GenBatch| {
+                    if b.ops.is_empty() {
+                        Vec::new()
+                    } else {
+                        match mode {
+                            ExecMode::ParallelBatch => {
+                                run_tree_batch(&p.tree, &p.decomp, &b.init, &b.ops)
+                            }
+                            ExecMode::Sequential => run_batch_sequential(p, b),
                         }
-                        ExecMode::Sequential => run_batch_sequential(p, b),
                     }
-                }
-            };
-            (run(inc), run(anc))
-        })
-        .collect();
+                };
+                (run(inc), run(anc))
+            })
+            .collect(),
+        Exec::Amortized(ws) => phases
+            .iter()
+            .zip(batches.iter())
+            .map(|(p, (inc, anc))| {
+                let mut run = |b: &GenBatch| {
+                    if b.ops.is_empty() {
+                        Vec::new()
+                    } else {
+                        run_tree_batch_with(&p.tree, &p.decomp, &b.init, &b.ops, ws)
+                    }
+                };
+                let a = run(inc);
+                let b = run(anc);
+                (a, b)
+            })
+            .collect(),
+    };
 
     // --- Combine -------------------------------------------------------------
     let mut best_val = i64::MAX;
@@ -297,6 +338,24 @@ mod tests {
             let b = two_respect_mincut_with(&g, &t, ExecMode::Sequential);
             assert_eq!(a.value, b.value, "trial {trial}");
             assert_eq!(g.cut_value(&b.side), b.value as u64);
+        }
+    }
+
+    #[test]
+    fn amortized_mode_is_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(54);
+        let mut ws = TreeBatchScratch::default();
+        for trial in 0..25 {
+            let n = rng.gen_range(2..60);
+            let m = rng.gen_range(n - 1..4 * n);
+            let g = gen::gnm_connected(n, m, 9, 700 + trial);
+            let t = spanning_tree(&g, trial + 9);
+            let a = two_respect_mincut(&g, &t);
+            let b = two_respect_mincut_reusing(&g, &t, &mut ws);
+            assert_eq!(a.value, b.value, "trial {trial}");
+            assert_eq!(a.side, b.side, "trial {trial}");
+            assert_eq!(a.kind, b.kind, "trial {trial}");
+            assert_eq!(a.batch_ops, b.batch_ops, "trial {trial}");
         }
     }
 

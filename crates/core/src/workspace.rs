@@ -1,0 +1,111 @@
+//! The solver scratch arena: every reusable buffer of every layer, bundled.
+//!
+//! A one-shot `minimum_cut` call allocates its working memory on entry and
+//! frees it on exit — scan partials in `pmc-par`, the skeleton subgraph and
+//! load vectors in `pmc-packing`, the heap minima and operation buckets in
+//! `pmc-minpath`, the dense matrix of the Stoer–Wagner oracle, the
+//! Nagamochi–Ibaraki sweep state in `pmc-graph`. A serving loop that
+//! answers thousands of cut queries repeats all of that per request.
+//!
+//! [`SolverWorkspace`] owns those buffers instead. Thread one through
+//! [`MinCutSolver::solve_with`](crate::MinCutSolver::solve_with) (or let
+//! [`MinCutSolver::solve_batch`](crate::MinCutSolver::solve_batch) do it
+//! for you) and the buffers grow to their high-water sizes once, then get
+//! recycled: at steady state the hot path allocates only what it returns.
+//! The machine-readable evidence lives in `BENCH_workspace.json` (generated
+//! by `cargo run --release -p pmc-bench --bin alloc_report`).
+
+use pmc_baseline::SwScratch;
+use pmc_graph::{CertScratch, Graph};
+use pmc_minpath::TreeBatchScratch;
+use pmc_packing::PackScratch;
+use pmc_par::ParScratch;
+
+// (The `pmc-par` scratch is not a separate field: the batch engine inside
+// `minpath` is the layer that actually runs the parallel primitives, so
+// their buffers live embedded there — see [`SolverWorkspace::par_scratch`].)
+
+/// Reusable working memory for repeated minimum-cut solves.
+///
+/// One workspace serves any sequence of graphs and any registered solver —
+/// each layer's scratch grows to the largest instance it has seen and is
+/// reused verbatim afterwards. A workspace is an arena, not a cache: it
+/// never carries *results* between solves, so
+/// `solve_with(g, cfg, ws) == solve(g, cfg)` for every solver, graph, and
+/// configuration (property-tested in `tests/batch_props.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use pmc_core::{solver_by_name, SolverConfig, SolverWorkspace};
+/// use pmc_graph::gen;
+///
+/// let solver = solver_by_name("paper").unwrap();
+/// let cfg = SolverConfig::default();
+/// let mut ws = SolverWorkspace::new();
+/// for seed in 0..3 {
+///     let g = gen::gnm_connected(24, 60, 8, seed);
+///     let amortized = solver.solve_with(&g, &cfg, &mut ws).unwrap();
+///     let one_shot = solver.solve(&g, &cfg).unwrap();
+///     assert_eq!(amortized.value, one_shot.value);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    /// Nagamochi–Ibaraki sweep state (`pmc-graph`).
+    pub cert: CertScratch,
+    /// Output arena for the certificate graph, rebuilt in place per solve.
+    pub cert_graph: Option<Graph>,
+    /// Greedy tree-packing buffers (`pmc-packing`).
+    pub packing: PackScratch,
+    /// Batched Minimum Path buffers (`pmc-minpath`), which embed the
+    /// `pmc-par` primitive scratch ([`SolverWorkspace::par_scratch`]).
+    pub minpath: TreeBatchScratch,
+    /// Dense Stoer–Wagner arena (`pmc-baseline`).
+    pub sw: SwScratch,
+}
+
+impl SolverWorkspace {
+    /// A fresh, empty workspace (equivalent to `Default::default()`).
+    /// Buffers are grown lazily by the first solves that need them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `pmc-par` primitive scratch (scan partials and friends),
+    /// embedded where the primitives run — inside the batch engine's
+    /// per-list scratch. Exposed for callers composing custom kernels on
+    /// top of the workspace.
+    pub fn par_scratch(&mut self) -> &mut ParScratch {
+        self.minpath.par_scratch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SolverWorkspace>();
+    }
+
+    #[test]
+    fn cert_arena_filled_by_dense_paper_solve() {
+        use crate::{minimum_cut_with, MinCutConfig};
+        let mut ws = SolverWorkspace::new();
+        assert!(ws.cert_graph.is_none());
+        // A dense graph with a weak vertex makes the certificate kick in,
+        // populating the arena.
+        let dense = pmc_graph::gen::complete(40, 4, 3);
+        let mut edges: Vec<(u32, u32, u64)> =
+            dense.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        edges.push((0, 40, 2));
+        let g = Graph::from_edges(41, &edges).unwrap();
+        let cut = minimum_cut_with(&g, &MinCutConfig::default(), &mut ws).unwrap();
+        assert_eq!(cut.value, 2);
+        assert!(ws.cert_graph.is_some());
+        assert!(ws.cert_graph.as_ref().unwrap().n() == 41);
+    }
+}

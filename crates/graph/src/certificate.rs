@@ -17,7 +17,7 @@
 //! (the weighted analogue of "assign to forests `r(u)+1 … r(u)+w`"), after
 //! which `r(u) += w`.
 
-use crate::graph::{Graph, Weight};
+use crate::graph::{Edge, Graph};
 
 /// Result of certificate construction.
 #[derive(Clone, Debug)]
@@ -30,6 +30,17 @@ pub struct Certificate {
     pub kept_fraction: f64,
 }
 
+/// Reusable buffers for [`ni_certificate_with`]: the maximum-adjacency
+/// sweep's visited flags, adjacency counters, kept-edge staging area, and
+/// the lazy heap. One scratch amortizes any number of certificate builds.
+#[derive(Clone, Debug, Default)]
+pub struct CertScratch {
+    visited: Vec<bool>,
+    r: Vec<u64>,
+    kept: Vec<Edge>,
+    heap: std::collections::BinaryHeap<(u64, u32)>,
+}
+
 /// Builds the Nagamochi–Ibaraki `k`-certificate of `g`.
 ///
 /// Guarantees (classic NI theorem): for every cut `C`,
@@ -39,54 +50,64 @@ pub struct Certificate {
 ///
 /// `O(m log n)` time (binary-heap maximum-adjacency order).
 pub fn ni_certificate(g: &Graph, k: u64) -> Certificate {
+    let mut out = Graph::from_edges(1, &[]).expect("placeholder graph");
+    let kept_fraction = ni_certificate_with(g, k, &mut CertScratch::default(), &mut out);
+    Certificate {
+        graph: out,
+        k,
+        kept_fraction,
+    }
+}
+
+/// [`ni_certificate`] into a reusable output graph and scratch arena.
+/// Returns the kept weight fraction; the certificate itself is rebuilt in
+/// place inside `out` (every internal buffer recycled).
+pub fn ni_certificate_with(g: &Graph, k: u64, ws: &mut CertScratch, out: &mut Graph) -> f64 {
     let n = g.n();
-    let mut visited = vec![false; n];
+    ws.visited.clear();
+    ws.visited.resize(n, false);
     // r[u]: total weight between u and already-scanned vertices.
-    let mut r = vec![0u64; n];
-    let mut kept: Vec<(u32, u32, Weight)> = Vec::new();
-    // Max-adjacency order over all components via a lazy binary heap.
-    let mut heap: std::collections::BinaryHeap<(u64, u32)> = std::collections::BinaryHeap::new();
+    ws.r.clear();
+    ws.r.resize(n, 0);
+    ws.kept.clear();
+    ws.heap.clear();
     let mut scanned = 0usize;
     let mut next_seed = 0u32;
     while scanned < n {
         let v = loop {
-            match heap.pop() {
+            match ws.heap.pop() {
                 Some((key, v)) => {
-                    if !visited[v as usize] && key == r[v as usize] {
+                    if !ws.visited[v as usize] && key == ws.r[v as usize] {
                         break v;
                     }
                 }
                 None => {
                     // Start a new component at the next unvisited vertex.
-                    while visited[next_seed as usize] {
+                    while ws.visited[next_seed as usize] {
                         next_seed += 1;
                     }
                     break next_seed;
                 }
             }
         };
-        visited[v as usize] = true;
+        ws.visited[v as usize] = true;
         scanned += 1;
         for (u, w, _eid) in g.neighbors(v) {
-            if visited[u as usize] {
+            if ws.visited[u as usize] {
                 continue;
             }
-            let ru = r[u as usize];
+            let ru = ws.r[u as usize];
             if ru < k {
                 let keep = w.min(k - ru);
-                kept.push((v, u, keep));
+                ws.kept.push(Edge::new(v, u, keep));
             }
-            r[u as usize] = ru + w;
-            heap.push((r[u as usize], u));
+            ws.r[u as usize] = ru + w;
+            ws.heap.push((ws.r[u as usize], u));
         }
     }
-    let graph = Graph::from_edges(n, &kept).expect("certificate of a valid graph is valid");
-    let kept_fraction = graph.total_weight() as f64 / g.total_weight().max(1) as f64;
-    Certificate {
-        graph,
-        k,
-        kept_fraction,
-    }
+    out.rebuild_from_edges(n, ws.kept.iter().copied())
+        .expect("certificate of a valid graph is valid");
+    out.total_weight() as f64 / g.total_weight().max(1) as f64
 }
 
 /// The certificate at `k =` minimum weighted degree `+ 1` — a safe
@@ -110,6 +131,29 @@ pub fn mincut_certificate(g: &Graph) -> Option<Certificate> {
     }
     let cert = ni_certificate(g, k);
     (cert.kept_fraction < 0.75).then_some(cert)
+}
+
+/// [`mincut_certificate`] into a reusable scratch + output graph. Returns
+/// `Some((k, kept_fraction))` when the certificate is worth using (in which
+/// case `out` holds it). On `None`, `out` must not be read: the cheap
+/// pre-check leaves it untouched, but a certificate rejected for keeping
+/// `≥ ¾` of the weight has already been built into it.
+pub fn mincut_certificate_with(
+    g: &Graph,
+    ws: &mut CertScratch,
+    out: &mut Graph,
+) -> Option<(u64, f64)> {
+    let dmin = g.min_weighted_degree();
+    if dmin == 0 {
+        return None; // isolated vertex: min cut is 0 anyway
+    }
+    let k = dmin + 1;
+    // Cheap pre-check: the certificate keeps at most k(n-1) weight.
+    if (k as u128) * (g.n() as u128 - 1) * 4 >= 3 * g.total_weight() as u128 {
+        return None;
+    }
+    let kept_fraction = ni_certificate_with(g, k, ws, out);
+    (kept_fraction < 0.75).then_some((k, kept_fraction))
 }
 
 #[cfg(test)]
@@ -213,6 +257,35 @@ mod tests {
     fn sparse_graph_not_worth_it() {
         let g = gen::cycle_with_chords(100, 5, 2);
         assert!(mincut_certificate(&g).is_none());
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_path() {
+        let mut ws = CertScratch::default();
+        let mut out = Graph::from_edges(1, &[]).unwrap();
+        for trial in 0..5 {
+            let g = gen::complete(30 + trial as usize, 4, trial);
+            let k = g.min_weighted_degree();
+            let want = ni_certificate(&g, k);
+            let frac = ni_certificate_with(&g, k, &mut ws, &mut out);
+            assert_eq!(out.total_weight(), want.graph.total_weight());
+            assert_eq!(out.m(), want.graph.m());
+            assert!((frac - want.kept_fraction).abs() < 1e-12);
+        }
+        // The Option-returning wrapper agrees with the allocating one.
+        let g = gen::complete(50, 3, 9);
+        match (
+            mincut_certificate(&g),
+            mincut_certificate_with(&g, &mut ws, &mut out),
+        ) {
+            (None, None) => {}
+            (Some(c), Some((k, frac))) => {
+                assert_eq!(c.k, k);
+                assert!((c.kept_fraction - frac).abs() < 1e-12);
+                assert_eq!(c.graph.total_weight(), out.total_weight());
+            }
+            (a, b) => panic!("disagreement: {:?} vs {:?}", a.is_some(), b.is_some()),
+        }
     }
 
     #[test]

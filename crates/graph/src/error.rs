@@ -15,7 +15,8 @@ pub enum PmcError {
     /// Minimum cuts require at least two vertices.
     TooSmall,
     /// The requested algorithm name is not in the registry. Carries the
-    /// offending name; `pmc_core::solver::solver_names` lists valid ones.
+    /// offending name followed by the valid registry names and aliases
+    /// (filled in by `pmc_core::solver::solver_by_name`).
     UnknownAlgorithm(String),
     /// The algorithm exists but cannot run on this input (e.g. brute force
     /// beyond its enumeration bound).
@@ -54,7 +55,7 @@ impl std::fmt::Display for PmcError {
         match self {
             PmcError::TooSmall => write!(f, "graph needs at least 2 vertices"),
             PmcError::UnknownAlgorithm(name) => {
-                write!(f, "unknown algorithm {name:?}")
+                write!(f, "unknown algorithm: {name}")
             }
             PmcError::Unsupported { algorithm, reason } => {
                 write!(

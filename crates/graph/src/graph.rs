@@ -100,6 +100,11 @@ pub struct Graph {
     adj_offsets: Vec<usize>,
     adj_edge_ids: Vec<u32>,
     total_weight: u64,
+    /// Cached weighted degree per vertex, filled at construction — hot
+    /// loops (the Nagamochi–Ibaraki sweep, skeleton rate search) read
+    /// degrees constantly and must not re-sum neighbor lists.
+    degrees: Vec<u64>,
+    min_degree: u64,
 }
 
 impl Graph {
@@ -113,13 +118,49 @@ impl Graph {
         Self::from_edge_structs(n, edges)
     }
 
-    /// Builds a graph from pre-constructed [`Edge`] values.
+    /// Builds a graph from pre-constructed [`Edge`] values. The vector is
+    /// installed directly (no copy).
     pub fn from_edge_structs(n: usize, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        let mut g = Graph {
+            n: 1,
+            edges,
+            adj_offsets: Vec::new(),
+            adj_edge_ids: Vec::new(),
+            total_weight: 0,
+            degrees: Vec::new(),
+            min_degree: 0,
+        };
+        g.reindex(n)?;
+        Ok(g)
+    }
+
+    /// Rebuilds this graph in place from new content, reusing every
+    /// internal buffer (edge list, CSR arrays, degree cache) — the
+    /// zero-allocation counterpart of [`Graph::from_edge_structs`] for
+    /// repeated-solve paths that recycle a `Graph` value as an output
+    /// arena (contraction cascades, certificate sparsification).
+    ///
+    /// Validation is identical to construction. On `Err` the graph is left
+    /// in an unspecified (but memory-safe) state and must be rebuilt again
+    /// before use.
+    pub fn rebuild_from_edges<I>(&mut self, n: usize, new_edges: I) -> Result<(), GraphError>
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        self.edges.clear();
+        self.edges.extend(new_edges);
+        self.reindex(n)
+    }
+
+    /// Validates `self.edges` against `n` and rebuilds the derived state
+    /// (CSR adjacency, total weight, degree cache) into the existing
+    /// buffers. Shared by construction and in-place rebuild.
+    fn reindex(&mut self, n: usize) -> Result<(), GraphError> {
         if n == 0 {
             return Err(GraphError::Empty);
         }
         let mut total: u64 = 0;
-        for (i, e) in edges.iter().enumerate() {
+        for (i, e) in self.edges.iter().enumerate() {
             if e.u as usize >= n || e.v as usize >= n {
                 return Err(GraphError::EndpointOutOfRange { edge_index: i });
             }
@@ -136,14 +177,22 @@ impl Graph {
         if total > MAX_TOTAL_WEIGHT {
             return Err(GraphError::TotalWeightOverflow);
         }
-        let (adj_offsets, adj_edge_ids) = build_csr(n, &edges);
-        Ok(Graph {
+        self.n = n;
+        self.total_weight = total;
+        build_csr_into(
             n,
-            edges,
-            adj_offsets,
-            adj_edge_ids,
-            total_weight: total,
-        })
+            &self.edges,
+            &mut self.adj_offsets,
+            &mut self.adj_edge_ids,
+        );
+        self.degrees.clear();
+        self.degrees.resize(n, 0);
+        for e in &self.edges {
+            self.degrees[e.u as usize] += e.w;
+            self.degrees[e.v as usize] += e.w;
+        }
+        self.min_degree = self.degrees.iter().copied().min().unwrap_or(0);
+        Ok(())
     }
 
     /// Number of vertices.
@@ -181,23 +230,21 @@ impl Graph {
         })
     }
 
-    /// Weighted degree of `v`.
+    /// Weighted degree of `v` — `O(1)`, served from the degree cache built
+    /// at construction.
     pub fn weighted_degree(&self, v: u32) -> u64 {
-        self.neighbors(v).map(|(_, w, _)| w).sum()
+        self.degrees[v as usize]
     }
 
-    /// Weighted degrees of all vertices, computed in parallel.
-    pub fn weighted_degrees(&self) -> Vec<u64> {
-        (0..self.n as u32)
-            .into_par_iter()
-            .map(|v| self.weighted_degree(v))
-            .collect()
+    /// Weighted degrees of all vertices — the cached array, `O(1)`.
+    pub fn weighted_degrees(&self) -> &[u64] {
+        &self.degrees
     }
 
     /// The minimum weighted degree — a cheap upper bound on the minimum cut
-    /// (used to seed the skeleton sampling-rate search).
+    /// (used to seed the skeleton sampling-rate search). Cached; `O(1)`.
     pub fn min_weighted_degree(&self) -> u64 {
-        self.weighted_degrees().into_iter().min().unwrap_or(0)
+        self.min_degree
     }
 
     /// Value of the cut induced by `side` (`side[v] == true` defines one
@@ -249,8 +296,13 @@ impl Graph {
     }
 }
 
-fn build_csr(n: usize, edges: &[Edge]) -> (Vec<usize>, Vec<u32>) {
-    let mut offsets = vec![0usize; n + 1];
+/// Builds the CSR arrays into reusable buffers. Uses the offsets array
+/// itself as the scatter cursor (no temporary clone): after scattering,
+/// `offsets[v]` holds the *end* of `v`'s range, so one right-shift restores
+/// the invariant `offsets[v]..offsets[v+1]`.
+fn build_csr_into(n: usize, edges: &[Edge], offsets: &mut Vec<usize>, ids: &mut Vec<u32>) {
+    offsets.clear();
+    offsets.resize(n + 1, 0);
     for e in edges {
         offsets[e.u as usize + 1] += 1;
         offsets[e.v as usize + 1] += 1;
@@ -258,15 +310,18 @@ fn build_csr(n: usize, edges: &[Edge]) -> (Vec<usize>, Vec<u32>) {
     for i in 0..n {
         offsets[i + 1] += offsets[i];
     }
-    let mut cursor = offsets.clone();
-    let mut ids = vec![0u32; 2 * edges.len()];
+    ids.clear();
+    ids.resize(2 * edges.len(), 0);
     for (i, e) in edges.iter().enumerate() {
-        ids[cursor[e.u as usize]] = i as u32;
-        cursor[e.u as usize] += 1;
-        ids[cursor[e.v as usize]] = i as u32;
-        cursor[e.v as usize] += 1;
+        ids[offsets[e.u as usize]] = i as u32;
+        offsets[e.u as usize] += 1;
+        ids[offsets[e.v as usize]] = i as u32;
+        offsets[e.v as usize] += 1;
     }
-    (offsets, ids)
+    for v in (1..=n).rev() {
+        offsets[v] = offsets[v - 1];
+    }
+    offsets[0] = 0;
 }
 
 #[cfg(test)]
@@ -371,6 +426,30 @@ mod tests {
     fn induced_rejects_duplicates() {
         let g = Graph::from_edges(3, &[(0, 1, 1)]).unwrap();
         let _ = g.induced(&[0, 0]);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers() {
+        let mut g = triangle();
+        let cap_edges = {
+            // Grow once so subsequent smaller rebuilds provably fit.
+            g.rebuild_from_edges(4, (0..3).map(|i| Edge::new(i, i + 1, (i + 1) as u64)))
+                .unwrap();
+            g.edges.capacity()
+        };
+        g.rebuild_from_edges(2, [Edge::new(0, 1, 7)]).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.total_weight(), 7);
+        assert_eq!(g.weighted_degrees(), &[7, 7]);
+        assert_eq!(g.min_weighted_degree(), 7);
+        assert_eq!(g.incident_edge_ids(0), &[0]);
+        assert_eq!(g.edges.capacity(), cap_edges, "edge buffer must be reused");
+        // Rebuild rejects bad input exactly like construction.
+        assert!(matches!(
+            g.rebuild_from_edges(2, [Edge::new(0, 0, 1)]),
+            Err(GraphError::SelfLoop { edge_index: 0 })
+        ));
     }
 
     #[test]

@@ -18,9 +18,12 @@ pub mod io;
 pub mod lca;
 pub mod tree;
 
-pub use certificate::{mincut_certificate, ni_certificate, Certificate};
+pub use certificate::{
+    mincut_certificate, mincut_certificate_with, ni_certificate, ni_certificate_with, CertScratch,
+    Certificate,
+};
 pub use components::{connected_components, is_connected, UnionFind};
-pub use contract::contract;
+pub use contract::{contract, contract_into};
 pub use error::PmcError;
 pub use euler::EulerTour;
 pub use graph::{Edge, Graph, GraphError, Weight};

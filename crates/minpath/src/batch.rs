@@ -28,8 +28,9 @@
 //! threshold.
 
 use pmc_par::merge::merge_by_key;
-use pmc_par::scan::inclusive_scan_in_place;
+use pmc_par::scan::{inclusive_scan_in_place, inclusive_scan_in_place_with};
 use pmc_par::seg::segmented_broadcast;
+use pmc_par::ParScratch;
 use rayon::prelude::*;
 
 use crate::PAD;
@@ -127,6 +128,25 @@ struct NodeState {
     qrys: Vec<Qry>,
 }
 
+/// Reusable buffers for [`run_list_batch_with`]: the heap-layout subtree
+/// minima and the leaf-level operation buckets (whose inner vectors keep
+/// their capacities across batches). One scratch amortizes every list batch
+/// a solver executes.
+#[derive(Clone, Debug, Default)]
+pub struct ListBatchScratch {
+    mins: Vec<i64>,
+    leaves: Vec<NodeState>,
+    par: ParScratch,
+}
+
+impl ListBatchScratch {
+    /// The embedded `pmc-par` scratch (the batch engine is the layer that
+    /// actually runs the parallel primitives, so their buffers live here).
+    pub fn par_scratch(&mut self) -> &mut ParScratch {
+        &mut self.par
+    }
+}
+
 /// Executes a batch of prefix operations on a list with the given initial
 /// weights; returns `(qid, value)` pairs for every `Min` operation (order
 /// unspecified; qids identify them).
@@ -135,7 +155,25 @@ struct NodeState {
 /// Panics if times are not strictly increasing, a position is out of range,
 /// or the list is empty.
 pub fn run_list_batch(init: &[i64], ops: &[PrefixOp]) -> Vec<(u32, i64)> {
-    run_list_batch_impl(init, ops, NODE_PAR_THRESHOLD, None)
+    run_list_batch_impl(
+        init,
+        ops,
+        NODE_PAR_THRESHOLD,
+        None,
+        &mut ListBatchScratch::default(),
+    )
+}
+
+/// [`run_list_batch`] drawing the heap minima and leaf buckets from a
+/// reusable [`ListBatchScratch`]. Identical results; inner-node states are
+/// still produced level by level (they are the algorithm's output stream),
+/// but the `O(n)`-sized setup buffers are recycled.
+pub fn run_list_batch_with(
+    init: &[i64],
+    ops: &[PrefixOp],
+    ws: &mut ListBatchScratch,
+) -> Vec<(u32, i64)> {
+    run_list_batch_impl(init, ops, NODE_PAR_THRESHOLD, None, ws)
 }
 
 /// [`run_list_batch`] with all internal parallelism disabled: one strictly
@@ -143,13 +181,25 @@ pub fn run_list_batch(init: &[i64], ops: &[PrefixOp]) -> Vec<(u32, i64)> {
 /// cache-oblivious predecessor algorithm (paper §2.3/§5), useful as the
 /// single-thread baseline in the cache experiments.
 pub fn run_list_batch_seq(init: &[i64], ops: &[PrefixOp]) -> Vec<(u32, i64)> {
-    run_list_batch_impl(init, ops, usize::MAX, None)
+    run_list_batch_impl(
+        init,
+        ops,
+        usize::MAX,
+        None,
+        &mut ListBatchScratch::default(),
+    )
 }
 
 /// [`run_list_batch`] that also reports [`BatchStats`].
 pub fn run_list_batch_stats(init: &[i64], ops: &[PrefixOp]) -> (Vec<(u32, i64)>, BatchStats) {
     let mut stats = BatchStats::default();
-    let out = run_list_batch_impl(init, ops, NODE_PAR_THRESHOLD, Some(&mut stats));
+    let out = run_list_batch_impl(
+        init,
+        ops,
+        NODE_PAR_THRESHOLD,
+        Some(&mut stats),
+        &mut ListBatchScratch::default(),
+    );
     (out, stats)
 }
 
@@ -158,6 +208,7 @@ fn run_list_batch_impl(
     ops: &[PrefixOp],
     par_threshold: usize,
     mut stats: Option<&mut BatchStats>,
+    ws: &mut ListBatchScratch,
 ) -> Vec<(u32, i64)> {
     let n = init.len();
     assert!(n > 0, "empty list");
@@ -170,20 +221,30 @@ fn run_list_batch_impl(
     let cap = n.next_power_of_two();
 
     // Initial subtree minima and Δ⁰ per inner node (heap layout, root = 1).
-    let mut mins = vec![PAD; 2 * cap];
+    ws.mins.clear();
+    ws.mins.resize(2 * cap, PAD);
+    let mins = &mut ws.mins;
     for (i, &w) in init.iter().enumerate() {
         mins[cap + i] = w;
     }
     for i in (1..cap).rev() {
         mins[i] = mins[2 * i].min(mins[2 * i + 1]);
     }
+    let mins = &ws.mins;
     let delta0 = |node: usize| mins[2 * node + 1] - mins[2 * node];
     let min0_root = mins[1.min(2 * cap - 1)];
 
-    // Leaf states: bucket ops by position, preserving time order.
-    let mut level: Vec<NodeState> = vec![NodeState::default(); cap];
+    // Leaf states: bucket ops by position, preserving time order. The
+    // bucket vectors keep their capacities across batches.
+    if ws.leaves.len() < cap {
+        ws.leaves.resize_with(cap, NodeState::default);
+    }
+    for st in &mut ws.leaves[..cap] {
+        st.upds.clear();
+        st.qrys.clear();
+    }
     for op in ops {
-        let state = &mut level[op.pos() as usize];
+        let state = &mut ws.leaves[op.pos() as usize];
         match *op {
             PrefixOp::Add { time, x, .. } => state.upds.push(Upd { time, x, phi: x }),
             PrefixOp::Min { time, qid, pos } => state.qrys.push(Qry {
@@ -200,44 +261,55 @@ fn run_list_batch_impl(
         stats.work_items += ops.len() as u64;
     }
 
-    // Bottom-up level sweep.
+    // Bottom-up level sweep. The leaf level lives in the scratch; each
+    // inner level is produced from the one below it.
+    let mut owned: Option<Vec<NodeState>> = None;
     let mut child_level_shift = 0u32; // leaves sit at shift 0
-    while level.len() > 1 {
-        let parents = level.len() / 2;
+    loop {
+        let len = owned.as_ref().map_or(cap, Vec::len);
+        if len <= 1 {
+            break;
+        }
+        let parents = len / 2;
         let heap_base = parents; // parent nodes occupy heap ids parents..2*parents
-        let next: Vec<NodeState> = if par_threshold == usize::MAX {
-            // Strictly sequential, monotone sweep over the level.
-            (0..parents)
-                .map(|p| {
-                    combine(
-                        &level[2 * p],
-                        &level[2 * p + 1],
-                        delta0(heap_base + p),
-                        child_level_shift,
-                        par_threshold,
-                    )
-                })
-                .collect()
-        } else {
-            (0..parents)
-                .into_par_iter()
-                .map(|p| {
-                    combine(
-                        &level[2 * p],
-                        &level[2 * p + 1],
-                        delta0(heap_base + p),
-                        child_level_shift,
-                        par_threshold,
-                    )
-                })
-                .collect()
+        let next: Vec<NodeState> = {
+            let level: &[NodeState] = match &owned {
+                Some(v) => v,
+                None => &ws.leaves[..cap],
+            };
+            if par_threshold == usize::MAX {
+                // Strictly sequential, monotone sweep over the level.
+                (0..parents)
+                    .map(|p| {
+                        combine(
+                            &level[2 * p],
+                            &level[2 * p + 1],
+                            delta0(heap_base + p),
+                            child_level_shift,
+                            par_threshold,
+                        )
+                    })
+                    .collect()
+            } else {
+                (0..parents)
+                    .into_par_iter()
+                    .map(|p| {
+                        combine(
+                            &level[2 * p],
+                            &level[2 * p + 1],
+                            delta0(heap_base + p),
+                            child_level_shift,
+                            par_threshold,
+                        )
+                    })
+                    .collect()
+            }
         };
-        level = next;
         child_level_shift += 1;
         if let Some(stats) = stats.as_deref_mut() {
             let mut level_items = 0u64;
             let mut max_node = 0u64;
-            for st in &level {
+            for st in &next {
                 let items = (st.upds.len() + st.qrys.len()) as u64;
                 level_items += items;
                 max_node = max_node.max(items);
@@ -246,9 +318,14 @@ fn run_list_batch_impl(
             stats.depth_est += 64 - max_node.leading_zeros() as u64 + 1;
             stats.levels += 1;
         }
+        owned = Some(next);
     }
 
-    finish_root(&level[0], min0_root, par_threshold)
+    let root = match &owned {
+        Some(v) => &v[0],
+        None => &ws.leaves[0],
+    };
+    finish_root(root, min0_root, par_threshold, &mut ws.par)
 }
 
 /// A merged update with the per-child φ contributions filled in
@@ -362,19 +439,23 @@ fn combine(l: &NodeState, r: &NodeState, delta0: i64, child_shift: u32, thr: usi
     NodeState { upds, qrys }
 }
 
-fn finish_root(root: &NodeState, min0: i64, thr: usize) -> Vec<(u32, i64)> {
-    // Running overall minima after each update (§3.1.3).
-    let mut run_min: Vec<i64> = root.upds.iter().map(|u| u.phi).collect();
+fn finish_root(root: &NodeState, min0: i64, thr: usize, par: &mut ParScratch) -> Vec<(u32, i64)> {
+    // Running overall minima after each update (§3.1.3), staged in the
+    // pmc-par scratch: both the run-minima buffer and the scan's block
+    // partials are recycled across batches.
+    let run_min = &mut par.scan_i64_out;
+    run_min.clear();
+    run_min.extend(root.upds.iter().map(|u| u.phi));
     if run_min.len() >= thr {
-        inclusive_scan_in_place(&mut run_min);
+        inclusive_scan_in_place_with(run_min, &mut par.scan_i64);
     } else {
-        seq_scan(&mut run_min);
+        seq_scan(run_min);
     }
     for m in run_min.iter_mut() {
         *m += min0;
     }
     let times: Vec<u32> = root.upds.iter().map(|u| u.time).collect();
-    let min_cur = attach_latest(&root.qrys, &times, &run_min, min0, thr);
+    let min_cur = attach_latest(&root.qrys, &times, run_min, min0, thr);
     root.qrys
         .iter()
         .zip(min_cur)
@@ -785,6 +866,42 @@ mod tests {
             },
         ];
         let _ = run_list_batch(&[0, 0], &ops);
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_path() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut ws = ListBatchScratch::default();
+        // One scratch across many differently-sized lists and batches.
+        for trial in 0..40 {
+            let n = rng.gen_range(1..300);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-500..500)).collect();
+            let mut qid = 0;
+            let ops: Vec<PrefixOp> = (0..rng.gen_range(0..300u32))
+                .map(|t| {
+                    let pos = rng.gen_range(0..n) as u32;
+                    if rng.gen_bool(0.5) {
+                        PrefixOp::Add {
+                            time: t,
+                            pos,
+                            x: rng.gen_range(-100..100),
+                        }
+                    } else {
+                        qid += 1;
+                        PrefixOp::Min {
+                            time: t,
+                            pos,
+                            qid: qid - 1,
+                        }
+                    }
+                })
+                .collect();
+            assert_eq!(
+                sorted(run_list_batch_with(&init, &ops, &mut ws)),
+                sorted(run_list_batch(&init, &ops)),
+                "trial {trial}"
+            );
+        }
     }
 
     #[test]

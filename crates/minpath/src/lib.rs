@@ -30,10 +30,15 @@ pub mod naive;
 pub mod ops;
 pub mod seq;
 
-pub use batch::{run_list_batch, run_list_batch_seq, run_list_batch_stats, BatchStats, PrefixOp};
+pub use batch::{
+    run_list_batch, run_list_batch_seq, run_list_batch_stats, run_list_batch_with, BatchStats,
+    ListBatchScratch, PrefixOp,
+};
 pub use decompose::{Decomposition, Strategy};
 pub use naive::NaiveMinPath;
-pub use ops::{run_tree_batch, run_tree_batch_stats, TreeOp};
+pub use ops::{
+    run_tree_batch, run_tree_batch_stats, run_tree_batch_with, TreeBatchScratch, TreeOp,
+};
 pub use seq::SeqMinPath;
 
 /// Guard value used to mask vertices out of minimum queries.

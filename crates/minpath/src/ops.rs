@@ -9,7 +9,10 @@
 
 use rayon::prelude::*;
 
-use crate::batch::{run_list_batch, run_list_batch_stats, BatchStats, PrefixOp};
+use crate::batch::{
+    run_list_batch, run_list_batch_stats, run_list_batch_with, BatchStats, ListBatchScratch,
+    PrefixOp,
+};
 use crate::decompose::{Decomposition, NONE};
 use pmc_graph::RootedTree;
 
@@ -76,6 +79,139 @@ pub fn run_tree_batch_stats(
     (out, stats)
 }
 
+/// Decomposes one tree op into its per-list prefix ops: walks the chain of
+/// decomposition-path tops crossed by the `v → root` path, emitting
+/// `(path id, prefix op)` for each. Shared by the parallel and amortized
+/// execution paths so the decomposition rule exists exactly once.
+fn decompose_op(
+    decomp: &Decomposition,
+    op: &TreeOp,
+    time: u32,
+    mut emit: impl FnMut(u32, PrefixOp),
+) {
+    let (v0, qid) = match *op {
+        TreeOp::Add { v, .. } => (v, 0),
+        TreeOp::Min { v } => (v, time),
+    };
+    let mut cur = v0;
+    loop {
+        let pid = decomp.path_of(cur);
+        let pos = decomp.pos_in_path(cur);
+        let pop = match *op {
+            TreeOp::Add { x, .. } => PrefixOp::Add { time, pos, x },
+            TreeOp::Min { .. } => PrefixOp::Min { time, pos, qid },
+        };
+        emit(pid, pop);
+        let up = decomp.parent_of_top(pid);
+        if up == NONE {
+            break;
+        }
+        cur = up;
+    }
+}
+
+/// Fills `result_index[t]` with the ordinal position of the `Min` op at
+/// batch time `t` (`u32::MAX` for `Add`s); returns the query count.
+fn fill_result_slots(ops: &[TreeOp], result_index: &mut Vec<u32>) -> usize {
+    result_index.clear();
+    result_index.resize(ops.len(), u32::MAX);
+    let mut nqueries = 0u32;
+    for (t, op) in ops.iter().enumerate() {
+        if matches!(op, TreeOp::Min { .. }) {
+            result_index[t] = nqueries;
+            nqueries += 1;
+        }
+    }
+    nqueries as usize
+}
+
+/// True if the list batch contains no queries (nothing to execute).
+fn no_queries(list_ops: &[PrefixOp]) -> bool {
+    list_ops
+        .iter()
+        .all(|op| !matches!(op, PrefixOp::Min { .. }))
+}
+
+/// Folds one list's `(qid, value)` results into the combined output: each
+/// `Min` op takes the minimum over its per-list sub-results (qid = the
+/// op's batch time, mapped back through `result_index`).
+fn fold_list_results(list_results: &[(u32, i64)], result_index: &[u32], out: &mut [i64]) {
+    for &(qid, val) in list_results {
+        let slot = result_index[qid as usize] as usize;
+        if val < out[slot] {
+            out[slot] = val;
+        }
+    }
+}
+
+/// Reusable buffers for [`run_tree_batch_with`]: per-list operation
+/// buckets, the per-list initial-weight staging vector, the query→slot
+/// index, and one [`ListBatchScratch`] shared by every list. One scratch
+/// amortizes every tree batch a solver executes.
+#[derive(Clone, Debug, Default)]
+pub struct TreeBatchScratch {
+    per_list: Vec<Vec<PrefixOp>>,
+    init_ws: Vec<i64>,
+    result_index: Vec<u32>,
+    list: ListBatchScratch,
+}
+
+impl TreeBatchScratch {
+    /// The `pmc-par` primitive scratch embedded in the per-list batch
+    /// scratch (see [`ListBatchScratch::par_scratch`]).
+    pub fn par_scratch(&mut self) -> &mut pmc_par::ParScratch {
+        self.list.par_scratch()
+    }
+}
+
+/// [`run_tree_batch`] drawing all working state from a reusable
+/// [`TreeBatchScratch`]. Identical results. The per-list batches run one
+/// after another (sharing the scratch) instead of fanning out — this is the
+/// amortized serving path, which optimizes allocation traffic over span;
+/// concurrency in a serving scenario comes from independent requests, each
+/// with its own workspace.
+pub fn run_tree_batch_with(
+    tree: &RootedTree,
+    decomp: &Decomposition,
+    init: &[i64],
+    ops: &[TreeOp],
+    ws: &mut TreeBatchScratch,
+) -> Vec<i64> {
+    assert_eq!(init.len(), tree.n());
+    let npaths = decomp.npaths();
+
+    // Decompose every tree op into per-list prefix ops, bucketing directly
+    // (the sequential walk preserves per-list time order, exactly like the
+    // scatter pass of the allocating path).
+    if ws.per_list.len() < npaths {
+        ws.per_list.resize_with(npaths, Vec::new);
+    }
+    for list in &mut ws.per_list[..npaths] {
+        list.clear();
+    }
+    for (t, op) in ops.iter().enumerate() {
+        let per_list = &mut ws.per_list;
+        decompose_op(decomp, op, t as u32, |pid, pop| {
+            per_list[pid as usize].push(pop)
+        });
+    }
+
+    let nqueries = fill_result_slots(ops, &mut ws.result_index);
+    let mut out = vec![i64::MAX; nqueries];
+
+    // Run the per-list batches back to back through the shared scratch.
+    for (path, list_ops) in decomp.paths().iter().zip(&ws.per_list[..npaths]) {
+        if no_queries(list_ops) {
+            continue;
+        }
+        ws.init_ws.clear();
+        ws.init_ws.extend(path.iter().map(|&v| init[v as usize]));
+        let list_results = run_list_batch_with(&ws.init_ws, list_ops, &mut ws.list);
+        fold_list_results(&list_results, &ws.result_index, &mut out);
+    }
+    out
+}
+
 fn run_tree_batch_impl(
     tree: &RootedTree,
     decomp: &Decomposition,
@@ -92,27 +228,8 @@ fn run_tree_batch_impl(
         .par_iter()
         .enumerate()
         .map(|(t, op)| {
-            let time = t as u32;
-            let (v0, qid) = match *op {
-                TreeOp::Add { v, .. } => (v, 0),
-                TreeOp::Min { v } => (v, time),
-            };
             let mut out = Vec::new();
-            let mut cur = v0;
-            loop {
-                let pid = decomp.path_of(cur);
-                let pos = decomp.pos_in_path(cur);
-                let pop = match *op {
-                    TreeOp::Add { x, .. } => PrefixOp::Add { time, pos, x },
-                    TreeOp::Min { .. } => PrefixOp::Min { time, pos, qid },
-                };
-                out.push((pid, pop));
-                let up = decomp.parent_of_top(pid);
-                if up == NONE {
-                    break;
-                }
-                cur = up;
-            }
+            decompose_op(decomp, op, t as u32, |pid, pop| out.push((pid, pop)));
             out
         })
         .collect();
@@ -133,10 +250,7 @@ fn run_tree_batch_impl(
         .par_iter()
         .zip(per_list.par_iter())
         .map(|(path, list_ops)| {
-            if list_ops
-                .iter()
-                .all(|op| !matches!(op, PrefixOp::Min { .. }))
-            {
+            if no_queries(list_ops) {
                 // No queries on this list — nothing to report.
                 return (Vec::new(), BatchStats::default());
             }
@@ -154,24 +268,12 @@ fn run_tree_batch_impl(
         }
     }
 
-    // Combine: each Min op takes the min over its sub-results. qid = the
-    // op's batch time; map back to the Min op's ordinal position.
-    let mut result_index = vec![u32::MAX; ops.len()];
-    let mut nqueries = 0u32;
-    for (t, op) in ops.iter().enumerate() {
-        if matches!(op, TreeOp::Min { .. }) {
-            result_index[t] = nqueries;
-            nqueries += 1;
-        }
-    }
-    let mut out = vec![i64::MAX; nqueries as usize];
-    for list_results in results {
-        for (qid, val) in list_results {
-            let slot = result_index[qid as usize] as usize;
-            if val < out[slot] {
-                out[slot] = val;
-            }
-        }
+    // Combine through the same slot machinery as the amortized path.
+    let mut result_index = Vec::new();
+    let nqueries = fill_result_slots(ops, &mut result_index);
+    let mut out = vec![i64::MAX; nqueries];
+    for list_results in &results {
+        fold_list_results(list_results, &result_index, &mut out);
     }
     out
 }
@@ -259,6 +361,23 @@ mod tests {
             let want = reference(t, &init, &ops);
             let d = Decomposition::new(t, Strategy::BoughWalk);
             assert_eq!(run_tree_batch(t, &d, &init, &ops), want, "shape {si}");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_path() {
+        let mut rng = SmallRng::seed_from_u64(74);
+        let mut ws = TreeBatchScratch::default();
+        // One scratch across random trees of varying shapes and sizes.
+        for trial in 0..30 {
+            let n = rng.gen_range(1..200);
+            let t = gen::random_tree(n, 100 + trial);
+            let init: Vec<i64> = (0..n).map(|_| rng.gen_range(-500..500)).collect();
+            let ops = random_ops(n, rng.gen_range(0..300), &mut rng);
+            let d = Decomposition::new(&t, Strategy::BoughWalk);
+            let want = run_tree_batch(&t, &d, &init, &ops);
+            let got = run_tree_batch_with(&t, &d, &init, &ops, &mut ws);
+            assert_eq!(got, want, "trial {trial}");
         }
     }
 

@@ -17,7 +17,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use pmc_graph::{Graph, RootedTree};
+use pmc_graph::{Edge, Graph, RootedTree};
 
 use crate::mst::boruvka_mst;
 use crate::skeleton::{full_skeleton, sample_skeleton, Skeleton};
@@ -84,10 +84,55 @@ pub struct TreePacking {
 /// greedy multiplicities.
 pub type PackedTrees = Vec<(Vec<u32>, u32)>;
 
+/// Reusable buffers for the greedy packing loop ([`pack_greedy_with`],
+/// [`pack_trees_with`]): the skeleton-subgraph arena, per-edge load and
+/// cost vectors, the chosen-tree staging buffer, and the distinct-tree
+/// accumulator. One scratch amortizes every packing a solver performs.
+#[derive(Clone, Debug)]
+pub struct PackScratch {
+    sub: Graph,
+    load: Vec<u64>,
+    cost: Vec<u64>,
+    orig: Vec<u32>,
+    trees: std::collections::HashMap<Vec<u32>, u32>,
+}
+
+impl Default for PackScratch {
+    fn default() -> Self {
+        PackScratch {
+            sub: Graph::from_edges(1, &[]).expect("placeholder graph"),
+            load: Vec::new(),
+            cost: Vec::new(),
+            orig: Vec::new(),
+            trees: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl PackScratch {
+    /// A fresh, empty scratch (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// One greedy packing run on a skeleton. Returns `(distinct trees with
 /// multiplicities, packing value estimate)` or `None` if the skeleton does
 /// not span the graph (caller should raise the sampling rate).
 pub fn pack_greedy(g: &Graph, sk: &Skeleton, rounds: usize) -> Option<(PackedTrees, f64)> {
+    pack_greedy_with(g, sk, rounds, &mut PackScratch::default())
+}
+
+/// [`pack_greedy`] with all working state drawn from a reusable
+/// [`PackScratch`]. Identical results; at steady state the loop allocates
+/// only for trees it has not seen before (the returned `PackedTrees` owns
+/// its edge lists).
+pub fn pack_greedy_with(
+    g: &Graph,
+    sk: &Skeleton,
+    rounds: usize,
+    ws: &mut PackScratch,
+) -> Option<(PackedTrees, f64)> {
     assert!(rounds > 0);
     let n = g.n();
     if n == 1 {
@@ -96,45 +141,56 @@ pub fn pack_greedy(g: &Graph, sk: &Skeleton, rounds: usize) -> Option<(PackedTre
     // Build the skeleton subgraph once; skeleton edge i maps to original
     // edge live_edges[i].
     let live = &sk.live_edges;
-    let sub_edges: Vec<(u32, u32, u64)> = live
-        .iter()
-        .map(|&eid| {
-            let e = g.edges()[eid as usize];
-            (e.u, e.v, 1)
-        })
-        .collect();
-    if sub_edges.len() < n - 1 {
+    if live.len() < n - 1 {
         return None;
     }
-    let sub = Graph::from_edges(n, &sub_edges).expect("skeleton subgraph is valid");
-    let mut load = vec![0u64; live.len()];
-    let mut trees: std::collections::HashMap<Vec<u32>, u32> = std::collections::HashMap::new();
+    ws.sub
+        .rebuild_from_edges(
+            n,
+            live.iter().map(|&eid| {
+                let e = g.edges()[eid as usize];
+                Edge::new(e.u, e.v, 1)
+            }),
+        )
+        .expect("skeleton subgraph is valid");
+    ws.load.clear();
+    ws.load.resize(live.len(), 0);
+    ws.trees.clear();
     let mut max_ratio: f64 = 0.0;
     for _round in 0..rounds {
-        let cost: Vec<u64> = load
-            .iter()
-            .zip(live.iter())
-            .map(|(&l, &eid)| (l << RATIO_SHIFT) / sk.multiplicity[eid as usize] as u64)
-            .collect();
-        let chosen = boruvka_mst(&sub, &cost);
+        ws.cost.clear();
+        ws.cost.extend(
+            ws.load
+                .iter()
+                .zip(live.iter())
+                .map(|(&l, &eid)| (l << RATIO_SHIFT) / sk.multiplicity[eid as usize] as u64),
+        );
+        let chosen = boruvka_mst(&ws.sub, &ws.cost);
         if chosen.len() != n - 1 {
             return None; // skeleton disconnected
         }
-        let mut orig: Vec<u32> = chosen.iter().map(|&se| live[se as usize]).collect();
-        orig.sort_unstable();
+        ws.orig.clear();
+        ws.orig.extend(chosen.iter().map(|&se| live[se as usize]));
+        ws.orig.sort_unstable();
         for &se in &chosen {
-            load[se as usize] += 1;
-            let r = load[se as usize] as f64 / sk.multiplicity[live[se as usize] as usize] as f64;
+            ws.load[se as usize] += 1;
+            let r =
+                ws.load[se as usize] as f64 / sk.multiplicity[live[se as usize] as usize] as f64;
             if r > max_ratio {
                 max_ratio = r;
             }
         }
-        *trees.entry(orig).or_insert(0) += 1;
+        // Only clone the staging buffer for a tree seen for the first time.
+        if let Some(mult) = ws.trees.get_mut(&ws.orig) {
+            *mult += 1;
+        } else {
+            ws.trees.insert(ws.orig.clone(), 1);
+        }
     }
     let value = rounds as f64 / max_ratio.max(f64::MIN_POSITIVE);
     // Deterministic order (HashMap iteration order is randomized): heaviest
     // trees first, ties broken lexicographically by edge ids.
-    let mut list: Vec<(Vec<u32>, u32)> = trees.into_iter().collect();
+    let mut list: Vec<(Vec<u32>, u32)> = ws.trees.drain().collect();
     list.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     Some((list, value))
 }
@@ -157,6 +213,12 @@ pub fn pack_greedy(g: &Graph, sk: &Skeleton, rounds: usize) -> Option<(PackedTre
 /// Panics if `g` is disconnected (callers check connectivity first — a
 /// disconnected graph has minimum cut 0 and needs no packing).
 pub fn pack_trees(g: &Graph, cfg: &PackingConfig) -> TreePacking {
+    pack_trees_with(g, cfg, &mut PackScratch::default())
+}
+
+/// [`pack_trees`] with the greedy-loop working state drawn from a reusable
+/// [`PackScratch`]. Identical results for identical `(g, cfg)`.
+pub fn pack_trees_with(g: &Graph, cfg: &PackingConfig, ws: &mut PackScratch) -> TreePacking {
     let n = g.n();
     assert!(n >= 2, "packing needs at least two vertices");
     let log2n = (usize::BITS - (n - 1).leading_zeros()).max(1) as usize;
@@ -195,7 +257,7 @@ pub fn pack_trees(g: &Graph, cfg: &PackingConfig) -> TreePacking {
             } else {
                 sample_skeleton(g, p, &mut rng)
             };
-            match pack_greedy(g, &sk, est_rounds) {
+            match pack_greedy_with(g, &sk, est_rounds, ws) {
                 None => {
                     // Disconnected: not enough sampled edges.
                     if p >= 1.0 {
@@ -219,8 +281,8 @@ pub fn pack_trees(g: &Graph, cfg: &PackingConfig) -> TreePacking {
     }
 
     // --- Final packing ------------------------------------------------------
-    let (mut distinct, value) =
-        pack_greedy(g, &skeleton, final_rounds).expect("accepted skeleton must span the graph");
+    let (mut distinct, value) = pack_greedy_with(g, &skeleton, final_rounds, ws)
+        .expect("accepted skeleton must span the graph");
     let distinct_trees = distinct.len();
 
     // --- Weighted selection without replacement -----------------------------
@@ -379,6 +441,21 @@ mod tests {
         let a = pack_trees(&g, &PackingConfig::default());
         let b = pack_trees(&g, &PackingConfig::default());
         assert_eq!(a.trees, b.trees);
+    }
+
+    #[test]
+    fn scratch_variant_is_identical_and_reusable() {
+        let mut ws = PackScratch::new();
+        // One scratch across several graphs: identical packings to the
+        // allocating path every time.
+        for seed in [3u64, 11, 19] {
+            let g = gen::gnm_connected(36, 110, 12, seed);
+            let want = pack_trees(&g, &PackingConfig::default());
+            let got = pack_trees_with(&g, &PackingConfig::default(), &mut ws);
+            assert_eq!(got.trees, want.trees, "seed {seed}");
+            assert_eq!(got.tree_weights, want.tree_weights, "seed {seed}");
+            assert_eq!(got.distinct_trees, want.distinct_trees, "seed {seed}");
+        }
     }
 
     use pmc_graph::Graph;

@@ -27,17 +27,22 @@ pub mod merge;
 mod proptests;
 pub mod random_mate;
 pub mod scan;
+pub mod scratch;
 pub mod seg;
 pub mod sort;
 pub mod util;
 
 pub use coloring::{chain_independent_set_by_coloring, color3_chains};
-pub use list_rank::{list_rank, list_rank_blocked};
-pub use merge::{merge_by_key, par_merge};
-pub use random_mate::chain_independent_set;
-pub use scan::{exclusive_scan, inclusive_scan, inclusive_scan_in_place, Monoid};
+pub use list_rank::{list_rank, list_rank_blocked, list_rank_in, ListRankScratch};
+pub use merge::{merge_by_key, merge_by_key_into, par_merge};
+pub use random_mate::{chain_independent_set, chain_independent_set_in, MateScratch};
+pub use scan::{
+    exclusive_scan, exclusive_scan_with, inclusive_scan, inclusive_scan_in_place,
+    inclusive_scan_in_place_with, Monoid,
+};
+pub use scratch::ParScratch;
 pub use seg::segmented_broadcast;
-pub use sort::{par_merge_sort, par_merge_sort_by_key};
+pub use sort::{par_merge_sort, par_merge_sort_by_key, par_merge_sort_by_key_in};
 
 /// Minimum slice length below which primitives fall back to the sequential
 /// code path. Tuned so that per-task overhead stays negligible; correctness

@@ -26,32 +26,67 @@ pub const NIL: usize = usize::MAX;
 /// # Panics
 /// Panics (in debug builds) if `next` contains an out-of-range successor.
 pub fn list_rank(next: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    list_rank_in(next, &mut out, &mut ListRankScratch::default());
+    out
+}
+
+/// Reusable double-buffers for [`list_rank_in`]. One scratch serves any
+/// number of rankings; buffers grow to the high-water list length and stay.
+#[derive(Clone, Debug, Default)]
+pub struct ListRankScratch {
+    ptr: Vec<usize>,
+    new_rank: Vec<usize>,
+    new_ptr: Vec<usize>,
+}
+
+impl ListRankScratch {
+    /// Bytes currently held by the double buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.ptr.capacity() + self.new_rank.capacity() + self.new_ptr.capacity())
+            * std::mem::size_of::<usize>()
+    }
+}
+
+/// [`list_rank`] into a reusable output vector, with all pointer-jumping
+/// round buffers taken from `scratch` — zero allocation at steady state.
+pub fn list_rank_in(next: &[usize], out: &mut Vec<usize>, scratch: &mut ListRankScratch) {
     let n = next.len();
     debug_assert!(next.iter().all(|&s| s == NIL || s < n));
-    let mut ptr: Vec<usize> = next.to_vec();
-    let mut rank: Vec<usize> = next.iter().map(|&s| if s == NIL { 0 } else { 1 }).collect();
+    out.clear();
+    out.extend(next.iter().map(|&s| if s == NIL { 0 } else { 1 }));
+    scratch.ptr.clear();
+    scratch.ptr.extend_from_slice(next);
+    scratch.new_rank.clear();
+    scratch.new_rank.resize(n, 0);
+    scratch.new_ptr.clear();
+    scratch.new_ptr.resize(n, NIL);
     // ceil(log2(n)) + 1 rounds suffice: after round r every pointer has
     // jumped 2^r nodes or reached the tail.
     let rounds = usize::BITS - n.leading_zeros();
     for _ in 0..=rounds {
-        let (new_rank, new_ptr): (Vec<usize>, Vec<usize>) = (0..n)
-            .into_par_iter()
-            .map(|i| {
+        let (rank, ptr) = (&*out, &scratch.ptr);
+        scratch
+            .new_rank
+            .par_iter_mut()
+            .zip(scratch.new_ptr.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (nr, np))| {
                 let p = ptr[i];
                 if p == NIL {
-                    (rank[i], NIL)
+                    *nr = rank[i];
+                    *np = NIL;
                 } else {
-                    (rank[i] + rank[p], ptr[p])
+                    *nr = rank[i] + rank[p];
+                    *np = ptr[p];
                 }
-            })
-            .unzip();
-        rank = new_rank;
-        ptr = new_ptr;
-        if ptr.par_iter().all(|&p| p == NIL) {
+            });
+        std::mem::swap(out, &mut scratch.new_rank);
+        std::mem::swap(&mut scratch.ptr, &mut scratch.new_ptr);
+        if scratch.ptr.par_iter().all(|&p| p == NIL) {
             break;
         }
     }
-    rank
 }
 
 /// Work-efficient list ranking: identifies list heads (nodes with no
@@ -163,5 +198,16 @@ mod tests {
     fn many_singletons() {
         let next = vec![NIL; 1000];
         assert_eq!(list_rank(&next), vec![0; 1000]);
+    }
+
+    #[test]
+    fn scratch_reused_across_lists() {
+        let mut out = Vec::new();
+        let mut scratch = ListRankScratch::default();
+        for n in [5000usize, 17, 1, 0, 900] {
+            let next = chain(n);
+            list_rank_in(&next, &mut out, &mut scratch);
+            assert_eq!(out, list_rank_blocked(&next), "n={n}");
+        }
     }
 }

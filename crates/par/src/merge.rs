@@ -22,9 +22,35 @@ where
     K: Ord,
     F: Fn(&T) -> K + Sync,
 {
-    let mut out = vec_uninit_like(a, b);
-    merge_into(a, b, &mut out, &key);
+    let mut out = Vec::new();
+    merge_by_key_into(a, b, key, &mut out);
     out
+}
+
+/// [`merge_by_key`] into a reusable output buffer: `out` is cleared and
+/// refilled, so repeated merges reuse its allocation once it has grown to
+/// the high-water result length.
+pub fn merge_by_key_into<T, K, F>(a: &[T], b: &[T], key: F, out: &mut Vec<T>)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    out.clear();
+    let n = a.len() + b.len();
+    if n == 0 {
+        return;
+    }
+    // Pre-fill with clones of an arbitrary element so the divide-and-conquer
+    // merge can write every slot through disjoint `&mut [T]` splits; the
+    // fill is overwritten entirely.
+    let filler = if !a.is_empty() {
+        a[0].clone()
+    } else {
+        b[0].clone()
+    };
+    out.resize(n, filler);
+    merge_into(a, b, out, &key);
 }
 
 /// Merges two sorted `Copy` slices (ascending) into a new vector.
@@ -32,24 +58,7 @@ pub fn par_merge<T: Copy + Ord + Send + Sync>(a: &[T], b: &[T]) -> Vec<T> {
     merge_by_key(a, b, |x| *x)
 }
 
-fn vec_uninit_like<T: Clone>(a: &[T], b: &[T]) -> Vec<T> {
-    // Allocate and fill with clones lazily during the merge: we build the
-    // result through `merge_into` writing every slot exactly once. To stay in
-    // safe Rust we pre-fill with clones of an arbitrary element when inputs
-    // are non-empty; the fill is overwritten entirely.
-    let n = a.len() + b.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let filler = if !a.is_empty() {
-        a[0].clone()
-    } else {
-        b[0].clone()
-    };
-    vec![filler; n]
-}
-
-fn merge_into<T, K, F>(a: &[T], b: &[T], out: &mut [T], key: &F)
+pub(crate) fn merge_into<T, K, F>(a: &[T], b: &[T], out: &mut [T], key: &F)
 where
     T: Clone + Send + Sync,
     K: Ord,
@@ -162,6 +171,20 @@ mod tests {
         let mut want = [a.clone(), b.clone()].concat();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_into_reuses_buffer() {
+        let mut out: Vec<i64> = Vec::new();
+        merge_by_key_into(&[1i64, 3, 5], &[2, 4], |x| *x, &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        let cap = out.capacity();
+        // A second, smaller merge must reuse the allocation.
+        merge_by_key_into(&[7i64], &[6], |x| *x, &mut out);
+        assert_eq!(out, vec![6, 7]);
+        assert_eq!(out.capacity(), cap);
+        merge_by_key_into::<i64, i64, _>(&[], &[], |x| *x, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

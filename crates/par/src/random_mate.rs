@@ -30,6 +30,43 @@ pub fn chain_independent_set<R: Rng>(
     select_by_coins(edges, &coins)
 }
 
+/// Reusable coin-flip buffer for [`chain_independent_set_in`].
+#[derive(Clone, Debug, Default)]
+pub struct MateScratch {
+    coins: Vec<bool>,
+}
+
+impl MateScratch {
+    /// Bytes currently held by the coin buffer.
+    pub fn capacity_bytes(&self) -> usize {
+        self.coins.capacity()
+    }
+}
+
+/// [`chain_independent_set`] writing the selected edge indices into a
+/// reusable `out` vector, drawing coin flips into `scratch` — zero
+/// allocation at steady state across random-mate rounds. The selection
+/// itself is a sequential linear filter (chains in the bough cascade are
+/// short; the amortized path optimizes for allocation traffic, not span).
+pub fn chain_independent_set_in<R: Rng>(
+    edges: &[(usize, usize)],
+    nvertices: usize,
+    rng: &mut R,
+    scratch: &mut MateScratch,
+    out: &mut Vec<usize>,
+) {
+    scratch.coins.clear();
+    scratch
+        .coins
+        .extend((0..nvertices).map(|_| rng.gen::<bool>()));
+    out.clear();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if scratch.coins[u] && !scratch.coins[v] {
+            out.push(i);
+        }
+    }
+}
+
 /// Deterministic variant: treats each vertex's id parity as its coin.
 /// Only useful when ids along chains alternate in parity (e.g. after
 /// list-ranking renumbering); provided for the deterministic path discussed
@@ -116,6 +153,22 @@ mod tests {
         let sel = chain_independent_set_parity(&edges);
         assert!(is_independent(&edges, &sel));
         assert_eq!(sel.len(), 50);
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_path() {
+        let edges = chain_edges(500);
+        // Same seed → same coins → same selection, with or without scratch.
+        let mut rng_a = SmallRng::seed_from_u64(99);
+        let mut rng_b = SmallRng::seed_from_u64(99);
+        let mut scratch = MateScratch::default();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            let want = chain_independent_set(&edges, 500, &mut rng_a);
+            chain_independent_set_in(&edges, 500, &mut rng_b, &mut scratch, &mut out);
+            assert_eq!(out, want);
+            assert!(is_independent(&edges, &out));
+        }
     }
 
     #[test]

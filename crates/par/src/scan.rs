@@ -84,25 +84,55 @@ pub fn exclusive_scan<T: Monoid>(xs: &[T]) -> (Vec<T>, T) {
     (out, total)
 }
 
+/// [`exclusive_scan`] into a reusable output buffer (cleared and refilled),
+/// with `partials` reused for the block totals. Returns the total
+/// `xs[0] ⊕ … ⊕ xs[n-1]`.
+pub fn exclusive_scan_with<T: Monoid>(xs: &[T], out: &mut Vec<T>, partials: &mut Vec<T>) -> T {
+    out.clear();
+    if xs.is_empty() {
+        return T::identity();
+    }
+    out.extend_from_slice(xs);
+    inclusive_scan_in_place_with(out, partials);
+    let total = out[xs.len() - 1];
+    out.rotate_right(1);
+    out[0] = T::identity();
+    total
+}
+
 /// In-place inclusive scan. Two-pass blocked algorithm:
 /// (1) scan each block independently in parallel,
 /// (2) exclusive-scan the block totals sequentially (`O(#blocks)`),
 /// (3) add each block's offset to its elements in parallel.
 pub fn inclusive_scan_in_place<T: Monoid>(xs: &mut [T]) {
+    inclusive_scan_in_place_with(xs, &mut Vec::new());
+}
+
+/// [`inclusive_scan_in_place`] reusing `partials` for the per-block totals,
+/// so repeated scans perform no heap allocation once the scratch has grown
+/// to the high-water block count.
+///
+/// ```
+/// let mut partials = Vec::new(); // reused across calls
+/// let mut xs = vec![1i64, 2, 3, 4];
+/// pmc_par::scan::inclusive_scan_in_place_with(&mut xs, &mut partials);
+/// assert_eq!(xs, vec![1, 3, 6, 10]);
+/// ```
+pub fn inclusive_scan_in_place_with<T: Monoid>(xs: &mut [T], partials: &mut Vec<T>) {
     let n = xs.len();
     if n <= SEQ_THRESHOLD {
         seq_inclusive_scan(xs);
         return;
     }
     let nblocks = n.div_ceil(SEQ_THRESHOLD);
-    let mut partials: Vec<T> = xs
-        .par_chunks_mut(SEQ_THRESHOLD)
-        .map(|chunk| {
+    partials.clear();
+    partials.resize(nblocks, T::identity());
+    xs.par_chunks_mut(SEQ_THRESHOLD)
+        .zip(partials.par_iter_mut())
+        .for_each(|(chunk, p)| {
             seq_inclusive_scan(chunk);
-            chunk[chunk.len() - 1]
-        })
-        .collect();
-    debug_assert_eq!(partials.len(), nblocks);
+            *p = chunk[chunk.len() - 1];
+        });
     // Exclusive scan of block totals (cheap: one element per block).
     let mut acc = T::identity();
     for p in partials.iter_mut() {
@@ -194,6 +224,24 @@ mod tests {
         assert_eq!(total, xs.iter().sum::<u64>());
         assert_eq!(e[0], 0);
         assert_eq!(e[n - 1] + xs[n - 1], total);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_path() {
+        let mut partials: Vec<i64> = Vec::new();
+        let mut out: Vec<i64> = Vec::new();
+        // Reuse the same scratch across differently-sized inputs, crossing
+        // the parallel threshold both ways.
+        for n in [0usize, 1, 5, SEQ_THRESHOLD, 3 * SEQ_THRESHOLD + 7, 17] {
+            let xs: Vec<i64> = (0..n as i64).map(|i| (i * 37 % 101) - 50).collect();
+            let mut in_place = xs.clone();
+            inclusive_scan_in_place_with(&mut in_place, &mut partials);
+            assert_eq!(in_place, inclusive_scan(&xs), "inclusive n={n}");
+            let total = exclusive_scan_with(&xs, &mut out, &mut partials);
+            let (want, want_total) = exclusive_scan(&xs);
+            assert_eq!(out, want, "exclusive n={n}");
+            assert_eq!(total, want_total, "total n={n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Aggregated reusable scratch for the parallel primitives.
+//!
+//! Every primitive in this crate has a `*_with`/`*_in` variant taking its
+//! buffers from the caller instead of allocating per call. [`ParScratch`]
+//! bundles one instance of each so higher layers (the solver workspace in
+//! `pmc-core`) can thread a single arena through a whole solve: at steady
+//! state — after the buffers have grown to their high-water sizes — the
+//! primitives perform no heap allocation at all.
+
+use crate::list_rank::ListRankScratch;
+use crate::random_mate::MateScratch;
+
+/// One reusable buffer set for the `pmc-par` primitives.
+///
+/// The fields are typed for the workloads the minimum-cut pipeline runs:
+/// `i64` scans (the batch engine's monoid), `usize` list ranks, boolean
+/// coin flips. Construct once, pass `&mut` everywhere, drop never.
+///
+/// ```
+/// use pmc_par::{scan, sort, ParScratch};
+///
+/// let mut ws = ParScratch::default();
+/// let mut xs = vec![3i64, 1, 2];
+/// scan::inclusive_scan_in_place_with(&mut xs, &mut ws.scan_i64);
+/// assert_eq!(xs, vec![3, 4, 6]);
+/// sort::par_merge_sort_by_key_in(&[5u32, 2, 9], |x| *x, &mut ws.sort_u32, &mut ws.sort_u32_tmp);
+/// assert_eq!(ws.sort_u32, vec![2, 5, 9]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ParScratch {
+    /// Block partials for `i64` scans
+    /// ([`crate::scan::inclusive_scan_in_place_with`]).
+    pub scan_i64: Vec<i64>,
+    /// Output buffer for `i64` exclusive scans
+    /// ([`crate::scan::exclusive_scan_with`]).
+    pub scan_i64_out: Vec<i64>,
+    /// Pointer-jumping double buffers ([`crate::list_rank::list_rank_in`]).
+    pub list_rank: ListRankScratch,
+    /// Rank output paired with [`ParScratch::list_rank`].
+    pub ranks: Vec<usize>,
+    /// Coin flips for random-mate rounds
+    /// ([`crate::random_mate::chain_independent_set_in`]).
+    pub mate: MateScratch,
+    /// Selected-edge output paired with [`ParScratch::mate`].
+    pub selected: Vec<usize>,
+    /// Sort destination for `u32` keys
+    /// ([`crate::sort::par_merge_sort_by_key_in`]).
+    pub sort_u32: Vec<u32>,
+    /// Ping-pong partner of [`ParScratch::sort_u32`].
+    pub sort_u32_tmp: Vec<u32>,
+}
+
+impl ParScratch {
+    /// A fresh, empty scratch (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently held across all buffers — the arena's
+    /// steady-state footprint, for capacity planning and reporting.
+    pub fn capacity_bytes(&self) -> usize {
+        self.scan_i64.capacity() * std::mem::size_of::<i64>()
+            + self.scan_i64_out.capacity() * std::mem::size_of::<i64>()
+            + self.list_rank.capacity_bytes()
+            + self.ranks.capacity() * std::mem::size_of::<usize>()
+            + self.mate.capacity_bytes()
+            + self.selected.capacity() * std::mem::size_of::<usize>()
+            + (self.sort_u32.capacity() + self.sort_u32_tmp.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_rank::{list_rank, list_rank_in, NIL};
+
+    #[test]
+    fn one_scratch_serves_all_primitives() {
+        let mut ws = ParScratch::new();
+        let mut xs = vec![1i64, -2, 3];
+        crate::scan::inclusive_scan_in_place_with(&mut xs, &mut ws.scan_i64);
+        assert_eq!(xs, vec![1, -1, 2]);
+        let next = vec![1usize, 2, NIL];
+        list_rank_in(&next, &mut ws.ranks, &mut ws.list_rank);
+        assert_eq!(ws.ranks, list_rank(&next));
+        crate::sort::par_merge_sort_by_key_in(
+            &[3u32, 1, 2],
+            |x| *x,
+            &mut ws.sort_u32,
+            &mut ws.sort_u32_tmp,
+        );
+        assert_eq!(ws.sort_u32, vec![1, 2, 3]);
+        assert!(ws.capacity_bytes() > 0);
+    }
+}

@@ -7,8 +7,13 @@
 //! merge from [`crate::merge`] — `O(n log n)` work, `O(log³ n)` span
 //! (each of the `log n` merge levels has `O(log² n)` span), which is
 //! indistinguishable from Cole's schedule on real hardware.
+//!
+//! Two entry points: the allocating [`par_merge_sort_by_key`] and the
+//! scratch-arena [`par_merge_sort_by_key_in`], which ping-pongs between the
+//! caller's output and temp buffers so repeated sorts of similarly-sized
+//! inputs perform no heap allocation.
 
-use crate::merge::merge_by_key;
+use crate::merge::merge_into;
 use crate::SEQ_THRESHOLD;
 
 /// Sorts by the given key, stably, returning a new vector.
@@ -18,17 +23,77 @@ where
     K: Ord,
     F: Fn(&T) -> K + Sync + Copy,
 {
+    let mut out = Vec::new();
+    let mut tmp = Vec::new();
+    par_merge_sort_by_key_in(xs, key, &mut out, &mut tmp);
+    out
+}
+
+/// [`par_merge_sort_by_key`] into a reusable output buffer, with `tmp` as
+/// the merge ping-pong buffer. Both buffers are cleared and refilled; once
+/// they have grown to the high-water input length, repeated sorts allocate
+/// nothing.
+pub fn par_merge_sort_by_key_in<T, K, F>(xs: &[T], key: F, out: &mut Vec<T>, tmp: &mut Vec<T>)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    out.clear();
+    out.extend_from_slice(xs);
     if xs.len() <= SEQ_THRESHOLD {
-        let mut out = xs.to_vec();
         out.sort_by_key(key);
-        return out;
+        return;
     }
-    let mid = xs.len() / 2;
-    let (lo, hi) = rayon::join(
-        || par_merge_sort_by_key(&xs[..mid], key),
-        || par_merge_sort_by_key(&xs[mid..], key),
+    tmp.clear();
+    tmp.extend_from_slice(xs);
+    sort_in_buf(out, tmp, key);
+}
+
+/// Sorts `data` in place, using `buf` (same length) as auxiliary space.
+fn sort_in_buf<T, K, F>(data: &mut [T], buf: &mut [T], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    debug_assert_eq!(data.len(), buf.len());
+    if data.len() <= SEQ_THRESHOLD {
+        data.sort_by_key(key);
+        return;
+    }
+    let mid = data.len() / 2;
+    let (d_lo, d_hi) = data.split_at_mut(mid);
+    let (b_lo, b_hi) = buf.split_at_mut(mid);
+    // Sort each half *into* the buffer, then merge the buffer halves back.
+    rayon::join(
+        || sort_to_buf(d_lo, b_lo, key),
+        || sort_to_buf(d_hi, b_hi, key),
     );
-    merge_by_key(&lo, &hi, key)
+    merge_into(b_lo, b_hi, data, &key);
+}
+
+/// Sorts the contents of `src` into `dst` (same length); `src` is clobbered.
+fn sort_to_buf<T, K, F>(src: &mut [T], dst: &mut [T], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    debug_assert_eq!(src.len(), dst.len());
+    if src.len() <= SEQ_THRESHOLD {
+        src.sort_by_key(key);
+        dst.clone_from_slice(src);
+        return;
+    }
+    let mid = src.len() / 2;
+    let (s_lo, s_hi) = src.split_at_mut(mid);
+    let (d_lo, d_hi) = dst.split_at_mut(mid);
+    rayon::join(
+        || sort_in_buf(s_lo, d_lo, key),
+        || sort_in_buf(s_hi, d_hi, key),
+    );
+    merge_into(s_lo, s_hi, dst, &key);
 }
 
 /// Sorts a `Copy + Ord` slice ascending, returning a new vector.
@@ -76,5 +141,24 @@ mod tests {
                 assert!(w[0].1 < w[1].1, "stability violated");
             }
         }
+    }
+
+    #[test]
+    fn scratch_variant_reuses_buffers() {
+        let mut out: Vec<u64> = Vec::new();
+        let mut tmp: Vec<u64> = Vec::new();
+        // Cross the parallel threshold so the ping-pong path runs, then
+        // shrink back down; the same scratch serves both.
+        for n in [3 * SEQ_THRESHOLD + 11, 100, SEQ_THRESHOLD, 0] {
+            let xs: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 997).collect();
+            par_merge_sort_by_key_in(&xs, |x| *x, &mut out, &mut tmp);
+            let mut want = xs.clone();
+            want.sort_unstable();
+            assert_eq!(out, want, "n={n}");
+        }
+        let cap = out.capacity();
+        par_merge_sort_by_key_in(&[9u64, 1, 5], |x| *x, &mut out, &mut tmp);
+        assert_eq!(out, vec![1, 5, 9]);
+        assert_eq!(out.capacity(), cap, "scratch must be reused, not replaced");
     }
 }

@@ -1,7 +1,7 @@
 //! `pmc` — command-line front end for the parallel minimum-cut library.
 //!
 //! ```text
-//! pmc mincut <file> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
+//! pmc mincut <file..> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
 //! pmc gen <family> <args..> [--out FILE]               generate a workload
 //! pmc info <file>                                      print graph statistics
 //! pmc verify <file> <value> [--algo A]                 recompute and compare
@@ -11,7 +11,10 @@
 //! Every algorithm — the paper's parallel solver and all baselines — runs
 //! through the same [`MinCutSolver`] registry; `--algo` picks one by name
 //! (default `paper`). Files are DIMACS-like (`.dimacs`) or whitespace edge
-//! lists (anything else); `-` means stdin. Generator families:
+//! lists (anything else); `-` means stdin. `mincut` accepts any number of
+//! input files and runs them as one batch through
+//! [`MinCutSolver::solve_batch`], amortizing a single solver workspace
+//! across all of them. Generator families:
 //! `gnm n m [max_w] [seed]`, `planted n_a n_b inner cross chords [seed]`,
 //! `cycle n chords [seed]`, `grid rows cols`, `barbell k`.
 
@@ -50,7 +53,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  pmc mincut <file> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
+  pmc mincut <file..> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
   pmc gen gnm <n> <m> [max_w] [seed] [--out FILE]
   pmc gen planted <n_a> <n_b> <inner_w> <cross> <chords> [seed] [--out FILE]
   pmc gen cycle <n> <chords> [seed] [--out FILE]
@@ -97,6 +100,24 @@ fn check_flags(args: &[String], allowed: &[(&str, bool)]) -> Result<(), String> 
     Ok(())
 }
 
+/// Positional (non-flag) arguments, skipping each known flag's value.
+fn positionals<'a>(args: &'a [String], allowed: &[(&str, bool)]) -> Vec<&'a String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if let Some((_, takes_value)) = allowed.iter().find(|(name, _)| *name == a) {
+                i += usize::from(*takes_value);
+            }
+        } else {
+            out.push(a);
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Builds the shared solver config from the common CLI flags.
 fn solver_setup(args: &[String]) -> Result<(Box<dyn MinCutSolver>, SolverConfig), String> {
     let algo = flag_value(args, "--algo").unwrap_or_else(|| "paper".into());
@@ -114,40 +135,61 @@ fn solver_setup(args: &[String]) -> Result<(Box<dyn MinCutSolver>, SolverConfig)
     Ok((solver, cfg))
 }
 
+const MINCUT_FLAGS: &[(&str, bool)] = &[
+    ("--algo", true),
+    ("--seed", true),
+    ("--trees", true),
+    ("--threads", true),
+    ("--quiet", false),
+];
+
 fn cmd_mincut(args: &[String]) -> Result<(), String> {
-    check_flags(
-        args,
-        &[
-            ("--algo", true),
-            ("--seed", true),
-            ("--trees", true),
-            ("--threads", true),
-            ("--quiet", false),
-        ],
-    )?;
-    let path = args.first().ok_or("mincut: missing input file")?;
+    check_flags(args, MINCUT_FLAGS)?;
+    let files = positionals(args, MINCUT_FLAGS);
+    if files.is_empty() {
+        return Err("mincut: missing input file".into());
+    }
     // Resolve the algorithm before touching the input so a bad --algo
     // fails fast even when reading from stdin.
     let (solver, cfg) = solver_setup(args)?;
-    let g = load(path)?;
+    let graphs: Vec<Graph> = files.iter().map(|p| load(p)).collect::<Result<_, _>>()?;
     let quiet = args.iter().any(|a| a == "--quiet");
     let start = std::time::Instant::now();
-    let cut = solver.solve(&g, &cfg).map_err(|e| e.to_string())?;
+    // One batch, one workspace: repeated inputs amortize all solver
+    // scratch through the `solve_batch` seam.
+    let cuts = solver
+        .solve_batch(&graphs, &cfg)
+        .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
-    println!("value: {}", cut.value);
-    if !quiet {
-        let (a, b) = cut.partition();
-        println!("algorithm: {}", cut.algorithm);
-        println!("sides: {} / {} vertices", a.len(), b.len());
-        if let Some(kind) = cut.kind {
-            println!("kind: {kind:?}");
+    let multi = files.len() > 1;
+    for ((path, g), cut) in files.iter().zip(&graphs).zip(&cuts) {
+        if multi {
+            println!("file: {path}");
         }
-        println!("crossing edges: {}", cut.crossing_edges(&g).len());
-        println!("time: {:.1} ms", elapsed.as_secs_f64() * 1e3);
-        let smaller = if a.len() <= b.len() { &a } else { &b };
-        if smaller.len() <= 32 {
-            println!("smaller side: {smaller:?}");
+        println!("value: {}", cut.value);
+        if !quiet {
+            let (a, b) = cut.partition();
+            println!("algorithm: {}", cut.algorithm);
+            println!("sides: {} / {} vertices", a.len(), b.len());
+            if let Some(kind) = cut.kind {
+                println!("kind: {kind:?}");
+            }
+            println!("crossing edges: {}", cut.crossing_edges(g).len());
+            if !multi {
+                println!("time: {:.1} ms", elapsed.as_secs_f64() * 1e3);
+            }
+            let smaller = if a.len() <= b.len() { &a } else { &b };
+            if smaller.len() <= 32 {
+                println!("smaller side: {smaller:?}");
+            }
         }
+    }
+    if multi && !quiet {
+        println!(
+            "batch: {} graphs in {:.1} ms (one shared workspace)",
+            files.len(),
+            elapsed.as_secs_f64() * 1e3
+        );
     }
     Ok(())
 }

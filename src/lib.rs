@@ -57,7 +57,7 @@ pub use pmc_packing as packing;
 pub use pmc_par as par;
 
 pub use pmc_core::{
-    minimum_cut, solver_by_name, solver_names, solvers, MinCutConfig, MinCutResult, MinCutSolver,
-    SolverConfig,
+    minimum_cut, minimum_cut_with, solver_by_name, solver_names, solvers, MinCutConfig,
+    MinCutResult, MinCutSolver, SolverConfig, SolverWorkspace,
 };
 pub use pmc_graph::{Graph, PmcError, RootedTree};

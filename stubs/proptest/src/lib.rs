@@ -252,7 +252,7 @@ pub mod collection {
     use super::{Strategy, TestRunner};
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+    /// Sizes accepted by [`vec()`]: a fixed length or a range of lengths.
     pub trait SizeRange {
         fn pick(&self, runner: &mut TestRunner) -> usize;
     }

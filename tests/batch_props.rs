@@ -1,0 +1,66 @@
+//! Property tests for the amortized solve seam: for every registered
+//! solver, `solve_batch` (one shared [`SolverWorkspace`] across the batch)
+//! is extensionally equal to calling `solve` on each graph in order — same
+//! values, same witness partitions — across random `gnm_connected` and
+//! `planted_bisection` workloads. This is the load-bearing guarantee of
+//! the workspace design: an arena, never a cache.
+
+use parallel_mincut::graph::gen;
+use parallel_mincut::{solvers, Graph, MinCutSolver, SolverConfig, SolverWorkspace};
+use proptest::prelude::*;
+
+/// A random batch mixing both workload families. Sizes stay within the
+/// `brute` solver's `n ≤ 24` enumeration bound so every registered solver
+/// can run on every graph.
+fn arb_batch() -> impl Strategy<Value = Vec<Graph>> {
+    prop::collection::vec(
+        (6usize..20, 1usize..4, 0u64..10_000, prop::bool::ANY).prop_map(
+            |(n, density, seed, planted)| {
+                if planted {
+                    let half = (n / 2).max(3);
+                    gen::planted_bisection(half, half, 20, 2, half, seed).0
+                } else {
+                    gen::gnm_connected(n, density * n, 8, seed)
+                }
+            },
+        ),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn solve_batch_equals_sequential_solves(graphs in arb_batch(), seed in 0u64..1000) {
+        let cfg = SolverConfig::with_seed(seed);
+        for solver in solvers() {
+            let batch = solver.solve_batch(&graphs, &cfg).unwrap();
+            prop_assert_eq!(batch.len(), graphs.len());
+            for (g, got) in graphs.iter().zip(&batch) {
+                let want = solver.solve(g, &cfg).unwrap();
+                prop_assert_eq!(got.value, want.value, "solver {}", solver.name());
+                prop_assert_eq!(&got.side, &want.side, "solver {}", solver.name());
+                prop_assert!(g.is_proper_cut(&got.side), "solver {}", solver.name());
+                prop_assert_eq!(g.cut_value(&got.side), got.value, "solver {}", solver.name());
+            }
+        }
+    }
+
+    #[test]
+    fn one_workspace_survives_interleaved_solvers(graphs in arb_batch(), seed in 0u64..1000) {
+        // A single workspace shared across *different* solvers and graphs
+        // must never leak state between solves.
+        let cfg = SolverConfig::with_seed(seed);
+        let mut ws = SolverWorkspace::new();
+        let all: Vec<Box<dyn MinCutSolver>> = solvers();
+        for (i, g) in graphs.iter().enumerate() {
+            for solver in &all {
+                let got = solver.solve_with(g, &cfg, &mut ws).unwrap();
+                let want = solver.solve(g, &cfg).unwrap();
+                prop_assert_eq!(got.value, want.value, "graph {} solver {}", i, solver.name());
+                prop_assert_eq!(&got.side, &want.side, "graph {} solver {}", i, solver.name());
+            }
+        }
+    }
+}

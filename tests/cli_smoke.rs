@@ -84,6 +84,66 @@ fn unknown_algo_is_rejected_with_clear_message() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("unknown algorithm"), "{err}");
+    assert!(err.contains("nope"), "{err}");
+    // The error is self-describing: every registry name and alias listed.
+    for name in [
+        "paper",
+        "gg",
+        "ours",
+        "sw",
+        "stoer-wagner",
+        "contract",
+        "karger-stein",
+        "ks",
+        "quadratic",
+        "karger-parallel",
+        "brute",
+    ] {
+        assert!(err.contains(name), "missing {name} in: {err}");
+    }
+}
+
+#[test]
+fn mincut_batches_multiple_files_through_one_workspace() {
+    let dir = std::env::temp_dir().join("pmc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut files = Vec::new();
+    for (i, (n, m)) in [(12u32, 30u32), (16, 40), (20, 50)].iter().enumerate() {
+        let f = dir.join(format!("cli_batch_{i}.dimacs"));
+        let fs = f.to_str().unwrap().to_string();
+        let out = pmc()
+            .args([
+                "gen",
+                "gnm",
+                &n.to_string(),
+                &m.to_string(),
+                "6",
+                &(i as u32 + 1).to_string(),
+                "--out",
+                &fs,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "gen failed: {out:?}");
+        files.push(fs);
+    }
+    // Batch solve of all three files…
+    let mut cmd = pmc();
+    cmd.arg("mincut").args(&files).args(["--algo", "sw"]);
+    let text = stdout_of(cmd.output().unwrap());
+    assert_eq!(text.matches("file: ").count(), 3, "{text}");
+    assert!(text.contains("batch: 3 graphs"), "{text}");
+    let batch_values: Vec<u64> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("value: "))
+        .map(|v| v.parse().unwrap())
+        .collect();
+    assert_eq!(batch_values.len(), 3);
+    // …must agree with solving each file on its own.
+    for (f, want) in files.iter().zip(&batch_values) {
+        let one = stdout_of(pmc().args(["mincut", f, "--algo", "sw"]).output().unwrap());
+        assert_eq!(cut_value(&one), *want, "{f}");
+    }
 }
 
 #[test]
