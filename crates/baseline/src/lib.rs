@@ -12,7 +12,7 @@ pub mod contraction;
 pub mod quadratic;
 pub mod stoer_wagner;
 
-pub use brute::brute_force_min_cut;
+pub use brute::{brute_force_min_cut, BRUTE_MAX_N};
 pub use contraction::{karger_contract_once, karger_stein, repeated_contraction};
 pub use quadratic::quadratic_two_respect;
 pub use stoer_wagner::{stoer_wagner, stoer_wagner_ws, SwScratch};

@@ -1,0 +1,75 @@
+//! E12 — the scenario-corpus conformance report.
+//!
+//! Runs the full differential suite (every scenario × every applicable
+//! registered solver × `--seeds` seeds, default 3) on a worker-thread
+//! pool and writes the machine-readable summary committed at the repo
+//! root as `BENCH_suite.json`, so every future PR diffs against a known
+//! zero-disagreement baseline.
+//!
+//! ```text
+//! cargo run --release -p pmc-bench --bin suite_report [--quick] [--seeds K] [--threads T] [--out FILE]
+//! ```
+//!
+//! `--quick` restricts the corpus to the `smoke` slice (used by CI to
+//! keep the emitter honest without paying for the full sweep).
+
+use std::io::Write as _;
+
+use pmc_scenario::{run_suite, SuiteConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_suite.json".into());
+    let mut cfg = SuiteConfig {
+        filter: quick.then(|| "smoke".into()),
+        seeds: if quick { 2 } else { 3 },
+        ..SuiteConfig::default()
+    };
+    if let Some(k) = flag("--seeds") {
+        cfg.seeds = k.parse().expect("bad --seeds");
+    }
+    if let Some(t) = flag("--threads") {
+        cfg.threads = t.parse().expect("bad --threads");
+    }
+
+    println!("# E12 — scenario corpus conformance");
+    println!();
+    let report = run_suite(&cfg);
+    println!(
+        "{} scenarios / {} families, {} cells on {} threads in {:.1} ms",
+        report.scenario_count,
+        report.family_count,
+        report.cells.len(),
+        report.threads,
+        report.elapsed_ms
+    );
+    println!("| family | scenarios | cells | disagreements | mean us |");
+    println!("|---|---|---|---|---|");
+    for f in report.family_summaries() {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            f.family, f.scenarios, f.cells, f.disagreements, f.mean_micros
+        );
+    }
+
+    let json = report.to_json();
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    let bad = report.disagreements();
+    assert!(
+        bad.is_empty(),
+        "suite_report: {} disagreeing cells (first: {:?})",
+        bad.len(),
+        bad.first()
+    );
+}

@@ -37,8 +37,8 @@ use pmc_packing::{pack_trees, pack_trees_with, rooted_tree_from_edges, PackingCo
 pub use pmc_graph::PmcError;
 pub use respect1::{best_one_respect, one_respect_cuts, SubtreeCuts};
 pub use solver::{
-    solver_by_name, solver_names, solvers, BruteSolver, ContractionSolver, MinCutSolver,
-    PaperSolver, QuadraticSolver, SolverConfig, StoerWagnerSolver, ALGORITHM_ALIASES,
+    solver_by_name, solver_names, solvers, solvers_for, BruteSolver, ContractionSolver,
+    MinCutSolver, PaperSolver, QuadraticSolver, SolverConfig, StoerWagnerSolver, ALGORITHM_ALIASES,
 };
 pub use two_respect::{
     two_respect_mincut, two_respect_mincut_reusing, two_respect_mincut_with, ExecMode, RespectKind,

@@ -140,6 +140,16 @@ pub trait MinCutSolver: Send + Sync {
     /// One-line human description for `--help` output and tables.
     fn description(&self) -> &'static str;
 
+    /// Whether this solver can run on `g` at all (structural capability,
+    /// not expected success probability). The default is unconditional;
+    /// solvers with hard input bounds — brute force's enumeration limit —
+    /// override it so corpus sweeps can skip inapplicable cells instead of
+    /// tripping over [`PmcError::Unsupported`].
+    fn supports(&self, g: &Graph) -> bool {
+        let _ = g;
+        true
+    }
+
     /// Computes a minimum cut of `g` under `cfg`.
     ///
     /// The returned partition is always a proper cut whose value matches
@@ -495,6 +505,10 @@ impl MinCutSolver for BruteSolver {
         "exhaustive bipartition enumeration (exact, n <= 24)"
     }
 
+    fn supports(&self, g: &Graph) -> bool {
+        g.n() <= pmc_baseline::BRUTE_MAX_N
+    }
+
     fn solve(&self, g: &Graph, cfg: &SolverConfig) -> Result<MinCutResult, PmcError> {
         cfg.validate()?;
         let r = with_thread_budget(cfg.threads, || brute_force_min_cut(g))??;
@@ -520,6 +534,25 @@ pub fn solvers() -> Vec<Box<dyn MinCutSolver>> {
 /// Registry names of all solvers, in [`solvers`] order.
 pub fn solver_names() -> Vec<&'static str> {
     solvers().iter().map(|s| s.name()).collect()
+}
+
+/// The registered solvers that [`MinCutSolver::supports`] `g` — the
+/// corpus-sweep iteration helper: every solver in the returned set can be
+/// run on `g` and compared against the others without special-casing
+/// input bounds at the call site.
+///
+/// ```
+/// use pmc_core::{solvers, solvers_for};
+/// use pmc_graph::gen;
+///
+/// let small = gen::gnm_connected(12, 24, 4, 1);
+/// assert_eq!(solvers_for(&small).len(), solvers().len());
+/// let big = gen::gnm_connected(60, 120, 4, 1);
+/// // Brute force refuses n > 24, so the applicable set shrinks by one.
+/// assert_eq!(solvers_for(&big).len(), solvers().len() - 1);
+/// ```
+pub fn solvers_for(g: &Graph) -> Vec<Box<dyn MinCutSolver>> {
+    solvers().into_iter().filter(|s| s.supports(g)).collect()
 }
 
 /// Registry names with their aliases, in [`solvers`] order — the single

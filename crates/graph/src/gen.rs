@@ -18,20 +18,34 @@ use crate::graph::{Graph, Weight};
 /// # Panics
 /// Panics if `m < n - 1` or `n == 0`.
 pub fn gnm_connected(n: usize, m: usize, max_w: Weight, seed: u64) -> Graph {
+    gnm_with(n, m, seed, |rng| rng.gen_range(1..=max_w))
+}
+
+/// The shared connected-multigraph construction behind [`gnm_connected`]
+/// and [`gnm_heavy_tailed`]: a random attachment tree (keeps diameter
+/// small yet irregular) plus uniform random non-loop fill edges, each
+/// weighted by one `weight` draw at the moment the edge is placed.
+fn gnm_with(
+    n: usize,
+    m: usize,
+    seed: u64,
+    mut weight: impl FnMut(&mut SmallRng) -> Weight,
+) -> Graph {
     assert!(n >= 1);
     assert!(m + 1 >= n, "need at least n-1 edges for connectivity");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges: Vec<(u32, u32, Weight)> = Vec::with_capacity(m);
-    // Random attachment tree keeps diameter small yet irregular.
     for v in 1..n {
         let p = rng.gen_range(0..v);
-        edges.push((p as u32, v as u32, rng.gen_range(1..=max_w)));
+        let w = weight(&mut rng);
+        edges.push((p as u32, v as u32, w));
     }
     while edges.len() < m {
         let u = rng.gen_range(0..n) as u32;
         let v = rng.gen_range(0..n) as u32;
         if u != v {
-            edges.push((u, v, rng.gen_range(1..=max_w)));
+            let w = weight(&mut rng);
+            edges.push((u, v, w));
         }
     }
     Graph::from_edges(n, &edges).unwrap()
@@ -254,6 +268,163 @@ pub fn community_ring(
 use rand::seq::SliceRandom;
 
 // ---------------------------------------------------------------------------
+// Adversarial families for the differential scenario corpus. Each targets a
+// structural regime the randomized solvers could plausibly mishandle:
+// uniform degrees (no weak vertex to latch onto), power-law degrees (hub
+// domination), heavy-tailed weights (skewed packing rates), near-disconnected
+// bridges (cut value far below every degree), and contracted multigraphs
+// (parallel edges, the paper's intermediate representation).
+// ---------------------------------------------------------------------------
+
+/// A random `d`-regular multigraph via the configuration (pairing) model:
+/// `d` stubs per vertex, paired uniformly; pairings with self-loops are
+/// rejected and resampled, parallel edges are kept. Unit weights, so every
+/// weighted degree is exactly `d`. Deterministically retries derived seeds
+/// until the sample is connected (almost every sample is, for `d >= 3`).
+///
+/// # Panics
+/// Panics if `n < 2`, `d < 2`, `d >= n` is allowed (multigraph), or
+/// `n * d` is odd (no perfect pairing exists).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n >= 2 && d >= 2, "need n >= 2 and d >= 2");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n * d must be even for a pairing to exist"
+    );
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
+    for attempt in 0..10_000u64 {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+        stubs.shuffle(&mut rng);
+        if stubs.chunks_exact(2).any(|p| p[0] == p[1]) {
+            continue;
+        }
+        let edges: Vec<(u32, u32, Weight)> =
+            stubs.chunks_exact(2).map(|p| (p[0], p[1], 1)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        if crate::components::is_connected(&g) {
+            return g;
+        }
+    }
+    panic!("random_regular({n}, {d}): no connected pairing found (d too small?)");
+}
+
+/// Preferential attachment (Barabási–Albert): a seed clique on
+/// `attach + 1` vertices, then each new vertex connects `attach` unit
+/// edges to existing vertices sampled proportionally to current degree.
+/// Produces power-law degrees — a few hubs carry most of the edges, so
+/// vertex-isolation cuts vary over orders of magnitude. Connected by
+/// construction; parallel edges possible and kept.
+///
+/// # Panics
+/// Panics if `attach < 1` or `n <= attach + 1`.
+pub fn preferential_attachment(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(attach >= 1, "attach must be >= 1");
+    assert!(n > attach + 1, "need n > attach + 1 for the seed clique");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m0 = attach + 1;
+    let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+    // One endpoint entry per edge side: sampling uniformly from this list
+    // is sampling vertices proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::new();
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            edges.push((u as u32, v as u32, 1));
+            endpoints.push(u as u32);
+            endpoints.push(v as u32);
+        }
+    }
+    for v in m0..n {
+        // Sample all of v's targets before adding v to the pool — v must
+        // never attach to itself.
+        let targets: Vec<u32> = (0..attach)
+            .map(|_| endpoints[rng.gen_range(0..endpoints.len())])
+            .collect();
+        for t in targets {
+            edges.push((v as u32, t, 1));
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+/// A connected random multigraph like [`gnm_connected`], but with
+/// heavy-tailed weights `2^k` for `k` uniform in `0..=10` — three orders
+/// of magnitude of skew, stressing weight-proportional choices (packing
+/// rates, contraction sampling) that uniform weights never exercise.
+///
+/// # Panics
+/// Panics if `m < n - 1` or `n == 0`.
+pub fn gnm_heavy_tailed(n: usize, m: usize, seed: u64) -> Graph {
+    gnm_with(n, m, seed, |rng| 1u64 << rng.gen_range(0..11u32))
+}
+
+/// A near-disconnected graph: two random blobs (cycle + `chords` chords,
+/// all at weight `2 * bridge_w`) joined by a single bridge of weight
+/// `bridge_w`. Any cut splitting a blob costs at least two blob edges
+/// (`4 * bridge_w`), so the minimum cut is exactly the bridge. Returns the
+/// graph and its exact minimum cut value (`bridge_w`).
+///
+/// # Panics
+/// Panics if `side < 3` or `bridge_w == 0`.
+pub fn bridge_graph(side: usize, chords: usize, bridge_w: Weight, seed: u64) -> (Graph, u64) {
+    assert!(side >= 3, "blobs need >= 3 vertices for cycles");
+    assert!(bridge_w >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let inner_w = 2 * bridge_w;
+    let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+    for blob in 0..2 {
+        let lo = blob * side;
+        for i in 0..side {
+            let u = (lo + i) as u32;
+            let v = (lo + (i + 1) % side) as u32;
+            edges.push((u, v, inner_w));
+        }
+        for _ in 0..chords {
+            let a = (lo + rng.gen_range(0..side)) as u32;
+            let b = (lo + rng.gen_range(0..side)) as u32;
+            if a != b {
+                edges.push((a, b, inner_w));
+            }
+        }
+    }
+    let a = rng.gen_range(0..side) as u32;
+    let b = (side + rng.gen_range(0..side)) as u32;
+    edges.push((a, b, bridge_w));
+    edges.shuffle(&mut rng);
+    (Graph::from_edges(2 * side, &edges).unwrap(), bridge_w)
+}
+
+/// A contracted-multigraph stress case: a random connected base graph on
+/// `n_base` vertices and `m_base` edges quotiented down to `k` super
+/// vertices by a random surjective mapping. Self-loops are dropped and
+/// parallel edges kept, exactly as in the paper's bough-phase cascade —
+/// the resulting dense multigraph is the representation the contraction
+/// pipeline works on internally.
+///
+/// # Panics
+/// Panics if `k < 2`, `n_base < k`, or `m_base < n_base - 1`.
+pub fn contracted_multigraph(n_base: usize, m_base: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 2 && n_base >= k);
+    let base = gnm_connected(n_base, m_base, 8, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC04_7AC7);
+    // First k vertices pin their own class (surjectivity); the rest land
+    // uniformly.
+    let mapping: Vec<u32> = (0..n_base)
+        .map(|v| {
+            if v < k {
+                v as u32
+            } else {
+                rng.gen_range(0..k) as u32
+            }
+        })
+        .collect();
+    crate::contract::contract(&base, &mapping, k)
+}
+
+// ---------------------------------------------------------------------------
 // Tree-shape generators (for decomposition / MinPath experiments). These
 // return parent arrays suitable for `RootedTree::from_parents`.
 // ---------------------------------------------------------------------------
@@ -467,5 +638,84 @@ mod tests {
         let a = gnm_connected(60, 120, 9, 42);
         let b = gnm_connected(60, 120, 9, 42);
         assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_connected() {
+        for (n, d, seed) in [(20, 3, 1u64), (30, 4, 2), (17, 6, 3)] {
+            let g = random_regular(n, d, seed);
+            assert_eq!(g.n(), n);
+            assert_eq!(g.m(), n * d / 2);
+            for v in 0..n as u32 {
+                assert_eq!(g.weighted_degree(v), d as u64, "vertex {v}");
+            }
+            assert!(is_connected(&g));
+        }
+        let a = random_regular(24, 4, 9);
+        let b = random_regular(24, 4, 9);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(50, 3, 4);
+        assert_eq!(g.n(), 50);
+        // Seed clique K_4 (6 edges) + 3 per later vertex.
+        assert_eq!(g.m(), 6 + 3 * 46);
+        assert!(is_connected(&g));
+        // Power law: the max degree dwarfs the attach count.
+        let max_deg = (0..50u32).map(|v| g.weighted_degree(v)).max().unwrap();
+        assert!(max_deg >= 8, "no hub emerged: max degree {max_deg}");
+    }
+
+    #[test]
+    fn heavy_tailed_weights_span_orders_of_magnitude() {
+        let g = gnm_heavy_tailed(60, 180, 7);
+        assert_eq!(g.n(), 60);
+        assert_eq!(g.m(), 180);
+        assert!(is_connected(&g));
+        let min_w = g.edges().iter().map(|e| e.w).min().unwrap();
+        let max_w = g.edges().iter().map(|e| e.w).max().unwrap();
+        assert!(
+            min_w <= 2 && max_w >= 256,
+            "tail too thin: {min_w}..{max_w}"
+        );
+        assert!(g.edges().iter().all(|e| e.w.is_power_of_two()));
+    }
+
+    #[test]
+    fn bridge_graph_cut_is_the_bridge() {
+        let (g, value) = bridge_graph(8, 5, 3, 11);
+        assert_eq!(g.n(), 16);
+        assert_eq!(value, 3);
+        let side: Vec<bool> = (0..16).map(|v| v < 8).collect();
+        assert_eq!(g.cut_value(&side), 3);
+        // Exhaustive check that no cut beats the bridge.
+        let mut best = u64::MAX;
+        for mask in 1..(1u32 << 16) - 1 {
+            let s: Vec<bool> = (0..16).map(|v| mask >> v & 1 == 1).collect();
+            best = best.min(g.cut_value(&s));
+        }
+        assert_eq!(best, 3);
+    }
+
+    #[test]
+    fn contracted_multigraph_keeps_parallel_edges() {
+        let g = contracted_multigraph(40, 120, 8, 5);
+        assert_eq!(g.n(), 8);
+        assert!(is_connected(&g));
+        assert!(g.edges().iter().all(|e| e.u != e.v), "self-loop survived");
+        // Quotienting 120 edges onto 8 classes must produce parallels.
+        let mut pairs: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+            .collect();
+        pairs.sort_unstable();
+        let distinct = {
+            pairs.dedup();
+            pairs.len()
+        };
+        assert!(distinct < g.m(), "no parallel edges in the quotient");
     }
 }

@@ -63,6 +63,15 @@ fn parse_err(line: usize, message: impl Into<String>) -> IoError {
     }
 }
 
+/// Largest vertex count a parsed file may declare or imply. Bounds the
+/// allocation a hostile header (or a stray huge endpoint in an edge list)
+/// can trigger before a single edge is validated.
+pub const MAX_PARSED_VERTICES: usize = 1 << 26;
+
+/// Largest edge count a DIMACS problem line may declare — the `reserve`
+/// on a fabricated `p` line must not be able to abort the process.
+pub const MAX_PARSED_EDGES: usize = 1 << 28;
+
 /// Reads a DIMACS-like graph (`p`/`e` lines, 1-indexed endpoints).
 pub fn read_dimacs<R: Read>(reader: R) -> Result<Graph, IoError> {
     let reader = BufReader::new(reader);
@@ -94,6 +103,21 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<Graph, IoError> {
                 let me: usize = ms
                     .parse()
                     .map_err(|_| parse_err(lineno, "bad edge count"))?;
+                if nv == 0 {
+                    return Err(parse_err(lineno, "graph must have at least one vertex"));
+                }
+                if nv > MAX_PARSED_VERTICES {
+                    return Err(parse_err(
+                        lineno,
+                        format!("vertex count {nv} exceeds the limit {MAX_PARSED_VERTICES}"),
+                    ));
+                }
+                if me > MAX_PARSED_EDGES {
+                    return Err(parse_err(
+                        lineno,
+                        format!("edge count {me} exceeds the limit {MAX_PARSED_EDGES}"),
+                    ));
+                }
                 edges.reserve(me);
                 n = Some(nv);
             }
@@ -162,6 +186,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
             None => 1,
             Some(t) => t.parse().map_err(|_| parse_err(lineno, "bad weight"))?,
         };
+        if u as usize >= MAX_PARSED_VERTICES || v as usize >= MAX_PARSED_VERTICES {
+            return Err(parse_err(
+                lineno,
+                format!("endpoint exceeds the vertex limit {MAX_PARSED_VERTICES}"),
+            ));
+        }
         max_v = max_v.max(u).max(v);
         edges.push((u, v, w));
     }

@@ -1,0 +1,40 @@
+//! # pmc-scenario — the differential scenario corpus
+//!
+//! The paper's algorithm is randomized twice over (Monte Carlo tree
+//! packing, Las Vegas contraction), so a trustworthy reproduction needs
+//! *systematic* differential verification, not spot checks. This crate
+//! provides it in two layers:
+//!
+//! * [`mod@corpus`] — a registry of named, parameterized [`Scenario`]s
+//!   spanning every generator in `pmc_graph::gen` plus adversarial
+//!   families (random-regular, preferential-attachment, heavy-tailed
+//!   weights, near-disconnected bridges, contracted multigraphs). Each
+//!   scenario instantiates a graph from a seed and annotates it with an
+//!   [`Oracle`]: the exact minimum cut when it is derivable from the
+//!   construction, or the Stoer–Wagner baseline otherwise.
+//! * [`suite`] — the parallel differential runner behind `pmc suite`:
+//!   every scenario × registered solver × seed cell is fanned across a
+//!   worker pool (each worker owning its own
+//!   [`SolverWorkspace`](pmc_core::SolverWorkspace) arena), compared
+//!   against the oracle, and aggregated into a machine-readable
+//!   [`SuiteReport`].
+//!
+//! ```
+//! use pmc_scenario::{corpus, run_suite, SuiteConfig};
+//!
+//! // The smoke slice touches every family with brute-force-sized graphs.
+//! let report = run_suite(&SuiteConfig {
+//!     filter: Some("smoke".into()),
+//!     seeds: 1,
+//!     threads: 2,
+//!     ..SuiteConfig::default()
+//! });
+//! assert!(report.all_agree(), "{:?}", report.disagreements());
+//! assert_eq!(report.family_count, corpus().iter().map(|s| s.family()).collect::<std::collections::BTreeSet<_>>().len());
+//! ```
+
+pub mod corpus;
+pub mod suite;
+
+pub use corpus::{corpus, corpus_filtered, Instance, Oracle, Scenario};
+pub use suite::{run_suite, FamilySummary, SuiteCell, SuiteConfig, SuiteReport};

@@ -3,9 +3,11 @@
 //! ```text
 //! pmc mincut <file..> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
 //! pmc gen <family> <args..> [--out FILE]               generate a workload
+//! pmc suite [--filter F] [--threads T] [--seeds K] [--json]   differential corpus run
 //! pmc info <file>                                      print graph statistics
 //! pmc verify <file> <value> [--algo A]                 recompute and compare
 //! pmc algos                                            list registered algorithms
+//! pmc scenarios                                        list the scenario corpus
 //! ```
 //!
 //! Every algorithm — the paper's parallel solver and all baselines — runs
@@ -14,15 +16,16 @@
 //! lists (anything else); `-` means stdin. `mincut` accepts any number of
 //! input files and runs them as one batch through
 //! [`MinCutSolver::solve_batch`], amortizing a single solver workspace
-//! across all of them. Generator families:
-//! `gnm n m [max_w] [seed]`, `planted n_a n_b inner cross chords [seed]`,
-//! `cycle n chords [seed]`, `grid rows cols`, `barbell k`.
+//! across all of them. `suite` fans the scenario corpus × every registered
+//! solver × `--seeds` seeds across a worker-thread pool and compares each
+//! cut value against the scenario's oracle.
 
 use std::io::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
 use parallel_mincut::graph::{gen, io};
+use parallel_mincut::scenario::{corpus, run_suite, SuiteConfig};
 use parallel_mincut::{solver_by_name, solvers, Graph, MinCutSolver, SolverConfig};
 
 fn main() -> ExitCode {
@@ -30,9 +33,11 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("mincut") => cmd_mincut(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("algos") => cmd_algos(),
+        Some("scenarios") => cmd_scenarios(),
         Some("--help") | Some("-h") => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -59,9 +64,16 @@ const USAGE: &str = "usage:
   pmc gen cycle <n> <chords> [seed] [--out FILE]
   pmc gen grid <rows> <cols> [--out FILE]
   pmc gen barbell <k> [--out FILE]
+  pmc gen complete <n> [max_w] [seed] [--out FILE]
+  pmc gen hypercube <d> [--out FILE]
+  pmc gen torus <rows> <cols> [--out FILE]
+  pmc gen wheel <n> [--out FILE]
+  pmc gen community_ring <communities> <size> [inner_w] [seed] [--out FILE]
+  pmc suite [--filter F] [--threads T] [--seeds K] [--json]
   pmc info <file>
   pmc verify <file> <value> [--algo A]
   pmc algos
+  pmc scenarios
 
 algorithms (--algo): paper (default), sw, contract, quadratic, brute";
 
@@ -208,32 +220,69 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             .or(default)
             .ok_or_else(|| format!("gen {family}: missing argument {i}"))
     };
-    let g = match family.as_str() {
-        "gnm" => gen::gnm_connected(
-            arg(0, None)? as usize,
-            arg(1, None)? as usize,
-            arg(2, Some(10))?,
-            arg(3, Some(1))?,
-        ),
-        "planted" => {
-            gen::planted_bisection(
+    // Generators validate their parameters with asserts; surface those as
+    // CLI errors instead of panics with backtraces.
+    let build = || -> Result<Graph, String> {
+        Ok(match family.as_str() {
+            "gnm" => gen::gnm_connected(
                 arg(0, None)? as usize,
                 arg(1, None)? as usize,
-                arg(2, None)?,
-                arg(3, None)? as usize,
-                arg(4, None)? as usize,
-                arg(5, Some(1))?,
-            )
-            .0
+                arg(2, Some(10))?,
+                arg(3, Some(1))?,
+            ),
+            "planted" => {
+                gen::planted_bisection(
+                    arg(0, None)? as usize,
+                    arg(1, None)? as usize,
+                    arg(2, None)?,
+                    arg(3, None)? as usize,
+                    arg(4, None)? as usize,
+                    arg(5, Some(1))?,
+                )
+                .0
+            }
+            "cycle" => gen::cycle_with_chords(
+                arg(0, None)? as usize,
+                arg(1, Some(0))? as usize,
+                arg(2, Some(1))?,
+            ),
+            "grid" => gen::grid(arg(0, None)? as usize, arg(1, None)? as usize),
+            "barbell" => gen::barbell(arg(0, None)? as usize),
+            "complete" => {
+                gen::complete(arg(0, None)? as usize, arg(1, Some(10))?, arg(2, Some(1))?)
+            }
+            "hypercube" => gen::hypercube(
+                u32::try_from(arg(0, None)?)
+                    .map_err(|_| format!("gen {family}: d out of range"))?,
+            ),
+            "torus" => gen::torus(arg(0, None)? as usize, arg(1, None)? as usize),
+            "wheel" => gen::wheel(arg(0, None)? as usize),
+            "community_ring" => {
+                gen::community_ring(
+                    arg(0, None)? as usize,
+                    arg(1, None)? as usize,
+                    arg(2, Some(4))?,
+                    arg(3, Some(1))?,
+                )
+                .0
+            }
+            other => return Err(format!("unknown family {other:?}\n{USAGE}")),
+        })
+    };
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the assert backtrace
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(build));
+    std::panic::set_hook(prev_hook);
+    let g = match built {
+        Ok(g) => g?,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "invalid generator parameters".into());
+            return Err(format!("gen {family}: {msg}"));
         }
-        "cycle" => gen::cycle_with_chords(
-            arg(0, None)? as usize,
-            arg(1, Some(0))? as usize,
-            arg(2, Some(1))?,
-        ),
-        "grid" => gen::grid(arg(0, None)? as usize, arg(1, None)? as usize),
-        "barbell" => gen::barbell(arg(0, None)? as usize),
-        other => return Err(format!("unknown family {other:?}\n{USAGE}")),
     };
     match flag_value(args, "--out") {
         Some(path) => {
@@ -245,6 +294,105 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             let stdout = std::io::stdout();
             io::write_dimacs(&g, stdout.lock()).map_err(|e| e.to_string())?;
         }
+    }
+    Ok(())
+}
+
+const SUITE_FLAGS: &[(&str, bool)] = &[
+    ("--filter", true),
+    ("--threads", true),
+    ("--seeds", true),
+    ("--json", false),
+];
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    check_flags(args, SUITE_FLAGS)?;
+    let mut cfg = SuiteConfig {
+        filter: flag_value(args, "--filter"),
+        ..SuiteConfig::default()
+    };
+    if let Some(t) = flag_value(args, "--threads") {
+        cfg.threads = t.parse().map_err(|_| "bad --threads")?;
+    }
+    if let Some(k) = flag_value(args, "--seeds") {
+        cfg.seeds = k.parse().map_err(|_| "bad --seeds")?;
+        if cfg.seeds == 0 {
+            return Err("suite: --seeds must be >= 1".into());
+        }
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let report = run_suite(&cfg);
+    if report.cells.is_empty() {
+        return Err(format!(
+            "suite: no scenarios match filter {:?}",
+            cfg.filter.as_deref().unwrap_or("")
+        ));
+    }
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "suite: {} scenarios / {} families x {} solvers x {} seeds = {} cells on {} threads",
+            report.scenario_count,
+            report.family_count,
+            report.solver_names().len(),
+            report.seeds,
+            report.cells.len(),
+            report.threads,
+        );
+        println!("| family | scenarios | cells | disagreements | mean us |");
+        println!("|---|---|---|---|---|");
+        for f in report.family_summaries() {
+            println!(
+                "| {} | {} | {} | {} | {} |",
+                f.family, f.scenarios, f.cells, f.disagreements, f.mean_micros
+            );
+        }
+        println!("elapsed: {:.1} ms", report.elapsed_ms);
+    }
+    let bad = report.disagreements();
+    if bad.is_empty() {
+        if !json {
+            println!("conformance: OK (zero disagreements)");
+        }
+        Ok(())
+    } else {
+        for c in bad.iter().take(16) {
+            eprintln!(
+                "DISAGREE {} solver={} seed={}: expected {}, got {:?}{}",
+                c.scenario,
+                c.solver,
+                c.seed,
+                c.expected,
+                c.observed,
+                c.error
+                    .as_deref()
+                    .map(|e| format!(" ({e})"))
+                    .unwrap_or_default()
+            );
+        }
+        Err(format!("suite: {} disagreeing cells", bad.len()))
+    }
+}
+
+fn cmd_scenarios() -> Result<(), String> {
+    println!("| scenario | family | tags | n | m | oracle |");
+    println!("|---|---|---|---|---|---|");
+    for s in corpus() {
+        let inst = s.instantiate(0);
+        let oracle = match inst.oracle {
+            parallel_mincut::scenario::Oracle::Known(v) => format!("known({v})"),
+            parallel_mincut::scenario::Oracle::Baseline => "stoer-wagner".into(),
+        };
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            s.name(),
+            s.family(),
+            s.tags().join(","),
+            inst.graph.n(),
+            inst.graph.m(),
+            oracle
+        );
     }
     Ok(())
 }

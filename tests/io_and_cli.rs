@@ -122,10 +122,109 @@ fn cli_gen_families_produce_parseable_output() {
         vec!["gen", "cycle", "12", "3"],
         vec!["gen", "grid", "4", "5"],
         vec!["gen", "barbell", "4"],
+        vec!["gen", "complete", "8"],
+        vec!["gen", "hypercube", "4"],
+        vec!["gen", "torus", "3", "4"],
+        vec!["gen", "wheel", "7"],
+        vec!["gen", "community_ring", "3", "5"],
     ] {
         let out = pmc().args(&fam).output().unwrap();
         assert!(out.status.success(), "{fam:?}");
         let g = io::read_dimacs(&out.stdout[..]).unwrap();
         assert!(g.n() >= 2, "{fam:?}");
     }
+}
+
+#[test]
+fn cli_gen_rejects_invalid_parameters_without_panicking() {
+    for fam in [
+        vec!["gen", "torus", "2", "2"],
+        vec!["gen", "gnm", "10", "2"],
+        vec!["gen", "hypercube", "40"],
+        vec!["gen", "wheel", "2"],
+    ] {
+        let out = pmc().args(&fam).output().unwrap();
+        assert!(!out.status.success(), "{fam:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.starts_with("pmc: gen"), "{fam:?}: {err}");
+        assert!(!err.contains("backtrace"), "{fam:?}: {err}");
+    }
+}
+
+#[test]
+fn cli_gen_known_cut_families_verify() {
+    // The newly exposed families carry construction-proved cuts: generate
+    // through the CLI, then `pmc verify` the known value end to end.
+    let dir = std::env::temp_dir().join("pmc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, args, want) in [
+        ("hypercube", vec!["gen", "hypercube", "4"], 4u64),
+        ("torus", vec!["gen", "torus", "4", "5"], 4),
+        ("wheel", vec!["gen", "wheel", "11"], 3),
+        ("community", vec!["gen", "community_ring", "4", "5"], 2),
+    ] {
+        let file = dir.join(format!("gen_{name}.dimacs"));
+        let file_s = file.to_str().unwrap().to_string();
+        let mut full = args.clone();
+        full.push("--out");
+        full.push(&file_s);
+        let out = pmc().args(&full).output().unwrap();
+        assert!(out.status.success(), "{name}: {out:?}");
+        let out = pmc()
+            .args(["verify", &file_s, &want.to_string()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{name}: verify {want} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn cli_suite_smoke_and_json() {
+    let out = pmc()
+        .args([
+            "suite",
+            "--filter",
+            "smoke",
+            "--seeds",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "suite failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("conformance: OK"), "{text}");
+
+    let out = pmc()
+        .args(["suite", "--filter", "torus", "--seeds", "1", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"disagreement_count\": 0"), "{text}");
+
+    // A filter matching nothing is an error, not an empty success.
+    let out = pmc()
+        .args(["suite", "--filter", "no-such-family"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // `pmc scenarios` lists the corpus.
+    let out = pmc().args(["scenarios"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("hypercube/d4") && text.contains("known(4)"),
+        "{text}"
+    );
 }

@@ -1,0 +1,178 @@
+//! Fuzz-style robustness tests for the graph file parsers: truncated
+//! lines, overflowing counts and weights, duplicate headers, zero-vertex
+//! declarations, and seeded random mutations of valid files must all
+//! surface as graceful errors (convertible to `PmcError`), never as
+//! panics or unbounded allocations.
+
+use parallel_mincut::graph::io::{read_dimacs, read_edge_list, write_dimacs, IoError};
+use parallel_mincut::graph::{gen, PmcError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Every parser error must flow into the workspace-wide `PmcError` (the
+/// CLI and suite surfaces) without losing its message.
+fn as_pmc(e: IoError) -> PmcError {
+    PmcError::from(e)
+}
+
+#[test]
+fn dimacs_truncated_lines_are_parse_errors() {
+    for text in [
+        "p cut 3",        // missing edge count
+        "p",              // bare problem line
+        "p cut 3 2\ne 1", // edge missing endpoint
+        "p cut 3 2\ne 1 2 3 trailing is ok\ne",
+        "p cut 3 2\ne 1 2\ne 2", // second edge truncated
+    ] {
+        let err = read_dimacs(text.as_bytes()).expect_err(text);
+        let msg = as_pmc(err).to_string();
+        assert!(msg.contains("line"), "{text:?} -> {msg}");
+    }
+}
+
+#[test]
+fn dimacs_overflow_counts_and_weights_are_rejected() {
+    // Weight larger than u64.
+    let overflow_w = "p cut 2 1\ne 1 2 99999999999999999999999999\n";
+    assert!(matches!(
+        read_dimacs(overflow_w.as_bytes()),
+        Err(IoError::Parse { line: 2, .. })
+    ));
+    // Declared edge count that would make `reserve` abort the process.
+    let huge_m = "p cut 4 99999999999999999\n";
+    assert!(matches!(
+        read_dimacs(huge_m.as_bytes()),
+        Err(IoError::Parse { line: 1, .. })
+    ));
+    // Declared vertex count that would allocate tens of gigabytes.
+    let huge_n = "p cut 99999999999 1\ne 1 2 1\n";
+    assert!(matches!(
+        read_dimacs(huge_n.as_bytes()),
+        Err(IoError::Parse { line: 1, .. })
+    ));
+    // Sum of valid weights overflowing the total-weight budget is a graph
+    // error, not a wraparound.
+    let sum_overflow = format!("p cut 3 2\ne 1 2 {w}\ne 2 3 {w}\n", w = u64::MAX / 2 + 1);
+    assert!(matches!(
+        read_dimacs(sum_overflow.as_bytes()),
+        Err(IoError::Graph(_))
+    ));
+}
+
+#[test]
+fn dimacs_duplicate_and_missing_headers() {
+    assert!(matches!(
+        read_dimacs("p cut 3 1\np cut 4 1\n".as_bytes()),
+        Err(IoError::Parse { line: 2, .. })
+    ));
+    assert!(matches!(
+        read_dimacs("c only comments\n".as_bytes()),
+        Err(IoError::Parse { .. })
+    ));
+    assert!(matches!(
+        read_dimacs("e 1 2 1\n".as_bytes()),
+        Err(IoError::Parse { line: 1, .. })
+    ));
+}
+
+#[test]
+fn dimacs_zero_vertex_graphs_are_rejected() {
+    for text in ["p cut 0 0\n", "p cut 0 1\ne 1 1 1\n"] {
+        let err = read_dimacs(text.as_bytes()).expect_err(text);
+        let msg = as_pmc(err).to_string();
+        assert!(msg.contains("line 1"), "{text:?} -> {msg}");
+    }
+}
+
+#[test]
+fn edge_list_hostile_inputs_are_graceful() {
+    // Endpoint implying a ~4-billion-vertex graph must not allocate.
+    assert!(matches!(
+        read_edge_list("0 4294967295 1\n".as_bytes()),
+        Err(IoError::Parse { line: 1, .. })
+    ));
+    // Truncated, overflowing, and garbage lines.
+    for text in [
+        "0\n",
+        "0 1 99999999999999999999999\n",
+        "0 -1 1\n",
+        "zero one\n",
+        "",
+    ] {
+        assert!(
+            matches!(read_edge_list(text.as_bytes()), Err(IoError::Parse { .. })),
+            "{text:?}"
+        );
+    }
+    // Self-loops are graph errors with the offending context preserved.
+    assert!(matches!(
+        read_edge_list("3 3 1\n".as_bytes()),
+        Err(IoError::Graph(_))
+    ));
+}
+
+#[test]
+fn seeded_mutation_fuzz_never_panics() {
+    // Take a valid DIMACS file and a valid edge list, apply seeded random
+    // byte mutations (flips, truncations, duplications), and require the
+    // parsers to return — Ok or Err, never panic. Runs a deterministic
+    // corpus of a few hundred mutants.
+    let g = gen::gnm_connected(20, 45, 9, 7);
+    let mut dimacs = Vec::new();
+    write_dimacs(&g, &mut dimacs).unwrap();
+    let edge_list: Vec<u8> = g
+        .edges()
+        .iter()
+        .map(|e| format!("{} {} {}\n", e.u, e.v, e.w))
+        .collect::<String>()
+        .into_bytes();
+
+    let mut rng = SmallRng::seed_from_u64(0xF422);
+    for round in 0..300 {
+        for base in [&dimacs, &edge_list] {
+            let mut mutant = base.clone();
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    // Flip a byte to a random printable-ish character.
+                    let i = rng.gen_range(0..mutant.len());
+                    mutant[i] = rng.gen_range(0x20..0x7Fu32) as u8;
+                }
+                1 => {
+                    // Truncate mid-file (possibly mid-line).
+                    let i = rng.gen_range(0..mutant.len());
+                    mutant.truncate(i);
+                }
+                2 => {
+                    // Duplicate a slice (can duplicate the p-line).
+                    let i = rng.gen_range(0..mutant.len());
+                    let j = rng.gen_range(i..mutant.len());
+                    let slice: Vec<u8> = mutant[i..j].to_vec();
+                    mutant.extend_from_slice(&slice);
+                }
+                _ => {
+                    // Inject a hostile token at a random line start.
+                    let tokens: [&[u8]; 4] = [
+                        b"p cut 0 0\n",
+                        b"e 0 0 0\n",
+                        b"99999999999 1 1\n",
+                        b"p cut 18446744073709551615 2\n",
+                    ];
+                    let t = tokens[rng.gen_range(0..tokens.len())];
+                    let mut i = rng.gen_range(0..=mutant.len());
+                    while i > 0 && mutant[i - 1] != b'\n' {
+                        i -= 1;
+                    }
+                    mutant.splice(i..i, t.iter().copied());
+                }
+            }
+            // Both parsers must return gracefully on both mutants, and
+            // errors must render a displayable PmcError.
+            if let Err(e) = read_dimacs(&mutant[..]) {
+                assert!(!as_pmc(e).to_string().is_empty(), "round {round}");
+            }
+            if let Err(e) = read_edge_list(&mutant[..]) {
+                assert!(!as_pmc(e).to_string().is_empty(), "round {round}");
+            }
+        }
+    }
+}

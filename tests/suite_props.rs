@@ -1,0 +1,120 @@
+//! Differential tests over the scenario corpus: every registered solver
+//! agrees with the Stoer–Wagner oracle on a slice of the full corpus,
+//! both solve-by-solve and through `solve_batch` over mixed-family
+//! batches, and the suite runner itself is deterministic across thread
+//! counts.
+
+use parallel_mincut::baseline::stoer_wagner;
+use parallel_mincut::scenario::{corpus, corpus_filtered, run_suite, Oracle, SuiteConfig};
+use parallel_mincut::{solvers, solvers_for, Graph, SolverConfig};
+
+/// The per-scenario slice the integration tests sweep: first seed of every
+/// scenario whose smoke point exists (fast; the full grid is `pmc suite`'s
+/// job).
+fn smoke_instances() -> Vec<(&'static str, Graph, u64)> {
+    corpus_filtered(Some("smoke"))
+        .iter()
+        .map(|s| {
+            let inst = s.instantiate(0);
+            let expected = match inst.oracle {
+                Oracle::Known(v) => v,
+                Oracle::Baseline => stoer_wagner(&inst.graph).unwrap().value,
+            };
+            (s.name(), inst.graph, expected)
+        })
+        .collect()
+}
+
+#[test]
+fn every_solver_agrees_on_the_smoke_corpus() {
+    let cases = smoke_instances();
+    assert!(
+        cases.len() >= 10,
+        "corpus shrank: {} smoke points",
+        cases.len()
+    );
+    for (name, g, expected) in &cases {
+        for solver in solvers_for(g) {
+            let cfg = SolverConfig::with_seed(0xA11CE);
+            let got = solver.solve(g, &cfg).unwrap();
+            assert_eq!(
+                got.value,
+                *expected,
+                "scenario {name}, solver {}",
+                solver.name()
+            );
+            assert!(g.is_proper_cut(&got.side), "{name}/{}", solver.name());
+            assert_eq!(
+                g.cut_value(&got.side),
+                got.value,
+                "{name}/{}",
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn solve_batch_over_mixed_family_batches() {
+    // One heterogeneous batch spanning every smoke family, solved through
+    // the amortized seam — the workspace must tolerate family switches
+    // (dense complete graph next to a sparse bridge graph next to a
+    // contracted multigraph) without leaking state.
+    let cases = smoke_instances();
+    let graphs: Vec<Graph> = cases.iter().map(|(_, g, _)| g.clone()).collect();
+    let expected: Vec<u64> = cases.iter().map(|(_, _, v)| *v).collect();
+    let cfg = SolverConfig::with_seed(7);
+    for solver in solvers() {
+        if !graphs.iter().all(|g| solver.supports(g)) {
+            continue;
+        }
+        let batch = solver.solve_batch(&graphs, &cfg).unwrap();
+        assert_eq!(batch.len(), graphs.len());
+        for (i, (r, want)) in batch.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                r.value,
+                *want,
+                "solver {}, batch index {i} ({})",
+                solver.name(),
+                cases[i].0
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_meets_the_acceptance_floor() {
+    // >= 10 families, each scenario instantiable at >= 3 seeds with a
+    // resolvable oracle.
+    let all = corpus();
+    let families: std::collections::BTreeSet<_> = all.iter().map(|s| s.family()).collect();
+    assert!(families.len() >= 10, "only {} families", families.len());
+    for s in &all {
+        for seed in 0..3 {
+            let inst = s.instantiate(seed);
+            assert!(inst.graph.n() >= 2, "{} seed {seed}", s.name());
+        }
+    }
+}
+
+#[test]
+fn suite_runner_scales_and_stays_deterministic() {
+    let cfg = |threads: usize| SuiteConfig {
+        filter: Some("smoke".into()),
+        threads,
+        seeds: 2,
+        ..SuiteConfig::default()
+    };
+    let a = run_suite(&cfg(1));
+    let b = run_suite(&cfg(3));
+    assert!(a.all_agree(), "{:?}", a.disagreements());
+    assert_eq!(a.threads, 1);
+    assert_eq!(b.threads, 3);
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(
+            (x.scenario, x.solver, x.seed, x.expected, x.observed),
+            (y.scenario, y.solver, y.seed, y.expected, y.observed)
+        );
+    }
+}
