@@ -1,0 +1,237 @@
+//! E13 — end-to-end thread scaling of the solve pipeline.
+//!
+//! Sweeps problem size × thread budget for the paper solver (whose
+//! per-tree two-respect loop fans out across OS workers through the
+//! per-worker `TreeArena`s of its `SolverWorkspace`) against the
+//! sequential Stoer–Wagner oracle, and emits the machine-readable
+//! `BENCH_scaling.json` committed at the repo root — the repo's
+//! self-speedup and thread-scaling baseline.
+//!
+//! ```text
+//! cargo run --release -p pmc-bench --bin scaling_report [--quick] [--out FILE]
+//! ```
+//!
+//! Two invariants are asserted on every row, not just reported:
+//!
+//! * the paper solver's cut **value is identical at every thread count**
+//!   (the fan-out reduces by the deterministic `(value, tree index)` key);
+//! * paper and Stoer–Wagner agree on every instance.
+//!
+//! The `hardware_threads` field records how many hardware threads the
+//! measuring machine actually exposed. Wall-clock speedup beyond that
+//! number is physically impossible — on a single-core container the sweep
+//! degenerates into an overhead measurement (ratios ≈ 1.0), and the
+//! committed JSON is honest about it rather than synthesizing scaling.
+
+use std::io::Write as _;
+
+use pmc_bench::{header, row, solver, time_best, SolverConfig, SolverWorkspace};
+use pmc_graph::gen;
+
+struct Row {
+    algo: &'static str,
+    n: usize,
+    m: usize,
+    threads: usize,
+    ns_per_solve: u128,
+    speedup_vs_t1: f64,
+    value: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scaling.json".into());
+    let reps = if quick { 2 } else { 3 };
+    let sizes: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    // Stoer–Wagner is Θ(n³); cap it so the sweep stays minutes, not hours.
+    let sw_max_n = if quick { 256 } else { 1024 };
+    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    println!("# E13 — thread scaling, paper solver vs Stoer-Wagner");
+    println!("# hardware threads: {hardware_threads}");
+    println!();
+    header(&["algo", "n", "m", "threads", "ns/solve", "speedup vs t=1"]);
+
+    let paper = solver("paper");
+    let sw = solver("sw");
+    let mut rows: Vec<Row> = Vec::new();
+    let mut values_identical = true;
+
+    for &n in sizes {
+        let g = gen::gnm_connected(n, 3 * n, 8, n as u64);
+        // Exact reference value once per instance (bounded by sw_max_n).
+        let sw_value = (n <= sw_max_n).then(|| {
+            let cfg = SolverConfig::default();
+            let mut ws = SolverWorkspace::new();
+            let value = sw.solve_with(&g, &cfg, &mut ws).unwrap().value;
+            let d = time_best(reps, || {
+                std::hint::black_box(sw.solve_with(&g, &cfg, &mut ws).unwrap());
+            });
+            rows.push(Row {
+                algo: "sw",
+                n,
+                m: g.m(),
+                threads: 1,
+                ns_per_solve: d.as_nanos(),
+                speedup_vs_t1: 1.0,
+                value,
+            });
+            row(&[
+                "sw".into(),
+                n.to_string(),
+                g.m().to_string(),
+                "1".into(),
+                d.as_nanos().to_string(),
+                "1.00x".into(),
+            ]);
+            value
+        });
+
+        let mut t1_ns: Option<u128> = None;
+        let mut first_value: Option<u64> = None;
+        for &t in threads {
+            let cfg = SolverConfig {
+                threads: Some(t),
+                ..SolverConfig::default()
+            };
+            // One workspace per thread count, pre-grown by an untimed
+            // solve so the timings reflect the steady serving state.
+            let mut ws = SolverWorkspace::new();
+            let value = paper.solve_with(&g, &cfg, &mut ws).unwrap().value;
+            if let Some(v0) = first_value {
+                // Record divergence instead of aborting: the JSON must
+                // still be written (with the flag false) so CI's check on
+                // `identical_values_across_thread_counts` can actually
+                // fail; the process exits non-zero after the report.
+                if v0 != value {
+                    values_identical = false;
+                    eprintln!("DIVERGENCE: n={n} threads={t}: value {value} != {v0} at t=1");
+                }
+            }
+            first_value = Some(value);
+            if let Some(sv) = sw_value {
+                assert_eq!(value, sv, "paper disagrees with Stoer-Wagner at n={n}");
+            }
+            let d = time_best(reps, || {
+                std::hint::black_box(paper.solve_with(&g, &cfg, &mut ws).unwrap());
+            });
+            let base = *t1_ns.get_or_insert(d.as_nanos());
+            let speedup = base as f64 / d.as_nanos().max(1) as f64;
+            rows.push(Row {
+                algo: "paper",
+                n,
+                m: g.m(),
+                threads: t,
+                ns_per_solve: d.as_nanos(),
+                speedup_vs_t1: speedup,
+                value,
+            });
+            row(&[
+                "paper".into(),
+                n.to_string(),
+                g.m().to_string(),
+                t.to_string(),
+                d.as_nanos().to_string(),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+
+    // Headline: best paper self-speedup at the widest budget, restricted
+    // to sizes where the fan-out actually engages (graphs under the gate
+    // run byte-identical sequential code at every budget, so their ratios
+    // are pure timing noise, not speedup). The gate tests the
+    // certificate-sparsified edge count; for these sparse gnm instances
+    // the certificate only applies when it shrinks the graph, and every
+    // above-gate sweep size clears the threshold with 3x headroom.
+    let max_threads = *threads.last().unwrap();
+    let headline = rows
+        .iter()
+        .filter(|r| {
+            r.algo == "paper" && r.threads == max_threads && r.m >= pmc_core::PAR_TREES_MIN_EDGES
+        })
+        .map(|r| (r.n, r.speedup_vs_t1))
+        .fold((0usize, 0.0f64), |acc, x| if x.1 > acc.1 { x } else { acc });
+    println!();
+    println!(
+        "identical cut values at every thread count: {values_identical}; \
+         best {max_threads}-thread self-speedup above the fan-out gate: {:.2}x (n={})",
+        headline.1, headline.0
+    );
+
+    let json = render_json(
+        &rows,
+        reps,
+        quick,
+        hardware_threads,
+        values_identical,
+        headline,
+        max_threads,
+    );
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    assert!(
+        values_identical,
+        "cut values diverged across thread counts (see DIVERGENCE lines); report written"
+    );
+}
+
+/// Hand-rolled JSON (the workspace has no serde); every value is a number,
+/// bool, or controlled ASCII string, so escaping is not needed.
+fn render_json(
+    rows: &[Row],
+    reps: usize,
+    quick: bool,
+    hardware_threads: usize,
+    values_identical: bool,
+    headline: (usize, f64),
+    max_threads: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"thread_scaling\",\n");
+    s.push_str(
+        "  \"description\": \"end-to-end solve wall time, problem size x thread budget, paper solver (per-tree OS-worker fan-out) vs sequential Stoer-Wagner\",\n",
+    );
+    s.push_str("  \"regenerate\": \"cargo run --release -p pmc-bench --bin scaling_report\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    s.push_str(&format!(
+        "  \"identical_values_across_thread_counts\": {values_identical},\n"
+    ));
+    s.push_str(&format!(
+        "  \"headline\": {{\"threads\": {max_threads}, \"n\": {}, \"self_speedup\": {:.3}}},\n",
+        headline.0, headline.1
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"n\": {}, \"m\": {}, \"threads\": {}, \"ns_per_solve\": {}, \"speedup_vs_t1\": {:.3}, \"value\": {}}}{}\n",
+            r.algo,
+            r.n,
+            r.m,
+            r.threads,
+            r.ns_per_solve,
+            r.speedup_vs_t1,
+            r.value,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

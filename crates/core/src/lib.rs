@@ -32,7 +32,7 @@ pub mod workspace;
 use rayon::prelude::*;
 
 use pmc_graph::{connected_components, Graph};
-use pmc_packing::{pack_trees, pack_trees_with, rooted_tree_from_edges, PackingConfig};
+use pmc_packing::{pack_trees, pack_trees_with, PackingConfig};
 
 pub use pmc_graph::PmcError;
 pub use respect1::{best_one_respect, one_respect_cuts, SubtreeCuts};
@@ -44,13 +44,56 @@ pub use two_respect::{
     two_respect_mincut, two_respect_mincut_reusing, two_respect_mincut_with, ExecMode, RespectKind,
     TwoRespectCut,
 };
-pub use workspace::SolverWorkspace;
+pub use workspace::{PooledWorkspace, SolverWorkspace, TreeArena, WorkspacePool};
+
+/// Minimum edge count of the working graph before the per-tree loop fans
+/// out across OS workers; below it, thread spawn/join overhead outweighs
+/// the `Θ(log n)` independent two-respect searches. The gate is evaluated
+/// on the graph the searches actually run on (the certificate-sparsified
+/// graph when the certificate applies).
+pub const PAR_TREES_MIN_EDGES: usize = 256;
+
+/// Fan-out width of the per-tree loop: the explicit
+/// [`MinCutConfig::threads`] budget when set, otherwise the ambient rayon
+/// thread budget (the width of an installed pool, or the machine's
+/// parallelism outside any pool), clamped by the tree count and the
+/// [`PAR_TREES_MIN_EDGES`] small-input gate.
+fn tree_loop_workers(ntrees: usize, m: usize, threads: Option<usize>) -> usize {
+    if ntrees < 2 || m < PAR_TREES_MIN_EDGES {
+        return 1;
+    }
+    threads
+        .unwrap_or_else(rayon::current_num_threads)
+        .clamp(1, ntrees)
+}
+
+/// Runs the Lemma 13 two-respect search over every packed tree, fanned
+/// across `arenas.len()` OS workers (sequential when there is one arena),
+/// returning the per-tree outcomes in tree order. Each worker owns one
+/// [`TreeArena`], so tree rooting and the batch engine run against
+/// recycled buffers; results are bit-identical regardless of worker count
+/// because every per-tree computation is independent of its arena's
+/// history and the output order is fixed.
+fn two_respect_all_trees(
+    work_graph: &Graph,
+    trees: &[Vec<u32>],
+    arenas: &mut [TreeArena],
+) -> Vec<TwoRespectCut> {
+    pmc_par::fanout_units(arenas, trees.len(), |arena, i| {
+        let TreeArena { root, batch } = arena;
+        root.rebuild(work_graph, &trees[i], 0);
+        two_respect_mincut_reusing(work_graph, root.tree(), batch)
+    })
+}
 
 /// Configuration for [`minimum_cut`].
 #[derive(Clone, Debug)]
 pub struct MinCutConfig {
     /// Seed for all randomness (sampling, packing, tree selection).
     pub seed: u64,
+    /// Worker budget of the per-tree fan-out; `None` follows the ambient
+    /// rayon thread budget. Never affects results, only scheduling.
+    pub threads: Option<usize>,
     /// Tree-packing configuration (Lemma 1 constants).
     pub packing: PackingConfig,
     /// Verify the witness partition against the reported value
@@ -67,6 +110,7 @@ impl Default for MinCutConfig {
     fn default() -> Self {
         MinCutConfig {
             seed: 0xC0FFEE,
+            threads: None,
             packing: PackingConfig::default(),
             verify: true,
             use_certificate: true,
@@ -108,18 +152,27 @@ impl MinCutResult {
     }
 
     /// Edge ids of `g` crossing the cut (the minimum "failure set").
+    /// Edge lists below the `pmc-par` sequential threshold take a plain
+    /// loop — no task spawning for tiny graphs.
     ///
     /// # Panics
     /// Panics if `g` is not the graph this result was computed for
     /// (detected via vertex count).
     pub fn crossing_edges(&self, g: &Graph) -> Vec<u32> {
         assert_eq!(g.n(), self.side.len());
+        let crosses = |e: &pmc_graph::Edge| self.side[e.u as usize] != self.side[e.v as usize];
+        if g.m() <= pmc_par::SEQ_THRESHOLD {
+            return g
+                .edges()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| crosses(e).then_some(i as u32))
+                .collect();
+        }
         g.edges()
             .par_iter()
             .enumerate()
-            .filter_map(|(i, e)| {
-                (self.side[e.u as usize] != self.side[e.v as usize]).then_some(i as u32)
-            })
+            .filter_map(|(i, e)| crosses(e).then_some(i as u32))
             .collect()
     }
 }
@@ -161,13 +214,17 @@ pub fn minimum_cut(g: &Graph, cfg: &MinCutConfig) -> Result<MinCutResult, PmcErr
 
 /// [`minimum_cut`] with all per-call working memory drawn from a reusable
 /// [`SolverWorkspace`]: the certificate sweep and its output graph, the
-/// greedy packing buffers, and the batch engine's scratch are recycled
-/// across calls. Identical results for identical `(g, cfg)`.
+/// greedy packing buffers, the rooted-tree rebuild arenas, and the batch
+/// engine's scratch are recycled across calls. Identical results for
+/// identical `(g, cfg)`.
 ///
-/// The per-tree 2-respect searches run back to back through the shared
-/// scratch instead of fanning out — the amortized serving path, where
-/// concurrency comes from independent requests (each with its own
-/// workspace), not from within one solve.
+/// The per-tree 2-respect searches fan out across OS workers — one
+/// [`TreeArena`] per worker — up to the ambient
+/// rayon thread budget (install a pool via [`SolverConfig::threads`] to
+/// bound it); small inputs and single-thread budgets run the same loop
+/// sequentially through `trees[0]`. Results are bit-identical at every
+/// width, so this is simultaneously the amortized serving path and the
+/// intra-solve parallel path.
 pub fn minimum_cut_with(
     g: &Graph,
     cfg: &MinCutConfig,
@@ -209,9 +266,14 @@ pub fn minimum_cut_with(
     };
     // Split the borrow: the certificate graph is read while the rest of
     // the workspace keeps feeding the pipeline mutably.
-    let (cert_slot, ws_rest) = (&ws.cert_graph, &mut ws.packing);
+    let SolverWorkspace {
+        cert_graph,
+        packing: pack_ws,
+        trees: tree_ws,
+        ..
+    } = ws;
     let work_graph: &Graph = if use_cert {
-        cert_slot.as_ref().expect("certificate arena initialized")
+        cert_graph.as_ref().expect("certificate arena initialized")
     } else {
         g
     };
@@ -219,17 +281,18 @@ pub fn minimum_cut_with(
     // Lemma 1: O(log n) candidate trees, packed through the reusable arena.
     let mut pcfg = cfg.packing.clone();
     pcfg.seed = pcfg.seed.wrapping_add(cfg.seed);
-    let packing = pack_trees_with(work_graph, &pcfg, ws_rest);
+    let packing = pack_trees_with(work_graph, &pcfg, pack_ws);
 
-    // Lemma 13 per tree, back to back through the batch scratch.
-    let outcomes = packing.trees.iter().enumerate().map(|(i, te)| {
-        let tree = rooted_tree_from_edges(work_graph, te, 0);
-        (
-            i,
-            two_respect_mincut_reusing(work_graph, &tree, &mut ws.minpath),
-        )
-    });
+    // Lemma 13 per tree, fanned across per-worker arenas; deterministic
+    // (value, tree index) reduction.
+    let workers = tree_loop_workers(packing.trees.len(), work_graph.m(), cfg.threads);
+    if tree_ws.len() < workers {
+        tree_ws.resize_with(workers, TreeArena::default);
+    }
+    let outcomes = two_respect_all_trees(work_graph, &packing.trees, &mut tree_ws[..workers]);
     let (ti, best) = outcomes
+        .into_iter()
+        .enumerate()
         .min_by_key(|(i, c)| (c.value, *i))
         .expect("packing returned no trees");
 
@@ -323,21 +386,18 @@ pub fn minimum_cut_report(
     report.distinct_trees = packing.distinct_trees;
     report.trees_examined = packing.trees.len();
 
-    // Lemma 13 per tree, in parallel; keep the best.
+    // Lemma 13 per tree, fanned across OS workers with per-worker arenas;
+    // keep the best under the deterministic (value, tree index) order.
     let t0 = std::time::Instant::now();
-    let outcomes: Vec<(usize, TwoRespectCut)> = packing
-        .trees
-        .par_iter()
-        .enumerate()
-        .map(|(i, te)| {
-            let tree = rooted_tree_from_edges(work_graph, te, 0);
-            (i, two_respect_mincut(work_graph, &tree))
-        })
-        .collect();
+    let workers = tree_loop_workers(packing.trees.len(), work_graph.m(), cfg.threads);
+    let mut arenas: Vec<TreeArena> = Vec::new();
+    arenas.resize_with(workers, TreeArena::default);
+    let outcomes = two_respect_all_trees(work_graph, &packing.trees, &mut arenas);
     report.t_two_respect = t0.elapsed();
-    report.batch_ops_total = outcomes.iter().map(|(_, c)| c.batch_ops).sum();
+    report.batch_ops_total = outcomes.iter().map(|c| c.batch_ops).sum();
     let (ti, best) = outcomes
         .into_iter()
+        .enumerate()
         .min_by_key(|(i, c)| (c.value, *i))
         .expect("packing returned no trees");
     report.phases = best.phases;

@@ -25,7 +25,7 @@ use pmc_graph::{Graph, PmcError};
 use pmc_packing::{pack_trees, rooted_tree_from_edges, PackingConfig};
 use rayon::prelude::*;
 
-use crate::workspace::SolverWorkspace;
+use crate::workspace::{SolverWorkspace, WorkspacePool};
 use crate::{minimum_cut, minimum_cut_with, MinCutConfig, MinCutResult};
 
 /// Algorithm-independent solver configuration.
@@ -216,15 +216,82 @@ pub trait MinCutSolver: Send + Sync {
             .map(|g| self.solve_with(g, cfg, &mut ws))
             .collect()
     }
+
+    /// [`solve_batch`](MinCutSolver::solve_batch) with the batch fanned
+    /// across OS workers, each holding a workspace checked out of `pool` —
+    /// the parallel serving loop. The worker count is `cfg.threads`
+    /// (default: the machine's parallelism), capped by the batch size;
+    /// workers solve with an inner thread budget of 1, so batch-level
+    /// fan-out is the only *coarse-grained* level (on the sequential
+    /// rayon stand-in, the only level at all; with the real rayon crate
+    /// swapped in, fine-grained kernels above the `pmc-par` threshold
+    /// still dispatch to the global rayon pool). Results come back in
+    /// input order and are identical to [`solve`](MinCutSolver::solve)
+    /// per graph; if any graph fails, the error of the earliest failing
+    /// input is returned.
+    ///
+    /// ```
+    /// use pmc_core::{solver_by_name, SolverConfig, WorkspacePool};
+    /// use pmc_graph::gen;
+    ///
+    /// let solver = solver_by_name("paper").unwrap();
+    /// let pool = WorkspacePool::new();
+    /// let graphs: Vec<_> = (0..3).map(|s| gen::gnm_connected(18, 40, 5, s)).collect();
+    /// let batch = solver
+    ///     .solve_batch_pooled(&graphs, &SolverConfig::default(), &pool)
+    ///     .unwrap();
+    /// for (g, r) in graphs.iter().zip(&batch) {
+    ///     assert_eq!(r.value, solver.solve(g, &SolverConfig::default()).unwrap().value);
+    /// }
+    /// ```
+    fn solve_batch_pooled(
+        &self,
+        graphs: &[Graph],
+        cfg: &SolverConfig,
+        pool: &WorkspacePool,
+    ) -> Result<Vec<MinCutResult>, PmcError> {
+        cfg.validate()?;
+        let workers = cfg
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+            .clamp(1, graphs.len().max(1));
+        if workers == 1 {
+            // Sequential batch through one pooled workspace; the inner
+            // thread budget stays whatever the caller configured.
+            let mut ws = pool.checkout();
+            return graphs
+                .iter()
+                .map(|g| self.solve_with(g, cfg, &mut ws))
+                .collect();
+        }
+        // One level of parallelism: the batch. Inner solves run on one
+        // thread each (thread count never changes results).
+        let inner_cfg = SolverConfig {
+            threads: Some(1),
+            ..cfg.clone()
+        };
+        let mut states: Vec<_> = (0..workers).map(|_| pool.checkout()).collect();
+        pmc_par::fanout_units(&mut states, graphs.len(), |ws, i| {
+            self.solve_with(&graphs[i], &inner_cfg, ws)
+        })
+        .into_iter()
+        .collect()
+    }
 }
 
-/// Runs `f` on a dedicated pool when `threads` is set; inline otherwise.
+/// Runs `f` on a dedicated pool when `threads` asks for real width.
+///
+/// `None` and `Some(1)` run inline — a 1-wide budget needs no pool, and
+/// skipping the build keeps per-solve cost flat on the hot pinned paths
+/// (`solve_batch_pooled` workers, suite cells) where every solve carries
+/// `threads: Some(1)`. The paper solver reads its fan-out width from
+/// [`MinCutConfig::threads`] directly, so the pin holds without a pool.
 fn with_thread_budget<T: Send>(
     threads: Option<usize>,
     f: impl FnOnce() -> T + Send,
 ) -> Result<T, PmcError> {
     match threads {
-        None => Ok(f()),
+        None | Some(1) => Ok(f()),
         Some(t) => rayon::ThreadPoolBuilder::new()
             .num_threads(t)
             .build()
@@ -310,6 +377,7 @@ pub struct PaperSolver;
 fn paper_config(g: &Graph, cfg: &SolverConfig) -> MinCutConfig {
     let mut mc = MinCutConfig {
         seed: cfg.seed,
+        threads: cfg.threads,
         verify: cfg.verify,
         ..MinCutConfig::default()
     };

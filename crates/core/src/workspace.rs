@@ -14,16 +14,45 @@
 //! recycled: at steady state the hot path allocates only what it returns.
 //! The machine-readable evidence lives in `BENCH_workspace.json` (generated
 //! by `cargo run --release -p pmc-bench --bin alloc_report`).
+//!
+//! Two multi-worker layers sit on top of the single arena:
+//!
+//! * [`TreeArena`] — the per-*worker* slice of the paper solver's per-tree
+//!   loop (one rooted-tree rebuild arena plus one batch-engine scratch).
+//!   `SolverWorkspace` holds a vector of them, grown to the fan-out width,
+//!   so the `Θ(log n)` two-respect searches of one solve can run on
+//!   independent OS workers without sharing mutable state.
+//! * [`WorkspacePool`] — a checkout/checkin pool of whole workspaces for
+//!   callers that fan *requests* out across workers (the scenario suite,
+//!   [`MinCutSolver::solve_batch_pooled`](crate::MinCutSolver::solve_batch_pooled)).
+//!   Workspaces returned to the pool keep their high-water buffers, so a
+//!   long-running server warms the pool once.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 
 use pmc_baseline::SwScratch;
 use pmc_graph::{CertScratch, Graph};
 use pmc_minpath::TreeBatchScratch;
-use pmc_packing::PackScratch;
+use pmc_packing::{PackScratch, RootScratch};
 use pmc_par::ParScratch;
 
 // (The `pmc-par` scratch is not a separate field: the batch engine inside
 // `minpath` is the layer that actually runs the parallel primitives, so
 // their buffers live embedded there — see [`SolverWorkspace::par_scratch`].)
+
+/// Per-worker scratch for the paper solver's per-tree loop: everything one
+/// worker needs to root a packed tree and run the Lemma 13 two-respect
+/// search on it, with zero steady-state allocations.
+#[derive(Debug, Default)]
+pub struct TreeArena {
+    /// Rooted-tree rebuild arena (`pmc-packing`): endpoint staging,
+    /// adjacency/BFS scratch, and the reusable [`pmc_graph::RootedTree`].
+    pub root: RootScratch,
+    /// Batched Minimum Path buffers (`pmc-minpath`), which embed the
+    /// `pmc-par` primitive scratch.
+    pub batch: TreeBatchScratch,
+}
 
 /// Reusable working memory for repeated minimum-cut solves.
 ///
@@ -58,9 +87,10 @@ pub struct SolverWorkspace {
     pub cert_graph: Option<Graph>,
     /// Greedy tree-packing buffers (`pmc-packing`).
     pub packing: PackScratch,
-    /// Batched Minimum Path buffers (`pmc-minpath`), which embed the
-    /// `pmc-par` primitive scratch ([`SolverWorkspace::par_scratch`]).
-    pub minpath: TreeBatchScratch,
+    /// Per-worker arenas of the paper solver's per-tree loop, grown to the
+    /// fan-out width on first use (`trees[0]` is also the sequential
+    /// path's arena).
+    pub trees: Vec<TreeArena>,
     /// Dense Stoer–Wagner arena (`pmc-baseline`).
     pub sw: SwScratch,
 }
@@ -72,12 +102,123 @@ impl SolverWorkspace {
         Self::default()
     }
 
+    /// The per-tree worker arenas, grown to at least `workers` entries.
+    pub fn tree_arenas(&mut self, workers: usize) -> &mut [TreeArena] {
+        let want = workers.max(1);
+        if self.trees.len() < want {
+            self.trees.resize_with(want, TreeArena::default);
+        }
+        &mut self.trees[..want]
+    }
+
     /// The `pmc-par` primitive scratch (scan partials and friends),
     /// embedded where the primitives run — inside the batch engine's
-    /// per-list scratch. Exposed for callers composing custom kernels on
-    /// top of the workspace.
+    /// per-list scratch of the first tree arena. Exposed for callers
+    /// composing custom kernels on top of the workspace.
     pub fn par_scratch(&mut self) -> &mut ParScratch {
-        self.minpath.par_scratch()
+        self.tree_arenas(1)[0].batch.par_scratch()
+    }
+}
+
+/// A checkout/checkin pool of [`SolverWorkspace`] arenas for multi-worker
+/// callers: each worker checks one workspace out for the duration of its
+/// work and the drop guard returns it, buffers intact. Checking out more
+/// workspaces than the pool holds simply creates fresh ones — the pool
+/// never blocks.
+///
+/// # Examples
+///
+/// ```
+/// use pmc_core::{solver_by_name, SolverConfig, WorkspacePool};
+/// use pmc_graph::gen;
+///
+/// let pool = WorkspacePool::new();
+/// let solver = solver_by_name("paper").unwrap();
+/// let g = gen::gnm_connected(20, 50, 6, 1);
+/// {
+///     let mut ws = pool.checkout();
+///     solver.solve_with(&g, &SolverConfig::default(), &mut ws).unwrap();
+/// } // workspace returns to the pool here, buffers kept
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<SolverWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool; workspaces are created on demand by
+    /// [`WorkspacePool::checkout`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool pre-seeded with `n` fresh workspaces.
+    pub fn with_capacity(n: usize) -> Self {
+        let pool = Self::new();
+        {
+            let mut free = pool.free.lock().expect("workspace pool poisoned");
+            free.resize_with(n, SolverWorkspace::new);
+        }
+        pool
+    }
+
+    /// Checks a workspace out of the pool (creating a fresh one if the
+    /// pool is empty). The returned guard derefs to [`SolverWorkspace`]
+    /// and returns it to the pool on drop.
+    pub fn checkout(&self) -> PooledWorkspace<'_> {
+        let ws = self
+            .free
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledWorkspace {
+            ws: Some(ws),
+            pool: self,
+        }
+    }
+
+    /// Number of workspaces currently checked in.
+    pub fn len(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// `true` if no workspace is currently checked in.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Checkout guard of a [`WorkspacePool`]: a [`SolverWorkspace`] on loan,
+/// returned (with its grown buffers) when the guard drops.
+#[derive(Debug)]
+pub struct PooledWorkspace<'a> {
+    ws: Option<SolverWorkspace>,
+    pool: &'a WorkspacePool,
+}
+
+impl Deref for PooledWorkspace<'_> {
+    type Target = SolverWorkspace;
+    fn deref(&self) -> &SolverWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut SolverWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(ws);
+            }
+            // A poisoned pool just drops the workspace; nothing to unwind.
+        }
     }
 }
 
@@ -89,6 +230,13 @@ mod tests {
     fn workspace_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<SolverWorkspace>();
+        assert_send::<TreeArena>();
+    }
+
+    #[test]
+    fn pool_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<WorkspacePool>();
     }
 
     #[test]
@@ -107,5 +255,36 @@ mod tests {
         assert_eq!(cut.value, 2);
         assert!(ws.cert_graph.is_some());
         assert!(ws.cert_graph.as_ref().unwrap().n() == 41);
+    }
+
+    #[test]
+    fn tree_arenas_grow_monotonically() {
+        let mut ws = SolverWorkspace::new();
+        assert_eq!(ws.tree_arenas(3).len(), 3);
+        assert_eq!(ws.tree_arenas(1).len(), 1); // view shrinks ...
+        assert_eq!(ws.trees.len(), 3); // ... storage does not
+        assert_eq!(ws.tree_arenas(0).len(), 1); // at least one arena
+    }
+
+    #[test]
+    fn pool_checkout_roundtrip_keeps_workspaces() {
+        let pool = WorkspacePool::with_capacity(2);
+        assert_eq!(pool.len(), 2);
+        {
+            let _a = pool.checkout();
+            let _b = pool.checkout();
+            let _c = pool.checkout(); // beyond capacity: fresh, non-blocking
+            assert_eq!(pool.len(), 0);
+        }
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn pooled_workspace_derefs() {
+        let pool = WorkspacePool::new();
+        let mut ws = pool.checkout();
+        let _ = ws.par_scratch(); // DerefMut into the workspace
+        assert!(ws.cert_graph.is_none()); // Deref
     }
 }

@@ -29,4 +29,4 @@ pub use euler::EulerTour;
 pub use graph::{Edge, Graph, GraphError, Weight};
 pub use io::{read_dimacs, read_edge_list, read_path, write_dimacs, IoError};
 pub use lca::LcaIndex;
-pub use tree::RootedTree;
+pub use tree::{RootedTree, TreeScratch};

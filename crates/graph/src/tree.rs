@@ -12,7 +12,7 @@ use rayon::prelude::*;
 pub const NO_PARENT: u32 = u32::MAX;
 
 /// A rooted tree over vertices `0..n` in parent-array + children-CSR form.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RootedTree {
     root: u32,
     parent: Vec<u32>,
@@ -26,6 +26,19 @@ pub struct RootedTree {
     bfs_order: Vec<u32>,
 }
 
+/// Reusable buffers for [`RootedTree::rebuild_from_undirected_edges`]: the
+/// adjacency CSR of the incoming edge list and the BFS bookkeeping. One
+/// scratch amortizes every tree construction a caller performs (the
+/// per-tree loop of the top-level solver roots one spanning tree per
+/// packed tree per solve).
+#[derive(Clone, Debug, Default)]
+pub struct TreeScratch {
+    adj_off: Vec<usize>,
+    adj: Vec<u32>,
+    visited: Vec<bool>,
+    queue: Vec<u32>,
+}
+
 impl RootedTree {
     /// Builds a rooted tree from a parent array (`parent[root] == NO_PARENT`).
     ///
@@ -33,11 +46,34 @@ impl RootedTree {
     /// Panics if the parent array does not describe a tree rooted at `root`
     /// (wrong root sentinel, cycles, or out-of-range parents).
     pub fn from_parents(root: u32, parent: Vec<u32>) -> Self {
-        let n = parent.len();
+        let mut tree = RootedTree {
+            root,
+            parent,
+            child_offsets: Vec::new(),
+            children: Vec::new(),
+            depth: Vec::new(),
+            bfs_order: Vec::new(),
+        };
+        tree.populate_from_parents();
+        tree
+    }
+
+    /// Re-derives the CSR/depth/BFS structures from `self.root` and
+    /// `self.parent`, reusing every buffer in place. This is the single
+    /// construction routine behind [`RootedTree::from_parents`] and the
+    /// `rebuild_*` entry points, so all of them produce identical trees.
+    fn populate_from_parents(&mut self) {
+        let n = self.parent.len();
+        let root = self.root;
         assert!((root as usize) < n, "root out of range");
-        assert_eq!(parent[root as usize], NO_PARENT, "root must have no parent");
-        let mut child_counts = vec![0usize; n];
-        for (v, &p) in parent.iter().enumerate() {
+        assert_eq!(
+            self.parent[root as usize], NO_PARENT,
+            "root must have no parent"
+        );
+        // Child counts, then an exclusive scan into CSR offsets.
+        self.child_offsets.clear();
+        self.child_offsets.resize(n + 1, 0);
+        for (v, &p) in self.parent.iter().enumerate() {
             if v as u32 == root {
                 continue;
             }
@@ -45,45 +81,48 @@ impl RootedTree {
                 p != NO_PARENT && (p as usize) < n,
                 "vertex {v} has invalid parent"
             );
-            child_counts[p as usize] += 1;
+            self.child_offsets[p as usize + 1] += 1;
         }
-        let mut child_offsets = vec![0usize; n + 1];
         for v in 0..n {
-            child_offsets[v + 1] = child_offsets[v] + child_counts[v];
+            self.child_offsets[v + 1] += self.child_offsets[v];
         }
-        let mut cursor = child_offsets.clone();
-        let mut children = vec![0u32; n - 1];
-        for (v, &p) in parent.iter().enumerate() {
+        // Scatter children using the offsets themselves as cursors, then
+        // shift the advanced offsets back one slot — no cursor allocation.
+        self.children.clear();
+        self.children.resize(n - 1, 0);
+        for (v, &p) in self.parent.iter().enumerate() {
             if v as u32 != root {
-                children[cursor[p as usize]] = v as u32;
-                cursor[p as usize] += 1;
+                self.children[self.child_offsets[p as usize]] = v as u32;
+                self.child_offsets[p as usize] += 1;
             }
         }
+        for v in (1..=n).rev() {
+            self.child_offsets[v] = self.child_offsets[v - 1];
+        }
+        self.child_offsets[0] = 0;
         // BFS to get depths and a topological order; also validates
         // reachability (a cycle would leave vertices unvisited).
-        let mut depth = vec![u32::MAX; n];
-        let mut bfs_order = Vec::with_capacity(n);
-        depth[root as usize] = 0;
-        bfs_order.push(root);
+        self.depth.clear();
+        self.depth.resize(n, u32::MAX);
+        self.bfs_order.clear();
+        self.depth[root as usize] = 0;
+        self.bfs_order.push(root);
         let mut head = 0;
-        while head < bfs_order.len() {
-            let v = bfs_order[head];
+        while head < self.bfs_order.len() {
+            let v = self.bfs_order[head];
             head += 1;
-            let d = depth[v as usize] + 1;
-            for &c in &children[child_offsets[v as usize]..child_offsets[v as usize + 1]] {
-                depth[c as usize] = d;
-                bfs_order.push(c);
+            let d = self.depth[v as usize] + 1;
+            let (lo, hi) = (
+                self.child_offsets[v as usize],
+                self.child_offsets[v as usize + 1],
+            );
+            for i in lo..hi {
+                let c = self.children[i];
+                self.depth[c as usize] = d;
+                self.bfs_order.push(c);
             }
         }
-        assert_eq!(bfs_order.len(), n, "parent array contains a cycle");
-        RootedTree {
-            root,
-            parent,
-            child_offsets,
-            children,
-            depth,
-            bfs_order,
-        }
+        assert_eq!(self.bfs_order.len(), n, "parent array contains a cycle");
     }
 
     /// Builds a rooted tree from an undirected edge list by BFS from `root`.
@@ -91,50 +130,79 @@ impl RootedTree {
     /// # Panics
     /// Panics if the edges do not form a spanning tree of `0..n`.
     pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)], root: u32) -> Self {
+        let mut tree = RootedTree::from_parents(0, vec![NO_PARENT]);
+        tree.rebuild_from_undirected_edges(n, edges, root, &mut TreeScratch::default());
+        tree
+    }
+
+    /// [`RootedTree::from_undirected_edges`] in place: rebuilds `self` from
+    /// the edge list, reusing both this tree's buffers and the adjacency /
+    /// BFS buffers of `ws`. Produces a tree identical to the allocating
+    /// constructor for the same input.
+    ///
+    /// # Panics
+    /// Panics if the edges do not form a spanning tree of `0..n`.
+    pub fn rebuild_from_undirected_edges(
+        &mut self,
+        n: usize,
+        edges: &[(u32, u32)],
+        root: u32,
+        ws: &mut TreeScratch,
+    ) {
         assert_eq!(
             edges.len(),
             n - 1,
             "a spanning tree on {n} vertices needs {} edges",
             n - 1
         );
-        let mut adj_off = vec![0usize; n + 1];
+        ws.adj_off.clear();
+        ws.adj_off.resize(n + 1, 0);
         for &(u, v) in edges {
-            adj_off[u as usize + 1] += 1;
-            adj_off[v as usize + 1] += 1;
+            ws.adj_off[u as usize + 1] += 1;
+            ws.adj_off[v as usize + 1] += 1;
         }
         for i in 0..n {
-            adj_off[i + 1] += adj_off[i];
+            ws.adj_off[i + 1] += ws.adj_off[i];
         }
-        let mut cursor = adj_off.clone();
-        let mut adj = vec![0u32; 2 * edges.len()];
+        // Offsets double as cursors during the scatter, then shift back.
+        ws.adj.clear();
+        ws.adj.resize(2 * edges.len(), 0);
         for &(u, v) in edges {
-            adj[cursor[u as usize]] = v;
-            cursor[u as usize] += 1;
-            adj[cursor[v as usize]] = u;
-            cursor[v as usize] += 1;
+            ws.adj[ws.adj_off[u as usize]] = v;
+            ws.adj_off[u as usize] += 1;
+            ws.adj[ws.adj_off[v as usize]] = u;
+            ws.adj_off[v as usize] += 1;
         }
-        let mut parent = vec![NO_PARENT; n];
-        let mut visited = vec![false; n];
-        let mut queue = Vec::with_capacity(n);
-        visited[root as usize] = true;
-        queue.push(root);
+        for i in (1..=n).rev() {
+            ws.adj_off[i] = ws.adj_off[i - 1];
+        }
+        ws.adj_off[0] = 0;
+
+        self.parent.clear();
+        self.parent.resize(n, NO_PARENT);
+        ws.visited.clear();
+        ws.visited.resize(n, false);
+        ws.queue.clear();
+        ws.visited[root as usize] = true;
+        ws.queue.push(root);
         let mut head = 0;
-        while head < queue.len() {
-            let v = queue[head];
+        while head < ws.queue.len() {
+            let v = ws.queue[head];
             head += 1;
-            for &u in &adj[adj_off[v as usize]..adj_off[v as usize + 1]] {
-                if !visited[u as usize] {
-                    visited[u as usize] = true;
-                    parent[u as usize] = v;
-                    queue.push(u);
+            for &u in &ws.adj[ws.adj_off[v as usize]..ws.adj_off[v as usize + 1]] {
+                if !ws.visited[u as usize] {
+                    ws.visited[u as usize] = true;
+                    self.parent[u as usize] = v;
+                    ws.queue.push(u);
                 }
             }
         }
         assert!(
-            visited.iter().all(|&x| x),
+            ws.visited.iter().all(|&x| x),
             "edge list does not span all vertices"
         );
-        Self::from_parents(root, parent)
+        self.root = root;
+        self.populate_from_parents();
     }
 
     /// Number of vertices.
@@ -231,8 +299,17 @@ impl RootedTree {
     pub fn leaves(&self) -> Vec<u32> {
         (0..self.n() as u32)
             .into_par_iter()
+            .with_min_len(4096)
             .filter(|&v| self.is_leaf(v))
             .collect()
+    }
+}
+
+/// The trivial single-vertex tree — the cheapest valid placeholder for
+/// arenas that rebuild a real tree in place before first use.
+impl Default for RootedTree {
+    fn default() -> Self {
+        RootedTree::from_parents(0, vec![NO_PARENT])
     }
 }
 
@@ -309,6 +386,38 @@ mod tests {
         assert_eq!(t.parent(6), 3);
         assert_eq!(t.parent(5), 2);
         assert_eq!(t.depth(6), 3);
+    }
+
+    #[test]
+    fn rebuild_matches_allocating_constructor() {
+        // One tree + one scratch reused across many shapes and sizes; every
+        // rebuild must be structurally identical to a fresh construction.
+        let mut tree = RootedTree::default();
+        let mut ws = TreeScratch::default();
+        type Shape = (usize, Vec<(u32, u32)>, u32);
+        let shapes: Vec<Shape> = vec![
+            (7, vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6)], 0),
+            (4, vec![(3, 2), (2, 1), (1, 0)], 3),
+            (1, vec![], 0),
+            (5, vec![(0, 1), (0, 2), (0, 3), (0, 4)], 2),
+            (6, vec![(5, 0), (4, 1), (0, 4), (1, 2), (2, 3)], 5),
+        ];
+        for (n, edges, root) in shapes {
+            tree.rebuild_from_undirected_edges(n, &edges, root, &mut ws);
+            let want = RootedTree::from_undirected_edges(n, &edges, root);
+            assert_eq!(tree, want, "n={n} root={root}");
+            assert_eq!(tree.bfs_order(), want.bfs_order());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not span")]
+    fn rebuild_rejects_non_spanning_edges() {
+        let mut tree = RootedTree::default();
+        let mut ws = TreeScratch::default();
+        // 4 vertices, 3 edges, but vertex 3 is attached to nothing and
+        // (0,1) appears twice.
+        tree.rebuild_from_undirected_edges(4, &[(0, 1), (0, 1), (1, 2)], 0, &mut ws);
     }
 
     #[test]

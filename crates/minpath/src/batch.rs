@@ -129,13 +129,16 @@ struct NodeState {
 }
 
 /// Reusable buffers for [`run_list_batch_with`]: the heap-layout subtree
-/// minima and the leaf-level operation buckets (whose inner vectors keep
-/// their capacities across batches). One scratch amortizes every list batch
-/// a solver executes.
+/// minima, the leaf-level operation buckets, and the two ping-pong level
+/// buffers of the bottom-up sweep (all inner vectors keep their capacities
+/// across batches). One scratch amortizes every list batch a solver
+/// executes.
 #[derive(Clone, Debug, Default)]
 pub struct ListBatchScratch {
     mins: Vec<i64>,
     leaves: Vec<NodeState>,
+    ping: Vec<NodeState>,
+    pong: Vec<NodeState>,
     par: ParScratch,
 }
 
@@ -219,32 +222,38 @@ fn run_list_batch_impl(
         assert!((op.pos() as usize) < n, "position out of range");
     }
     let cap = n.next_power_of_two();
+    let ListBatchScratch {
+        mins,
+        leaves,
+        ping,
+        pong,
+        par,
+    } = ws;
 
     // Initial subtree minima and Δ⁰ per inner node (heap layout, root = 1).
-    ws.mins.clear();
-    ws.mins.resize(2 * cap, PAD);
-    let mins = &mut ws.mins;
+    mins.clear();
+    mins.resize(2 * cap, PAD);
     for (i, &w) in init.iter().enumerate() {
         mins[cap + i] = w;
     }
     for i in (1..cap).rev() {
         mins[i] = mins[2 * i].min(mins[2 * i + 1]);
     }
-    let mins = &ws.mins;
+    let mins = &*mins;
     let delta0 = |node: usize| mins[2 * node + 1] - mins[2 * node];
     let min0_root = mins[1.min(2 * cap - 1)];
 
     // Leaf states: bucket ops by position, preserving time order. The
     // bucket vectors keep their capacities across batches.
-    if ws.leaves.len() < cap {
-        ws.leaves.resize_with(cap, NodeState::default);
+    if leaves.len() < cap {
+        leaves.resize_with(cap, NodeState::default);
     }
-    for st in &mut ws.leaves[..cap] {
+    for st in &mut leaves[..cap] {
         st.upds.clear();
         st.qrys.clear();
     }
     for op in ops {
-        let state = &mut ws.leaves[op.pos() as usize];
+        let state = &mut leaves[op.pos() as usize];
         match *op {
             PrefixOp::Add { time, x, .. } => state.upds.push(Upd { time, x, phi: x }),
             PrefixOp::Min { time, qid, pos } => state.qrys.push(Qry {
@@ -261,55 +270,59 @@ fn run_list_batch_impl(
         stats.work_items += ops.len() as u64;
     }
 
-    // Bottom-up level sweep. The leaf level lives in the scratch; each
-    // inner level is produced from the one below it.
-    let mut owned: Option<Vec<NodeState>> = None;
+    // Bottom-up level sweep. The leaf level lives in the scratch; the inner
+    // levels ping-pong between two scratch buffers, so the per-node
+    // update/query vectors keep their capacities across levels *and* across
+    // batches instead of being reallocated per level.
+    let mut at_leaves = true; // current child level is the leaf buckets
+    let mut cur_len = cap;
     let mut child_level_shift = 0u32; // leaves sit at shift 0
-    loop {
-        let len = owned.as_ref().map_or(cap, Vec::len);
-        if len <= 1 {
-            break;
-        }
-        let parents = len / 2;
+    while cur_len > 1 {
+        let parents = cur_len / 2;
         let heap_base = parents; // parent nodes occupy heap ids parents..2*parents
-        let next: Vec<NodeState> = {
-            let level: &[NodeState] = match &owned {
-                Some(v) => v,
-                None => &ws.leaves[..cap],
+        {
+            let level: &[NodeState] = if at_leaves {
+                &leaves[..cap]
+            } else {
+                &ping[..cur_len]
             };
+            if pong.len() < parents {
+                pong.resize_with(parents, NodeState::default);
+            }
+            let out = &mut pong[..parents];
             if par_threshold == usize::MAX {
                 // Strictly sequential, monotone sweep over the level.
-                (0..parents)
-                    .map(|p| {
-                        combine(
-                            &level[2 * p],
-                            &level[2 * p + 1],
-                            delta0(heap_base + p),
-                            child_level_shift,
-                            par_threshold,
-                        )
-                    })
-                    .collect()
+                for (p, slot) in out.iter_mut().enumerate() {
+                    combine_into(
+                        &level[2 * p],
+                        &level[2 * p + 1],
+                        delta0(heap_base + p),
+                        child_level_shift,
+                        par_threshold,
+                        slot,
+                    );
+                }
             } else {
-                (0..parents)
-                    .into_par_iter()
-                    .map(|p| {
-                        combine(
-                            &level[2 * p],
-                            &level[2 * p + 1],
-                            delta0(heap_base + p),
-                            child_level_shift,
-                            par_threshold,
-                        )
-                    })
-                    .collect()
+                out.par_iter_mut().enumerate().for_each(|(p, slot)| {
+                    combine_into(
+                        &level[2 * p],
+                        &level[2 * p + 1],
+                        delta0(heap_base + p),
+                        child_level_shift,
+                        par_threshold,
+                        slot,
+                    )
+                });
             }
-        };
+        }
+        std::mem::swap(ping, pong);
+        at_leaves = false;
+        cur_len = parents;
         child_level_shift += 1;
         if let Some(stats) = stats.as_deref_mut() {
             let mut level_items = 0u64;
             let mut max_node = 0u64;
-            for st in &next {
+            for st in &ping[..cur_len] {
                 let items = (st.upds.len() + st.qrys.len()) as u64;
                 level_items += items;
                 max_node = max_node.max(items);
@@ -318,14 +331,10 @@ fn run_list_batch_impl(
             stats.depth_est += 64 - max_node.leading_zeros() as u64 + 1;
             stats.levels += 1;
         }
-        owned = Some(next);
     }
 
-    let root = match &owned {
-        Some(v) => &v[0],
-        None => &ws.leaves[0],
-    };
-    finish_root(root, min0_root, par_threshold, &mut ws.par)
+    let root: &NodeState = if at_leaves { &leaves[0] } else { &ping[0] };
+    finish_root(root, min0_root, par_threshold, par)
 }
 
 /// A merged update with the per-child φ contributions filled in
@@ -338,11 +347,26 @@ struct MergedUpd {
     phi_r: i64,
 }
 
-fn combine(l: &NodeState, r: &NodeState, delta0: i64, child_shift: u32, thr: usize) -> NodeState {
+/// Combines two child states into `out` (cleared and refilled, keeping its
+/// vector capacities). Below the parallel threshold the update and query
+/// records are written straight into `out`'s recycled buffers; the
+/// above-threshold branches build fresh vectors (they are rare and large,
+/// and the parallel map cannot target a shared buffer without unsafe
+/// slicing).
+fn combine_into(
+    l: &NodeState,
+    r: &NodeState,
+    delta0: i64,
+    child_shift: u32,
+    thr: usize,
+    out: &mut NodeState,
+) {
+    out.upds.clear();
+    out.qrys.clear();
     let nu = l.upds.len() + r.upds.len();
     let nq = l.qrys.len() + r.qrys.len();
     if nu == 0 && nq == 0 {
-        return NodeState::default();
+        return;
     }
 
     // --- Updates: H(b), φ_l/φ_r, Δ(b), Φ(b) ---------------------------------
@@ -379,24 +403,19 @@ fn combine(l: &NodeState, r: &NodeState, delta0: i64, child_shift: u32, thr: usi
             phi,
         }
     };
-    let upds: Vec<Upd> = if nu >= thr {
-        merged
+    if nu >= thr {
+        out.upds = merged
             .par_iter()
             .enumerate()
             .map(|(i, u)| mk_upd(i, u))
-            .collect()
+            .collect();
     } else {
-        merged
-            .iter()
-            .enumerate()
-            .map(|(i, u)| mk_upd(i, u))
-            .collect()
-    };
+        out.upds
+            .extend(merged.iter().enumerate().map(|(i, u)| mk_upd(i, u)));
+    }
 
     // --- Queries -------------------------------------------------------------
-    let qrys = if nq == 0 {
-        Vec::new()
-    } else {
+    if nq > 0 {
         let merged_q: Vec<Qry> = merge_qrys(&l.qrys, &r.qrys, thr);
         // Δ value current at each query's time (last update strictly before;
         // times are unique so "≤ previous update" ≡ "< query time").
@@ -422,21 +441,16 @@ fn combine(l: &NodeState, r: &NodeState, delta0: i64, child_shift: u32, thr: usi
             Qry { d, ..*q }
         };
         if nq >= thr {
-            merged_q
+            out.qrys = merged_q
                 .par_iter()
                 .zip(delta_cur.par_iter().copied())
                 .map(apply)
-                .collect()
+                .collect();
         } else {
-            merged_q
-                .iter()
-                .zip(delta_cur.iter().copied())
-                .map(apply)
-                .collect()
+            out.qrys
+                .extend(merged_q.iter().zip(delta_cur.iter().copied()).map(apply));
         }
-    };
-
-    NodeState { upds, qrys }
+    }
 }
 
 fn finish_root(root: &NodeState, min0: i64, thr: usize, par: &mut ParScratch) -> Vec<(u32, i64)> {

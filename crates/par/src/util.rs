@@ -2,10 +2,22 @@
 
 use rayon::prelude::*;
 
+use crate::SEQ_THRESHOLD;
+
 /// Parallel argmin over a slice of keys; ties broken toward the smallest
 /// index (deterministic regardless of the rayon schedule). Returns `None`
-/// for an empty slice.
+/// for an empty slice. Slices below [`SEQ_THRESHOLD`] take a sequential
+/// fast path — no task spawning for tiny inputs.
 pub fn par_argmin<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<usize> {
+    if xs.len() <= SEQ_THRESHOLD {
+        let mut best: Option<(T, usize)> = None;
+        for (i, &x) in xs.iter().enumerate() {
+            if best.is_none_or(|(bx, _)| x < bx) {
+                best = Some((x, i));
+            }
+        }
+        return best.map(|(_, i)| i);
+    }
     xs.par_iter()
         .enumerate()
         .map(|(i, &x)| (x, i))
@@ -13,8 +25,12 @@ pub fn par_argmin<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<usize> {
         .map(|(_, i)| i)
 }
 
-/// Parallel minimum of a slice; `None` for empty input.
+/// Parallel minimum of a slice; `None` for empty input. Slices below
+/// [`SEQ_THRESHOLD`] take a sequential fast path.
 pub fn par_min<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<T> {
+    if xs.len() <= SEQ_THRESHOLD {
+        return xs.iter().copied().min();
+    }
     xs.par_iter().copied().min()
 }
 
@@ -66,6 +82,22 @@ mod tests {
         assert_eq!(par_argmin::<i64>(&[]), None);
         assert_eq!(par_argmin(&[3i64]), Some(0));
         assert_eq!(par_argmin(&[5i64, 2, 8, 2]), Some(1)); // first of the ties
+    }
+
+    #[test]
+    fn argmin_fast_path_matches_parallel_path() {
+        use crate::SEQ_THRESHOLD;
+        // Straddle the sequential-fallback boundary.
+        for n in [SEQ_THRESHOLD - 1, SEQ_THRESHOLD, SEQ_THRESHOLD + 1] {
+            let xs: Vec<i64> = (0..n).map(|i| ((i * 31) % 257) as i64 - 128).collect();
+            let want = xs
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &x)| (x, i))
+                .map(|(i, _)| i);
+            assert_eq!(par_argmin(&xs), want, "n={n}");
+            assert_eq!(par_min(&xs), xs.iter().copied().min(), "n={n}");
+        }
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub mod corpus;
 pub mod suite;
 
 pub use corpus::{corpus, corpus_filtered, Instance, Oracle, Scenario};
-pub use suite::{run_suite, FamilySummary, SuiteCell, SuiteConfig, SuiteReport};
+pub use suite::{run_suite, run_suite_pooled, FamilySummary, SuiteCell, SuiteConfig, SuiteReport};

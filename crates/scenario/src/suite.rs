@@ -1,24 +1,25 @@
 //! The parallel differential suite runner behind `pmc suite`.
 //!
 //! Work unit = one (scenario, seed) pair. Workers pull units from a
-//! shared atomic cursor, materialize the instance once, resolve its
-//! oracle (closed form, or one Stoer–Wagner solve), then run **every**
-//! applicable registered solver on it through the amortized
-//! [`solve_with`](pmc_core::MinCutSolver::solve_with) path — each worker
-//! owns a [`SolverWorkspace`] that persists across all its units, so the
-//! suite doubles as a stress test of arena reuse across heterogeneous
-//! graph families. Real OS threads (`std::thread::scope`) carry the
-//! fan-out, so throughput scales with `--threads` even though the inner
-//! solvers run on the sequential rayon stand-in.
+//! shared cursor ([`pmc_par::fanout_units`] — real OS threads, so
+//! throughput scales with `--threads` even on the sequential rayon
+//! stand-in), materialize the instance once, resolve its oracle (closed
+//! form, or one Stoer–Wagner solve), then run **every** applicable
+//! registered solver on it through the amortized
+//! [`solve_with`](pmc_core::MinCutSolver::solve_with) path. Each worker
+//! checks a [`SolverWorkspace`] out of a
+//! [`WorkspacePool`] for the whole run, so the suite doubles as a stress
+//! test of arena reuse across heterogeneous graph families. Inner solves
+//! run with a thread budget of 1: the cell grid is the only level of
+//! parallelism, so `--threads` never oversubscribes the machine.
 //!
 //! Results are deterministic up to cell ordering; the runner sorts them,
 //! so two runs with different thread counts produce identical reports
 //! (modulo timings) — property-tested in `tests/suite_props.rs`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
+use pmc_core::WorkspacePool;
 use pmc_core::{solvers_for, MinCutSolver, SolverConfig, SolverWorkspace, StoerWagnerSolver};
 
 use crate::corpus::{corpus_filtered, Oracle, Scenario};
@@ -265,9 +266,16 @@ fn cell_seed(scenario_index: usize, seed: u64) -> u64 {
 }
 
 /// Runs the differential suite: scenario × applicable solver × seed,
-/// fanned across `cfg.threads` workers, each reusing one
+/// fanned across `cfg.threads` workers, each reusing one pooled
 /// [`SolverWorkspace`] for all its cells.
 pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
+    run_suite_pooled(cfg, &WorkspacePool::new())
+}
+
+/// [`run_suite`] drawing the per-worker workspaces from a caller-owned
+/// [`WorkspacePool`], so repeated suite runs (watch loops, CI retries)
+/// reuse the grown arenas instead of re-warming fresh ones.
+pub fn run_suite_pooled(cfg: &SuiteConfig, pool: &WorkspacePool) -> SuiteReport {
     let scenarios = corpus_filtered(cfg.filter.as_deref());
     let units: Vec<(usize, u64)> = (0..scenarios.len())
         .flat_map(|si| (0..cfg.seeds.max(1)).map(move |seed| (si, seed)))
@@ -277,30 +285,22 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
     } else {
         cfg.threads
     }
-    .min(units.len().max(1));
+    .min(units.len().max(1))
+    .max(1);
 
     let start = Instant::now();
-    let cursor = AtomicUsize::new(0);
-    let sink: Mutex<Vec<SuiteCell>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut ws = SolverWorkspace::new();
-                let mut local: Vec<SuiteCell> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(si, seed)) = units.get(i) else {
-                        break;
-                    };
-                    run_unit(&scenarios[si], si, seed, cfg, &mut ws, &mut local);
-                }
-                sink.lock().unwrap().append(&mut local);
-            });
-        }
-    });
+    let mut workspaces: Vec<_> = (0..threads).map(|_| pool.checkout()).collect();
+    let per_unit: Vec<Vec<SuiteCell>> =
+        pmc_par::fanout_units(&mut workspaces, units.len(), |ws, i| {
+            let (si, seed) = units[i];
+            let mut local = Vec::new();
+            run_unit(&scenarios[si], si, seed, cfg, ws, &mut local);
+            local
+        });
+    drop(workspaces); // return the arenas to the pool
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    let mut cells = sink.into_inner().unwrap();
+    let mut cells: Vec<SuiteCell> = per_unit.into_iter().flatten().collect();
     cells.sort_by(|a, b| (a.scenario, a.solver, a.seed).cmp(&(b.scenario, b.solver, b.seed)));
     let family_count = {
         let mut fams: Vec<_> = scenarios.iter().map(|s| s.family()).collect();
@@ -331,9 +331,13 @@ fn run_unit(
 ) {
     let inst = scenario.instantiate(seed);
     let g = &inst.graph;
+    // Thread budget 1: the suite's cell grid is the only parallel level,
+    // so worker counts compose instead of multiplying. Solver results are
+    // thread-count invariant, so this changes nothing but scheduling.
     let solver_cfg = SolverConfig {
         seed: cell_seed(scenario_index, seed),
         failure_probability: cfg.failure_probability,
+        threads: Some(1),
         ..SolverConfig::default()
     };
     // Resolving a Baseline oracle *is* a Stoer–Wagner solve; keep its

@@ -15,10 +15,18 @@
 //! (default `paper`). Files are DIMACS-like (`.dimacs`) or whitespace edge
 //! lists (anything else); `-` means stdin. `mincut` accepts any number of
 //! input files and runs them as one batch through
-//! [`MinCutSolver::solve_batch`], amortizing a single solver workspace
-//! across all of them. `suite` fans the scenario corpus × every registered
-//! solver × `--seeds` seeds across a worker-thread pool and compares each
-//! cut value against the scenario's oracle.
+//! [`MinCutSolver::solve_batch_pooled`] over a [`WorkspacePool`].
+//! `--threads P` bounds the coarse-grained parallelism of the run: a
+//! single input solves inside a dedicated P-wide pool (the paper solver
+//! fans its packed trees across P OS workers); several inputs fan across
+//! the batch with P pooled workspaces and single-threaded inner solves —
+//! never both levels at once. (With the offline sequential rayon
+//! stand-in this is *all* the parallelism, so P is a hard bound; with
+//! the real rayon crate swapped in, fine-grained kernels above the
+//! `pmc-par` threshold additionally use the global rayon pool.)
+//! `suite` fans the scenario corpus × every registered solver ×
+//! `--seeds` seeds across its own worker pool the same way and compares
+//! each cut value against the scenario's oracle.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -26,7 +34,7 @@ use std::process::ExitCode;
 
 use parallel_mincut::graph::{gen, io};
 use parallel_mincut::scenario::{corpus, run_suite, SuiteConfig};
-use parallel_mincut::{solver_by_name, solvers, Graph, MinCutSolver, SolverConfig};
+use parallel_mincut::{solver_by_name, solvers, Graph, MinCutSolver, SolverConfig, WorkspacePool};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -167,10 +175,12 @@ fn cmd_mincut(args: &[String]) -> Result<(), String> {
     let graphs: Vec<Graph> = files.iter().map(|p| load(p)).collect::<Result<_, _>>()?;
     let quiet = args.iter().any(|a| a == "--quiet");
     let start = std::time::Instant::now();
-    // One batch, one workspace: repeated inputs amortize all solver
-    // scratch through the `solve_batch` seam.
+    // One batch over a workspace pool: a single input solves with
+    // `--threads` fanned across its packed trees; multiple inputs fan
+    // across the batch, one pooled arena per worker.
+    let pool = WorkspacePool::new();
     let cuts = solver
-        .solve_batch(&graphs, &cfg)
+        .solve_batch_pooled(&graphs, &cfg, &pool)
         .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     let multi = files.len() > 1;
@@ -198,7 +208,7 @@ fn cmd_mincut(args: &[String]) -> Result<(), String> {
     }
     if multi && !quiet {
         println!(
-            "batch: {} graphs in {:.1} ms (one shared workspace)",
+            "batch: {} graphs in {:.1} ms (pooled workspaces)",
             files.len(),
             elapsed.as_secs_f64() * 1e3
         );

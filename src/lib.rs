@@ -59,6 +59,6 @@ pub use pmc_scenario as scenario;
 
 pub use pmc_core::{
     minimum_cut, minimum_cut_with, solver_by_name, solver_names, solvers, solvers_for,
-    MinCutConfig, MinCutResult, MinCutSolver, SolverConfig, SolverWorkspace,
+    MinCutConfig, MinCutResult, MinCutSolver, SolverConfig, SolverWorkspace, WorkspacePool,
 };
 pub use pmc_graph::{Graph, PmcError, RootedTree};

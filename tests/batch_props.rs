@@ -6,7 +6,9 @@
 //! the workspace design: an arena, never a cache.
 
 use parallel_mincut::graph::gen;
-use parallel_mincut::{solvers, Graph, MinCutSolver, SolverConfig, SolverWorkspace};
+use parallel_mincut::{
+    solver_by_name, solvers, Graph, MinCutSolver, SolverConfig, SolverWorkspace, WorkspacePool,
+};
 use proptest::prelude::*;
 
 /// A random batch mixing both workload families. Sizes stay within the
@@ -28,6 +30,57 @@ fn arb_batch() -> impl Strategy<Value = Vec<Graph>> {
     )
 }
 
+/// Above the fan-out gate (the proptest batches stay below it): graphs
+/// guaranteed large enough that thread budgets > 1 really spawn OS
+/// workers for the per-tree loop, checked bit-identical against the
+/// sequential budget. The gate tests the *certificate-sparsified* edge
+/// count, so the certificate is disabled here — otherwise a sparse seed
+/// can fall back below the gate and the multi-worker assertion goes
+/// vacuous.
+#[test]
+fn paper_fanout_path_bit_identical_across_thread_counts() {
+    use parallel_mincut::core_alg::MinCutConfig;
+    use parallel_mincut::minimum_cut_with;
+
+    for seed in 0..3u64 {
+        let g = gen::gnm_connected(192, 576, 8, 900 + seed); // m >= fan-out gate
+        let mk = |threads: Option<usize>| MinCutConfig {
+            seed,
+            threads,
+            use_certificate: false, // keep work_graph.m() == 576, above the gate
+            ..MinCutConfig::default()
+        };
+        let mut ws = SolverWorkspace::new();
+        let base = minimum_cut_with(&g, &mk(Some(1)), &mut ws).unwrap();
+        for t in [2usize, 8] {
+            let mut ws_t = SolverWorkspace::new();
+            let got = minimum_cut_with(&g, &mk(Some(t)), &mut ws_t).unwrap();
+            assert_eq!(got.value, base.value, "threads {t} seed {seed}");
+            assert_eq!(got.side, base.side, "threads {t} seed {seed}");
+            assert_eq!(got.kind, base.kind, "threads {t} seed {seed}");
+            assert_eq!(got.tree_index, base.tree_index, "threads {t} seed {seed}");
+        }
+        // The dispatch + pooled-batch layers agree too, at every width
+        // (these run the default certificate policy; agreement with the
+        // certificate-free run is part of the check).
+        let paper = solver_by_name("paper").unwrap();
+        let pool = WorkspacePool::new();
+        for t in [1usize, 2, 8] {
+            let cfg = SolverConfig {
+                threads: Some(t),
+                ..SolverConfig::with_seed(seed)
+            };
+            let got = paper.solve(&g, &cfg).unwrap();
+            assert_eq!(got.value, base.value, "solve threads {t} seed {seed}");
+            let batch = paper
+                .solve_batch_pooled(std::slice::from_ref(&g), &cfg, &pool)
+                .unwrap();
+            assert_eq!(batch[0].value, base.value, "pooled threads {t}");
+            assert_eq!(batch[0].side, got.side, "pooled threads {t}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -45,6 +98,46 @@ proptest! {
                 prop_assert_eq!(g.cut_value(&got.side), got.value, "solver {}", solver.name());
             }
         }
+    }
+
+    #[test]
+    fn paper_results_bit_identical_across_thread_counts(graphs in arb_batch(), seed in 0u64..1000) {
+        // The per-tree fan-out must be invisible in the results: cut value,
+        // witness side, structural kind, and winning tree index all agree
+        // between thread budgets 1, 2, and 8 (and the budget-free default).
+        let paper = solver_by_name("paper").unwrap();
+        for g in &graphs {
+            let base = paper.solve(g, &SolverConfig::with_seed(seed)).unwrap();
+            for t in [1usize, 2, 8] {
+                let cfg = SolverConfig { threads: Some(t), ..SolverConfig::with_seed(seed) };
+                let got = paper.solve(g, &cfg).unwrap();
+                prop_assert_eq!(got.value, base.value, "threads {}", t);
+                prop_assert_eq!(&got.side, &base.side, "threads {}", t);
+                prop_assert_eq!(got.kind, base.kind, "threads {}", t);
+                prop_assert_eq!(got.tree_index, base.tree_index, "threads {}", t);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_batch_equals_sequential_solves(graphs in arb_batch(), seed in 0u64..1000) {
+        // solve_batch_pooled (OS-worker fan-out over a WorkspacePool) is
+        // extensionally equal to one-shot solves, at every worker count.
+        let pool = WorkspacePool::new();
+        for t in [1usize, 2, 8] {
+            let cfg = SolverConfig { threads: Some(t), ..SolverConfig::with_seed(seed) };
+            for solver in solvers() {
+                let batch = solver.solve_batch_pooled(&graphs, &cfg, &pool).unwrap();
+                prop_assert_eq!(batch.len(), graphs.len());
+                for (g, got) in graphs.iter().zip(&batch) {
+                    let want = solver.solve(g, &cfg).unwrap();
+                    prop_assert_eq!(got.value, want.value, "solver {} threads {}", solver.name(), t);
+                    prop_assert_eq!(&got.side, &want.side, "solver {} threads {}", solver.name(), t);
+                }
+            }
+        }
+        // Every checked-out workspace returned to the pool.
+        prop_assert!(!pool.is_empty());
     }
 
     #[test]
