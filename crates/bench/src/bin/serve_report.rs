@@ -1,0 +1,397 @@
+//! E14 — service-mode throughput vs. one-shot CLI invocations.
+//!
+//! Drives the same mixed solve workload two ways and reports
+//! requests/sec for each:
+//!
+//! * **service mode** — one `pmc serve` child process (or the in-process
+//!   [`Service`] when no binary is reachable), graphs loaded once into
+//!   the LRU cache, then every request pipelined over stdin/stdout
+//!   against the warm workspace pool;
+//! * **one-shot mode** — one `pmc mincut <file> --quiet` child process
+//!   per request (or an in-process emulation: re-parse + fresh workspace
+//!   per request), the way PRs 1–4 always ran.
+//!
+//! ```text
+//! cargo run --release -p pmc-bench --bin serve_report [--quick] [--out FILE]
+//! ```
+//!
+//! Besides the throughput rows, the run *asserts* the service contract:
+//! solve responses are byte-identical across a repeat session and across
+//! `--threads 1` vs `--threads 4` (all sessions run `--no-timing`), and
+//! every service cut value matches the one-shot CLI's answer for the
+//! same (graph, seed). The committed `BENCH_serve.json` records which
+//! mode actually ran (`"child"` when the release binary was found,
+//! `"inprocess"` otherwise), so the headline ratio is honest about what
+//! it measured — the child/child comparison includes process spawn and
+//! parse costs, which is the point of serving.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pmc_bench::{header, row};
+use pmc_graph::{gen, io as gio, Graph};
+use pmc_service::protocol::{LoadSource, Request, Response};
+use pmc_service::{Service, ServiceConfig};
+
+struct Workload {
+    graphs: Vec<Graph>,
+    files: Vec<PathBuf>,
+    /// (graph index, solver, seed) per request: graphs round-robin,
+    /// solvers alternating between the paper algorithm and the exact
+    /// Stoer–Wagner oracle — the mixed traffic a cut service would see.
+    requests: Vec<(usize, &'static str, u64)>,
+}
+
+fn build_workload(quick: bool) -> Workload {
+    let graph_count = if quick { 10 } else { 12 };
+    let request_count = if quick { 120 } else { 400 };
+    let dir = std::env::temp_dir().join("pmc-serve-report");
+    std::fs::create_dir_all(&dir).expect("create workload dir");
+    let mut graphs = Vec::new();
+    let mut files = Vec::new();
+    for i in 0..graph_count {
+        // Small-to-medium instances: the regime where per-request fixed
+        // costs (process spawn, parse, arena growth) dominate the solve
+        // itself — exactly the workload a persistent service exists for.
+        let n = 24 + 8 * i;
+        let g = gen::gnm_connected(n, 3 * n, 8, 0x5E21 + i as u64);
+        let path = dir.join(format!("serve_{i}.dimacs"));
+        let file = std::fs::File::create(&path).expect("write workload graph");
+        gio::write_dimacs(&g, std::io::BufWriter::new(file)).expect("write workload graph");
+        graphs.push(g);
+        files.push(path);
+    }
+    let requests = (0..request_count)
+        .map(|r| {
+            let solver = if r % 2 == 0 { "paper" } else { "sw" };
+            (r % graph_count, solver, 1000 + (r as u64) * 7 % 13)
+        })
+        .collect();
+    Workload {
+        graphs,
+        files,
+        requests,
+    }
+}
+
+/// The sibling `pmc` binary, when this bench runs out of the same build
+/// tree (`target/release/serve_report` → `target/release/pmc`); `PMC_BIN`
+/// overrides, and `None` falls back to in-process emulation.
+fn find_pmc_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("PMC_BIN") {
+        let p = PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let sibling = std::env::current_exe()
+        .ok()?
+        .parent()?
+        .join(format!("pmc{}", std::env::consts::EXE_SUFFIX));
+    sibling.is_file().then_some(sibling)
+}
+
+fn load_frames(w: &Workload) -> Vec<String> {
+    w.files
+        .iter()
+        .map(|f| Request::Load(LoadSource::Path(f.to_string_lossy().into_owned())).to_frame())
+        .collect()
+}
+
+fn solve_frames(w: &Workload, ids: &[String]) -> Vec<String> {
+    w.requests
+        .iter()
+        .map(|&(gi, solver, seed)| {
+            Request::Solve {
+                graphs: vec![ids[gi].clone()],
+                solver: solver.into(),
+                seed,
+            }
+            .to_frame()
+        })
+        .collect()
+}
+
+fn parse_load_ids(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| match Response::parse_frame(l) {
+            Ok(Response::Loaded { id, .. }) => id,
+            other => panic!("load failed: {other:?}"),
+        })
+        .collect()
+}
+
+/// One pipelined service session; returns the solve-phase wall time and
+/// the raw solve response lines.
+fn child_session(bin: &PathBuf, threads: usize, w: &Workload) -> (Duration, Vec<String>) {
+    let mut child: Child = Command::new(bin)
+        .args([
+            "serve",
+            "--no-timing",
+            "--threads",
+            &threads.to_string(),
+            "--cache-graphs",
+            &w.graphs.len().to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pmc serve");
+    let mut stdin = child.stdin.take().expect("child stdin");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut read_line = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        line.truncate(line.trim_end().len());
+        line
+    };
+
+    let loads = load_frames(w);
+    for frame in &loads {
+        writeln!(stdin, "{frame}").expect("write load");
+    }
+    stdin.flush().expect("flush loads");
+    let load_replies: Vec<String> = (0..loads.len()).map(|_| read_line()).collect();
+    let ids = parse_load_ids(&load_replies);
+
+    let solves = solve_frames(w, &ids);
+    let start = Instant::now();
+    // Writer thread: a pipelined client keeps writing while responses
+    // stream back, so neither pipe buffer can deadlock the session.
+    let solve_replies: Vec<String> = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for frame in &solves {
+                writeln!(stdin, "{frame}").expect("write solve");
+            }
+            writeln!(stdin, "{}", Request::Shutdown.to_frame()).expect("write shutdown");
+            stdin.flush().expect("flush solves");
+        });
+        (0..w.requests.len()).map(|_| read_line()).collect()
+    });
+    let elapsed = start.elapsed();
+    let _ = child.wait();
+    (elapsed, solve_replies)
+}
+
+/// The in-process fallback session (no binary found): same frames, same
+/// phases, driven through `Service::handle_frame` directly.
+fn inprocess_session(threads: usize, w: &Workload) -> (Duration, Vec<String>) {
+    let service = Service::new(&ServiceConfig {
+        threads,
+        cache_graphs: w.graphs.len(),
+        timing: false,
+    });
+    let load_replies: Vec<String> = load_frames(w)
+        .iter()
+        .map(|f| service.handle_frame(f).0.to_frame())
+        .collect();
+    let ids = parse_load_ids(&load_replies);
+    let solves = solve_frames(w, &ids);
+    let start = Instant::now();
+    let replies = solves
+        .iter()
+        .map(|f| service.handle_frame(f).0.to_frame())
+        .collect();
+    (start.elapsed(), replies)
+}
+
+fn session(bin: Option<&PathBuf>, threads: usize, w: &Workload) -> (Duration, Vec<String>) {
+    match bin {
+        Some(bin) => child_session(bin, threads, w),
+        None => inprocess_session(threads, w),
+    }
+}
+
+fn solve_values(lines: &[String]) -> Vec<u64> {
+    lines
+        .iter()
+        .map(|l| match Response::parse_frame(l) {
+            Ok(Response::Solved { results }) => results[0].value,
+            other => panic!("solve failed: {other:?}"),
+        })
+        .collect()
+}
+
+/// One-shot baseline: a full `pmc mincut` process (or its in-process
+/// emulation: parse + fresh workspace + solve) per request. Returns the
+/// wall time, how many requests ran, and their cut values.
+fn oneshot_baseline(
+    bin: Option<&PathBuf>,
+    w: &Workload,
+    count: usize,
+) -> (Duration, usize, Vec<u64>) {
+    let count = count.min(w.requests.len());
+    let start = Instant::now();
+    let mut values = Vec::with_capacity(count);
+    for &(gi, solver, seed) in &w.requests[..count] {
+        match bin {
+            Some(bin) => {
+                let out = Command::new(bin)
+                    .args([
+                        "mincut",
+                        w.files[gi].to_str().expect("utf-8 path"),
+                        "--algo",
+                        solver,
+                        "--seed",
+                        &seed.to_string(),
+                        "--quiet",
+                    ])
+                    .output()
+                    .expect("spawn pmc mincut");
+                assert!(out.status.success(), "one-shot mincut failed: {out:?}");
+                let text = String::from_utf8(out.stdout).expect("utf-8 output");
+                let value = text
+                    .lines()
+                    .find_map(|l| l.strip_prefix("value: "))
+                    .expect("value line")
+                    .parse()
+                    .expect("numeric value");
+                values.push(value);
+            }
+            None => {
+                // Emulate the per-request lifecycle minus process spawn:
+                // re-read the file, fresh arenas, one solve.
+                let g = gio::read_path(&w.files[gi]).expect("re-read workload graph");
+                let solver = pmc_bench::solver(solver);
+                let cfg = pmc_core::SolverConfig {
+                    seed,
+                    ..pmc_core::SolverConfig::default()
+                };
+                let mut ws = pmc_core::SolverWorkspace::new();
+                values.push(solver.solve_with(&g, &cfg, &mut ws).expect("solve").value);
+            }
+        }
+    }
+    (start.elapsed(), count, values)
+}
+
+fn req_per_sec(requests: usize, d: Duration) -> f64 {
+    requests as f64 / d.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let w = build_workload(quick);
+    let bin = find_pmc_bin();
+    let mode = if bin.is_some() { "child" } else { "inprocess" };
+    println!("# E14 — pmc serve throughput vs one-shot CLI ({mode} mode)");
+    println!(
+        "# {} graphs, {} pipelined solve requests",
+        w.graphs.len(),
+        w.requests.len()
+    );
+    println!();
+
+    // Determinism first: repeat run and thread-width sweep must produce
+    // byte-identical solve responses.
+    let (t1_elapsed, t1_replies) = session(bin.as_ref(), 1, &w);
+    let (_, t1_repeat) = session(bin.as_ref(), 1, &w);
+    let (t4_elapsed, t4_replies) = session(bin.as_ref(), 4, &w);
+    let deterministic_across_runs = t1_replies == t1_repeat;
+    let deterministic_across_threads = t1_replies == t4_replies;
+    assert!(
+        deterministic_across_runs,
+        "service responses changed between identical runs"
+    );
+    assert!(
+        deterministic_across_threads,
+        "service responses changed between --threads 1 and --threads 4"
+    );
+
+    let oneshot_count = if quick { 30 } else { 100 };
+    let (oneshot_elapsed, oneshot_ran, oneshot_values) =
+        oneshot_baseline(bin.as_ref(), &w, oneshot_count);
+    let service_values = solve_values(&t1_replies);
+    let values_match = oneshot_values
+        .iter()
+        .zip(&service_values)
+        .all(|(a, b)| a == b);
+    assert!(values_match, "service and one-shot cut values disagree");
+
+    let service_t1 = req_per_sec(w.requests.len(), t1_elapsed);
+    let service_t4 = req_per_sec(w.requests.len(), t4_elapsed);
+    let oneshot = req_per_sec(oneshot_ran, oneshot_elapsed);
+    let best_service = service_t1.max(service_t4);
+    let speedup = best_service / oneshot;
+
+    header(&["mode", "threads", "requests", "elapsed ms", "req/s"]);
+    row(&[
+        "serve".into(),
+        "1".into(),
+        w.requests.len().to_string(),
+        format!("{:.1}", t1_elapsed.as_secs_f64() * 1e3),
+        format!("{service_t1:.0}"),
+    ]);
+    row(&[
+        "serve".into(),
+        "4".into(),
+        w.requests.len().to_string(),
+        format!("{:.1}", t4_elapsed.as_secs_f64() * 1e3),
+        format!("{service_t4:.0}"),
+    ]);
+    row(&[
+        "one-shot".into(),
+        "1".into(),
+        oneshot_ran.to_string(),
+        format!("{:.1}", oneshot_elapsed.as_secs_f64() * 1e3),
+        format!("{oneshot:.0}"),
+    ]);
+    println!();
+    println!(
+        "service speedup over one-shot: {speedup:.1}x (best service width vs per-request CLI)"
+    );
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"serve_throughput\",\n");
+    s.push_str(
+        "  \"description\": \"pipelined pmc serve sessions (graphs cached, pool warm) vs one pmc mincut invocation per request, same workload\",\n",
+    );
+    s.push_str("  \"regenerate\": \"cargo run --release -p pmc-bench --bin serve_report\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"graphs\": {},\n", w.graphs.len()));
+    s.push_str(&format!("  \"solve_requests\": {},\n", w.requests.len()));
+    s.push_str(&format!("  \"oneshot_requests\": {oneshot_ran},\n"));
+    s.push_str(&format!(
+        "  \"deterministic_across_runs\": {deterministic_across_runs},\n"
+    ));
+    s.push_str(&format!(
+        "  \"deterministic_across_threads\": {deterministic_across_threads},\n"
+    ));
+    s.push_str(&format!("  \"values_match_oneshot\": {values_match},\n"));
+    s.push_str("  \"rows\": [\n");
+    let rows = [
+        ("serve", 1usize, w.requests.len(), t1_elapsed, service_t1),
+        ("serve", 4, w.requests.len(), t4_elapsed, service_t4),
+        ("oneshot", 1, oneshot_ran, oneshot_elapsed, oneshot),
+    ];
+    for (i, (kind, threads, requests, elapsed, rps)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"mode\": \"{kind}\", \"threads\": {threads}, \"requests\": {requests}, \"elapsed_ms\": {:.1}, \"req_per_sec\": {rps:.1}}}{}\n",
+            elapsed.as_secs_f64() * 1e3,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"headline\": {{\"service_req_per_sec\": {best_service:.1}, \"oneshot_req_per_sec\": {oneshot:.1}, \"speedup\": {speedup:.2}}}\n"
+    ));
+    s.push_str("}\n");
+    std::fs::write(&out_path, s).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    assert!(
+        speedup > 1.0,
+        "service mode must out-serve one-shot invocations (got {speedup:.2}x)"
+    );
+}

@@ -44,7 +44,7 @@ pub use two_respect::{
     two_respect_mincut, two_respect_mincut_reusing, two_respect_mincut_with, ExecMode, RespectKind,
     TwoRespectCut,
 };
-pub use workspace::{PooledWorkspace, SolverWorkspace, TreeArena, WorkspacePool};
+pub use workspace::{PoolStats, PooledWorkspace, SolverWorkspace, TreeArena, WorkspacePool};
 
 /// Minimum edge count of the working graph before the per-tree loop fans
 /// out across OS workers; below it, thread spawn/join overhead outweighs

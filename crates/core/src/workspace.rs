@@ -29,6 +29,7 @@
 //!   long-running server warms the pool once.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use pmc_baseline::SwScratch;
@@ -144,6 +145,22 @@ impl SolverWorkspace {
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
     free: Mutex<Vec<SolverWorkspace>>,
+    created: AtomicU64,
+    checkouts: AtomicU64,
+}
+
+/// Lifetime counters of a [`WorkspacePool`], for serving-loop telemetry
+/// (`pmc serve` exposes them in its `stats` response). A warm pool shows
+/// `created` plateauing while `checkouts` keeps growing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workspaces this pool has ever materialized (checkouts that found
+    /// the pool empty).
+    pub created: u64,
+    /// Total checkouts served over the pool's lifetime.
+    pub checkouts: u64,
+    /// Workspaces currently checked in and reusable.
+    pub available: usize,
 }
 
 impl WorkspacePool {
@@ -160,6 +177,7 @@ impl WorkspacePool {
             let mut free = pool.free.lock().expect("workspace pool poisoned");
             free.resize_with(n, SolverWorkspace::new);
         }
+        pool.created.store(n as u64, Ordering::Relaxed);
         pool
     }
 
@@ -167,15 +185,27 @@ impl WorkspacePool {
     /// pool is empty). The returned guard derefs to [`SolverWorkspace`]
     /// and returns it to the pool on drop.
     pub fn checkout(&self) -> PooledWorkspace<'_> {
-        let ws = self
-            .free
-            .lock()
-            .expect("workspace pool poisoned")
-            .pop()
-            .unwrap_or_default();
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let ws = match self.free.lock().expect("workspace pool poisoned").pop() {
+            Some(ws) => ws,
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                SolverWorkspace::new()
+            }
+        };
         PooledWorkspace {
             ws: Some(ws),
             pool: self,
+        }
+    }
+
+    /// Lifetime counters: total workspaces created, total checkouts
+    /// served, and how many workspaces sit checked in right now.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.created.load(Ordering::Relaxed),
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            available: self.len(),
         }
     }
 
@@ -278,6 +308,34 @@ mod tests {
         }
         assert_eq!(pool.len(), 3);
         assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn pool_stats_track_creation_and_checkouts() {
+        let pool = WorkspacePool::with_capacity(1);
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                created: 1,
+                checkouts: 0,
+                available: 1
+            }
+        );
+        {
+            let _a = pool.checkout(); // reuses the seeded workspace
+            let _b = pool.checkout(); // pool empty: materializes a second
+        }
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                created: 2,
+                checkouts: 2,
+                available: 2
+            }
+        );
+        let _ = pool.checkout();
+        assert_eq!(pool.stats().checkouts, 3);
+        assert_eq!(pool.stats().created, 2); // warm pool: no new arenas
     }
 
     #[test]

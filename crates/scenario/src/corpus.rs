@@ -264,11 +264,35 @@ pub fn corpus() -> Vec<Scenario> {
     ]
 }
 
+/// The name of the hidden fault-injection scenario (see
+/// `injected_disagreement` below): only an explicit filter containing
+/// this string reaches it.
+pub const INJECTED_DISAGREEMENT_FILTER: &str = "__bad-oracle";
+
+/// A deliberately wrong scenario for exercising the suite's *failure*
+/// path end to end: an 8-cycle (true minimum cut 2) annotated with
+/// `Oracle::Known(3)`. Every solver disagrees with the oracle, so a
+/// suite run over it must report disagreements and exit nonzero — which
+/// is exactly what `tests/exit_codes.rs` asserts. Excluded from
+/// [`corpus`] so normal runs, `pmc scenarios`, and CI never see it.
+fn injected_disagreement() -> Scenario {
+    scenario("__bad-oracle/cycle8", "__injected", &[], |s| Instance {
+        graph: gen::cycle_with_chords(8, 0, salted(0xBAD, s)),
+        oracle: Oracle::Known(3), // wrong on purpose: the true cut is 2
+    })
+}
+
 /// The corpus restricted to scenarios matching `filter` (see
-/// [`Scenario::matches`]); `None` returns everything.
+/// [`Scenario::matches`]); `None` returns everything. A filter naming
+/// [`INJECTED_DISAGREEMENT_FILTER`] additionally reaches the hidden
+/// fault-injection scenario, so the suite's nonzero-exit path stays
+/// testable from the CLI without polluting the real corpus.
 pub fn corpus_filtered(filter: Option<&str>) -> Vec<Scenario> {
     let mut all = corpus();
     if let Some(f) = filter {
+        if f.contains(INJECTED_DISAGREEMENT_FILTER) {
+            all.push(injected_disagreement());
+        }
         all.retain(|s| s.matches(f));
     }
     all
@@ -347,6 +371,21 @@ mod tests {
         let multi = corpus_filtered(Some("torus, wheel"));
         assert_eq!(multi.len(), 4);
         assert!(corpus_filtered(Some("no-such-thing")).is_empty());
+    }
+
+    #[test]
+    fn injected_disagreement_stays_hidden_without_its_filter() {
+        assert!(corpus().iter().all(|s| !s.name().contains("__bad-oracle")));
+        assert!(corpus_filtered(None)
+            .iter()
+            .all(|s| !s.name().contains("__bad-oracle")));
+        let hidden = corpus_filtered(Some(INJECTED_DISAGREEMENT_FILTER));
+        assert_eq!(hidden.len(), 1);
+        assert_eq!(hidden[0].family(), "__injected");
+        // The annotation is wrong on purpose; the instance is real.
+        let inst = hidden[0].instantiate(0);
+        assert_eq!(inst.oracle, Oracle::Known(3));
+        assert_eq!(inst.graph.n(), 8);
     }
 
     #[test]

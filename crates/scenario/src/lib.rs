@@ -36,5 +36,7 @@
 pub mod corpus;
 pub mod suite;
 
-pub use corpus::{corpus, corpus_filtered, Instance, Oracle, Scenario};
+pub use corpus::{
+    corpus, corpus_filtered, Instance, Oracle, Scenario, INJECTED_DISAGREEMENT_FILTER,
+};
 pub use suite::{run_suite, run_suite_pooled, FamilySummary, SuiteCell, SuiteConfig, SuiteReport};

@@ -1,0 +1,191 @@
+//! The service's bounded, content-addressed graph cache.
+//!
+//! `load` parses a graph once and registers it under [`graph_id`]; every
+//! later `solve` resolves ids here instead of re-parsing. The cache is a
+//! strict LRU bounded by `--cache-graphs`: inserting beyond capacity
+//! evicts the least-recently-*used* graph (a lookup counts as use, an
+//! insert of an already-resident graph refreshes it). Graphs are handed
+//! out as [`Arc`]s, so an eviction never invalidates a solve already in
+//! flight — the arc keeps the evicted graph alive until the solve drops
+//! it.
+//!
+//! Capacity is in graphs, not bytes, because the protocol caps a frame
+//! (and so an inline body) at
+//! [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES): the worst-case
+//! resident set is `capacity ×` one frame's worth of parsed graph, a
+//! bound the operator picks explicitly.
+
+use std::sync::Arc;
+
+use pmc_graph::Graph;
+
+use crate::protocol::{canonical_edges, graph_id, CacheCounters, ErrorKind, ProtocolError};
+
+struct Entry {
+    id: String,
+    graph: Arc<Graph>,
+    last_used: u64,
+}
+
+/// A least-recently-used cache of parsed graphs keyed by content id.
+pub struct GraphCache {
+    entries: Vec<Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl GraphCache {
+    /// An empty cache holding at most `capacity` graphs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        GraphCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        self.entries[idx].last_used = self.tick;
+    }
+
+    /// Registers `graph`, returning its content id and whether it was
+    /// already resident. Inserting may evict the least-recently-used
+    /// entry; re-inserting refreshes recency instead of duplicating.
+    ///
+    /// The id is a 64-bit content hash, so an id hit is verified against
+    /// the resident graph's actual content: a collision between distinct
+    /// graphs is an error, never a silent aliasing of one graph by
+    /// another.
+    pub fn insert(&mut self, graph: Graph) -> Result<(String, bool), ProtocolError> {
+        let id = graph_id(&graph);
+        if let Some(idx) = self.entries.iter().position(|e| e.id == id) {
+            let resident = &self.entries[idx].graph;
+            if resident.n() != graph.n() || canonical_edges(resident) != canonical_edges(&graph) {
+                return Err(ProtocolError::new(
+                    ErrorKind::Graph,
+                    format!("content-hash collision on {id}: a different graph is resident"),
+                ));
+            }
+            self.touch(idx);
+            return Ok((id, true));
+        }
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache at capacity is non-empty");
+            self.entries.swap_remove(lru);
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.entries.push(Entry {
+            id: id.clone(),
+            graph: Arc::new(graph),
+            last_used: self.tick,
+        });
+        Ok((id, false))
+    }
+
+    /// Looks up a graph by id, refreshing its recency. A miss is counted
+    /// — the client is expected to re-`load` and retry.
+    pub fn get(&mut self, id: &str) -> Option<Arc<Graph>> {
+        match self.entries.iter().position(|e| e.id == id) {
+            Some(idx) => {
+                self.hits += 1;
+                self.touch(idx);
+                Some(Arc::clone(&self.entries[idx].graph))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Graphs resident right now.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters for the `stats` response.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            capacity: self.capacity as u64,
+            graphs: self.entries.len() as u64,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize, w: u64) -> Graph {
+        let edges: Vec<(u32, u32, u64)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1, w)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn insert_is_content_addressed_and_idempotent() {
+        let mut cache = GraphCache::new(4);
+        let (id1, cached1) = cache.insert(path_graph(5, 2)).unwrap();
+        let (id2, cached2) = cache.insert(path_graph(5, 2)).unwrap();
+        assert_eq!(id1, id2);
+        assert!(!cached1);
+        assert!(cached2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut cache = GraphCache::new(2);
+        let (a, _) = cache.insert(path_graph(3, 1)).unwrap();
+        let (b, _) = cache.insert(path_graph(4, 1)).unwrap();
+        assert!(cache.get(&a).is_some()); // refresh a: b is now LRU
+        let (c, _) = cache.insert(path_graph(5, 1)).unwrap(); // evicts b
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&c).is_some());
+        assert!(cache.get(&b).is_none());
+        let counters = cache.counters();
+        assert_eq!(counters.evictions, 1);
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.hits, 3);
+    }
+
+    #[test]
+    fn arcs_outlive_eviction() {
+        let mut cache = GraphCache::new(1);
+        let (a, _) = cache.insert(path_graph(6, 3)).unwrap();
+        let held = cache.get(&a).unwrap();
+        cache.insert(path_graph(7, 3)).unwrap(); // evicts a
+        assert!(cache.get(&a).is_none());
+        assert_eq!(held.n(), 6); // the in-flight arc still works
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut cache = GraphCache::new(0);
+        let (a, _) = cache.insert(path_graph(3, 1)).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&a).is_some());
+    }
+}

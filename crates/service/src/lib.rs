@@ -1,0 +1,54 @@
+//! # pmc-service — the persistent min-cut service behind `pmc serve`
+//!
+//! After PRs 1–4 every solve paid a full process lifecycle: spawn, parse,
+//! grow arenas, solve, exit. The solver itself is fast enough (see
+//! `BENCH_scaling.json`) that this fixed cost dominates repeated
+//! workloads. This crate turns the existing amortization machinery —
+//! [`WorkspacePool`](pmc_core::WorkspacePool) arenas,
+//! [`solve_with`](pmc_core::MinCutSolver::solve_with), the pinned-inner
+//! composition rule of the suite runner — into a long-lived daemon:
+//!
+//! * [`protocol`] — newline-delimited JSON frames: `load` / `solve` /
+//!   `stats` / `shutdown` requests, structured errors, hard caps on frame
+//!   size and batch width ([`protocol::MAX_FRAME_BYTES`],
+//!   [`protocol::MAX_SOLVE_BATCH`]), and content addressing
+//!   ([`protocol::graph_id`], [`protocol::partition_digest`]).
+//! * [`cache`] — the bounded LRU graph cache (`--cache-graphs`), keyed by
+//!   content id so identical graphs share one slot.
+//! * [`service`] — the dispatcher: request handling over a shared
+//!   [`Service`] value, the pipelined stdin/stdout loop, and the
+//!   thread-per-connection TCP front end (`--listen`).
+//!
+//! Responses are deterministic: for a given `(graph, solver, seed)` the
+//! cut value and witness digest are identical at every `--threads` width
+//! and arrival order, because batch fan-out pins inner solves to one
+//! thread and reduces in unit order — the same rule `pmc suite` uses.
+//!
+//! ```
+//! use pmc_service::{Service, ServiceConfig};
+//! use pmc_service::protocol::{LoadSource, Request, Response};
+//!
+//! let service = Service::new(&ServiceConfig::default());
+//! let (resp, _) = service.handle(&Request::Load(LoadSource::Body(
+//!     "p cut 4 4\ne 1 2 1\ne 2 3 1\ne 3 4 1\ne 4 1 1\n".into(),
+//! )));
+//! let Response::Loaded { id, .. } = resp else { panic!() };
+//! let (resp, _) = service.handle(&Request::Solve {
+//!     graphs: vec![id],
+//!     solver: "paper".into(),
+//!     seed: 7,
+//! });
+//! let Response::Solved { results } = resp else { panic!() };
+//! assert_eq!(results[0].value, 2); // the 4-cycle's minimum cut
+//! ```
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod service;
+
+pub use cache::GraphCache;
+pub use protocol::{
+    ErrorKind, LoadSource, ProtocolError, Request, Response, SolveOutcome, StatsSnapshot,
+};
+pub use service::{ServeOutcome, Service, ServiceConfig};

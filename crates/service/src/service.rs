@@ -1,0 +1,645 @@
+//! The request dispatcher behind `pmc serve`.
+//!
+//! One [`Service`] value owns the graph cache, the workspace pool, and
+//! the counters; any number of I/O loops (the stdin/stdout pipe, one
+//! thread per TCP connection) share it by reference and funnel every
+//! frame through [`Service::handle_frame`]. Solves compose with the
+//! suite's rule: a `solve` request fans its graph batch across up to
+//! `threads` OS workers, each holding a pooled
+//! [`SolverWorkspace`](pmc_core::SolverWorkspace) with the *inner* solve
+//! pinned to one
+//! thread — so request-level fan-out is the only coarse-grained
+//! parallelism, and the response for a given `(graph, solver, seed)` is
+//! identical at every worker count and arrival order. Workspaces return
+//! to the pool warm: a long-running service stops allocating once the
+//! pool reaches its high-water shape.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use pmc_core::{solver_by_name, SolverConfig, WorkspacePool};
+use pmc_graph::io::{read_dimacs, read_edge_list, read_path, IoError};
+use pmc_graph::Graph;
+
+use crate::cache::GraphCache;
+use crate::protocol::{
+    partition_digest, read_frame, ErrorKind, LoadSource, PoolCounters, ProtocolError, Request,
+    RequestCounters, Response, SolveOutcome, StatsSnapshot,
+};
+
+/// Service construction parameters (the `pmc serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Batch fan-out width for `solve` requests; `0` means one worker per
+    /// available CPU.
+    pub threads: usize,
+    /// Graph cache capacity (`--cache-graphs`).
+    pub cache_graphs: usize,
+    /// When `false`, all timing fields (`micros`, `uptime_micros`) are
+    /// reported as 0, making full sessions byte-identical across runs —
+    /// the mode the determinism tests and golden files use.
+    pub timing: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 0,
+            cache_graphs: 64,
+            timing: true,
+        }
+    }
+}
+
+/// What a serve loop did before returning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Frames answered by this loop (empty lines excluded).
+    pub frames: u64,
+    /// `true` when the loop ended on a `shutdown` request rather than
+    /// EOF.
+    pub shutdown: bool,
+}
+
+/// A persistent min-cut service: graph cache + workspace pool + counters.
+pub struct Service {
+    threads: usize,
+    timing: bool,
+    cache: Mutex<GraphCache>,
+    pool: WorkspacePool,
+    start: Instant,
+    loads: AtomicU64,
+    solve_requests: AtomicU64,
+    stats_requests: AtomicU64,
+    errors: AtomicU64,
+    solves: AtomicU64,
+    answered: AtomicU64,
+}
+
+impl Service {
+    /// A fresh service; the pool warms up as requests arrive.
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            cfg.threads
+        };
+        Service {
+            threads,
+            timing: cfg.timing,
+            cache: Mutex::new(GraphCache::new(cfg.cache_graphs)),
+            pool: WorkspacePool::new(),
+            start: Instant::now(),
+            loads: AtomicU64::new(0),
+            solve_requests: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+        }
+    }
+
+    /// The effective batch fan-out width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves one raw frame: parse, dispatch, count. Returns the response
+    /// and whether the frame asked the loop to stop.
+    pub fn handle_frame(&self, frame: &str) -> (Response, bool) {
+        self.answered.fetch_add(1, Ordering::Relaxed);
+        match Request::parse_frame(frame) {
+            Ok(req) => self.handle(&req),
+            Err(e) => (self.error_response(e), false),
+        }
+    }
+
+    /// Serves one parsed request. Returns the response and whether it was
+    /// a shutdown.
+    pub fn handle(&self, req: &Request) -> (Response, bool) {
+        match req {
+            Request::Load(source) => match self.load(source) {
+                Ok(resp) => {
+                    self.loads.fetch_add(1, Ordering::Relaxed);
+                    (resp, false)
+                }
+                Err(e) => (self.error_response(e), false),
+            },
+            Request::Solve {
+                graphs,
+                solver,
+                seed,
+            } => match self.solve(graphs, solver, *seed) {
+                Ok(results) => {
+                    self.solve_requests.fetch_add(1, Ordering::Relaxed);
+                    (Response::Solved { results }, false)
+                }
+                Err(e) => (self.error_response(e), false),
+            },
+            Request::Stats => {
+                self.stats_requests.fetch_add(1, Ordering::Relaxed);
+                (Response::Stats(self.stats_snapshot()), false)
+            }
+            Request::Shutdown => (
+                Response::Shutdown {
+                    served: self.answered.load(Ordering::Relaxed).max(1),
+                },
+                true,
+            ),
+        }
+    }
+
+    /// Counts an error response; used for frame-level failures too (the
+    /// serve loops answer oversized/non-UTF-8 frames through this).
+    pub fn error_response(&self, e: ProtocolError) -> Response {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        Response::Error(e)
+    }
+
+    fn load(&self, source: &LoadSource) -> Result<Response, ProtocolError> {
+        let graph = match source {
+            LoadSource::Body(body) => parse_body(body)?,
+            LoadSource::Path(path) => read_path(std::path::Path::new(path)).map_err(|e| {
+                let kind = match e {
+                    IoError::Io(_) => ErrorKind::Io,
+                    _ => ErrorKind::Graph,
+                };
+                ProtocolError::new(kind, format!("{path}: {e}"))
+            })?,
+        };
+        let n = graph.n() as u64;
+        let m = graph.m() as u64;
+        let (id, cached) = self
+            .cache
+            .lock()
+            .expect("graph cache poisoned")
+            .insert(graph)?;
+        Ok(Response::Loaded { id, n, m, cached })
+    }
+
+    fn solve(
+        &self,
+        ids: &[String],
+        solver_name: &str,
+        seed: u64,
+    ) -> Result<Vec<SolveOutcome>, ProtocolError> {
+        // The wire parser rejects empty batches; guard the public API
+        // path too (clamp(1, 0) below would panic).
+        if ids.is_empty() {
+            return Err(ProtocolError::new(
+                ErrorKind::Request,
+                "solve batch must be non-empty",
+            ));
+        }
+        let solver = solver_by_name(solver_name)
+            .map_err(|e| ProtocolError::new(ErrorKind::Solver, e.to_string()))?;
+        // Resolve every id under one cache lock, then release it for the
+        // whole solve: the Arcs keep the graphs alive even if concurrent
+        // loads evict them mid-flight.
+        let graphs: Vec<std::sync::Arc<Graph>> = {
+            let mut cache = self.cache.lock().expect("graph cache poisoned");
+            let mut resolved = Vec::with_capacity(ids.len());
+            let mut missing: Vec<&str> = Vec::new();
+            for id in ids {
+                match cache.get(id) {
+                    Some(g) => resolved.push(g),
+                    None => missing.push(id),
+                }
+            }
+            if !missing.is_empty() {
+                return Err(ProtocolError::new(
+                    ErrorKind::GraphNotLoaded,
+                    format!("not in cache (re-load and retry): {}", missing.join(", ")),
+                ));
+            }
+            resolved
+        };
+        // The suite's composition rule: fan the batch across pooled
+        // workspaces, pin each inner solve to one thread. Results are in
+        // unit order, so worker count cannot change the response.
+        let cfg = SolverConfig {
+            seed,
+            threads: Some(1),
+            ..SolverConfig::default()
+        };
+        let workers = self.threads.clamp(1, ids.len());
+        let mut workspaces: Vec<_> = (0..workers).map(|_| self.pool.checkout()).collect();
+        let timing = self.timing;
+        let outcomes = pmc_par::fanout_units(&mut workspaces, ids.len(), |ws, i| {
+            let t = Instant::now();
+            let result = solver.solve_with(&graphs[i], &cfg, ws);
+            let micros = if timing { t.elapsed().as_micros() } else { 0 };
+            (result, micros)
+        });
+        drop(workspaces);
+        let mut results = Vec::with_capacity(ids.len());
+        for (id, (outcome, micros)) in ids.iter().zip(outcomes) {
+            let r = outcome
+                .map_err(|e| ProtocolError::new(ErrorKind::Solve, format!("graph {id}: {e}")))?;
+            self.solves.fetch_add(1, Ordering::Relaxed);
+            results.push(SolveOutcome {
+                graph: id.clone(),
+                solver: r.algorithm.to_string(),
+                seed,
+                value: r.value,
+                digest: partition_digest(&r.side),
+                micros,
+            });
+        }
+        Ok(results)
+    }
+
+    /// The current counters, as served by the `stats` request.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let pool = self.pool.stats();
+        StatsSnapshot {
+            uptime_micros: if self.timing {
+                self.start.elapsed().as_micros()
+            } else {
+                0
+            },
+            threads: self.threads as u64,
+            requests: RequestCounters {
+                load: self.loads.load(Ordering::Relaxed),
+                solve: self.solve_requests.load(Ordering::Relaxed),
+                stats: self.stats_requests.load(Ordering::Relaxed),
+                errors: self.errors.load(Ordering::Relaxed),
+            },
+            cache: self.cache.lock().expect("graph cache poisoned").counters(),
+            pool: PoolCounters {
+                created: pool.created,
+                checkouts: pool.checkouts,
+                available: pool.available as u64,
+            },
+            solves: self.solves.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The pipelined serve loop: one request frame per line in, one
+    /// response frame per line out, in order, flushed per frame. Returns
+    /// on EOF or after answering a `shutdown`.
+    pub fn serve_stream<R: BufRead, W: Write>(
+        &self,
+        mut reader: R,
+        mut writer: W,
+    ) -> io::Result<ServeOutcome> {
+        let mut frames = 0u64;
+        while let Some(frame) = read_frame(&mut reader)? {
+            let (response, stop) = match frame {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => self.handle_frame(&line),
+                Err(e) => {
+                    self.answered.fetch_add(1, Ordering::Relaxed);
+                    (self.error_response(e), false)
+                }
+            };
+            frames += 1;
+            writeln!(writer, "{}", response.to_frame())?;
+            writer.flush()?;
+            if stop {
+                return Ok(ServeOutcome {
+                    frames,
+                    shutdown: true,
+                });
+            }
+        }
+        Ok(ServeOutcome {
+            frames,
+            shutdown: false,
+        })
+    }
+
+    /// The TCP front end: accepts connections and serves each on its own
+    /// OS thread over the shared service state, so concurrent clients'
+    /// solves interleave across one workspace pool and one graph cache.
+    /// A `shutdown` frame on any connection stops the listener (a wake
+    /// connection unblocks the accept loop) after in-flight connections
+    /// finish.
+    pub fn serve_listener(&self, listener: &TcpListener) -> io::Result<()> {
+        // The wake connection must actually reach the listener: a
+        // wildcard bind address (0.0.0.0 / ::) is not connectable, so
+        // rewrite it to the matching loopback.
+        let mut wake_addr = listener.local_addr()?;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| -> io::Result<()> {
+            loop {
+                let (socket, _) = listener.accept()?;
+                if stop.load(Ordering::SeqCst) {
+                    break; // the wake connection, or a raced late client
+                }
+                let stop = &stop;
+                scope.spawn(move || {
+                    let reader = BufReader::new(&socket);
+                    let outcome = self.serve_stream(reader, &socket);
+                    if matches!(outcome, Ok(ServeOutcome { shutdown: true, .. })) {
+                        stop.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so the listener exits
+                        // (bounded so a filtered loopback cannot wedge
+                        // the shutdown path forever).
+                        let _ = TcpStream::connect_timeout(
+                            &wake_addr,
+                            std::time::Duration::from_secs(5),
+                        );
+                    }
+                });
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Parses an inline graph body: DIMACS when it looks like DIMACS (first
+/// significant line starts with `p`/`c`), edge list otherwise — with a
+/// cross-format fallback so either format succeeds under either guess,
+/// but error messages come from the format the body resembles.
+fn parse_body(body: &str) -> Result<Graph, ProtocolError> {
+    let looks_dimacs = body
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .is_some_and(|l| {
+            let t = l.trim_start();
+            t.starts_with('p') || t.starts_with('c')
+        });
+    let parsed = if looks_dimacs {
+        read_dimacs(body.as_bytes())
+    } else {
+        read_edge_list(body.as_bytes()).or_else(|e| read_dimacs(body.as_bytes()).map_err(|_| e))
+    };
+    parsed.map_err(|e| ProtocolError::new(ErrorKind::Graph, format!("body: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::graph_id;
+    use std::io::Read as _;
+
+    fn svc(threads: usize, cache: usize) -> Service {
+        Service::new(&ServiceConfig {
+            threads,
+            cache_graphs: cache,
+            timing: false,
+        })
+    }
+
+    const CYCLE4: &str = "p cut 4 4\ne 1 2 1\ne 2 3 1\ne 3 4 1\ne 4 1 1\n";
+
+    fn load_id(service: &Service, body: &str) -> String {
+        let (resp, stop) = service.handle(&Request::Load(LoadSource::Body(body.into())));
+        assert!(!stop);
+        match resp {
+            Response::Loaded { id, .. } => id,
+            other => panic!("load failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_solve_stats_shutdown_lifecycle() {
+        let service = svc(2, 8);
+        let id = load_id(&service, CYCLE4);
+        assert_eq!(
+            id,
+            graph_id(&read_dimacs(CYCLE4.as_bytes()).unwrap()),
+            "load must register under the content id"
+        );
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![id.clone()],
+            solver: "sw".into(),
+            seed: 3,
+        });
+        let Response::Solved { results } = resp else {
+            panic!("solve failed: {resp:?}");
+        };
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].value, 2); // 4-cycle min cut
+        assert_eq!(results[0].micros, 0); // timing suppressed
+        assert!(results[0].digest.starts_with("p-"));
+
+        let (resp, _) = service.handle(&Request::Stats);
+        let Response::Stats(s) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(s.requests.load, 1);
+        assert_eq!(s.requests.solve, 1);
+        assert_eq!(s.solves, 1);
+        assert_eq!(s.cache.graphs, 1);
+        assert_eq!(s.uptime_micros, 0);
+
+        let (resp, stop) = service.handle(&Request::Shutdown);
+        assert!(stop);
+        assert!(matches!(resp, Response::Shutdown { .. }));
+    }
+
+    #[test]
+    fn empty_solve_batch_is_an_error_not_a_panic() {
+        // The wire parser rejects empty batches, but the public Request
+        // type can carry one; the dispatcher must answer, not panic.
+        let service = svc(2, 4);
+        let (resp, stop) = service.handle(&Request::Solve {
+            graphs: vec![],
+            solver: "paper".into(),
+            seed: 0,
+        });
+        assert!(!stop);
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Request);
+        assert!(e.detail.contains("non-empty"), "{e}");
+    }
+
+    #[test]
+    fn solve_of_unknown_id_is_a_structured_miss() {
+        let service = svc(1, 4);
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec!["g-feedfacefeedface".into()],
+            solver: "paper".into(),
+            seed: 1,
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::GraphNotLoaded);
+        assert!(e.detail.contains("g-feedfacefeedface"), "{e}");
+        assert_eq!(service.stats_snapshot().cache.misses, 1);
+    }
+
+    #[test]
+    fn batch_solve_is_worker_count_invariant() {
+        let bodies: Vec<String> = (0..6)
+            .map(|k| {
+                // Distinct cycles with one heavier edge each.
+                let n = 5 + k;
+                let mut s = format!("p cut {n} {n}\n");
+                for i in 1..=n {
+                    let j = i % n + 1;
+                    let w = if i == 1 { 4 } else { 1 };
+                    s.push_str(&format!("e {i} {j} {w}\n"));
+                }
+                s
+            })
+            .collect();
+        let mut reference: Option<Vec<SolveOutcome>> = None;
+        for threads in [1usize, 4] {
+            let service = svc(threads, 16);
+            let ids: Vec<String> = bodies.iter().map(|b| load_id(&service, b)).collect();
+            let (resp, _) = service.handle(&Request::Solve {
+                graphs: ids,
+                solver: "paper".into(),
+                seed: 99,
+            });
+            let Response::Solved { results } = resp else {
+                panic!("{resp:?}")
+            };
+            match &reference {
+                None => reference = Some(results),
+                Some(want) => assert_eq!(&results, want, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_forces_reload() {
+        let service = svc(1, 2);
+        let a = load_id(&service, CYCLE4);
+        let b = load_id(&service, "p cut 3 3\ne 1 2 1\ne 2 3 1\ne 3 1 1\n");
+        let c = load_id(
+            &service,
+            "p cut 5 5\ne 1 2 1\ne 2 3 1\ne 3 4 1\ne 4 5 1\ne 5 1 1\n",
+        );
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        // Capacity 2: `a` (the least recently used) is gone.
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![a.clone()],
+            solver: "sw".into(),
+            seed: 0,
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::GraphNotLoaded);
+        // Re-load restores it under the same id, then the solve works.
+        assert_eq!(load_id(&service, CYCLE4), a);
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![a],
+            solver: "sw".into(),
+            seed: 0,
+        });
+        assert!(matches!(resp, Response::Solved { .. }), "{resp:?}");
+        assert_eq!(service.stats_snapshot().cache.evictions, 2);
+    }
+
+    #[test]
+    fn unknown_solver_and_bad_body_are_structured_errors() {
+        let service = svc(1, 4);
+        let id = load_id(&service, CYCLE4);
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![id],
+            solver: "nope".into(),
+            seed: 0,
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Solver);
+        assert!(e.detail.contains("paper"), "self-describing: {e}");
+
+        let (resp, _) = service.handle(&Request::Load(LoadSource::Body("p cut 0 0\n".into())));
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Graph);
+
+        let (resp, _) = service.handle(&Request::Load(LoadSource::Path(
+            "/no/such/file.dimacs".into(),
+        )));
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Io);
+        assert_eq!(service.stats_snapshot().requests.errors, 3);
+    }
+
+    #[test]
+    fn serve_stream_pipelines_and_stops_on_shutdown() {
+        let service = svc(2, 8);
+        let body_escaped = CYCLE4.replace('\n', "\\n");
+        let session = format!(
+            "{}\n{}\nnot json\n{}\n{}\n",
+            format_args!("{{\"op\":\"load\",\"body\":\"{body_escaped}\"}}"),
+            "{\"op\":\"stats\"}",
+            "{\"op\":\"shutdown\"}",
+            "{\"op\":\"stats\"}", // after shutdown: must never be answered
+        );
+        let mut out = Vec::new();
+        let outcome = service
+            .serve_stream(BufReader::new(session.as_bytes()), &mut out)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            ServeOutcome {
+                frames: 4,
+                shutdown: true
+            }
+        );
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(matches!(
+            Response::parse_frame(lines[0]).unwrap(),
+            Response::Loaded { .. }
+        ));
+        assert!(matches!(
+            Response::parse_frame(lines[1]).unwrap(),
+            Response::Stats(_)
+        ));
+        let Response::Error(e) = Response::parse_frame(lines[2]).unwrap() else {
+            panic!("{}", lines[2]);
+        };
+        assert_eq!(e.kind, ErrorKind::Json);
+        assert!(matches!(
+            Response::parse_frame(lines[3]).unwrap(),
+            Response::Shutdown { .. }
+        ));
+    }
+
+    #[test]
+    fn tcp_listener_serves_and_shuts_down() {
+        let service = svc(2, 8);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let service = &service;
+            let handle = scope.spawn(move || service.serve_listener(&listener));
+            let mut client = TcpStream::connect(addr).unwrap();
+            let body_escaped = CYCLE4.replace('\n', "\\n");
+            write!(
+                client,
+                "{{\"op\":\"load\",\"body\":\"{body_escaped}\"}}\n{{\"op\":\"shutdown\"}}\n"
+            )
+            .unwrap();
+            let mut reply = String::new();
+            BufReader::new(&client).read_to_string(&mut reply).unwrap();
+            let lines: Vec<&str> = reply.lines().collect();
+            assert_eq!(lines.len(), 2, "{reply}");
+            assert!(matches!(
+                Response::parse_frame(lines[0]).unwrap(),
+                Response::Loaded { .. }
+            ));
+            assert!(matches!(
+                Response::parse_frame(lines[1]).unwrap(),
+                Response::Shutdown { .. }
+            ));
+            handle.join().unwrap().unwrap();
+        });
+    }
+}

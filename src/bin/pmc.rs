@@ -3,7 +3,8 @@
 //! ```text
 //! pmc mincut <file..> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
 //! pmc gen <family> <args..> [--out FILE]               generate a workload
-//! pmc suite [--filter F] [--threads T] [--seeds K] [--json]   differential corpus run
+//! pmc suite [--filter F] [--threads T] [--seeds K] [--quick] [--json]   differential corpus run
+//! pmc serve [--threads P] [--cache-graphs N] [--listen ADDR] [--no-timing]   persistent service
 //! pmc info <file>                                      print graph statistics
 //! pmc verify <file> <value> [--algo A]                 recompute and compare
 //! pmc algos                                            list registered algorithms
@@ -27,6 +28,12 @@
 //! `suite` fans the scenario corpus × every registered solver ×
 //! `--seeds` seeds across its own worker pool the same way and compares
 //! each cut value against the scenario's oracle.
+//!
+//! `serve` keeps the process alive: newline-delimited JSON requests
+//! (`load` / `solve` / `stats` / `shutdown`) over stdin/stdout — or over
+//! a TCP listener with `--listen` — against an LRU graph cache and a warm
+//! workspace pool, so repeated solves skip process startup and re-parsing
+//! entirely (see the `pmc-service` crate and README for the protocol).
 
 use std::io::Write as _;
 use std::path::Path;
@@ -34,6 +41,7 @@ use std::process::ExitCode;
 
 use parallel_mincut::graph::{gen, io};
 use parallel_mincut::scenario::{corpus, run_suite, SuiteConfig};
+use parallel_mincut::service::{Service, ServiceConfig};
 use parallel_mincut::{solver_by_name, solvers, Graph, MinCutSolver, SolverConfig, WorkspacePool};
 
 fn main() -> ExitCode {
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
         Some("mincut") => cmd_mincut(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("algos") => cmd_algos(),
@@ -77,7 +86,8 @@ const USAGE: &str = "usage:
   pmc gen torus <rows> <cols> [--out FILE]
   pmc gen wheel <n> [--out FILE]
   pmc gen community_ring <communities> <size> [inner_w] [seed] [--out FILE]
-  pmc suite [--filter F] [--threads T] [--seeds K] [--json]
+  pmc suite [--filter F] [--threads T] [--seeds K] [--quick] [--json]
+  pmc serve [--threads P] [--cache-graphs N] [--listen ADDR] [--no-timing]
   pmc info <file>
   pmc verify <file> <value> [--algo A]
   pmc algos
@@ -312,6 +322,7 @@ const SUITE_FLAGS: &[(&str, bool)] = &[
     ("--filter", true),
     ("--threads", true),
     ("--seeds", true),
+    ("--quick", false),
     ("--json", false),
 ];
 
@@ -321,6 +332,12 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         filter: flag_value(args, "--filter"),
         ..SuiteConfig::default()
     };
+    // `--quick` is CI/golden-file sugar: the brute-force-sized smoke
+    // slice, one seed. Explicit --filter/--seeds still win.
+    if args.iter().any(|a| a == "--quick") {
+        cfg.filter.get_or_insert_with(|| "smoke".into());
+        cfg.seeds = 1;
+    }
     if let Some(t) = flag_value(args, "--threads") {
         cfg.threads = t.parse().map_err(|_| "bad --threads")?;
     }
@@ -383,6 +400,67 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         }
         Err(format!("suite: {} disagreeing cells", bad.len()))
     }
+}
+
+const SERVE_FLAGS: &[(&str, bool)] = &[
+    ("--threads", true),
+    ("--cache-graphs", true),
+    ("--listen", true),
+    ("--no-timing", false),
+];
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    check_flags(args, SERVE_FLAGS)?;
+    if let Some(extra) = positionals(args, SERVE_FLAGS).first() {
+        return Err(format!("serve: unexpected argument {extra:?}\n{USAGE}"));
+    }
+    let mut cfg = ServiceConfig::default();
+    if let Some(t) = flag_value(args, "--threads") {
+        cfg.threads = t.parse().map_err(|_| "bad --threads")?;
+    }
+    if let Some(c) = flag_value(args, "--cache-graphs") {
+        cfg.cache_graphs = c.parse().map_err(|_| "bad --cache-graphs")?;
+        if cfg.cache_graphs == 0 {
+            return Err("serve: --cache-graphs must be >= 1".into());
+        }
+    }
+    cfg.timing = !args.iter().any(|a| a == "--no-timing");
+    let service = Service::new(&cfg);
+    match flag_value(args, "--listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .map_err(|e| format!("serve: bind {addr}: {e}"))?;
+            // The actual address first (":0" picks a free port), so
+            // scripted clients can parse where to connect.
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            println!("listening: {local}");
+            std::io::stdout().flush().ok();
+            eprintln!(
+                "pmc serve: listening on {local} ({} threads)",
+                service.threads()
+            );
+            service
+                .serve_listener(&listener)
+                .map_err(|e| format!("serve: {e}"))?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let outcome = service
+                .serve_stream(stdin.lock(), stdout.lock())
+                .map_err(|e| format!("serve: {e}"))?;
+            eprintln!(
+                "pmc serve: {} frames answered, {}",
+                outcome.frames,
+                if outcome.shutdown {
+                    "shut down"
+                } else {
+                    "input closed"
+                }
+            );
+        }
+    }
+    Ok(())
 }
 
 fn cmd_scenarios() -> Result<(), String> {

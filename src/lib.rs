@@ -56,6 +56,7 @@ pub use pmc_minpath as minpath;
 pub use pmc_packing as packing;
 pub use pmc_par as par;
 pub use pmc_scenario as scenario;
+pub use pmc_service as service;
 
 pub use pmc_core::{
     minimum_cut, minimum_cut_with, solver_by_name, solver_names, solvers, solvers_for,

@@ -1,0 +1,131 @@
+//! Exit-code contracts of the `pmc` binary: automation (CI jobs, shell
+//! pipelines) keys off the process status, so failure paths must
+//! actually reach a nonzero exit — a suite disagreement (exercised
+//! through the hidden fault-injection scenario filter), unreadable and
+//! malformed `mincut` inputs, bad flags — while the corresponding
+//! success paths stay zero.
+
+use std::process::Command;
+
+fn pmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmc"))
+}
+
+#[test]
+fn suite_exits_nonzero_on_injected_disagreement() {
+    // `__bad-oracle` reaches the test-only scenario whose Known oracle is
+    // wrong on purpose; every solver disagrees with it.
+    let out = pmc()
+        .args(["suite", "--filter", "__bad-oracle", "--seeds", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "suite must fail on a disagreement");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("DISAGREE"), "{err}");
+    assert!(err.contains("__bad-oracle/cycle8"), "{err}");
+    assert!(err.contains("disagreeing cells"), "{err}");
+}
+
+#[test]
+fn suite_json_mode_also_fails_on_injected_disagreement() {
+    let out = pmc()
+        .args([
+            "suite",
+            "--filter",
+            "__bad-oracle",
+            "--seeds",
+            "1",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    // The report itself is still emitted, with the bad cells itemized.
+    assert!(json.contains("\"disagreement_count\": 5"), "{json}");
+    assert!(json.contains("\"disagreeing_cells\""), "{json}");
+}
+
+#[test]
+fn suite_smoke_slice_exits_zero() {
+    let out = pmc()
+        .args(["suite", "--filter", "torus", "--seeds", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn mincut_exits_nonzero_on_unreadable_input() {
+    let out = pmc()
+        .args(["mincut", "/no/such/dir/absent.dimacs"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("absent.dimacs"), "{err}");
+}
+
+#[test]
+fn mincut_exits_nonzero_on_malformed_input() {
+    let dir = std::env::temp_dir().join("pmc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cases: [(&str, &str); 3] = [
+        ("malformed_header.dimacs", "p cut 0 0\n"),
+        ("malformed_edge.dimacs", "p cut 3 1\ne 1 nine 1\n"),
+        ("malformed_list.txt", "0 1 1\n0 one 2\n"),
+    ];
+    for (name, content) in cases {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        let out = pmc()
+            .args(["mincut", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{name} must be rejected");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("line"), "{name}: {err}");
+    }
+    // A malformed file anywhere in a batch fails the whole invocation.
+    let good = dir.join("exitcode_good.dimacs");
+    std::fs::write(&good, "p cut 2 1\ne 1 2 4\n").unwrap();
+    let bad = dir.join("malformed_header.dimacs");
+    let out = pmc()
+        .args(["mincut", good.to_str().unwrap(), bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_flags_and_commands_exit_nonzero() {
+    for args in [
+        &["mincut", "-", "--frobnicate"][..],
+        &["suite", "--no-such-flag", "x"][..],
+        &["serve", "positional-arg"][..],
+        &["definitely-not-a-command"][..],
+    ] {
+        let out = pmc().args(args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(!out.stderr.is_empty(), "{args:?} must explain itself");
+    }
+}
+
+#[test]
+fn verify_mismatch_exits_nonzero() {
+    let dir = std::env::temp_dir().join("pmc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("exitcode_verify.dimacs");
+    std::fs::write(&path, "p cut 2 1\ne 1 2 4\n").unwrap();
+    let ok = pmc()
+        .args(["verify", path.to_str().unwrap(), "4"])
+        .output()
+        .unwrap();
+    assert!(ok.status.success(), "{ok:?}");
+    let bad = pmc()
+        .args(["verify", path.to_str().unwrap(), "5"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8(bad.stderr).unwrap().contains("MISMATCH"));
+}

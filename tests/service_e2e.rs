@@ -1,0 +1,291 @@
+//! End-to-end tests of `pmc serve` as a black box: spawn the release
+//! binary, drive pipelined load/solve/stats/shutdown sessions over
+//! stdin/stdout (and one over TCP), and hold the service to its
+//! contract — responses in request order, bit-identical results across
+//! repeat runs and across `--threads 1` vs `--threads 4`, structured
+//! errors for bad frames, and correct re-load behavior after LRU
+//! eviction.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+fn pmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmc"))
+}
+
+/// Runs one pipelined serve session: writes `input` from a side thread
+/// (so neither pipe can deadlock), reads every response line.
+fn serve_session(args: &[&str], input: String) -> Vec<String> {
+    let mut child = pmc()
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pmc serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = child.stdout.take().expect("stdout");
+    let writer = std::thread::spawn(move || {
+        stdin.write_all(input.as_bytes()).expect("write session");
+    });
+    let lines: Vec<String> = BufReader::new(stdout)
+        .lines()
+        .map(|l| l.expect("read response"))
+        .collect();
+    writer.join().expect("writer thread");
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "serve exited with {status}");
+    lines
+}
+
+/// A family of distinct weighted cycles; cycle k has minimum cut
+/// `2 * min_weight` = 2, with one heavy chordless edge to vary digests.
+fn graph_body(k: usize) -> String {
+    let n = 5 + k;
+    let mut s = format!("p cut {n} {n}\n");
+    for i in 1..=n {
+        let j = i % n + 1;
+        let w = if i == 1 { 3 + k } else { 1 };
+        s.push_str(&format!("e {i} {j} {w}\n"));
+    }
+    s
+}
+
+fn load_frame(body: &str) -> String {
+    format!(
+        "{{\"op\":\"load\",\"body\":\"{}\"}}",
+        body.replace('\n', "\\n")
+    )
+}
+
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len()..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("{key} value in {line}"));
+    rest[..end].trim_matches('"')
+}
+
+/// The acceptance workload: 12 cached graphs, 120 mixed solve requests
+/// (3 solvers, varying seeds, single and batch frames).
+fn acceptance_session() -> (String, usize, usize) {
+    let graphs = 12;
+    let bodies: Vec<String> = (0..graphs).map(graph_body).collect();
+    // Load everything first; ids are content hashes, derivable by any
+    // client, but we run a first session to discover them instead of
+    // reimplementing the hash here.
+    let loads: String = bodies.iter().map(|b| load_frame(b) + "\n").collect();
+    let id_lines = serve_session(&["--no-timing"], loads.clone());
+    let ids: Vec<String> = id_lines
+        .iter()
+        .map(|l| field(l, "id").to_string())
+        .collect();
+    assert_eq!(ids.len(), graphs);
+
+    let mut session = loads;
+    let mut solves = 0;
+    for r in 0..120 {
+        let solver = ["paper", "sw", "quadratic"][r % 3];
+        let seed = 7 + (r as u64) * 13 % 31;
+        if r % 10 == 9 {
+            // Every tenth request solves a batch of three ids at once.
+            session.push_str(&format!(
+                "{{\"op\":\"solve\",\"graphs\":[\"{}\",\"{}\",\"{}\"],\"solver\":\"{solver}\",\"seed\":{seed}}}\n",
+                ids[r % graphs],
+                ids[(r + 1) % graphs],
+                ids[(r + 2) % graphs],
+            ));
+        } else {
+            session.push_str(&format!(
+                "{{\"op\":\"solve\",\"graph\":\"{}\",\"solver\":\"{solver}\",\"seed\":{seed}}}\n",
+                ids[r % graphs]
+            ));
+        }
+        solves += 1;
+    }
+    session.push_str("{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n");
+    (session, graphs, solves)
+}
+
+#[test]
+fn pipelined_session_is_deterministic_across_runs_and_thread_counts() {
+    let (session, graphs, solves) = acceptance_session();
+    // Two identical runs, then the same session at width 4: every
+    // response byte must match (timing suppressed with --no-timing).
+    let run1 = serve_session(&["--no-timing", "--threads", "1"], session.clone());
+    let run2 = serve_session(&["--no-timing", "--threads", "1"], session.clone());
+    let run4 = serve_session(&["--no-timing", "--threads", "4"], session.clone());
+    assert_eq!(run1.len(), graphs + solves + 2);
+    assert_eq!(run1, run2, "repeat run diverged");
+    // The stats frame legitimately differs across widths (the `threads`
+    // and pool counters change); every solve/load/shutdown byte may not.
+    let volatile = run1.len() - 2; // index of the stats response
+    assert_eq!(
+        run1[..volatile],
+        run4[..volatile],
+        "thread width changed results"
+    );
+    assert_eq!(run1.last(), run4.last(), "shutdown response diverged");
+
+    // Spot-check shape: every solve response is ok and carries digests.
+    for line in &run1[graphs..volatile] {
+        assert!(line.starts_with("{\"ok\":true,\"op\":\"solve\""), "{line}");
+        assert!(line.contains("\"digest\":\"p-"), "{line}");
+        assert!(line.contains("\"micros\":0"), "{line}");
+    }
+    // And the stats response accounted for the whole session.
+    let stats = &run1[volatile];
+    assert_eq!(field(stats, "solve"), "120");
+    assert_eq!(field(stats, "load"), "12");
+    assert_eq!(field(stats, "errors"), "0");
+    // 108 single + 12 batch-of-3 solves.
+    assert_eq!(field(stats, "solves"), "144");
+}
+
+#[test]
+fn session_with_timing_still_returns_identical_values() {
+    // Without --no-timing the micros fields vary; values and digests may
+    // not. Normalize timing away and compare two runs.
+    let (session, _, _) = acceptance_session();
+    let normalize = |lines: Vec<String>| -> Vec<String> {
+        lines
+            .into_iter()
+            .map(|l| {
+                let mut out = String::with_capacity(l.len());
+                let mut rest = l.as_str();
+                while let Some(i) = rest.find("\"micros\":") {
+                    let (head, tail) = rest.split_at(i);
+                    out.push_str(head);
+                    out.push_str("\"micros\":0");
+                    let tail = &tail["\"micros\":".len()..];
+                    let end = tail.find([',', '}']).unwrap_or(tail.len());
+                    rest = &tail[end..];
+                }
+                out.push_str(rest);
+                out
+            })
+            .filter(|l| !l.contains("\"op\":\"stats\""))
+            .collect()
+    };
+    let a = normalize(serve_session(&["--threads", "2"], session.clone()));
+    let b = normalize(serve_session(&["--threads", "2"], session.clone()));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cache_eviction_forces_reload_and_reload_heals() {
+    // Capacity 3, five graphs: the two least-recently-used fall out.
+    let bodies: Vec<String> = (0..5).map(graph_body).collect();
+    let loads: String = bodies.iter().map(|b| load_frame(b) + "\n").collect();
+    let ids: Vec<String> = serve_session(&["--no-timing", "--cache-graphs", "3"], loads.clone())
+        .iter()
+        .map(|l| field(l, "id").to_string())
+        .collect();
+
+    let mut session = loads;
+    // Graphs 0 and 1 were evicted by 2..5; solving them must miss.
+    session.push_str(&format!("{{\"op\":\"solve\",\"graph\":\"{}\"}}\n", ids[0]));
+    // Re-load heals under the same content id, then the solve works.
+    session.push_str(&load_frame(&bodies[0]));
+    session.push('\n');
+    session.push_str(&format!("{{\"op\":\"solve\",\"graph\":\"{}\"}}\n", ids[0]));
+    session.push_str("{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n");
+    let lines = serve_session(&["--no-timing", "--cache-graphs", "3"], session);
+
+    assert_eq!(lines.len(), 5 + 5);
+    let miss = &lines[5];
+    assert!(miss.starts_with("{\"ok\":false"), "{miss}");
+    assert_eq!(field(miss, "kind"), "graph_not_loaded");
+    assert!(miss.contains(&ids[0]), "{miss}");
+    let reload = &lines[6];
+    assert_eq!(field(reload, "id"), ids[0], "content id must be stable");
+    assert_eq!(field(reload, "cached"), "false", "it was really gone");
+    assert!(
+        lines[7].starts_with("{\"ok\":true,\"op\":\"solve\""),
+        "{}",
+        lines[7]
+    );
+    let stats = &lines[8];
+    assert_eq!(field(stats, "evictions"), "3"); // 2 initial + 1 on re-load
+    assert_eq!(field(stats, "misses"), "1");
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_in_order() {
+    let body = graph_body(0);
+    let session = format!(
+        "not json at all\n{}\n{{\"op\":\"frobnicate\"}}\n{{\"op\":\"solve\",\"graph\":\"g-0000000000000000\"}}\n{{\"op\":\"solve\",\"graph\":\"x\",\"solver\":\"nope\"}}\n{{\"op\":\"shutdown\"}}\n",
+        load_frame(&body)
+    );
+    let lines = serve_session(&["--no-timing"], session);
+    assert_eq!(lines.len(), 6);
+    assert_eq!(field(&lines[0], "kind"), "json");
+    assert!(
+        lines[1].starts_with("{\"ok\":true,\"op\":\"load\""),
+        "{}",
+        lines[1]
+    );
+    assert_eq!(field(&lines[2], "kind"), "request");
+    assert!(lines[2].contains("frobnicate"), "{}", lines[2]);
+    assert_eq!(field(&lines[3], "kind"), "graph_not_loaded");
+    assert_eq!(field(&lines[4], "kind"), "solver");
+    assert!(
+        lines[5].starts_with("{\"ok\":true,\"op\":\"shutdown\""),
+        "{}",
+        lines[5]
+    );
+}
+
+#[test]
+fn eof_without_shutdown_exits_cleanly() {
+    let lines = serve_session(&["--no-timing"], load_frame(&graph_body(1)) + "\n");
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].starts_with("{\"ok\":true,\"op\":\"load\""));
+}
+
+#[test]
+fn tcp_listener_round_trip() {
+    let mut child = pmc()
+        .args(["serve", "--no-timing", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pmc serve --listen");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner");
+    let addr = banner
+        .strip_prefix("listening: ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .trim()
+        .to_string();
+
+    let mut client = std::net::TcpStream::connect(&addr).expect("connect");
+    let body = graph_body(2);
+    writeln!(client, "{}", load_frame(&body)).expect("send load");
+    let mut conn = BufReader::new(client.try_clone().expect("clone socket"));
+    let mut line = String::new();
+    conn.read_line(&mut line).expect("load reply");
+    let id = field(line.trim(), "id").to_string();
+    line.clear();
+    writeln!(
+        client,
+        "{{\"op\":\"solve\",\"graph\":\"{id}\",\"solver\":\"sw\"}}"
+    )
+    .expect("send");
+    conn.read_line(&mut line).expect("solve reply");
+    assert_eq!(field(line.trim(), "value"), "2", "{line}");
+    line.clear();
+    writeln!(client, "{{\"op\":\"shutdown\"}}").expect("send shutdown");
+    conn.read_line(&mut line).expect("shutdown reply");
+    assert!(
+        line.starts_with("{\"ok\":true,\"op\":\"shutdown\""),
+        "{line}"
+    );
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "listener exited with {status}");
+}
