@@ -57,6 +57,18 @@ impl SwScratch {
         Self::default()
     }
 
+    /// Bytes of heap memory in active use by the scratch buffers
+    /// (`len`-based; see `capacity_bytes` for the footprint including
+    /// reserved-but-unused capacity).
+    pub fn heap_bytes(&self) -> usize {
+        (self.w.len() + self.key.len()) * std::mem::size_of::<u64>()
+            + self.in_a.len()
+            + self.best_side.len()
+            + (self.order.len() + self.active.len()) * std::mem::size_of::<usize>()
+            + (self.head.len() + self.tail.len() + self.next_in_set.len())
+                * std::mem::size_of::<u32>()
+    }
+
     /// Total bytes currently held — the arena's steady-state footprint.
     pub fn capacity_bytes(&self) -> usize {
         (self.w.capacity() + self.key.capacity()) * std::mem::size_of::<u64>()

@@ -1,0 +1,291 @@
+//! E15 — flat u32 arenas on the two-respect hot path.
+//!
+//! Microbenches the three hot phases of the Lemma 13 per-tree loop
+//! separately — bough decomposition, the batched MinPrefix/AddPrefix
+//! sweep, and greedy tree packing — pitting each flat-arena path against
+//! its retained reference implementation, plus the end-to-end paper
+//! solver (a reference composition of the allocating engines vs the
+//! arena `solve_with`). Emits a machine-readable `BENCH_hotpath.json`
+//! alongside the stdout table so CI and future PRs can diff the
+//! per-phase ratios.
+//!
+//! ```text
+//! cargo run --release -p pmc-bench --bin hotpath_report [--quick] [--out FILE]
+//! ```
+//!
+//! Reference sides ("before"):
+//! * decompose — `naive_bough_paths`, the nested-`Vec` one-vertex-at-a-time
+//!   peel retained in `pmc-minpath::naive` (also the property-test oracle).
+//! * sweep — `run_tree_batch`, the allocating per-node reference sweep.
+//! * pack — `pack_trees`, which builds a fresh `PackScratch` per call.
+//! * solve — the certificate → packing → per-tree 2-respect pipeline
+//!   recomposed from the allocating engines above (same seed wiring as
+//!   the paper solver), fresh buffers per request, one worker each side.
+//!
+//! Every pair is asserted bit-identical before it is timed.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use pmc_bench::{
+    arbitrary_spanning_tree, header, random_tree_ops, row, solver, table1_graph, time_pair,
+    SolverConfig, SolverWorkspace,
+};
+use pmc_core::two_respect_mincut;
+use pmc_graph::mincut_certificate;
+use pmc_minpath::{
+    decompose::{Decomposition, Strategy},
+    naive_bough_paths, run_tree_batch, run_tree_batch_with, TreeBatchScratch,
+};
+use pmc_packing::{
+    pack_trees, pack_trees_with, rooted_tree_from_edges, PackScratch, PackingConfig,
+};
+
+struct Measurement {
+    phase: &'static str,
+    name: String,
+    n: usize,
+    before_label: &'static str,
+    before_ns: u128,
+    after_ns: u128,
+}
+
+impl Measurement {
+    fn ratio(&self) -> f64 {
+        self.before_ns as f64 / self.after_ns.max(1) as f64
+    }
+}
+
+fn ns(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let rounds = if quick { 2 } else { 7 };
+    let phase_sizes: &[usize] = if quick { &[64] } else { &[256, 1024] };
+    let solve_sizes: &[usize] = if quick { &[64] } else { &[1024, 2048] };
+
+    println!("# E15 — flat u32 arenas on the two-respect hot path");
+    println!();
+    header(&[
+        "phase",
+        "workload",
+        "n",
+        "before",
+        "before ns/op",
+        "flat ns/op",
+        "ratio",
+    ]);
+
+    let mut ms: Vec<Measurement> = Vec::new();
+
+    // --- decompose: nested-Vec naive peel vs flat CSR arena ----------------
+    for &n in phase_sizes {
+        let g = table1_graph(n, 3, 42 + n as u64);
+        let tree = arbitrary_spanning_tree(&g, 7);
+        // Guard: identical paths and phases.
+        let d = Decomposition::new(&tree, Strategy::BoughWalk);
+        let want = naive_bough_paths(&tree);
+        assert_eq!(d.npaths(), want.len(), "decompose divergence");
+        for (pid, (path, phase)) in want.iter().enumerate() {
+            assert_eq!(d.path(pid as u32), &path[..]);
+            assert_eq!(d.phase_of_path(pid as u32), *phase);
+        }
+        let (before, after) = time_pair(
+            rounds,
+            || std::hint::black_box(naive_bough_paths(&tree)),
+            || std::hint::black_box(Decomposition::new(&tree, Strategy::BoughWalk)),
+        );
+        ms.push(Measurement {
+            phase: "decompose",
+            name: format!("bough_walk_n{n}"),
+            n,
+            before_label: "naive_nested",
+            before_ns: ns(before),
+            after_ns: ns(after),
+        });
+    }
+
+    // --- sweep: allocating per-node reference vs flat level arenas ---------
+    for &n in phase_sizes {
+        let g = table1_graph(n, 3, 43 + n as u64);
+        let tree = arbitrary_spanning_tree(&g, 9);
+        let d = Decomposition::new(&tree, Strategy::BoughWalk);
+        let init: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 1000 - 500).collect();
+        let ops = random_tree_ops(n, 4 * n, 11);
+        let mut ws = TreeBatchScratch::default();
+        let want = run_tree_batch(&tree, &d, &init, &ops);
+        let got = run_tree_batch_with(&tree, &d, &init, &ops, &mut ws);
+        assert_eq!(got, want, "sweep divergence");
+        let (before, after) = time_pair(
+            rounds,
+            || std::hint::black_box(run_tree_batch(&tree, &d, &init, &ops)),
+            || std::hint::black_box(run_tree_batch_with(&tree, &d, &init, &ops, &mut ws)),
+        );
+        ms.push(Measurement {
+            phase: "sweep",
+            name: format!("tree_batch_n{n}_k{}", 4 * n),
+            n,
+            before_label: "allocating",
+            before_ns: ns(before),
+            after_ns: ns(after),
+        });
+    }
+
+    // --- pack: fresh scratch per call vs reused arena ----------------------
+    for &n in phase_sizes {
+        let g = table1_graph(n, 3, 44 + n as u64);
+        let pcfg = PackingConfig::default();
+        let mut ws = PackScratch::new();
+        let want = pack_trees(&g, &pcfg);
+        let got = pack_trees_with(&g, &pcfg, &mut ws);
+        assert_eq!(got.trees, want.trees, "pack divergence");
+        let (before, after) = time_pair(
+            rounds,
+            || std::hint::black_box(pack_trees(&g, &pcfg)),
+            || std::hint::black_box(pack_trees_with(&g, &pcfg, &mut ws)),
+        );
+        ms.push(Measurement {
+            phase: "pack",
+            name: format!("pack_trees_n{n}"),
+            n,
+            before_label: "allocating",
+            before_ns: ns(before),
+            after_ns: ns(after),
+        });
+    }
+
+    // --- end-to-end: reference engine composition vs workspace solve_with --
+    //
+    // `solve_with` runs the entire flat-arena pipeline. The "before" side
+    // recomposes the identical pipeline (certificate → packing → per-tree
+    // 2-respect, same seed wiring as `paper_config`) from the retained
+    // allocating reference engines, so the ratio measures the arena pass
+    // end to end. Both sides are pinned to one worker: the reference loop
+    // is sequential, and an OS-worker fan-out on the flat side would
+    // conflate scheduling with layout.
+    let cfg = SolverConfig {
+        threads: Some(1),
+        ..SolverConfig::default()
+    };
+    let s = solver("paper");
+    let mut solve_heap_bytes = 0usize;
+    for &n in solve_sizes {
+        let g = table1_graph(n, 3, 45 + n as u64);
+        let mut ws = SolverWorkspace::new();
+        let reference_solve = |g: &pmc_graph::Graph| -> u64 {
+            let cert = mincut_certificate(g);
+            let wg = cert.as_ref().map_or(g, |c| &c.graph);
+            let mut pcfg = PackingConfig::default();
+            pcfg.seed = pcfg.seed.wrapping_add(cfg.seed);
+            let packing = pack_trees(wg, &pcfg);
+            packing
+                .trees
+                .iter()
+                .map(|te| {
+                    let t = rooted_tree_from_edges(wg, te, 0);
+                    two_respect_mincut(wg, &t).value
+                })
+                .min()
+                .expect("packing returned no trees") as u64
+        };
+        let want = reference_solve(&g);
+        let got = s.solve_with(&g, &cfg, &mut ws).expect("solve_with failed");
+        assert_eq!(got.value, want, "solve divergence");
+        let (before, after) = time_pair(
+            rounds,
+            || std::hint::black_box(reference_solve(&g)),
+            || std::hint::black_box(s.solve_with(&g, &cfg, &mut ws).unwrap()),
+        );
+        solve_heap_bytes = solve_heap_bytes.max(ws.heap_bytes());
+        ms.push(Measurement {
+            phase: "solve",
+            name: format!("paper_n{n}"),
+            n,
+            before_label: "reference_engines",
+            before_ns: ns(before),
+            after_ns: ns(after),
+        });
+    }
+
+    for m in &ms {
+        row(&[
+            m.phase.to_string(),
+            m.name.clone(),
+            m.n.to_string(),
+            m.before_label.to_string(),
+            m.before_ns.to_string(),
+            m.after_ns.to_string(),
+            format!("{:.2}x", m.ratio()),
+        ]);
+    }
+
+    let min_solve_ratio = ms
+        .iter()
+        .filter(|m| m.phase == "solve")
+        .map(Measurement::ratio)
+        .fold(f64::INFINITY, f64::min);
+    println!();
+    println!("min end-to-end solve ratio: {min_solve_ratio:.2}x");
+    println!("steady-state workspace heap: {solve_heap_bytes} bytes");
+
+    let json = render_json(&ms, rounds, quick, min_solve_ratio, solve_heap_bytes);
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
+/// Hand-rolled JSON (the workspace has no serde); every value is a number,
+/// bool, or controlled ASCII string, so escaping is not needed.
+fn render_json(
+    ms: &[Measurement],
+    rounds: usize,
+    quick: bool,
+    min_solve_ratio: f64,
+    heap_bytes: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"hotpath_flat_arenas\",\n");
+    s.push_str(
+        "  \"description\": \"per-phase ns/op of the flat u32 arena hot path vs its retained reference implementations, plus end-to-end solve\",\n",
+    );
+    s.push_str("  \"regenerate\": \"cargo run --release -p pmc-bench --bin hotpath_report\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"rounds\": {rounds},\n"));
+    s.push_str(&format!("  \"min_solve_ratio\": {min_solve_ratio:.3},\n"));
+    s.push_str(&format!(
+        "  \"steady_state_workspace_heap_bytes\": {heap_bytes},\n"
+    ));
+    s.push_str("  \"phases\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"phase\": \"{}\",\n", m.phase));
+        s.push_str(&format!("      \"name\": \"{}\",\n", m.name));
+        s.push_str(&format!("      \"n\": {},\n", m.n));
+        s.push_str(&format!(
+            "      \"before_label\": \"{}\",\n",
+            m.before_label
+        ));
+        s.push_str(&format!("      \"before_ns_per_op\": {},\n", m.before_ns));
+        s.push_str(&format!("      \"flat_ns_per_op\": {},\n", m.after_ns));
+        s.push_str(&format!("      \"ratio\": {:.3}\n", m.ratio()));
+        s.push_str(if i + 1 == ms.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

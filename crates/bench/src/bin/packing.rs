@@ -26,7 +26,7 @@ fn main() {
         let (g, _, side) = gen::planted_bisection(half, half, 40, 5, 2 * half, 3);
         let cfg = PackingConfig::default();
         let (t, packing) = time_once(|| pack_trees(&g, &cfg));
-        let two_resp = |te: &Vec<u32>| {
+        let two_resp = |te: &[u32]| {
             te.iter()
                 .filter(|&&eid| {
                     let e = g.edges()[eid as usize];

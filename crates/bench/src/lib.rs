@@ -50,6 +50,23 @@ pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
     (0..reps.max(1)).map(|_| time_once(&mut f).0).min().unwrap()
 }
 
+/// Min-of-`reps` for a before/after pair with the rounds interleaved
+/// (`a b a b …` instead of `a a … b b …`), so slow ambient-load drift
+/// lands on both sides equally. Returns `(best_a, best_b)`.
+pub fn time_pair<T, U>(
+    reps: usize,
+    mut a: impl FnMut() -> T,
+    mut b: impl FnMut() -> U,
+) -> (Duration, Duration) {
+    let mut best_a = Duration::MAX;
+    let mut best_b = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        best_a = best_a.min(time_once(&mut a).0);
+        best_b = best_b.min(time_once(&mut b).0);
+    }
+    (best_a, best_b)
+}
+
 /// Times one `solve_batch` call over `graphs` — the amortized counterpart
 /// of [`time_solver`], dispatching through the same seam. Panics on solver
 /// failure so benchmark tables never silently skip rows.

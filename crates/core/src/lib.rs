@@ -76,7 +76,7 @@ fn tree_loop_workers(ntrees: usize, m: usize, threads: Option<usize>) -> usize {
 /// history and the output order is fixed.
 fn two_respect_all_trees(
     work_graph: &Graph,
-    trees: &[Vec<u32>],
+    trees: &pmc_packing::PackedTreeList,
     arenas: &mut [TreeArena],
 ) -> Vec<TwoRespectCut> {
     pmc_par::fanout_units(arenas, trees.len(), |arena, i| {

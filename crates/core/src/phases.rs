@@ -20,6 +20,74 @@ use pmc_minpath::decompose::{Decomposition, Strategy, NONE};
 
 use crate::respect1::{one_respect_cuts, SubtreeCuts};
 
+/// The boughs scanned in one phase, stored as a single flat CSR arena:
+/// bough `b` occupies `data[offsets[b] .. offsets[b + 1]]`, listed
+/// leaf-first (the walk order of §4.1.2). One contiguous buffer instead of
+/// a `Vec` per bough.
+#[derive(Clone, Debug)]
+pub struct Boughs {
+    data: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl Boughs {
+    /// Number of boughs.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the phase scanned no boughs (never true for a real phase).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the boughs as slices, leaf-first within each.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.data[w[0] as usize..w[1] as usize])
+    }
+
+    /// Bytes of heap memory in active use (`len`-based; both arrays u32).
+    pub fn heap_bytes(&self) -> usize {
+        (self.data.len() + self.offsets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+impl std::ops::Index<usize> for Boughs {
+    type Output = [u32];
+    fn index(&self, b: usize) -> &[u32] {
+        &self.data[self.offsets[b] as usize..self.offsets[b + 1] as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a Boughs {
+    type Item = &'a [u32];
+    type IntoIter = BoughsIter<'a>;
+    fn into_iter(self) -> BoughsIter<'a> {
+        BoughsIter { boughs: self, b: 0 }
+    }
+}
+
+/// Iterator over the boughs of a [`Boughs`] arena.
+pub struct BoughsIter<'a> {
+    boughs: &'a Boughs,
+    b: usize,
+}
+
+impl<'a> Iterator for BoughsIter<'a> {
+    type Item = &'a [u32];
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.b < self.boughs.len() {
+            let s = &self.boughs[self.b];
+            self.b += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+}
+
 /// One phase of the cascade.
 #[derive(Clone, Debug)]
 pub struct Phase {
@@ -29,9 +97,8 @@ pub struct Phase {
     pub tree: RootedTree,
     /// Bough decomposition of `T_i` (used by the Minimum Path structures).
     pub decomp: Decomposition,
-    /// The boughs scanned in this phase, each listed leaf-first
-    /// (the walk order of §4.1.2).
-    pub boughs: Vec<Vec<u32>>,
+    /// The boughs scanned in this phase (flat arena, leaf-first each).
+    pub boughs: Boughs,
     /// `comp[orig]` = local id of the supervertex containing the original
     /// vertex `orig`.
     pub comp: Vec<u32>,
@@ -49,17 +116,18 @@ pub fn build_phases(g: &Graph, tree: &RootedTree) -> Vec<Phase> {
 
     loop {
         let decomp = Decomposition::new(&t_cur, Strategy::BoughWalk);
-        let boughs: Vec<Vec<u32>> = decomp
-            .paths()
-            .iter()
-            .enumerate()
-            .filter(|&(pid, _)| decomp.phase_of_path(pid as u32) == 0)
-            .map(|(_, path)| {
-                let mut b = path.clone();
-                b.reverse(); // stored top-first; the scan walks leaf→top
-                b
-            })
-            .collect();
+        let mut boughs = Boughs {
+            data: Vec::new(),
+            offsets: vec![0],
+        };
+        for (pid, path) in decomp.paths_iter().enumerate() {
+            if decomp.phase_of_path(pid as u32) != 0 {
+                continue;
+            }
+            // Paths are stored top-first; the scan walks leaf→top.
+            boughs.data.extend(path.iter().rev());
+            boughs.offsets.push(boughs.data.len() as u32);
+        }
         let cuts = one_respect_cuts(&g_cur, &t_cur);
         let n_cur = t_cur.n();
 
@@ -252,5 +320,7 @@ mod tests {
         let phases = build_phases(&g, &tree);
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].boughs[0], vec![3, 2, 1, 0]); // leaf-first
+                                                           // Exact arena accounting: data 4 + offsets [0, 4] = 6 u32 slots.
+        assert_eq!(phases[0].boughs.heap_bytes(), 6 * 4);
     }
 }

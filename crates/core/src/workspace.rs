@@ -55,6 +55,14 @@ pub struct TreeArena {
     pub batch: TreeBatchScratch,
 }
 
+impl TreeArena {
+    /// Bytes of heap memory in active use by this worker arena
+    /// (`len`-based, excluding the `pmc-par` scratch internals).
+    pub fn heap_bytes(&self) -> usize {
+        self.root.heap_bytes() + self.batch.heap_bytes()
+    }
+}
+
 /// Reusable working memory for repeated minimum-cut solves.
 ///
 /// One workspace serves any sequence of graphs and any registered solver —
@@ -118,6 +126,18 @@ impl SolverWorkspace {
     /// composing custom kernels on top of the workspace.
     pub fn par_scratch(&mut self) -> &mut ParScratch {
         self.tree_arenas(1)[0].batch.par_scratch()
+    }
+
+    /// Bytes of heap memory in active use across every layer's arena
+    /// (`len`-based, like the per-layer `heap_bytes` methods it sums).
+    /// The figure a serving loop would report as its steady-state working
+    /// set; `BENCH_hotpath.json` records it for the bench families.
+    pub fn heap_bytes(&self) -> usize {
+        self.cert.heap_bytes()
+            + self.cert_graph.as_ref().map_or(0, |g| g.heap_bytes())
+            + self.packing.heap_bytes()
+            + self.trees.iter().map(|t| t.heap_bytes()).sum::<usize>()
+            + self.sw.heap_bytes()
     }
 }
 
@@ -285,6 +305,30 @@ mod tests {
         assert_eq!(cut.value, 2);
         assert!(ws.cert_graph.is_some());
         assert!(ws.cert_graph.as_ref().unwrap().n() == 41);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_growth() {
+        use crate::{minimum_cut_with, MinCutConfig};
+        let mut ws = SolverWorkspace::new();
+        // A fresh workspace holds only the packing scratch's placeholder
+        // subgraph: Graph::from_edges(1, &[]) = 2 u32 offsets + 1 u64
+        // degree = 16 bytes exactly.
+        assert_eq!(ws.heap_bytes(), 16);
+        let g = pmc_graph::gen::gnm_connected(32, 90, 6, 5);
+        let cut = minimum_cut_with(&g, &MinCutConfig::default(), &mut ws).unwrap();
+        let grown = ws.heap_bytes();
+        assert!(grown > 16, "solve must grow the arenas ({grown} bytes)");
+        // The total is the sum of the per-layer arenas it aggregates.
+        assert_eq!(
+            grown,
+            ws.cert.heap_bytes()
+                + ws.cert_graph.as_ref().map_or(0, |g| g.heap_bytes())
+                + ws.packing.heap_bytes()
+                + ws.trees.iter().map(|t| t.heap_bytes()).sum::<usize>()
+                + ws.sw.heap_bytes()
+        );
+        let _ = cut;
     }
 
     #[test]

@@ -41,6 +41,17 @@ pub struct CertScratch {
     heap: std::collections::BinaryHeap<(u64, u32)>,
 }
 
+impl CertScratch {
+    /// Bytes of heap memory in active use by the scratch buffers
+    /// (`len`-based, matching [`crate::Graph::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.visited.len()
+            + self.r.len() * std::mem::size_of::<u64>()
+            + self.kept.len() * std::mem::size_of::<Edge>()
+            + self.heap.len() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
 /// Builds the Nagamochi–Ibaraki `k`-certificate of `g`.
 ///
 /// Guarantees (classic NI theorem): for every cut `C`,

@@ -95,9 +95,10 @@ impl std::error::Error for GraphError {}
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,
-    /// CSR offsets: incident edge ids of vertex `v` are
+    /// CSR offsets (u32 — half the bytes of `usize` offsets, and the hot
+    /// bough walks stream this array): incident edge ids of vertex `v` are
     /// `adj_edge_ids[adj_offsets[v]..adj_offsets[v + 1]]`.
-    adj_offsets: Vec<usize>,
+    adj_offsets: Vec<u32>,
     adj_edge_ids: Vec<u32>,
     total_weight: u64,
     /// Cached weighted degree per vertex, filled at construction — hot
@@ -177,20 +178,20 @@ impl Graph {
         if total > MAX_TOTAL_WEIGHT {
             return Err(GraphError::TotalWeightOverflow);
         }
+        // The u32 CSR stores 2m entries and offsets up to 2m.
+        assert!(
+            self.edges.len() <= (u32::MAX / 2) as usize,
+            "edge count exceeds u32 CSR capacity"
+        );
         self.n = n;
         self.total_weight = total;
-        build_csr_into(
+        build_csr_degrees_into(
             n,
             &self.edges,
             &mut self.adj_offsets,
             &mut self.adj_edge_ids,
+            &mut self.degrees,
         );
-        self.degrees.clear();
-        self.degrees.resize(n, 0);
-        for e in &self.edges {
-            self.degrees[e.u as usize] += e.w;
-            self.degrees[e.v as usize] += e.w;
-        }
         self.min_degree = self.degrees.iter().copied().min().unwrap_or(0);
         Ok(())
     }
@@ -219,7 +220,7 @@ impl Graph {
     /// between `u` and `v` appears in both lists).
     pub fn incident_edge_ids(&self, v: u32) -> &[u32] {
         let v = v as usize;
-        &self.adj_edge_ids[self.adj_offsets[v]..self.adj_offsets[v + 1]]
+        &self.adj_edge_ids[self.adj_offsets[v] as usize..self.adj_offsets[v + 1] as usize]
     }
 
     /// Iterates `(neighbor, weight, edge_id)` for all edges incident to `v`.
@@ -245,6 +246,16 @@ impl Graph {
     /// (used to seed the skeleton sampling-rate search). Cached; `O(1)`.
     pub fn min_weighted_degree(&self) -> u64 {
         self.min_degree
+    }
+
+    /// Bytes of heap memory in *active use* by this graph's buffers: edge
+    /// list, CSR adjacency, and degree cache. Counts `len`, not `capacity`
+    /// — the figure is a deterministic function of the graph shape, which
+    /// is what byte-budgeted cache admission needs.
+    pub fn heap_bytes(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<Edge>()
+            + (self.adj_offsets.len() + self.adj_edge_ids.len()) * std::mem::size_of::<u32>()
+            + self.degrees.len() * std::mem::size_of::<u64>()
     }
 
     /// Value of the cut induced by `side` (`side[v] == true` defines one
@@ -296,16 +307,29 @@ impl Graph {
     }
 }
 
-/// Builds the CSR arrays into reusable buffers. Uses the offsets array
-/// itself as the scatter cursor (no temporary clone): after scattering,
-/// `offsets[v]` holds the *end* of `v`'s range, so one right-shift restores
-/// the invariant `offsets[v]..offsets[v+1]`.
-fn build_csr_into(n: usize, edges: &[Edge], offsets: &mut Vec<usize>, ids: &mut Vec<u32>) {
+/// Builds the CSR arrays *and* the weighted-degree cache into reusable
+/// buffers. The counting pass doubles as the degree accumulation — the one
+/// construction helper shared by `from_edges`, `rebuild_from_edges`, and
+/// every contraction, so no rebuild path re-sums degrees in a separate
+/// loop. Uses the offsets array itself as the scatter cursor (no temporary
+/// clone): after scattering, `offsets[v]` holds the *end* of `v`'s range,
+/// so one right-shift restores the invariant `offsets[v]..offsets[v+1]`.
+fn build_csr_degrees_into(
+    n: usize,
+    edges: &[Edge],
+    offsets: &mut Vec<u32>,
+    ids: &mut Vec<u32>,
+    degrees: &mut Vec<u64>,
+) {
     offsets.clear();
     offsets.resize(n + 1, 0);
+    degrees.clear();
+    degrees.resize(n, 0);
     for e in edges {
         offsets[e.u as usize + 1] += 1;
         offsets[e.v as usize + 1] += 1;
+        degrees[e.u as usize] += e.w;
+        degrees[e.v as usize] += e.w;
     }
     for i in 0..n {
         offsets[i + 1] += offsets[i];
@@ -313,9 +337,9 @@ fn build_csr_into(n: usize, edges: &[Edge], offsets: &mut Vec<usize>, ids: &mut 
     ids.clear();
     ids.resize(2 * edges.len(), 0);
     for (i, e) in edges.iter().enumerate() {
-        ids[offsets[e.u as usize]] = i as u32;
+        ids[offsets[e.u as usize] as usize] = i as u32;
         offsets[e.u as usize] += 1;
-        ids[offsets[e.v as usize]] = i as u32;
+        ids[offsets[e.v as usize] as usize] = i as u32;
         offsets[e.v as usize] += 1;
     }
     for v in (1..=n).rev() {
@@ -338,6 +362,20 @@ mod tests {
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 3);
         assert_eq!(g.total_weight(), 9);
+    }
+
+    #[test]
+    fn heap_bytes_exact() {
+        // Edge is {u: u32, v: u32, w: u64} = 16 bytes. For n vertices and
+        // m edges: 16m (edges) + 4(n + 1) (offsets) + 4·2m (edge ids)
+        // + 8n (degrees).
+        assert_eq!(std::mem::size_of::<Edge>(), 16);
+        let g = triangle(); // n = 3, m = 3
+        assert_eq!(g.heap_bytes(), 16 * 3 + 4 * 4 + 4 * 6 + 8 * 3);
+        let path = Graph::from_edges(3, &[(0, 1, 5), (1, 2, 7)]).unwrap(); // m = 2
+        assert_eq!(path.heap_bytes(), 16 * 2 + 4 * 4 + 4 * 4 + 8 * 3); // 88
+        let empty = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(empty.heap_bytes(), 4 * 2 + 8); // offsets [0, 0] + one degree
     }
 
     #[test]

@@ -17,9 +17,14 @@ use crate::tree::RootedTree;
 pub struct LcaIndex {
     /// First occurrence of each vertex in the Euler walk.
     first: Vec<u32>,
-    /// Sparse table over the Euler walk, storing the index of the
-    /// minimum-depth vertex in windows of length `2^j`: `table[j][i]`.
-    table: Vec<Vec<u32>>,
+    /// Flat sparse table over the Euler walk, storing the index of the
+    /// minimum-depth vertex in windows of length `2^j`. Row `j` has exact
+    /// length `len − 2^j + 1` and occupies
+    /// `table[level_off[j] .. level_off[j + 1]]` — one contiguous buffer
+    /// instead of a `Vec` per level.
+    table: Vec<u32>,
+    /// Row offsets into `table`, one per level plus the end sentinel.
+    level_off: Vec<u32>,
     /// `walk[i]`: vertex at Euler walk position `i` (length `2n - 1`).
     walk: Vec<u32>,
     /// Depth of `walk[i]`.
@@ -61,12 +66,18 @@ impl LcaIndex {
         let walk_depth: Vec<u32> = walk.iter().map(|&v| tree.depth(v)).collect();
         let len = walk.len();
         let levels = (usize::BITS - len.leading_zeros()) as usize;
-        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
-        table.push((0..len as u32).collect());
+        // Rows shrink by 2^(j-1) each level, so the flat table holds fewer
+        // than 2·len entries total.
+        let mut table: Vec<u32> = Vec::with_capacity(2 * len);
+        let mut level_off: Vec<u32> = Vec::with_capacity(levels + 1);
+        level_off.push(0);
+        table.extend(0..len as u32);
+        level_off.push(table.len() as u32);
         let mut j = 1;
         while (1 << j) <= len {
             let half = 1 << (j - 1);
-            let prev = &table[j - 1];
+            let prev_base = level_off[j - 1] as usize;
+            let prev = &table[prev_base..level_off[j] as usize];
             let row: Vec<u32> = (0..=(len - (1 << j)))
                 .into_par_iter()
                 .map(|i| {
@@ -79,12 +90,14 @@ impl LcaIndex {
                     }
                 })
                 .collect();
-            table.push(row);
+            table.extend_from_slice(&row);
+            level_off.push(table.len() as u32);
             j += 1;
         }
         LcaIndex {
             first,
             table,
+            level_off,
             walk,
             walk_depth,
         }
@@ -101,8 +114,9 @@ impl LcaIndex {
         }
         let len = hi - lo + 1;
         let j = (usize::BITS - 1 - len.leading_zeros()) as usize;
-        let a = self.table[j][lo];
-        let b = self.table[j][hi + 1 - (1 << j)];
+        let base = self.level_off[j] as usize;
+        let a = self.table[base + lo];
+        let b = self.table[base + hi + 1 - (1 << j)];
         let idx = if self.walk_depth[a as usize] <= self.walk_depth[b as usize] {
             a
         } else {
@@ -114,6 +128,17 @@ impl LcaIndex {
     /// LCAs of many pairs, computed in parallel.
     pub fn lca_batch(&self, pairs: &[(u32, u32)]) -> Vec<u32> {
         pairs.par_iter().map(|&(u, v)| self.lca(u, v)).collect()
+    }
+
+    /// Bytes of heap memory in active use by the index (`len`-based; all
+    /// five arrays are u32).
+    pub fn heap_bytes(&self) -> usize {
+        (self.first.len()
+            + self.table.len()
+            + self.level_off.len()
+            + self.walk.len()
+            + self.walk_depth.len())
+            * std::mem::size_of::<u32>()
     }
 }
 
@@ -192,5 +217,15 @@ mod tests {
         let t = RootedTree::from_parents(0, vec![NO_PARENT]);
         let idx = LcaIndex::new(&t);
         assert_eq!(idx.lca(0, 0), 0);
+    }
+
+    #[test]
+    fn heap_bytes_exact() {
+        // Two-vertex path: Euler walk length 3, sparse-table rows of
+        // lengths 3 and 2, level_off [0, 3, 5]. All five arrays u32:
+        // (first 2 + table 5 + level_off 3 + walk 3 + walk_depth 3) · 4.
+        let t = RootedTree::from_parents(0, vec![NO_PARENT, 0]);
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.heap_bytes(), (2 + 5 + 3 + 3 + 3) * 4);
     }
 }

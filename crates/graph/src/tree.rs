@@ -16,8 +16,10 @@ pub const NO_PARENT: u32 = u32::MAX;
 pub struct RootedTree {
     root: u32,
     parent: Vec<u32>,
-    /// Children of `v` are `children[child_offsets[v]..child_offsets[v+1]]`.
-    child_offsets: Vec<usize>,
+    /// Children of `v` are `children[child_offsets[v]..child_offsets[v+1]]`
+    /// (u32 offsets: the tree arrays are the densest-read state in the
+    /// per-tree solve loop, so the CSR stays all-u32).
+    child_offsets: Vec<u32>,
     children: Vec<u32>,
     /// Depth of each vertex (root has depth 0).
     depth: Vec<u32>,
@@ -33,10 +35,19 @@ pub struct RootedTree {
 /// packed tree per solve).
 #[derive(Clone, Debug, Default)]
 pub struct TreeScratch {
-    adj_off: Vec<usize>,
+    adj_off: Vec<u32>,
     adj: Vec<u32>,
     visited: Vec<bool>,
     queue: Vec<u32>,
+}
+
+impl TreeScratch {
+    /// Bytes of heap memory in active use by the scratch buffers
+    /// (`len`-based, matching [`RootedTree::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        (self.adj_off.len() + self.adj.len() + self.queue.len()) * std::mem::size_of::<u32>()
+            + self.visited.len() * std::mem::size_of::<bool>()
+    }
 }
 
 impl RootedTree {
@@ -92,7 +103,7 @@ impl RootedTree {
         self.children.resize(n - 1, 0);
         for (v, &p) in self.parent.iter().enumerate() {
             if v as u32 != root {
-                self.children[self.child_offsets[p as usize]] = v as u32;
+                self.children[self.child_offsets[p as usize] as usize] = v as u32;
                 self.child_offsets[p as usize] += 1;
             }
         }
@@ -113,8 +124,8 @@ impl RootedTree {
             head += 1;
             let d = self.depth[v as usize] + 1;
             let (lo, hi) = (
-                self.child_offsets[v as usize],
-                self.child_offsets[v as usize + 1],
+                self.child_offsets[v as usize] as usize,
+                self.child_offsets[v as usize + 1] as usize,
             );
             for i in lo..hi {
                 let c = self.children[i];
@@ -168,9 +179,9 @@ impl RootedTree {
         ws.adj.clear();
         ws.adj.resize(2 * edges.len(), 0);
         for &(u, v) in edges {
-            ws.adj[ws.adj_off[u as usize]] = v;
+            ws.adj[ws.adj_off[u as usize] as usize] = v;
             ws.adj_off[u as usize] += 1;
-            ws.adj[ws.adj_off[v as usize]] = u;
+            ws.adj[ws.adj_off[v as usize] as usize] = u;
             ws.adj_off[v as usize] += 1;
         }
         for i in (1..=n).rev() {
@@ -189,7 +200,8 @@ impl RootedTree {
         while head < ws.queue.len() {
             let v = ws.queue[head];
             head += 1;
-            for &u in &ws.adj[ws.adj_off[v as usize]..ws.adj_off[v as usize + 1]] {
+            for &u in &ws.adj[ws.adj_off[v as usize] as usize..ws.adj_off[v as usize + 1] as usize]
+            {
                 if !ws.visited[u as usize] {
                     ws.visited[u as usize] = true;
                     self.parent[u as usize] = v;
@@ -227,12 +239,13 @@ impl RootedTree {
 
     /// Children of `v`.
     pub fn children(&self, v: u32) -> &[u32] {
-        &self.children[self.child_offsets[v as usize]..self.child_offsets[v as usize + 1]]
+        &self.children
+            [self.child_offsets[v as usize] as usize..self.child_offsets[v as usize + 1] as usize]
     }
 
     /// Number of children of `v`.
     pub fn child_count(&self, v: u32) -> usize {
-        self.child_offsets[v as usize + 1] - self.child_offsets[v as usize]
+        (self.child_offsets[v as usize + 1] - self.child_offsets[v as usize]) as usize
     }
 
     /// Depth of `v` (root: 0).
@@ -248,6 +261,19 @@ impl RootedTree {
     /// True if `v` is a leaf.
     pub fn is_leaf(&self, v: u32) -> bool {
         self.child_count(v) == 0
+    }
+
+    /// Bytes of heap memory in active use by the tree's arrays (parent,
+    /// children CSR, depth, BFS order). `len`-based, so the figure is a
+    /// deterministic function of `n`: `n + (n+1) + (n-1) + n + n = 5n`
+    /// u32 slots, i.e. `20n` bytes.
+    pub fn heap_bytes(&self) -> usize {
+        (self.parent.len()
+            + self.child_offsets.len()
+            + self.children.len()
+            + self.depth.len()
+            + self.bfs_order.len())
+            * std::mem::size_of::<u32>()
     }
 
     /// The undirected tree edges as `(parent, child)` pairs.
@@ -329,6 +355,16 @@ mod tests {
     /// ```
     fn sample() -> RootedTree {
         RootedTree::from_parents(0, vec![NO_PARENT, 0, 0, 1, 1, 2, 3])
+    }
+
+    #[test]
+    fn heap_bytes_exact() {
+        // 5n u32 slots: parent (n) + child_offsets (n + 1) + children
+        // (n − 1) + depth (n) + bfs_order (n) = 20n bytes.
+        let t = sample(); // n = 7
+        assert_eq!(t.heap_bytes(), 20 * 7);
+        let single = RootedTree::from_parents(0, vec![NO_PARENT]);
+        assert_eq!(single.heap_bytes(), 20);
     }
 
     #[test]

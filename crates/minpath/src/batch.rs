@@ -128,17 +128,48 @@ struct NodeState {
     qrys: Vec<Qry>,
 }
 
+/// One level of the flat sweep: every node's update and query records in
+/// two contiguous buffers, with u32 CSR offsets per record kind. Node `p`
+/// of the level owns `upds[upd_off[p]..upd_off[p+1]]` and
+/// `qrys[qry_off[p]..qry_off[p+1]]`, both sorted by time.
+#[derive(Clone, Debug, Default)]
+struct LevelArena {
+    upds: Vec<Upd>,
+    upd_off: Vec<u32>,
+    qrys: Vec<Qry>,
+    qry_off: Vec<u32>,
+}
+
+impl LevelArena {
+    fn upds_of(&self, node: usize) -> &[Upd] {
+        &self.upds[self.upd_off[node] as usize..self.upd_off[node + 1] as usize]
+    }
+
+    fn qrys_of(&self, node: usize) -> &[Qry] {
+        &self.qrys[self.qry_off[node] as usize..self.qry_off[node + 1] as usize]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.upds.len() * std::mem::size_of::<Upd>()
+            + self.qrys.len() * std::mem::size_of::<Qry>()
+            + (self.upd_off.len() + self.qry_off.len()) * std::mem::size_of::<u32>()
+    }
+}
+
 /// Reusable buffers for [`run_list_batch_with`]: the heap-layout subtree
-/// minima, the leaf-level operation buckets, and the two ping-pong level
-/// buffers of the bottom-up sweep (all inner vectors keep their capacities
-/// across batches). One scratch amortizes every list batch a solver
+/// minima, the two ping-pong `LevelArena`s of the flat bottom-up sweep,
+/// and the per-node merge temporaries. Everything keeps its capacity
+/// across batches; one scratch amortizes every list batch a solver
 /// executes.
 #[derive(Clone, Debug, Default)]
 pub struct ListBatchScratch {
     mins: Vec<i64>,
-    leaves: Vec<NodeState>,
-    ping: Vec<NodeState>,
-    pong: Vec<NodeState>,
+    level_a: LevelArena,
+    level_b: LevelArena,
+    merged: Vec<MergedUpd>,
+    sum_l: Vec<i64>,
+    sum_r: Vec<i64>,
+    merged_q: Vec<Qry>,
     par: ParScratch,
 }
 
@@ -147,6 +178,17 @@ impl ListBatchScratch {
     /// actually runs the parallel primitives, so their buffers live here).
     pub fn par_scratch(&mut self) -> &mut ParScratch {
         &mut self.par
+    }
+
+    /// Bytes of heap memory in active use by the scratch buffers
+    /// (`len`-based, excluding the `pmc-par` scratch internals).
+    pub fn heap_bytes(&self) -> usize {
+        self.mins.len() * std::mem::size_of::<i64>()
+            + self.level_a.heap_bytes()
+            + self.level_b.heap_bytes()
+            + self.merged.len() * std::mem::size_of::<MergedUpd>()
+            + (self.sum_l.len() + self.sum_r.len()) * std::mem::size_of::<i64>()
+            + self.merged_q.len() * std::mem::size_of::<Qry>()
     }
 }
 
@@ -158,25 +200,23 @@ impl ListBatchScratch {
 /// Panics if times are not strictly increasing, a position is out of range,
 /// or the list is empty.
 pub fn run_list_batch(init: &[i64], ops: &[PrefixOp]) -> Vec<(u32, i64)> {
-    run_list_batch_impl(
-        init,
-        ops,
-        NODE_PAR_THRESHOLD,
-        None,
-        &mut ListBatchScratch::default(),
-    )
+    run_list_batch_impl(init, ops, NODE_PAR_THRESHOLD, None)
 }
 
-/// [`run_list_batch`] drawing the heap minima and leaf buckets from a
-/// reusable [`ListBatchScratch`]. Identical results; inner-node states are
-/// still produced level by level (they are the algorithm's output stream),
-/// but the `O(n)`-sized setup buffers are recycled.
+/// [`run_list_batch`] drawing all working state from a reusable
+/// [`ListBatchScratch`]. Identical results, produced by the flat-arena
+/// sweep: each level's node states live in two contiguous record buffers
+/// with offset arrays (ping-ponged between two arenas) instead of a `Vec`
+/// pair per node, and the per-node merge temporaries are recycled too.
+/// The sweep is strictly sequential — this is the amortized serving path,
+/// where concurrency comes from independent requests, each with its own
+/// workspace.
 pub fn run_list_batch_with(
     init: &[i64],
     ops: &[PrefixOp],
     ws: &mut ListBatchScratch,
 ) -> Vec<(u32, i64)> {
-    run_list_batch_impl(init, ops, NODE_PAR_THRESHOLD, None, ws)
+    run_list_batch_flat(init, ops, ws)
 }
 
 /// [`run_list_batch`] with all internal parallelism disabled: one strictly
@@ -184,34 +224,27 @@ pub fn run_list_batch_with(
 /// cache-oblivious predecessor algorithm (paper §2.3/§5), useful as the
 /// single-thread baseline in the cache experiments.
 pub fn run_list_batch_seq(init: &[i64], ops: &[PrefixOp]) -> Vec<(u32, i64)> {
-    run_list_batch_impl(
-        init,
-        ops,
-        usize::MAX,
-        None,
-        &mut ListBatchScratch::default(),
-    )
+    run_list_batch_impl(init, ops, usize::MAX, None)
 }
 
 /// [`run_list_batch`] that also reports [`BatchStats`].
 pub fn run_list_batch_stats(init: &[i64], ops: &[PrefixOp]) -> (Vec<(u32, i64)>, BatchStats) {
     let mut stats = BatchStats::default();
-    let out = run_list_batch_impl(
-        init,
-        ops,
-        NODE_PAR_THRESHOLD,
-        Some(&mut stats),
-        &mut ListBatchScratch::default(),
-    );
+    let out = run_list_batch_impl(init, ops, NODE_PAR_THRESHOLD, Some(&mut stats));
     (out, stats)
 }
 
+/// The allocating reference sweep: per-node [`NodeState`] vectors,
+/// reallocated level by level. Retained verbatim as the correctness
+/// reference for the flat-arena sweep and as the "before" side of the
+/// `hotpath_report` sweep microbench; it is also the only path with the
+/// above-threshold parallel branches (the flat path is the strictly
+/// sequential amortized route).
 fn run_list_batch_impl(
     init: &[i64],
     ops: &[PrefixOp],
     par_threshold: usize,
     mut stats: Option<&mut BatchStats>,
-    ws: &mut ListBatchScratch,
 ) -> Vec<(u32, i64)> {
     let n = init.len();
     assert!(n > 0, "empty list");
@@ -222,16 +255,14 @@ fn run_list_batch_impl(
         assert!((op.pos() as usize) < n, "position out of range");
     }
     let cap = n.next_power_of_two();
-    let ListBatchScratch {
-        mins,
-        leaves,
-        ping,
-        pong,
-        par,
-    } = ws;
+    let mut mins: Vec<i64> = Vec::new();
+    let mut leaves: Vec<NodeState> = Vec::new();
+    let mut ping: Vec<NodeState> = Vec::new();
+    let mut pong: Vec<NodeState> = Vec::new();
+    let mut par = ParScratch::default();
+    let (leaves, ping, pong, par) = (&mut leaves, &mut ping, &mut pong, &mut par);
 
     // Initial subtree minima and Δ⁰ per inner node (heap layout, root = 1).
-    mins.clear();
     mins.resize(2 * cap, PAD);
     for (i, &w) in init.iter().enumerate() {
         mins[cap + i] = w;
@@ -243,15 +274,8 @@ fn run_list_batch_impl(
     let delta0 = |node: usize| mins[2 * node + 1] - mins[2 * node];
     let min0_root = mins[1.min(2 * cap - 1)];
 
-    // Leaf states: bucket ops by position, preserving time order. The
-    // bucket vectors keep their capacities across batches.
-    if leaves.len() < cap {
-        leaves.resize_with(cap, NodeState::default);
-    }
-    for st in &mut leaves[..cap] {
-        st.upds.clear();
-        st.qrys.clear();
-    }
+    // Leaf states: bucket ops by position, preserving time order.
+    leaves.resize_with(cap, NodeState::default);
     for op in ops {
         let state = &mut leaves[op.pos() as usize];
         match *op {
@@ -335,6 +359,291 @@ fn run_list_batch_impl(
 
     let root: &NodeState = if at_leaves { &leaves[0] } else { &ping[0] };
     finish_root(root, min0_root, par_threshold, par)
+}
+
+/// The flat-arena sweep behind [`run_list_batch_with`]: identical results
+/// to [`run_list_batch`], zero per-node allocation. Leaf bucketing is a
+/// stable counting sort into one [`LevelArena`]; each level is combined
+/// into the other arena node by node, appending to the flat record buffers
+/// and closing the CSR offsets as it goes (per-node output sizes are exact:
+/// every record survives to the root, so a parent holds exactly the sum of
+/// its children's records). The merge temporaries are recycled from the
+/// scratch.
+fn run_list_batch_flat(
+    init: &[i64],
+    ops: &[PrefixOp],
+    ws: &mut ListBatchScratch,
+) -> Vec<(u32, i64)> {
+    let n = init.len();
+    assert!(n > 0, "empty list");
+    for w in ops.windows(2) {
+        assert!(w[0].time() < w[1].time(), "times must strictly increase");
+    }
+    for op in ops {
+        assert!((op.pos() as usize) < n, "position out of range");
+    }
+    let cap = n.next_power_of_two();
+    let ListBatchScratch {
+        mins,
+        level_a,
+        level_b,
+        merged,
+        sum_l,
+        sum_r,
+        merged_q,
+        par: _,
+    } = ws;
+
+    // Initial subtree minima and Δ⁰ per inner node (heap layout, root = 1).
+    mins.clear();
+    mins.resize(2 * cap, PAD);
+    for (i, &w) in init.iter().enumerate() {
+        mins[cap + i] = w;
+    }
+    for i in (1..cap).rev() {
+        mins[i] = mins[2 * i].min(mins[2 * i + 1]);
+    }
+    let mins = &*mins;
+    let delta0 = |node: usize| mins[2 * node + 1] - mins[2 * node];
+    let min0_root = mins[1.min(2 * cap - 1)];
+
+    // Leaf level: bucket ops by position with a stable counting sort (ops
+    // are scanned in time order; the offset cursors preserve it).
+    level_a.upd_off.clear();
+    level_a.upd_off.resize(cap + 1, 0);
+    level_a.qry_off.clear();
+    level_a.qry_off.resize(cap + 1, 0);
+    for op in ops {
+        match op {
+            PrefixOp::Add { pos, .. } => level_a.upd_off[*pos as usize + 1] += 1,
+            PrefixOp::Min { pos, .. } => level_a.qry_off[*pos as usize + 1] += 1,
+        }
+    }
+    for i in 0..cap {
+        level_a.upd_off[i + 1] += level_a.upd_off[i];
+        level_a.qry_off[i + 1] += level_a.qry_off[i];
+    }
+    level_a.upds.clear();
+    level_a.upds.resize(
+        level_a.upd_off[cap] as usize,
+        Upd {
+            time: 0,
+            x: 0,
+            phi: 0,
+        },
+    );
+    level_a.qrys.clear();
+    level_a.qrys.resize(
+        level_a.qry_off[cap] as usize,
+        Qry {
+            time: 0,
+            qid: 0,
+            pos: 0,
+            d: 0,
+        },
+    );
+    for op in ops {
+        match *op {
+            PrefixOp::Add { time, pos, x } => {
+                let slot = &mut level_a.upd_off[pos as usize];
+                level_a.upds[*slot as usize] = Upd { time, x, phi: x };
+                *slot += 1;
+            }
+            PrefixOp::Min { time, pos, qid } => {
+                let slot = &mut level_a.qry_off[pos as usize];
+                level_a.qrys[*slot as usize] = Qry {
+                    time,
+                    qid,
+                    pos,
+                    d: 0,
+                };
+                *slot += 1;
+            }
+        }
+    }
+    for i in (1..=cap).rev() {
+        level_a.upd_off[i] = level_a.upd_off[i - 1];
+        level_a.qry_off[i] = level_a.qry_off[i - 1];
+    }
+    level_a.upd_off[0] = 0;
+    level_a.qry_off[0] = 0;
+
+    // Bottom-up level sweep, ping-ponging between the two arenas.
+    let mut cur_len = cap;
+    let mut child_shift = 0u32;
+    while cur_len > 1 {
+        let parents = cur_len / 2;
+        let heap_base = parents;
+        level_b.upds.clear();
+        level_b.qrys.clear();
+        level_b.upd_off.clear();
+        level_b.upd_off.push(0);
+        level_b.qry_off.clear();
+        level_b.qry_off.push(0);
+        for p in 0..parents {
+            combine_flat(
+                level_a.upds_of(2 * p),
+                level_a.upds_of(2 * p + 1),
+                level_a.qrys_of(2 * p),
+                level_a.qrys_of(2 * p + 1),
+                delta0(heap_base + p),
+                child_shift,
+                merged,
+                sum_l,
+                sum_r,
+                merged_q,
+                &mut level_b.upds,
+                &mut level_b.qrys,
+            );
+            level_b.upd_off.push(level_b.upds.len() as u32);
+            level_b.qry_off.push(level_b.qrys.len() as u32);
+        }
+        std::mem::swap(level_a, level_b);
+        cur_len = parents;
+        child_shift += 1;
+    }
+
+    // Root: running overall minima after each update (§3.1.3) and the
+    // per-query attach, fused into one streaming walk — queries and
+    // updates are both time-sorted.
+    let root_upds = level_a.upds_of(0);
+    let root_qrys = level_a.qrys_of(0);
+    let mut out = Vec::with_capacity(root_qrys.len());
+    let mut j = 0usize;
+    let mut acc = 0i64;
+    let mut cur = min0_root;
+    for q in root_qrys {
+        while j < root_upds.len() && root_upds[j].time < q.time {
+            acc += root_upds[j].phi;
+            cur = min0_root + acc;
+            j += 1;
+        }
+        out.push((q.qid, q.d + cur));
+    }
+    out
+}
+
+/// Combines two child node states (given as flat slices) into the output
+/// arena buffers: the node-local equivalent of [`combine_into`], strictly
+/// sequential, with every temporary drawn from the scratch. Appends
+/// exactly `l_upds.len() + r_upds.len()` updates and
+/// `l_qrys.len() + r_qrys.len()` queries.
+#[allow(clippy::too_many_arguments)]
+fn combine_flat(
+    l_upds: &[Upd],
+    r_upds: &[Upd],
+    l_qrys: &[Qry],
+    r_qrys: &[Qry],
+    delta0: i64,
+    child_shift: u32,
+    merged: &mut Vec<MergedUpd>,
+    sum_l: &mut Vec<i64>,
+    sum_r: &mut Vec<i64>,
+    merged_q: &mut Vec<Qry>,
+    out_upds: &mut Vec<Upd>,
+    out_qrys: &mut Vec<Qry>,
+) {
+    let nu = l_upds.len() + r_upds.len();
+    let nq = l_qrys.len() + r_qrys.len();
+    if nu == 0 && nq == 0 {
+        return;
+    }
+
+    // --- Updates: H(b), φ_l/φ_r, Δ(b), Φ(b) ---------------------------------
+    merged.clear();
+    merged.reserve(nu);
+    let (mut i, mut j) = (0, 0);
+    while i < l_upds.len() || j < r_upds.len() {
+        let take_left = j == r_upds.len() || (i < l_upds.len() && l_upds[i].time < r_upds[j].time);
+        if take_left {
+            merged.push(MergedUpd {
+                time: l_upds[i].time,
+                x: l_upds[i].x,
+                phi_l: l_upds[i].phi,
+                phi_r: 0,
+            });
+            i += 1;
+        } else {
+            merged.push(MergedUpd {
+                time: r_upds[j].time,
+                x: r_upds[j].x,
+                phi_l: r_upds[j].x,
+                phi_r: r_upds[j].phi,
+            });
+            j += 1;
+        }
+    }
+    // Prefix sums of φ_l and φ_r give Δ via Observation 3.
+    sum_l.clear();
+    sum_l.extend(merged.iter().map(|u| u.phi_l));
+    sum_r.clear();
+    sum_r.extend(merged.iter().map(|u| u.phi_r));
+    seq_scan(sum_l);
+    seq_scan(sum_r);
+    for (i, u) in merged.iter().enumerate() {
+        let old = if i == 0 {
+            delta0
+        } else {
+            delta0 + sum_r[i - 1] - sum_l[i - 1]
+        };
+        let new = delta0 + sum_r[i] - sum_l[i];
+        let phi = match (old > 0, new > 0) {
+            (true, true) => u.phi_l,
+            (false, false) => u.phi_r,
+            (false, true) => u.phi_l - old,
+            (true, false) => u.phi_r + old,
+        };
+        out_upds.push(Upd {
+            time: u.time,
+            x: u.x,
+            phi,
+        });
+    }
+
+    // --- Queries -------------------------------------------------------------
+    if nq > 0 {
+        merged_q.clear();
+        merged_q.reserve(nq);
+        let (mut i, mut j) = (0, 0);
+        while i < l_qrys.len() || j < r_qrys.len() {
+            let take_left =
+                j == r_qrys.len() || (i < l_qrys.len() && l_qrys[i].time < r_qrys[j].time);
+            if take_left {
+                merged_q.push(l_qrys[i]);
+                i += 1;
+            } else {
+                merged_q.push(r_qrys[j]);
+                j += 1;
+            }
+        }
+        // Δ value current at each query's time: both sequences are
+        // time-sorted, so one streaming walk replaces the merge +
+        // segmented broadcast of the parallel path.
+        let mut k = 0usize;
+        let mut dcur = delta0;
+        for q in merged_q.iter() {
+            while k < nu && merged[k].time < q.time {
+                dcur = delta0 + sum_r[k] - sum_l[k];
+                k += 1;
+            }
+            // Child side of the query leaf at this node (paper §3.2 rule).
+            let from_right = (q.pos >> child_shift) & 1 == 1;
+            let d = if from_right {
+                if dcur > 0 {
+                    0
+                } else if q.d + dcur < 0 {
+                    q.d
+                } else {
+                    -dcur
+                }
+            } else if dcur <= 0 {
+                q.d - dcur
+            } else {
+                q.d
+            };
+            out_qrys.push(Qry { d, ..*q });
+        }
+    }
 }
 
 /// A merged update with the per-child φ contributions filled in

@@ -60,9 +60,14 @@ pub const NONE: u32 = u32::MAX;
 /// A decomposition of a rooted tree into vertex-disjoint downward paths.
 #[derive(Clone, Debug)]
 pub struct Decomposition {
-    /// Each path lists its vertices top-first (closest to the root at the
-    /// front, as required by the Minimum Prefix list view).
-    paths: Vec<Vec<u32>>,
+    /// Flat path storage: path `p` lists its vertices top-first (closest to
+    /// the root at the front, as required by the Minimum Prefix list view)
+    /// in `path_data[path_offsets[p] .. path_offsets[p + 1]]`. One
+    /// contiguous buffer + a u32 offset array instead of a `Vec` per path —
+    /// the decomposition is rebuilt per tree in the Lemma-13 loop, so its
+    /// storage must not fragment.
+    path_data: Vec<u32>,
+    path_offsets: Vec<u32>,
     /// `path_of[v]`: index of the path containing `v`.
     path_of: Vec<u32>,
     /// `pos_in_path[v]`: position of `v` within its path (0 = top).
@@ -89,9 +94,17 @@ impl Decomposition {
         }
     }
 
-    /// The paths (each top-first).
-    pub fn paths(&self) -> &[Vec<u32>] {
-        &self.paths
+    /// The vertices of path `p`, top-first.
+    pub fn path(&self, p: u32) -> &[u32] {
+        &self.path_data
+            [self.path_offsets[p as usize] as usize..self.path_offsets[p as usize + 1] as usize]
+    }
+
+    /// Iterates over all paths (each top-first), in path-id order.
+    pub fn paths_iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.path_offsets
+            .windows(2)
+            .map(move |w| &self.path_data[w[0] as usize..w[1] as usize])
     }
 
     /// Path index containing vertex `v`.
@@ -121,7 +134,19 @@ impl Decomposition {
 
     /// Number of paths.
     pub fn npaths(&self) -> usize {
-        self.paths.len()
+        self.path_offsets.len() - 1
+    }
+
+    /// Bytes of heap memory in active use by the decomposition arrays
+    /// (`len`-based; all six arrays are u32).
+    pub fn heap_bytes(&self) -> usize {
+        (self.path_data.len()
+            + self.path_offsets.len()
+            + self.path_of.len()
+            + self.pos_in_path.len()
+            + self.parent_of_top.len()
+            + self.phase_of_path.len())
+            * std::mem::size_of::<u32>()
     }
 
     /// Number of decomposition paths intersected by the `v → root` path.
@@ -134,7 +159,7 @@ impl Decomposition {
             let p = self.path_of(cur);
             let top_parent = self.parent_of_top(p);
             if top_parent == NONE {
-                debug_assert!(self.paths[p as usize].contains(&tree.root()));
+                debug_assert!(self.path(p).contains(&tree.root()));
                 return count;
             }
             cur = top_parent;
@@ -148,7 +173,7 @@ impl Decomposition {
     pub fn validate(&self, tree: &RootedTree) {
         let n = tree.n();
         let mut seen = vec![false; n];
-        for (pid, path) in self.paths.iter().enumerate() {
+        for (pid, path) in self.paths_iter().enumerate() {
             assert!(!path.is_empty(), "path {pid} is empty");
             for (i, &v) in path.iter().enumerate() {
                 assert!(!seen[v as usize], "vertex {v} in two paths");
@@ -221,7 +246,10 @@ fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposit
 
     let mut path_of = vec![NONE; n];
     let mut pos_in_path = vec![0u32; n];
-    let mut paths: Vec<Vec<u32>> = Vec::new();
+    // Flat path storage: every phase appends its boughs to one contiguous
+    // buffer; the offset array closes each path as it is produced.
+    let mut path_data: Vec<u32> = Vec::with_capacity(n);
+    let mut path_offsets: Vec<u32> = vec![0];
     let mut parent_of_top: Vec<u32> = Vec::new();
     let mut phase_of_path: Vec<u32> = Vec::new();
 
@@ -242,24 +270,39 @@ fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposit
             .collect();
         debug_assert!(!tops.is_empty(), "no boughs found in a non-empty tree");
 
-        let bough_lists: Vec<Vec<u32>> = match ordering {
-            ChainOrdering::ListRank => boughs_by_list_rank(tree, &alive, &marked, &tops),
+        let phase_first_pid = path_offsets.len() - 1;
+        match ordering {
+            ChainOrdering::ListRank => boughs_by_list_rank(
+                tree,
+                &alive,
+                &marked,
+                &tops,
+                &mut path_data,
+                &mut path_offsets,
+            ),
             ChainOrdering::RandomMate => boughs_by_contraction(
                 tree,
                 &alive,
                 &marked,
                 &tops,
                 EdgeSelector::RandomMate(phase as u64),
+                &mut path_data,
+                &mut path_offsets,
             ),
-            ChainOrdering::Coloring => {
-                boughs_by_contraction(tree, &alive, &marked, &tops, EdgeSelector::Coloring)
-            }
-            ChainOrdering::Walk => tops
-                .par_iter()
-                .map(|&top| {
+            ChainOrdering::Coloring => boughs_by_contraction(
+                tree,
+                &alive,
+                &marked,
+                &tops,
+                EdgeSelector::Coloring,
+                &mut path_data,
+                &mut path_offsets,
+            ),
+            ChainOrdering::Walk => {
+                for &top in &tops {
                     // Walk down the chain: every bough vertex has at most one
                     // alive child, and that child is marked too.
-                    let mut list = vec![top];
+                    path_data.push(top);
                     let mut cur = top;
                     loop {
                         let next = tree
@@ -270,43 +313,34 @@ fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposit
                         match next {
                             Some(c) => {
                                 debug_assert!(marked[c as usize]);
-                                list.push(c);
+                                path_data.push(c);
                                 cur = c;
                             }
                             None => break,
                         }
                     }
-                    list
-                })
-                .collect(),
-        };
-
-        for list in bough_lists {
-            let pid = paths.len() as u32;
-            for (i, &v) in list.iter().enumerate() {
-                path_of[v as usize] = pid;
-                pos_in_path[v as usize] = i as u32;
+                    path_offsets.push(path_data.len() as u32);
+                }
             }
-            let top = list[0];
+        }
+
+        // Bookkeeping for the paths added this phase, then peel them:
+        // mark their vertices dead and fix alive child counts.
+        for pid in phase_first_pid..path_offsets.len() - 1 {
+            let (lo, hi) = (path_offsets[pid] as usize, path_offsets[pid + 1] as usize);
+            for (i, &v) in path_data[lo..hi].iter().enumerate() {
+                path_of[v as usize] = pid as u32;
+                pos_in_path[v as usize] = i as u32;
+                alive[v as usize] = false;
+            }
+            let top = path_data[lo];
             parent_of_top.push(if top == tree.root() {
                 NONE
             } else {
                 parent[top as usize]
             });
             phase_of_path.push(phase);
-            remaining -= list.len();
-            paths.push(list);
-        }
-
-        // Remove the peeled vertices and fix alive child counts.
-        for pid in (0..paths.len()).rev() {
-            if phase_of_path[pid] != phase {
-                break;
-            }
-            for &v in &paths[pid] {
-                alive[v as usize] = false;
-            }
-            let top = paths[pid][0];
+            remaining -= hi - lo;
             let tp = parent[top as usize];
             if tp != NO_PARENT {
                 alive_children[tp as usize] -= 1;
@@ -320,7 +354,8 @@ fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposit
     }
 
     Decomposition {
-        paths,
+        path_data,
+        path_offsets,
         path_of,
         pos_in_path,
         parent_of_top,
@@ -332,13 +367,16 @@ fn bough_decomposition(tree: &RootedTree, ordering: ChainOrdering) -> Decomposit
 /// PRAM-faithful bough ordering: build the successor array of the marked
 /// chains (top → child) and list-rank it; a vertex's position within its
 /// bough is `bough_len - 1 - rank`. Heads are propagated by walking only
-/// `O(log n)` pointer-jumping rounds inside `list_rank`.
+/// `O(log n)` pointer-jumping rounds inside `list_rank`. Appends the
+/// boughs (tops order) to the flat path arrays.
 fn boughs_by_list_rank(
     tree: &RootedTree,
     alive: &[bool],
     marked: &[bool],
     tops: &[u32],
-) -> Vec<Vec<u32>> {
+    path_data: &mut Vec<u32>,
+    path_offsets: &mut Vec<u32>,
+) {
     let n = tree.n();
     // next[v] = the only alive (marked) child of v, for marked v.
     let next: Vec<usize> = (0..n)
@@ -355,23 +393,22 @@ fn boughs_by_list_rank(
         })
         .collect();
     let rank = list_rank(&next); // rank = #nodes strictly after v in its chain
-    tops.par_iter()
-        .map(|&top| {
-            let len = rank[top as usize] + 1;
-            let mut list = vec![0u32; len];
-            // Scatter every chain vertex to its position. We walk the chain
-            // here only to enumerate its members; positions come from ranks.
-            let mut cur = top as usize;
-            loop {
-                list[len - 1 - rank[cur]] = cur as u32;
-                match next[cur] {
-                    NIL => break,
-                    c => cur = c,
-                }
+    for &top in tops {
+        let len = rank[top as usize] + 1;
+        let start = path_data.len();
+        path_data.resize(start + len, 0);
+        // Scatter every chain vertex to its position. We walk the chain
+        // here only to enumerate its members; positions come from ranks.
+        let mut cur = top as usize;
+        loop {
+            path_data[start + len - 1 - rank[cur]] = cur as u32;
+            match next[cur] {
+                NIL => break,
+                c => cur = c,
             }
-            list
-        })
-        .collect()
+        }
+        path_offsets.push(path_data.len() as u32);
+    }
 }
 
 /// How the contraction-based bough assembly picks independent edge sets:
@@ -395,7 +432,9 @@ fn boughs_by_contraction(
     marked: &[bool],
     tops: &[u32],
     selector: EdgeSelector,
-) -> Vec<Vec<u32>> {
+    path_data: &mut Vec<u32>,
+    path_offsets: &mut Vec<u32>,
+) {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     let n = tree.n();
@@ -475,17 +514,14 @@ fn boughs_by_contraction(
         }
         active.retain(|&u| !absorbed[u as usize] && next[u as usize] != u32::MAX);
     }
-    tops.iter()
-        .map(|&top| {
-            let mut list = Vec::new();
-            let mut cur = top;
-            while cur != u32::MAX {
-                list.push(cur);
-                cur = succ_label[cur as usize];
-            }
-            list
-        })
-        .collect()
+    for &top in tops {
+        let mut cur = top;
+        while cur != u32::MAX {
+            path_data.push(cur);
+            cur = succ_label[cur as usize];
+        }
+        path_offsets.push(path_data.len() as u32);
+    }
 }
 
 fn heavy_light(tree: &RootedTree) -> Decomposition {
@@ -505,34 +541,36 @@ fn heavy_light(tree: &RootedTree) -> Decomposition {
     // Path heads: root, plus every non-heavy child.
     let mut path_of = vec![NONE; n];
     let mut pos_in_path = vec![0u32; n];
-    let mut paths = Vec::new();
+    let mut path_data: Vec<u32> = Vec::with_capacity(n);
+    let mut path_offsets: Vec<u32> = vec![0];
     let mut parent_of_top = Vec::new();
     let heads: Vec<u32> = (0..n as u32)
         .filter(|&v| v == tree.root() || heavy[tree.parent(v) as usize] != v)
         .collect();
     for head in heads {
-        let pid = paths.len() as u32;
-        let mut list = Vec::new();
+        let pid = path_offsets.len() as u32 - 1;
+        let start = path_data.len();
         let mut cur = head;
         loop {
             path_of[cur as usize] = pid;
-            pos_in_path[cur as usize] = list.len() as u32;
-            list.push(cur);
+            pos_in_path[cur as usize] = (path_data.len() - start) as u32;
+            path_data.push(cur);
             match heavy[cur as usize] {
                 NONE => break,
                 c => cur = c,
             }
         }
+        path_offsets.push(path_data.len() as u32);
         parent_of_top.push(if head == tree.root() {
             NONE
         } else {
             tree.parent(head)
         });
-        paths.push(list);
     }
-    let npaths = paths.len();
+    let npaths = path_offsets.len() - 1;
     Decomposition {
-        paths,
+        path_data,
+        path_offsets,
         path_of,
         pos_in_path,
         parent_of_top,
@@ -578,12 +616,22 @@ mod tests {
     }
 
     #[test]
+    fn heap_bytes_exact() {
+        // Path of 3 vertices peels as one bough: path_data 3 +
+        // path_offsets 2 + path_of 3 + pos_in_path 3 + parent_of_top 1 +
+        // phase_of_path 1 = 13 u32 slots.
+        let t = gen::path_tree(3);
+        let d = Decomposition::new(&t, Strategy::BoughWalk);
+        assert_eq!(d.heap_bytes(), 13 * 4);
+    }
+
+    #[test]
     fn path_is_one_bough() {
         let t = gen::path_tree(50);
         let d = Decomposition::new(&t, Strategy::BoughWalk);
         assert_eq!(d.npaths(), 1);
-        assert_eq!(d.paths()[0].len(), 50);
-        assert_eq!(d.paths()[0][0], 0, "top-first ordering");
+        assert_eq!(d.path(0).len(), 50);
+        assert_eq!(d.path(0)[0], 0, "top-first ordering");
         assert_eq!(d.nphases(), 1);
         check_all(&t);
     }
@@ -616,7 +664,7 @@ mod tests {
         assert_eq!(d.nphases(), 2);
         let mut phase0: Vec<Vec<u32>> = (0..d.npaths())
             .filter(|&p| d.phase_of_path(p as u32) == 0)
-            .map(|p| d.paths()[p].clone())
+            .map(|p| d.path(p as u32).to_vec())
             .collect();
         phase0.sort();
         assert_eq!(phase0, vec![vec![2, 5], vec![3, 6], vec![4]]);
@@ -628,7 +676,7 @@ mod tests {
         for seed in 0..10 {
             let t = gen::random_tree(200, seed);
             let a = Decomposition::new(&t, Strategy::BoughWalk);
-            let mut pa = a.paths().to_vec();
+            let mut pa: Vec<Vec<u32>> = a.paths_iter().map(|p| p.to_vec()).collect();
             pa.sort();
             for other in [
                 Strategy::BoughListRank,
@@ -636,7 +684,7 @@ mod tests {
                 Strategy::BoughDeterministic,
             ] {
                 let b = Decomposition::new(&t, other);
-                let mut pb = b.paths().to_vec();
+                let mut pb: Vec<Vec<u32>> = b.paths_iter().map(|p| p.to_vec()).collect();
                 pb.sort();
                 assert_eq!(pa, pb, "seed {seed} strategy {other:?}");
             }

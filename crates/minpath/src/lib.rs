@@ -35,7 +35,7 @@ pub use batch::{
     ListBatchScratch, PrefixOp,
 };
 pub use decompose::{Decomposition, Strategy};
-pub use naive::NaiveMinPath;
+pub use naive::{naive_bough_paths, NaiveMinPath};
 pub use ops::{
     run_tree_batch, run_tree_batch_stats, run_tree_batch_with, TreeBatchScratch, TreeOp,
 };

@@ -64,6 +64,68 @@ impl<'t> NaiveMinPath<'t> {
     }
 }
 
+/// Naive bough decomposition: the nested-`Vec`, one-vertex-at-a-time
+/// reference for the flat-arena [`crate::decompose::Decomposition`].
+/// Returns `(path, phase)` pairs, each path top-first, in exactly the
+/// order the `BoughWalk` strategy produces them (phases in peel order,
+/// tops in vertex-id order within a phase). `O(n²)` per phase — kept
+/// deliberately simple; it exists only to pin the flat path down.
+pub fn naive_bough_paths(tree: &RootedTree) -> Vec<(Vec<u32>, u32)> {
+    let n = tree.n();
+    let mut alive = vec![true; n];
+    let mut out: Vec<(Vec<u32>, u32)> = Vec::new();
+    let mut remaining = n;
+    let mut phase = 0u32;
+
+    // v's alive subtree is a path iff walking down through alive children
+    // never branches.
+    let alive_children = |alive: &[bool], v: u32| -> Vec<u32> {
+        tree.children(v)
+            .iter()
+            .copied()
+            .filter(|&c| alive[c as usize])
+            .collect()
+    };
+    let subtree_is_path = |alive: &[bool], v: u32| -> bool {
+        let mut cur = v;
+        loop {
+            let kids = alive_children(alive, cur);
+            match kids.len() {
+                0 => return true,
+                1 => cur = kids[0],
+                _ => return false,
+            }
+        }
+    };
+
+    while remaining > 0 {
+        let marked: Vec<bool> = (0..n as u32)
+            .map(|v| alive[v as usize] && subtree_is_path(&alive, v))
+            .collect();
+        let tops: Vec<u32> = (0..n as u32)
+            .filter(|&v| {
+                marked[v as usize]
+                    && (tree.parent(v) == NO_PARENT || !marked[tree.parent(v) as usize])
+            })
+            .collect();
+        for &top in &tops {
+            let mut path = vec![top];
+            let mut cur = top;
+            while let Some(&c) = alive_children(&alive, cur).first() {
+                path.push(c);
+                cur = c;
+            }
+            for &v in &path {
+                alive[v as usize] = false;
+            }
+            remaining -= path.len();
+            out.push((path, phase));
+        }
+        phase += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

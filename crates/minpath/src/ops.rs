@@ -144,13 +144,22 @@ fn fold_list_results(list_results: &[(u32, i64)], result_index: &[u32], out: &mu
     }
 }
 
-/// Reusable buffers for [`run_tree_batch_with`]: per-list operation
-/// buckets, the per-list initial-weight staging vector, the query→slot
-/// index, and one [`ListBatchScratch`] shared by every list. One scratch
-/// amortizes every tree batch a solver executes.
+/// Reusable buffers for [`run_tree_batch_with`]: the flat per-list
+/// operation arena (one contiguous op buffer + a u32 offset array instead
+/// of a `Vec` bucket per list), the staging buffer of its counting sort,
+/// the per-list initial-weight staging vector, the query→slot index, and
+/// one [`ListBatchScratch`] shared by every list. One scratch amortizes
+/// every tree batch a solver executes.
 #[derive(Clone, Debug, Default)]
 pub struct TreeBatchScratch {
-    per_list: Vec<Vec<PrefixOp>>,
+    /// `(pid, op)` records in emission (= time) order, before bucketing.
+    staged: Vec<(u32, PrefixOp)>,
+    /// CSR offsets into `list_ops`, one per list plus the end sentinel.
+    list_off: Vec<u32>,
+    /// Flat per-list op storage: list `p`'s ops are
+    /// `list_ops[list_off[p]..list_off[p+1]]`, in time order (the counting
+    /// sort below is stable).
+    list_ops: Vec<PrefixOp>,
     init_ws: Vec<i64>,
     result_index: Vec<u32>,
     list: ListBatchScratch,
@@ -161,6 +170,17 @@ impl TreeBatchScratch {
     /// scratch (see [`ListBatchScratch::par_scratch`]).
     pub fn par_scratch(&mut self) -> &mut pmc_par::ParScratch {
         self.list.par_scratch()
+    }
+
+    /// Bytes of heap memory in active use by the scratch buffers
+    /// (`len`-based), including the embedded list scratch.
+    pub fn heap_bytes(&self) -> usize {
+        self.staged.len() * std::mem::size_of::<(u32, PrefixOp)>()
+            + self.list_off.len() * std::mem::size_of::<u32>()
+            + self.list_ops.len() * std::mem::size_of::<PrefixOp>()
+            + self.init_ws.len() * std::mem::size_of::<i64>()
+            + self.result_index.len() * std::mem::size_of::<u32>()
+            + self.list.heap_bytes()
     }
 }
 
@@ -180,32 +200,56 @@ pub fn run_tree_batch_with(
     assert_eq!(init.len(), tree.n());
     let npaths = decomp.npaths();
 
-    // Decompose every tree op into per-list prefix ops, bucketing directly
-    // (the sequential walk preserves per-list time order, exactly like the
-    // scatter pass of the allocating path).
-    if ws.per_list.len() < npaths {
-        ws.per_list.resize_with(npaths, Vec::new);
-    }
-    for list in &mut ws.per_list[..npaths] {
-        list.clear();
-    }
+    // Decompose every tree op into `(pid, prefix op)` records. The
+    // sequential walk emits them in time order.
+    ws.staged.clear();
     for (t, op) in ops.iter().enumerate() {
-        let per_list = &mut ws.per_list;
-        decompose_op(decomp, op, t as u32, |pid, pop| {
-            per_list[pid as usize].push(pop)
-        });
+        let staged = &mut ws.staged;
+        decompose_op(decomp, op, t as u32, |pid, pop| staged.push((pid, pop)));
     }
+
+    // Bucket the records by list with a stable counting sort into the flat
+    // arena: count per list, exclusive-scan into offsets, scatter with the
+    // offsets as cursors (preserving time order within each list), shift
+    // the cursors back.
+    ws.list_off.clear();
+    ws.list_off.resize(npaths + 1, 0);
+    for &(pid, _) in &ws.staged {
+        ws.list_off[pid as usize + 1] += 1;
+    }
+    for p in 0..npaths {
+        ws.list_off[p + 1] += ws.list_off[p];
+    }
+    ws.list_ops.clear();
+    ws.list_ops.resize(
+        ws.staged.len(),
+        PrefixOp::Add {
+            time: 0,
+            pos: 0,
+            x: 0,
+        },
+    );
+    for &(pid, pop) in &ws.staged {
+        ws.list_ops[ws.list_off[pid as usize] as usize] = pop;
+        ws.list_off[pid as usize] += 1;
+    }
+    for p in (1..=npaths).rev() {
+        ws.list_off[p] = ws.list_off[p - 1];
+    }
+    ws.list_off[0] = 0;
 
     let nqueries = fill_result_slots(ops, &mut ws.result_index);
     let mut out = vec![i64::MAX; nqueries];
 
     // Run the per-list batches back to back through the shared scratch.
-    for (path, list_ops) in decomp.paths().iter().zip(&ws.per_list[..npaths]) {
+    for p in 0..npaths {
+        let list_ops = &ws.list_ops[ws.list_off[p] as usize..ws.list_off[p + 1] as usize];
         if no_queries(list_ops) {
             continue;
         }
         ws.init_ws.clear();
-        ws.init_ws.extend(path.iter().map(|&v| init[v as usize]));
+        ws.init_ws
+            .extend(decomp.path(p as u32).iter().map(|&v| init[v as usize]));
         let list_results = run_list_batch_with(&ws.init_ws, list_ops, &mut ws.list);
         fold_list_results(&list_results, &ws.result_index, &mut out);
     }
@@ -245,16 +289,19 @@ fn run_tree_batch_impl(
 
     // Initial weights per list, then run all list batches in parallel.
     let want_stats = stats.is_some();
-    let (results, list_stats): (Vec<Vec<(u32, i64)>>, Vec<BatchStats>) = decomp
-        .paths()
+    let (results, list_stats): (Vec<Vec<(u32, i64)>>, Vec<BatchStats>) = per_list
         .par_iter()
-        .zip(per_list.par_iter())
-        .map(|(path, list_ops)| {
+        .enumerate()
+        .map(|(pid, list_ops)| {
             if no_queries(list_ops) {
                 // No queries on this list — nothing to report.
                 return (Vec::new(), BatchStats::default());
             }
-            let ws: Vec<i64> = path.iter().map(|&v| init[v as usize]).collect();
+            let ws: Vec<i64> = decomp
+                .path(pid as u32)
+                .iter()
+                .map(|&v| init[v as usize])
+                .collect();
             if want_stats {
                 run_list_batch_stats(&ws, list_ops)
             } else {

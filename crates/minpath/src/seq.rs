@@ -197,8 +197,7 @@ impl<'t> SeqMinPath<'t> {
     pub fn new(tree: &'t RootedTree, decomp: &'t Decomposition, init: &[i64]) -> Self {
         assert_eq!(init.len(), tree.n());
         let lists = decomp
-            .paths()
-            .iter()
+            .paths_iter()
             .map(|path| {
                 let ws: Vec<i64> = path.iter().map(|&v| init[v as usize]).collect();
                 SeqPrefixTree::new(&ws)
@@ -245,7 +244,7 @@ impl<'t> SeqMinPath<'t> {
             let (val, leaf) = self.lists[pid as usize].min_prefix(pos);
             if val < best {
                 best = val;
-                arg = self.decomp.paths()[pid as usize][leaf];
+                arg = self.decomp.path(pid)[leaf];
             }
         });
         (best, arg)

@@ -26,6 +26,6 @@ pub mod skeleton;
 pub use mst::{boruvka_mst, kruskal_mst};
 pub use pack::{
     pack_greedy, pack_greedy_with, pack_trees, pack_trees_with, rooted_tree_from_edges,
-    PackScratch, PackingConfig, RootScratch, TreePacking,
+    PackScratch, PackedTreeList, PackingConfig, RootScratch, TreePacking,
 };
 pub use skeleton::{sample_skeleton, Skeleton};

@@ -61,12 +61,80 @@ impl Default for PackingConfig {
     }
 }
 
+/// Selected spanning trees stored as one flat CSR arena: tree `i` is the
+/// sorted original-graph edge-id slice
+/// `edge_ids[offsets[i] .. offsets[i + 1]]`. One contiguous buffer instead
+/// of a `Vec` per tree; iteration yields `&[u32]` slices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedTreeList {
+    edge_ids: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl PackedTreeList {
+    /// Number of selected trees.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether no trees were selected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the trees as sorted edge-id slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.edge_ids[w[0] as usize..w[1] as usize])
+    }
+
+    /// Bytes of heap memory in active use (`len`-based; both arrays u32).
+    pub fn heap_bytes(&self) -> usize {
+        (self.edge_ids.len() + self.offsets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+impl std::ops::Index<usize> for PackedTreeList {
+    type Output = [u32];
+    fn index(&self, i: usize) -> &[u32] {
+        &self.edge_ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a PackedTreeList {
+    type Item = &'a [u32];
+    type IntoIter = PackedTreeIter<'a>;
+    fn into_iter(self) -> PackedTreeIter<'a> {
+        PackedTreeIter { list: self, i: 0 }
+    }
+}
+
+/// Iterator over the trees of a [`PackedTreeList`].
+pub struct PackedTreeIter<'a> {
+    list: &'a PackedTreeList,
+    i: usize,
+}
+
+impl<'a> Iterator for PackedTreeIter<'a> {
+    type Item = &'a [u32];
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.i < self.list.len() {
+            let s = &self.list[self.i];
+            self.i += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+}
+
 /// Result of the packing pipeline.
 #[derive(Clone, Debug)]
 pub struct TreePacking {
-    /// Selected spanning trees, each as a sorted list of edge ids of the
-    /// original graph.
-    pub trees: Vec<Vec<u32>>,
+    /// Selected spanning trees (flat arena; each a sorted list of edge ids
+    /// of the original graph).
+    pub trees: PackedTreeList,
     /// Packing multiplicity of each selected tree (how many greedy rounds
     /// produced exactly this tree).
     pub tree_weights: Vec<u32>,
@@ -113,6 +181,20 @@ impl PackScratch {
     /// A fresh, empty scratch (equivalent to `Default::default()`).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bytes of heap memory in active use by the scratch buffers
+    /// (`len`-based; the distinct-tree map counts its key lists and
+    /// multiplicities, not hash-table overhead).
+    pub fn heap_bytes(&self) -> usize {
+        self.sub.heap_bytes()
+            + (self.load.len() + self.cost.len()) * std::mem::size_of::<u64>()
+            + self.orig.len() * std::mem::size_of::<u32>()
+            + self
+                .trees
+                .keys()
+                .map(|k| (k.len() + 1) * std::mem::size_of::<u32>())
+                .sum::<usize>()
     }
 }
 
@@ -303,7 +385,16 @@ pub fn pack_trees_with(g: &Graph, cfg: &PackingConfig, ws: &mut PackScratch) -> 
         selected.push(distinct.swap_remove(idx));
     }
 
-    let (trees, tree_weights): (Vec<Vec<u32>>, Vec<u32>) = selected.into_iter().unzip();
+    let mut trees = PackedTreeList {
+        edge_ids: Vec::new(),
+        offsets: vec![0],
+    };
+    let mut tree_weights = Vec::with_capacity(selected.len());
+    for (edges, w) in selected {
+        trees.edge_ids.extend_from_slice(&edges);
+        trees.offsets.push(trees.edge_ids.len() as u32);
+        tree_weights.push(w);
+    }
     TreePacking {
         trees,
         tree_weights,
@@ -362,6 +453,14 @@ impl RootScratch {
     /// the first [`RootScratch::rebuild`]).
     pub fn tree(&self) -> &RootedTree {
         &self.tree
+    }
+
+    /// Bytes of heap memory in active use by the arena (`len`-based),
+    /// including the embedded tree and its rebuild scratch.
+    pub fn heap_bytes(&self) -> usize {
+        self.pairs.len() * std::mem::size_of::<(u32, u32)>()
+            + self.build.heap_bytes()
+            + self.tree.heap_bytes()
     }
 }
 
@@ -440,6 +539,10 @@ mod tests {
         for t in &packing.trees {
             assert!(is_spanning_tree(&g, t));
         }
+        // Exact arena accounting: k spanning trees of n − 1 edge ids each,
+        // plus k + 1 offsets, all u32.
+        let k = packing.trees.len();
+        assert_eq!(packing.trees.heap_bytes(), (k * (g.n() - 1) + k + 1) * 4);
     }
 
     #[test]

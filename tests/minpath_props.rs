@@ -5,7 +5,8 @@
 use parallel_mincut::graph::RootedTree;
 use parallel_mincut::minpath::{
     decompose::{Decomposition, Strategy as DecompStrategy},
-    run_tree_batch, NaiveMinPath, SeqMinPath, TreeOp,
+    naive_bough_paths, run_list_batch, run_list_batch_with, run_tree_batch, run_tree_batch_with,
+    ListBatchScratch, NaiveMinPath, PrefixOp, SeqMinPath, TreeBatchScratch, TreeOp,
 };
 use proptest::prelude::*;
 
@@ -128,11 +129,91 @@ proptest! {
     fn bough_strategies_agree(tree in arb_tree(150)) {
         let a = Decomposition::new(&tree, DecompStrategy::BoughWalk);
         let b = Decomposition::new(&tree, DecompStrategy::BoughListRank);
-        let mut pa = a.paths().to_vec();
-        let mut pb = b.paths().to_vec();
+        let mut pa: Vec<Vec<u32>> = a.paths_iter().map(|p| p.to_vec()).collect();
+        let mut pb: Vec<Vec<u32>> = b.paths_iter().map(|p| p.to_vec()).collect();
         pa.sort();
         pb.sort();
         prop_assert_eq!(pa, pb);
         prop_assert_eq!(a.nphases(), b.nphases());
+    }
+
+    #[test]
+    fn flat_decomposition_equals_naive_reference(tree in arb_tree(150)) {
+        // The flat-arena BoughWalk decomposition must reproduce the naive
+        // nested-Vec peel exactly: same paths, same order, same phases.
+        let d = Decomposition::new(&tree, DecompStrategy::BoughWalk);
+        let want = naive_bough_paths(&tree);
+        prop_assert_eq!(d.npaths(), want.len());
+        for (pid, (path, phase)) in want.iter().enumerate() {
+            prop_assert_eq!(d.path(pid as u32), &path[..]);
+            prop_assert_eq!(d.phase_of_path(pid as u32), *phase);
+        }
+        prop_assert_eq!(
+            d.nphases(),
+            want.iter().map(|(_, ph)| ph + 1).max().unwrap_or(1)
+        );
+    }
+
+    #[test]
+    fn flat_list_sweep_equals_allocating_reference(
+        n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        // The flat-arena level sweep must return bit-identical (qid, value)
+        // results to the allocating per-node reference, scratch reuse
+        // included.
+        let mut r = rand::rngs::mock::StepRng::new(seed, 0x9e3779b97f4a7c15);
+        use rand::RngCore;
+        let mut ws = ListBatchScratch::default();
+        for round in 0..3u32 {
+            let init: Vec<i64> = (0..n)
+                .map(|_| (r.next_u32() % 2000) as i64 - 1000)
+                .collect();
+            let ops: Vec<PrefixOp> = (0..60u32)
+                .map(|time| {
+                    let pos = r.next_u32() % n as u32;
+                    if r.next_u32().is_multiple_of(2) {
+                        PrefixOp::Add { time, pos, x: (r.next_u32() % 600) as i64 - 300 }
+                    } else {
+                        PrefixOp::Min { time, pos, qid: time }
+                    }
+                })
+                .collect();
+            let mut want = run_list_batch(&init, &ops);
+            let mut got = run_list_batch_with(&init, &ops, &mut ws);
+            want.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, want, "round {}", round);
+        }
+    }
+
+    #[test]
+    fn flat_tree_sweep_equals_allocating_reference(
+        tree in arb_tree(60),
+        seed in 0u64..1000,
+    ) {
+        // Same equivalence one layer up: the flat counting-sort bucketing +
+        // flat sweep of run_tree_batch_with against the allocating path.
+        let n = tree.n();
+        let mut r = rand::rngs::mock::StepRng::new(seed, 0x9e3779b97f4a7c15);
+        use rand::RngCore;
+        let init: Vec<i64> = (0..n).map(|_| (r.next_u32() % 2000) as i64 - 1000).collect();
+        let ops: Vec<TreeOp> = (0..70)
+            .map(|_| {
+                let v = (r.next_u32() as usize % n) as u32;
+                if r.next_u32().is_multiple_of(2) {
+                    TreeOp::Add { v, x: (r.next_u32() % 600) as i64 - 300 }
+                } else {
+                    TreeOp::Min { v }
+                }
+            })
+            .collect();
+        let mut ws = TreeBatchScratch::default();
+        for strat in [DecompStrategy::BoughWalk, DecompStrategy::HeavyLight] {
+            let d = Decomposition::new(&tree, strat);
+            let want = run_tree_batch(&tree, &d, &init, &ops);
+            let got = run_tree_batch_with(&tree, &d, &init, &ops, &mut ws);
+            prop_assert_eq!(got, want);
+        }
     }
 }
