@@ -183,6 +183,7 @@ fn inprocess_session(threads: usize, w: &Workload) -> (Duration, Vec<String>) {
         threads,
         cache_graphs: w.graphs.len(),
         timing: false,
+        ..ServiceConfig::default()
     });
     let load_replies: Vec<String> = load_frames(w)
         .iter()

@@ -22,6 +22,7 @@
 //! assert_eq!(cut.value, planted_value);
 //! ```
 
+pub mod dynamic;
 pub mod gen_ops;
 pub mod phases;
 pub mod respect1;
@@ -34,6 +35,9 @@ use rayon::prelude::*;
 use pmc_graph::{connected_components, Graph};
 use pmc_packing::{pack_trees, pack_trees_with, PackingConfig};
 
+pub use dynamic::{
+    apply_delta, GraphDelta, MutationOp, ResolveMode, SolveState, DEFAULT_STALENESS,
+};
 pub use pmc_graph::PmcError;
 pub use respect1::{best_one_respect, one_respect_cuts, SubtreeCuts};
 pub use solver::{
@@ -312,6 +316,27 @@ pub fn minimum_cut_with(
         kind: Some(best.kind),
         tree_index: Some(ti),
     })
+}
+
+/// Incremental re-solve entry point: applies one batch of mutation ops to
+/// `g`, classifies what each invalidates against the pinned
+/// [`SolveState`], and resolves once at the end — the cheapest sound
+/// schedule for a multi-op delta (per-op resolution would re-sweep
+/// intermediate states nobody observes). On an op error the graph and
+/// state may already reflect the *earlier* ops of the batch; callers
+/// wanting transactional batches apply ops to a clone (the service does).
+/// Returns what the resolve did.
+pub fn resolve_delta(
+    g: &mut Graph,
+    state: &mut SolveState,
+    ops: &[MutationOp],
+    ws: &mut SolverWorkspace,
+    threads: Option<usize>,
+) -> Result<ResolveMode, PmcError> {
+    for op in ops {
+        dynamic::apply_delta(g, state, op).map_err(PmcError::Graph)?;
+    }
+    state.resolve(g, ws, threads)
 }
 
 /// [`minimum_cut`] plus a stage-by-stage [`MinCutReport`] with timings and

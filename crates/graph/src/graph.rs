@@ -59,6 +59,8 @@ pub enum GraphError {
     TotalWeightOverflow,
     /// The graph has no vertices.
     Empty,
+    /// A mutation named an edge id `>= m`.
+    EdgeIdOutOfRange { edge_id: usize },
 }
 
 impl std::fmt::Display for GraphError {
@@ -80,6 +82,9 @@ impl std::fmt::Display for GraphError {
                 write!(f, "total edge weight exceeds 2^40")
             }
             GraphError::Empty => write!(f, "graph must have at least one vertex"),
+            GraphError::EdgeIdOutOfRange { edge_id } => {
+                write!(f, "edge id {edge_id} is out of range")
+            }
         }
     }
 }
@@ -256,6 +261,122 @@ impl Graph {
         self.edges.len() * std::mem::size_of::<Edge>()
             + (self.adj_offsets.len() + self.adj_edge_ids.len()) * std::mem::size_of::<u32>()
             + self.degrees.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Changes the weight of edge `eid` in place, returning the old
+    /// weight. `O(1)` on the edge list and degree cache — the CSR stores
+    /// edge *ids*, so adjacency is untouched; only the min-degree cache
+    /// needs an `O(n)` re-scan. Validation matches construction (positive
+    /// weight, total-weight budget); on `Err` the graph is unchanged.
+    pub fn reweight_edge(&mut self, eid: usize, w: Weight) -> Result<Weight, GraphError> {
+        let old = self
+            .edges
+            .get(eid)
+            .ok_or(GraphError::EdgeIdOutOfRange { edge_id: eid })?
+            .w;
+        if w == 0 {
+            return Err(GraphError::ZeroWeight { edge_index: eid });
+        }
+        let total = (self.total_weight - old)
+            .checked_add(w)
+            .ok_or(GraphError::TotalWeightOverflow)?;
+        if total > MAX_TOTAL_WEIGHT {
+            return Err(GraphError::TotalWeightOverflow);
+        }
+        let Edge { u, v, .. } = self.edges[eid];
+        self.edges[eid].w = w;
+        self.total_weight = total;
+        self.degrees[u as usize] = self.degrees[u as usize] - old + w;
+        self.degrees[v as usize] = self.degrees[v as usize] - old + w;
+        self.min_degree = self.degrees.iter().copied().min().unwrap_or(0);
+        Ok(old)
+    }
+
+    /// Appends a new edge, returning its id (always the new `m - 1`;
+    /// existing edge ids are stable). Validation matches construction; on
+    /// `Err` the graph is unchanged. Rebuilds the CSR adjacency and degree
+    /// cache in place — `O(n + m)`.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: Weight) -> Result<u32, GraphError> {
+        let edge_index = self.edges.len();
+        if u as usize >= self.n || v as usize >= self.n {
+            return Err(GraphError::EndpointOutOfRange { edge_index });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { edge_index });
+        }
+        if w == 0 {
+            return Err(GraphError::ZeroWeight { edge_index });
+        }
+        let total = self
+            .total_weight
+            .checked_add(w)
+            .ok_or(GraphError::TotalWeightOverflow)?;
+        if total > MAX_TOTAL_WEIGHT {
+            return Err(GraphError::TotalWeightOverflow);
+        }
+        assert!(
+            edge_index < (u32::MAX / 2) as usize,
+            "edge count exceeds u32 CSR capacity"
+        );
+        self.edges.push(Edge::new(u, v, w));
+        self.total_weight = total;
+        build_csr_degrees_into(
+            self.n,
+            &self.edges,
+            &mut self.adj_offsets,
+            &mut self.adj_edge_ids,
+            &mut self.degrees,
+        );
+        self.min_degree = self.degrees.iter().copied().min().unwrap_or(0);
+        Ok(edge_index as u32)
+    }
+
+    /// Removes edge `eid` with `swap_remove` semantics: the last edge (if
+    /// any remains past `eid`) takes over id `eid`, and its old id
+    /// (`m - 1` before the call) is returned so callers holding edge ids
+    /// — pinned tree packings, external indices — can remap exactly one
+    /// id. Returns `None` when no edge moved. Rebuilds the CSR adjacency
+    /// and degree cache in place — `O(n + m)`. Disconnecting the graph is
+    /// allowed (solvers report 0-cuts); on `Err` the graph is unchanged.
+    pub fn remove_edge(&mut self, eid: usize) -> Result<Option<u32>, GraphError> {
+        if eid >= self.edges.len() {
+            return Err(GraphError::EdgeIdOutOfRange { edge_id: eid });
+        }
+        let removed = self.edges.swap_remove(eid);
+        self.total_weight -= removed.w;
+        build_csr_degrees_into(
+            self.n,
+            &self.edges,
+            &mut self.adj_offsets,
+            &mut self.adj_edge_ids,
+            &mut self.degrees,
+        );
+        self.min_degree = self.degrees.iter().copied().min().unwrap_or(0);
+        Ok((eid < self.edges.len()).then_some(self.edges.len() as u32))
+    }
+
+    /// The smallest edge id connecting `u` and `v` (either orientation),
+    /// if any — the id resolution rule the service's `remove_edge` /
+    /// `reweight_edge` ops use on multigraphs.
+    pub fn find_edge(&self, u: u32, v: u32) -> Option<u32> {
+        if u as usize >= self.n || v as usize >= self.n || u == v {
+            return None;
+        }
+        // Scan the sparser endpoint's incidence list; ids within one list
+        // are ascending only per construction order, so take the min.
+        let base = if self.incident_edge_ids(u).len() <= self.incident_edge_ids(v).len() {
+            u
+        } else {
+            v
+        };
+        self.incident_edge_ids(base)
+            .iter()
+            .copied()
+            .filter(|&eid| {
+                let e = &self.edges[eid as usize];
+                (e.u == u && e.v == v) || (e.u == v && e.v == u)
+            })
+            .min()
     }
 
     /// Value of the cut induced by `side` (`side[v] == true` defines one
@@ -488,6 +609,110 @@ mod tests {
             g.rebuild_from_edges(2, [Edge::new(0, 0, 1)]),
             Err(GraphError::SelfLoop { edge_index: 0 })
         ));
+    }
+
+    #[test]
+    fn reweight_edge_updates_all_caches() {
+        let mut g = triangle();
+        assert_eq!(g.reweight_edge(1, 10).unwrap(), 3); // (1,2): 3 -> 10
+        assert_eq!(g.total_weight(), 16);
+        assert_eq!(g.weighted_degrees(), &[6, 12, 14]);
+        assert_eq!(g.min_weighted_degree(), 6);
+        // CSR adjacency untouched: ids still resolve both endpoints.
+        assert!(g
+            .neighbors(1)
+            .any(|(x, w, eid)| x == 2 && w == 10 && eid == 1));
+        // Errors leave the graph unchanged.
+        assert!(matches!(
+            g.reweight_edge(3, 1),
+            Err(GraphError::EdgeIdOutOfRange { edge_id: 3 })
+        ));
+        assert!(matches!(
+            g.reweight_edge(0, 0),
+            Err(GraphError::ZeroWeight { edge_index: 0 })
+        ));
+        assert!(matches!(
+            g.reweight_edge(0, MAX_TOTAL_WEIGHT),
+            Err(GraphError::TotalWeightOverflow)
+        ));
+        assert_eq!(g.total_weight(), 16);
+        assert_eq!(g.edges()[0].w, 2);
+    }
+
+    #[test]
+    fn add_edge_appends_and_rebuilds() {
+        let mut g = triangle();
+        let eid = g.add_edge(0, 2, 5).unwrap();
+        assert_eq!(eid, 3); // appended: existing ids stable
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.total_weight(), 14);
+        assert_eq!(g.weighted_degrees(), &[11, 5, 12]);
+        assert_eq!(g.min_weighted_degree(), 5);
+        assert!(g.neighbors(0).any(|(x, w, id)| x == 2 && w == 5 && id == 3));
+        assert!(matches!(
+            g.add_edge(0, 3, 1),
+            Err(GraphError::EndpointOutOfRange { edge_index: 4 })
+        ));
+        assert!(matches!(
+            g.add_edge(1, 1, 1),
+            Err(GraphError::SelfLoop { edge_index: 4 })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, 0),
+            Err(GraphError::ZeroWeight { edge_index: 4 })
+        ));
+        assert_eq!(g.m(), 4, "failed adds must not change the graph");
+    }
+
+    #[test]
+    fn remove_edge_swap_removes_and_reports_the_moved_id() {
+        let mut g = triangle();
+        // Removing id 0 moves the old last edge (id 2) into slot 0.
+        assert_eq!(g.remove_edge(0).unwrap(), Some(2));
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edges()[0], Edge::new(2, 0, 4));
+        assert_eq!(g.total_weight(), 7);
+        assert_eq!(g.weighted_degrees(), &[4, 3, 7]);
+        assert_eq!(g.min_weighted_degree(), 3);
+        // Removing the last edge moves nothing.
+        assert_eq!(g.remove_edge(1).unwrap(), None);
+        assert_eq!(g.m(), 1);
+        assert!(matches!(
+            g.remove_edge(5),
+            Err(GraphError::EdgeIdOutOfRange { edge_id: 5 })
+        ));
+        // Disconnecting removals are allowed.
+        assert_eq!(g.remove_edge(0).unwrap(), None);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.total_weight(), 0);
+        assert_eq!(g.min_weighted_degree(), 0);
+    }
+
+    #[test]
+    fn mutations_match_from_scratch_construction() {
+        let mut g = triangle();
+        g.reweight_edge(0, 9).unwrap();
+        g.add_edge(0, 2, 5).unwrap();
+        g.remove_edge(1).unwrap(); // (1,2,3) out; (0,2,5) moves to id 1
+        let fresh = Graph::from_edges(3, &[(0, 1, 9), (0, 2, 5), (2, 0, 4)]).unwrap();
+        assert_eq!(g.edges(), fresh.edges());
+        assert_eq!(g.total_weight(), fresh.total_weight());
+        assert_eq!(g.weighted_degrees(), fresh.weighted_degrees());
+        assert_eq!(g.min_weighted_degree(), fresh.min_weighted_degree());
+        for v in 0..3 {
+            assert_eq!(g.incident_edge_ids(v), fresh.incident_edge_ids(v));
+        }
+    }
+
+    #[test]
+    fn find_edge_picks_the_smallest_parallel_id() {
+        let g = Graph::from_edges(3, &[(0, 1, 1), (1, 0, 2), (1, 2, 3)]).unwrap();
+        assert_eq!(g.find_edge(0, 1), Some(0));
+        assert_eq!(g.find_edge(1, 0), Some(0));
+        assert_eq!(g.find_edge(2, 1), Some(2));
+        assert_eq!(g.find_edge(0, 2), None);
+        assert_eq!(g.find_edge(0, 0), None);
+        assert_eq!(g.find_edge(0, 7), None);
     }
 
     #[test]

@@ -72,6 +72,15 @@ pub struct PackedTreeList {
 }
 
 impl PackedTreeList {
+    /// A list with no trees — the pinned-packing placeholder for graphs
+    /// the solver shortcuts around packing (disconnected, `n <= 2`).
+    pub fn empty() -> Self {
+        PackedTreeList {
+            edge_ids: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
     /// Number of selected trees.
     pub fn len(&self) -> usize {
         self.offsets.len() - 1
@@ -92,6 +101,40 @@ impl PackedTreeList {
     /// Bytes of heap memory in active use (`len`-based; both arrays u32).
     pub fn heap_bytes(&self) -> usize {
         (self.edge_ids.len() + self.offsets.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Whether tree `i` contains original-graph edge `eid` — binary search
+    /// over the tree's sorted edge-id slice. The dynamic re-solve path
+    /// asks this for every removal: deleting a pinned tree edge breaks
+    /// that tree's spanning property, forcing a re-pack.
+    pub fn tree_contains(&self, i: usize, eid: u32) -> bool {
+        self[i].binary_search(&eid).is_ok()
+    }
+
+    /// Whether any tree contains original-graph edge `eid`.
+    pub fn any_tree_contains(&self, eid: u32) -> bool {
+        (0..self.len()).any(|i| self.tree_contains(i, eid))
+    }
+
+    /// Rewrites every occurrence of edge id `from` to `to`, restoring each
+    /// tree's sorted order. This is the `swap_remove` fix-up: when
+    /// `Graph::remove_edge` moves the last edge into the freed slot,
+    /// pinned packings stay consistent by remapping exactly that one id.
+    /// Returns the number of trees that referenced `from`.
+    pub fn remap_edge_id(&mut self, from: u32, to: u32) -> usize {
+        if from == to {
+            return 0;
+        }
+        let mut touched = 0;
+        for w in self.offsets.windows(2) {
+            let slice = &mut self.edge_ids[w[0] as usize..w[1] as usize];
+            if let Ok(pos) = slice.binary_search(&from) {
+                slice[pos] = to;
+                slice.sort_unstable();
+                touched += 1;
+            }
+        }
+        touched
     }
 }
 
@@ -614,6 +657,42 @@ mod tests {
             assert_eq!(got.tree_weights, want.tree_weights, "seed {seed}");
             assert_eq!(got.distinct_trees, want.distinct_trees, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn membership_and_remap_track_swap_removed_edge_ids() {
+        // The dynamic-update invalidation contract: after
+        // `Graph::remove_edge` swap_removes an id, a pinned packing stays
+        // consistent iff (a) removals of pinned tree edges are detected
+        // (spanning broken, re-pack forced) and (b) the moved id is
+        // remapped so every surviving tree still names real edges.
+        let mut g = gen::gnm_connected(24, 72, 6, 13);
+        let packing = pack_trees(&g, &PackingConfig::default());
+        let mut trees = packing.trees.clone();
+        // Find a non-tree edge to remove (gnm 24/72 has 49 spare edges).
+        let spare = (0..g.m() as u32)
+            .find(|&eid| !trees.any_tree_contains(eid))
+            .expect("a 72-edge graph has non-tree edges");
+        assert!(!trees.tree_contains(0, spare));
+        let moved = g.remove_edge(spare as usize).unwrap();
+        if let Some(from) = moved {
+            let before: Vec<usize> = (0..trees.len())
+                .map(|i| usize::from(trees.tree_contains(i, from)))
+                .collect();
+            let touched = trees.remap_edge_id(from, spare);
+            assert_eq!(touched, before.iter().sum::<usize>());
+            assert!(!trees.any_tree_contains(from), "old id must be gone");
+        }
+        // Every tree still spans the mutated graph: ids valid, sorted,
+        // acyclic, n - 1 edges.
+        for t in &trees {
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "slice must stay sorted");
+            assert!(is_spanning_tree(&g, t));
+        }
+        // Removing a pinned tree edge is detectable before the fact.
+        let tree_edge = trees[0][0];
+        assert!(trees.any_tree_contains(tree_edge));
+        assert_eq!(trees.remap_edge_id(7, 7), 0, "identity remap is a no-op");
     }
 
     use pmc_graph::Graph;

@@ -261,7 +261,134 @@ pub fn corpus() -> Vec<Scenario> {
             graph: gen::contracted_multigraph(120, 360, 40, salted(20, s)),
             oracle: Oracle::Baseline,
         }),
+        // -- mutation traces over the incremental dynamic solver ---------
+        // The oracle is `Oracle::Known(value)` where `value` came out of
+        // the *incremental* re-solve path, so every from-scratch solver
+        // in the suite differentially checks the dynamic path.
+        scenario("dynamic/n16_t12", "dynamic", &["smoke"], |s| {
+            dynamic_instance(
+                gen::cycle_with_chords(16, 5, salted(21, s)),
+                salted(21, s),
+                12,
+                TraceKind::Mixed,
+            )
+        }),
+        scenario("dynamic/n64_t40", "dynamic", &[], |s| {
+            dynamic_instance(
+                gen::cycle_with_chords(64, 20, salted(22, s)),
+                salted(22, s),
+                40,
+                TraceKind::Mixed,
+            )
+        }),
+        scenario("dynamic/n48_reweight", "dynamic", &[], |s| {
+            dynamic_instance(
+                gen::gnm_connected(48, 140, 8, salted(23, s)),
+                salted(23, s),
+                32,
+                TraceKind::ReweightOnly,
+            )
+        }),
+        scenario("dynamic/n80_grow", "dynamic", &[], |s| {
+            dynamic_instance(
+                gen::cycle_with_chords(80, 8, salted(24, s)),
+                salted(24, s),
+                48,
+                TraceKind::Mixed,
+            )
+        }),
     ]
+}
+
+/// What ops a dynamic mutation trace draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceKind {
+    /// Reweights, chord additions, and removals of non-ring chords.
+    Mixed,
+    /// Reweights only — safe on any connected base graph.
+    ReweightOnly,
+}
+
+/// SplitMix64 step: the trace RNG (the corpus cannot pull in a rand
+/// crate, and `gen`'s xorshift is private to `pmc-graph`).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Replays a seeded mutation trace through the *incremental* dynamic
+/// solver ([`SolveState`](pmc_core::SolveState)), resolving every few
+/// ops so the trace crosses several incremental/repack rounds, and
+/// returns the mutated graph annotated with the incremental answer as a
+/// [`Oracle::Known`] value. Connectivity is preserved by construction:
+/// removals only ever address vertex pairs at ring distance ≥ 2 on a
+/// cycle-backboned base (so only chords can match), and
+/// [`TraceKind::ReweightOnly`] never deletes at all — which keeps the
+/// corpus-wide connectivity invariant intact.
+fn dynamic_instance(mut g: Graph, seed: u64, ops: usize, kind: TraceKind) -> Instance {
+    use pmc_core::{apply_delta, MutationOp, SolveState, SolverWorkspace, DEFAULT_STALENESS};
+    let mut ws = SolverWorkspace::new();
+    let mut state = SolveState::fresh(&g, seed, DEFAULT_STALENESS, &mut ws, Some(1))
+        .expect("corpus base graphs are solvable");
+    let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+    let n = g.n() as u64;
+    // Vertex pairs added by this trace; removals draw from here first so
+    // churn revisits its own chords (remove-then-re-add style traffic).
+    let mut added: Vec<(u32, u32)> = Vec::new();
+    for i in 0..ops {
+        let choice = match kind {
+            TraceKind::ReweightOnly => 0,
+            TraceKind::Mixed => splitmix(&mut rng) % 4,
+        };
+        let op = match choice {
+            1 => {
+                // Add a chord at ring distance >= 2: never parallel to a
+                // ring edge, so a later removal of this pair cannot break
+                // the backbone.
+                let u = (splitmix(&mut rng) % n) as u32;
+                let gap = 2 + splitmix(&mut rng) % (n - 3);
+                let v = ((u64::from(u) + gap) % n) as u32;
+                added.push((u, v));
+                MutationOp::Add {
+                    u,
+                    v,
+                    w: 1 + splitmix(&mut rng) % 8,
+                }
+            }
+            2 if !added.is_empty() => {
+                let k = (splitmix(&mut rng) as usize) % added.len();
+                let (u, v) = added.swap_remove(k);
+                let eid = g
+                    .find_edge(u, v)
+                    .expect("an added chord pair always has an edge left");
+                MutationOp::Remove { eid }
+            }
+            _ => {
+                let eid = (splitmix(&mut rng) % g.m() as u64) as u32;
+                MutationOp::Reweight {
+                    eid,
+                    w: 1 + splitmix(&mut rng) % 9,
+                }
+            }
+        };
+        apply_delta(&mut g, &mut state, &op).expect("trace ops are valid by construction");
+        if i % 4 == 3 {
+            state
+                .resolve(&g, &mut ws, Some(1))
+                .expect("incremental resolve of a valid trace");
+        }
+    }
+    state
+        .resolve(&g, &mut ws, Some(1))
+        .expect("final resolve of a valid trace");
+    let value = state.best().value;
+    Instance {
+        graph: g,
+        oracle: Oracle::Known(value),
+    }
 }
 
 /// The name of the hidden fault-injection scenario (see

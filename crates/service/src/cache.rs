@@ -1,22 +1,29 @@
 //! The service's bounded, content-addressed graph cache.
 //!
 //! `load` parses a graph once and registers it under [`graph_id`]; every
-//! later `solve` resolves ids here instead of re-parsing. The cache is a
-//! strict LRU bounded by `--cache-graphs`: inserting beyond capacity
-//! evicts the least-recently-*used* graph (a lookup counts as use, an
-//! insert of an already-resident graph refreshes it). Graphs are handed
-//! out as [`Arc`]s, so an eviction never invalidates a solve already in
-//! flight — the arc keeps the evicted graph alive until the solve drops
-//! it.
+//! later `solve` resolves ids here instead of re-parsing, and every
+//! `update` additionally reuses the entry's cached [`SolveState`]
+//! snapshot (the pinned tree packing plus per-tree cut values) so a
+//! mutation re-sweeps a few trees instead of re-solving from scratch.
+//! The cache is a strict LRU bounded two ways: `--cache-graphs` caps the
+//! entry count, and `--cache-bytes` caps the *accumulated heap bytes* of
+//! resident graphs and snapshots (via the `heap_bytes()` accounting
+//! chain). Inserting beyond either bound evicts least-recently-*used*
+//! entries (a lookup counts as use, an insert of an already-resident
+//! graph refreshes it) — but never below one entry, so a single
+//! over-budget graph still loads and serves. Graphs are handed out as
+//! [`Arc`]s, so an eviction never invalidates a solve already in flight —
+//! the arc keeps the evicted graph alive until the solve drops it.
 //!
-//! Capacity is in graphs, not bytes, because the protocol caps a frame
-//! (and so an inline body) at
-//! [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES): the worst-case
-//! resident set is `capacity ×` one frame's worth of parsed graph, a
-//! bound the operator picks explicitly.
+//! The count cap alone was acceptable when entries were bare graphs (a
+//! frame is length-capped, so `capacity ×` one frame's worth of parsed
+//! graph bounded the resident set); snapshots broke that arithmetic —
+//! their size scales with `O(n log n)` cached tree sides, not with the
+//! frame that loaded the graph — hence the byte budget.
 
 use std::sync::Arc;
 
+use pmc_core::SolveState;
 use pmc_graph::Graph;
 
 use crate::protocol::{canonical_edges, graph_id, CacheCounters, ErrorKind, ProtocolError};
@@ -24,28 +31,57 @@ use crate::protocol::{canonical_edges, graph_id, CacheCounters, ErrorKind, Proto
 struct Entry {
     id: String,
     graph: Arc<Graph>,
+    /// The pinned-packing snapshot, present once an `update` has touched
+    /// (or built) it. Sized into the byte budget alongside the graph.
+    state: Option<SolveState>,
+    /// `graph.heap_bytes() + state.heap_bytes()`, maintained on every
+    /// state change so eviction never walks an entry twice.
+    bytes: usize,
     last_used: u64,
 }
 
-/// A least-recently-used cache of parsed graphs keyed by content id.
+impl Entry {
+    fn new(id: String, graph: Arc<Graph>, state: Option<SolveState>, last_used: u64) -> Self {
+        let bytes = graph.heap_bytes() + state.as_ref().map_or(0, SolveState::heap_bytes);
+        Entry {
+            id,
+            graph,
+            state,
+            bytes,
+            last_used,
+        }
+    }
+}
+
+/// A least-recently-used cache of parsed graphs (and their solve
+/// snapshots) keyed by content id.
 pub struct GraphCache {
     entries: Vec<Entry>,
     capacity: usize,
+    /// Byte budget over all resident `Entry::bytes`; 0 = unbounded.
+    capacity_bytes: usize,
     tick: u64,
     hits: u64,
     misses: u64,
+    snapshot_hits: u64,
+    snapshot_misses: u64,
     evictions: u64,
 }
 
 impl GraphCache {
-    /// An empty cache holding at most `capacity` graphs (minimum 1).
-    pub fn new(capacity: usize) -> Self {
+    /// An empty cache holding at most `capacity` graphs (minimum 1) and,
+    /// when `capacity_bytes > 0`, at most that many accumulated heap
+    /// bytes (soft: the most recent entry always stays).
+    pub fn new(capacity: usize, capacity_bytes: usize) -> Self {
         GraphCache {
             entries: Vec::new(),
             capacity: capacity.max(1),
+            capacity_bytes,
             tick: 0,
             hits: 0,
             misses: 0,
+            snapshot_hits: 0,
+            snapshot_misses: 0,
             evictions: 0,
         }
     }
@@ -55,44 +91,77 @@ impl GraphCache {
         self.entries[idx].last_used = self.tick;
     }
 
-    /// Registers `graph`, returning its content id and whether it was
-    /// already resident. Inserting may evict the least-recently-used
-    /// entry; re-inserting refreshes recency instead of duplicating.
-    ///
-    /// The id is a 64-bit content hash, so an id hit is verified against
-    /// the resident graph's actual content: a collision between distinct
-    /// graphs is an error, never a silent aliasing of one graph by
-    /// another.
-    pub fn insert(&mut self, graph: Graph) -> Result<(String, bool), ProtocolError> {
-        let id = graph_id(&graph);
-        if let Some(idx) = self.entries.iter().position(|e| e.id == id) {
-            let resident = &self.entries[idx].graph;
-            if resident.n() != graph.n() || canonical_edges(resident) != canonical_edges(&graph) {
-                return Err(ProtocolError::new(
-                    ErrorKind::Graph,
-                    format!("content-hash collision on {id}: a different graph is resident"),
-                ));
+    fn resident_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Evicts least-recently-used entries until both caps hold, keeping
+    /// at least one entry resident.
+    fn evict_to_budget(&mut self) {
+        loop {
+            let over_count = self.entries.len() > self.capacity;
+            let over_bytes = self.capacity_bytes > 0 && self.resident_bytes() > self.capacity_bytes;
+            if self.entries.len() <= 1 || (!over_count && !over_bytes) {
+                return;
             }
-            self.touch(idx);
-            return Ok((id, true));
-        }
-        if self.entries.len() >= self.capacity {
             let lru = self
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-                .expect("cache at capacity is non-empty");
+                .expect("non-empty by the len guard");
             self.entries.swap_remove(lru);
             self.evictions += 1;
         }
+    }
+
+    /// Verifies that `graph` really is the content resident under its id
+    /// — the id is a 64-bit hash, so a hit is checked against actual
+    /// content and a collision answered with an error, never aliasing.
+    fn verify_no_collision(resident: &Graph, graph: &Graph, id: &str) -> Result<(), ProtocolError> {
+        if resident.n() != graph.n() || canonical_edges(resident) != canonical_edges(graph) {
+            return Err(ProtocolError::new(
+                ErrorKind::Graph,
+                format!("content-hash collision on {id}: a different graph is resident"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Registers `graph`, returning its content id and whether it was
+    /// already resident. Inserting may evict least-recently-used entries;
+    /// re-inserting refreshes recency (and keeps any existing snapshot)
+    /// instead of duplicating.
+    pub fn insert(&mut self, graph: Graph) -> Result<(String, bool), ProtocolError> {
+        self.insert_with_state(graph, None)
+    }
+
+    /// [`GraphCache::insert`], optionally attaching a solve snapshot. An
+    /// explicit `state` replaces any resident one; `None` leaves a
+    /// resident snapshot in place.
+    pub fn insert_with_state(
+        &mut self,
+        graph: Graph,
+        state: Option<SolveState>,
+    ) -> Result<(String, bool), ProtocolError> {
+        let id = graph_id(&graph);
+        if let Some(idx) = self.entries.iter().position(|e| e.id == id) {
+            Self::verify_no_collision(&self.entries[idx].graph, &graph, &id)?;
+            self.touch(idx);
+            if state.is_some() {
+                let entry = &mut self.entries[idx];
+                entry.state = state;
+                entry.bytes = entry.graph.heap_bytes()
+                    + entry.state.as_ref().map_or(0, SolveState::heap_bytes);
+                self.evict_to_budget();
+            }
+            return Ok((id, true));
+        }
         self.tick += 1;
-        self.entries.push(Entry {
-            id: id.clone(),
-            graph: Arc::new(graph),
-            last_used: self.tick,
-        });
+        self.entries
+            .push(Entry::new(id.clone(), Arc::new(graph), state, self.tick));
+        self.evict_to_budget();
         Ok((id, false))
     }
 
@@ -112,6 +181,59 @@ impl GraphCache {
         }
     }
 
+    /// Looks up an entry for an `update`: the graph plus a *clone* of its
+    /// snapshot (cloning keeps the mutation transactional — the resident
+    /// entry is untouched until [`GraphCache::commit_update`]). Counts a
+    /// graph hit/miss like [`GraphCache::get`] and additionally a
+    /// snapshot hit/miss on a graph hit. A snapshot pinned under a seed
+    /// other than `seed` cannot answer the request (parity is defined
+    /// against a from-scratch solve under the snapshot's own seed), so it
+    /// counts — and is returned — as a snapshot miss.
+    pub fn checkout_for_update(
+        &mut self,
+        id: &str,
+        seed: u64,
+    ) -> Option<(Arc<Graph>, Option<SolveState>)> {
+        match self.entries.iter().position(|e| e.id == id) {
+            Some(idx) => {
+                self.hits += 1;
+                self.touch(idx);
+                let entry = &self.entries[idx];
+                let state = entry.state.clone().filter(|s| s.seed() == seed);
+                if state.is_some() {
+                    self.snapshot_hits += 1;
+                } else {
+                    self.snapshot_misses += 1;
+                }
+                Some((Arc::clone(&entry.graph), state))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Commits a completed `update`: the entry under `old_id` (if still
+    /// resident — a concurrent eviction may have raced it out) is
+    /// removed, and the mutated graph is registered with its snapshot
+    /// under its own content id. Returns the new id.
+    pub fn commit_update(
+        &mut self,
+        old_id: &str,
+        graph: Graph,
+        state: SolveState,
+    ) -> Result<String, ProtocolError> {
+        let new_id = graph_id(&graph);
+        if new_id != old_id {
+            if let Some(idx) = self.entries.iter().position(|e| e.id == old_id) {
+                self.entries.swap_remove(idx);
+            }
+        }
+        let (id, _) = self.insert_with_state(graph, Some(state))?;
+        Ok(id)
+    }
+
     /// Graphs resident right now.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -126,9 +248,14 @@ impl GraphCache {
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             capacity: self.capacity as u64,
+            capacity_bytes: self.capacity_bytes as u64,
             graphs: self.entries.len() as u64,
+            bytes: self.resident_bytes() as u64,
+            snapshots: self.entries.iter().filter(|e| e.state.is_some()).count() as u64,
             hits: self.hits,
             misses: self.misses,
+            snapshot_hits: self.snapshot_hits,
+            snapshot_misses: self.snapshot_misses,
             evictions: self.evictions,
         }
     }
@@ -137,15 +264,21 @@ impl GraphCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pmc_core::{SolverWorkspace, DEFAULT_STALENESS};
 
     fn path_graph(n: usize, w: u64) -> Graph {
         let edges: Vec<(u32, u32, u64)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1, w)).collect();
         Graph::from_edges(n, &edges).unwrap()
     }
 
+    fn snapshot(g: &Graph) -> SolveState {
+        let mut ws = SolverWorkspace::new();
+        SolveState::fresh(g, 7, DEFAULT_STALENESS, &mut ws, Some(1)).unwrap()
+    }
+
     #[test]
     fn insert_is_content_addressed_and_idempotent() {
-        let mut cache = GraphCache::new(4);
+        let mut cache = GraphCache::new(4, 0);
         let (id1, cached1) = cache.insert(path_graph(5, 2)).unwrap();
         let (id2, cached2) = cache.insert(path_graph(5, 2)).unwrap();
         assert_eq!(id1, id2);
@@ -156,7 +289,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_prefers_stale_entries() {
-        let mut cache = GraphCache::new(2);
+        let mut cache = GraphCache::new(2, 0);
         let (a, _) = cache.insert(path_graph(3, 1)).unwrap();
         let (b, _) = cache.insert(path_graph(4, 1)).unwrap();
         assert!(cache.get(&a).is_some()); // refresh a: b is now LRU
@@ -173,7 +306,7 @@ mod tests {
 
     #[test]
     fn arcs_outlive_eviction() {
-        let mut cache = GraphCache::new(1);
+        let mut cache = GraphCache::new(1, 0);
         let (a, _) = cache.insert(path_graph(6, 3)).unwrap();
         let held = cache.get(&a).unwrap();
         cache.insert(path_graph(7, 3)).unwrap(); // evicts a
@@ -183,9 +316,93 @@ mod tests {
 
     #[test]
     fn zero_capacity_is_clamped_to_one() {
-        let mut cache = GraphCache::new(0);
+        let mut cache = GraphCache::new(0, 0);
         let (a, _) = cache.insert(path_graph(3, 1)).unwrap();
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&a).is_some());
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_keeps_the_newest_entry() {
+        let one_graph_bytes = path_graph(64, 1).heap_bytes();
+        // Budget for about 1.5 graphs: the second insert must evict the
+        // first, and a single over-budget graph must still be admitted.
+        let mut cache = GraphCache::new(64, one_graph_bytes * 3 / 2);
+        let (a, _) = cache.insert(path_graph(64, 1)).unwrap();
+        let (b, _) = cache.insert(path_graph(64, 2)).unwrap();
+        assert_eq!(cache.len(), 1, "byte budget must have evicted");
+        assert!(cache.get(&a).is_none());
+        assert!(cache.get(&b).is_some());
+        let counters = cache.counters();
+        assert_eq!(counters.evictions, 1);
+        assert_eq!(counters.capacity_bytes, (one_graph_bytes * 3 / 2) as u64);
+        assert!(counters.bytes > 0);
+    }
+
+    #[test]
+    fn snapshot_bytes_count_against_the_budget() {
+        let g = path_graph(48, 1);
+        let bare = g.heap_bytes();
+        let state = snapshot(&g);
+        let with_snapshot = bare + state.heap_bytes();
+        let mut cache = GraphCache::new(64, 0);
+        cache.insert_with_state(g, Some(state)).unwrap();
+        let counters = cache.counters();
+        assert_eq!(counters.bytes, with_snapshot as u64);
+        assert_eq!(counters.snapshots, 1);
+        assert!(with_snapshot > bare, "snapshot must be sized in");
+    }
+
+    #[test]
+    fn checkout_counts_snapshot_hits_and_misses() {
+        let g = path_graph(12, 2);
+        let mut cache = GraphCache::new(4, 0);
+        let (id, _) = cache.insert(g.clone()).unwrap();
+        assert!(cache.checkout_for_update("g-deadbeefdeadbeef", 7).is_none());
+        let (_, state) = cache.checkout_for_update(&id, 7).unwrap();
+        assert!(state.is_none(), "no snapshot yet");
+        cache
+            .insert_with_state(g, Some(snapshot(&path_graph(12, 2))))
+            .unwrap();
+        let (_, state) = cache.checkout_for_update(&id, 7).unwrap();
+        assert!(state.is_some());
+        let (_, state) = cache.checkout_for_update(&id, 8).unwrap();
+        assert!(state.is_none(), "a seed mismatch is a snapshot miss");
+        let counters = cache.counters();
+        assert_eq!(counters.snapshot_misses, 2);
+        assert_eq!(counters.snapshot_hits, 1);
+        assert_eq!(counters.misses, 1);
+    }
+
+    #[test]
+    fn commit_update_rekeys_the_entry() {
+        let g = path_graph(10, 1);
+        let mut cache = GraphCache::new(4, 0);
+        let (old_id, _) = cache.insert(g.clone()).unwrap();
+        let mut mutated = g;
+        mutated.reweight_edge(0, 9).unwrap();
+        let state = snapshot(&mutated);
+        let new_id = cache.commit_update(&old_id, mutated, state).unwrap();
+        assert_ne!(new_id, old_id);
+        assert_eq!(cache.len(), 1, "re-key, not duplicate");
+        assert!(cache.get(&old_id).is_none());
+        assert!(cache.get(&new_id).is_some());
+        assert_eq!(cache.counters().snapshots, 1);
+    }
+
+    #[test]
+    fn reinsert_without_state_keeps_the_snapshot() {
+        let g = path_graph(9, 3);
+        let mut cache = GraphCache::new(4, 0);
+        cache
+            .insert_with_state(g.clone(), Some(snapshot(&g)))
+            .unwrap();
+        let (_, cached) = cache.insert(g).unwrap();
+        assert!(cached);
+        assert_eq!(
+            cache.counters().snapshots,
+            1,
+            "plain re-load must not drop it"
+        );
     }
 }

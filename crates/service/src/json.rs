@@ -418,6 +418,11 @@ pub fn n(v: u64) -> Json {
     Json::Num(v.to_string())
 }
 
+/// An array value (the `update` verb's op list).
+pub fn arr(items: Vec<Json>) -> Json {
+    Json::Arr(items)
+}
+
 /// A `u128` value (timings).
 pub fn n128(v: u128) -> Json {
     Json::Num(v.to_string())

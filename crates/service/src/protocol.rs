@@ -15,6 +15,7 @@
 //! {"op":"load","path":"/data/g.dimacs"}           register a graph file
 //! {"op":"solve","graph":"g-…","solver":"paper","seed":7}
 //! {"op":"solve","graphs":["g-…","g-…"],"solver":"sw","seed":1}
+//! {"op":"update","graph":"g-…","ops":[{"kind":"reweight_edge","u":1,"v":2,"w":9}],"seed":7}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -26,6 +27,13 @@
 //! witness-partition digest `p-<16 hex>`, and timing; identical
 //! `(graph, solver, seed)` requests get identical value/digest regardless
 //! of arrival order or worker count.
+//!
+//! `update` mutates a cached graph (`add_edge` / `remove_edge` /
+//! `reweight_edge`, 1-based vertices like DIMACS `e` lines) and re-solves
+//! it incrementally over the cached tree packing. Because ids are
+//! content-addressed, the mutated graph gets a **new** id, returned in
+//! the response alongside the old one; the answer is bit-identical to a
+//! from-scratch solve of the mutated graph.
 
 use std::fmt;
 use std::io::{self, BufRead, Read};
@@ -41,6 +49,9 @@ pub const MAX_FRAME_BYTES: usize = 1 << 24;
 
 /// Most graph ids one `solve` request may carry.
 pub const MAX_SOLVE_BATCH: usize = 1024;
+
+/// Most mutation ops one `update` request may carry.
+pub const MAX_UPDATE_OPS: usize = 4096;
 
 /// What went wrong, as a stable machine-readable discriminant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +71,9 @@ pub enum ErrorKind {
     Solver,
     /// The solver itself failed.
     Solve,
+    /// An `update` op could not be applied (unknown edge, self-loop,
+    /// zero weight, overflow); the cached graph is left untouched.
+    Update,
     /// An I/O failure while reading a graph file.
     Io,
 }
@@ -75,12 +89,13 @@ impl ErrorKind {
             ErrorKind::GraphNotLoaded => "graph_not_loaded",
             ErrorKind::Solver => "solver",
             ErrorKind::Solve => "solve",
+            ErrorKind::Update => "update",
             ErrorKind::Io => "io",
         }
     }
 
     /// Every kind, for generators and round-trip tests.
-    pub const ALL: [ErrorKind; 8] = [
+    pub const ALL: [ErrorKind; 9] = [
         ErrorKind::Frame,
         ErrorKind::Json,
         ErrorKind::Request,
@@ -88,6 +103,7 @@ impl ErrorKind {
         ErrorKind::GraphNotLoaded,
         ErrorKind::Solver,
         ErrorKind::Solve,
+        ErrorKind::Update,
         ErrorKind::Io,
     ];
 
@@ -133,6 +149,86 @@ pub enum LoadSource {
     Path(String),
 }
 
+/// One mutation inside an `update` request. Vertices are 1-based on the
+/// wire, mirroring DIMACS `e` lines; `remove_edge` and `reweight_edge`
+/// address the **smallest-id** edge connecting `u` and `v` (relevant only
+/// for multigraphs with parallel edges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Append a new weighted edge.
+    AddEdge {
+        /// First endpoint, 1-based.
+        u: u64,
+        /// Second endpoint, 1-based.
+        v: u64,
+        /// Positive weight.
+        w: u64,
+    },
+    /// Delete the smallest-id edge connecting `u` and `v`.
+    RemoveEdge {
+        /// First endpoint, 1-based.
+        u: u64,
+        /// Second endpoint, 1-based.
+        v: u64,
+    },
+    /// Set the weight of the smallest-id edge connecting `u` and `v`.
+    ReweightEdge {
+        /// First endpoint, 1-based.
+        u: u64,
+        /// Second endpoint, 1-based.
+        v: u64,
+        /// New positive weight.
+        w: u64,
+    },
+}
+
+impl UpdateOp {
+    /// The wire spelling of this op's `kind`.
+    pub fn kind_str(self) -> &'static str {
+        match self {
+            UpdateOp::AddEdge { .. } => "add_edge",
+            UpdateOp::RemoveEdge { .. } => "remove_edge",
+            UpdateOp::ReweightEdge { .. } => "reweight_edge",
+        }
+    }
+}
+
+/// How the service produced an `update` answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// No snapshot was cached for the graph: the mutated graph was solved
+    /// from scratch (and its snapshot cached for next time).
+    Fresh,
+    /// The cached packing was kept; only the invalidated trees were
+    /// re-swept.
+    Incremental,
+    /// The staleness budget (or a structural mutation) forced a full
+    /// re-pack of the cached snapshot.
+    Repack,
+}
+
+impl UpdateMode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UpdateMode::Fresh => "fresh",
+            UpdateMode::Incremental => "incremental",
+            UpdateMode::Repack => "repack",
+        }
+    }
+
+    /// Every mode, for generators and round-trip tests.
+    pub const ALL: [UpdateMode; 3] = [
+        UpdateMode::Fresh,
+        UpdateMode::Incremental,
+        UpdateMode::Repack,
+    ];
+
+    fn from_str(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.as_str() == s)
+    }
+}
+
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -145,6 +241,17 @@ pub enum Request {
         /// Registry solver name (`pmc algos`).
         solver: String,
         /// Solver randomness seed.
+        seed: u64,
+    },
+    /// Mutate a cached graph and re-solve it incrementally.
+    Update {
+        /// Content-addressed id of the graph to mutate.
+        graph: String,
+        /// Mutations, applied in order, transactionally: if any op
+        /// fails, the cached graph is left untouched.
+        ops: Vec<UpdateOp>,
+        /// Solver randomness seed (pins the packing when a snapshot has
+        /// to be built).
         seed: u64,
     },
     /// Service counters snapshot.
@@ -258,6 +365,68 @@ impl Request {
                     seed: u64_field(&v, "seed")?.unwrap_or(DEFAULT_SEED),
                 })
             }
+            "update" => {
+                check_fields(&v, &["op", "graph", "ops", "seed"])?;
+                let graph = str_field(&v, "graph")?
+                    .ok_or_else(|| req_err("update requires a \"graph\" id"))?;
+                let Some(Json::Arr(items)) = v.get("ops") else {
+                    return Err(req_err("update requires an \"ops\" array"));
+                };
+                if items.is_empty() {
+                    return Err(req_err("update ops must be non-empty"));
+                }
+                if items.len() > MAX_UPDATE_OPS {
+                    return Err(req_err(format!(
+                        "update batch of {} exceeds the limit {MAX_UPDATE_OPS}",
+                        items.len()
+                    )));
+                }
+                let mut ops = Vec::with_capacity(items.len());
+                for item in items {
+                    let kind = str_field(item, "kind")?
+                        .ok_or_else(|| req_err("every op needs a \"kind\""))?;
+                    let need = |key: &str| -> Result<u64, ProtocolError> {
+                        u64_field(item, key)?.ok_or_else(|| {
+                            req_err(format!("op {kind:?} requires a u64 field {key:?}"))
+                        })
+                    };
+                    ops.push(match kind.as_str() {
+                        "add_edge" => {
+                            check_fields(item, &["kind", "u", "v", "w"])?;
+                            UpdateOp::AddEdge {
+                                u: need("u")?,
+                                v: need("v")?,
+                                w: need("w")?,
+                            }
+                        }
+                        "remove_edge" => {
+                            check_fields(item, &["kind", "u", "v"])?;
+                            UpdateOp::RemoveEdge {
+                                u: need("u")?,
+                                v: need("v")?,
+                            }
+                        }
+                        "reweight_edge" => {
+                            check_fields(item, &["kind", "u", "v", "w"])?;
+                            UpdateOp::ReweightEdge {
+                                u: need("u")?,
+                                v: need("v")?,
+                                w: need("w")?,
+                            }
+                        }
+                        other => {
+                            return Err(req_err(format!(
+                                "unknown op kind {other:?} (valid: add_edge, remove_edge, reweight_edge)"
+                            )))
+                        }
+                    });
+                }
+                Ok(Request::Update {
+                    graph,
+                    ops,
+                    seed: u64_field(&v, "seed")?.unwrap_or(DEFAULT_SEED),
+                })
+            }
             "stats" => {
                 check_fields(&v, &["op"])?;
                 Ok(Request::Stats)
@@ -267,7 +436,7 @@ impl Request {
                 Ok(Request::Shutdown)
             }
             other => Err(req_err(format!(
-                "unknown op {other:?} (valid: load, solve, stats, shutdown)"
+                "unknown op {other:?} (valid: load, solve, update, stats, shutdown)"
             ))),
         }
     }
@@ -299,6 +468,32 @@ impl Request {
                 fields.push(("seed", json::n(*seed)));
                 json::obj(fields)
             }
+            Request::Update { graph, ops, seed } => {
+                let items = ops
+                    .iter()
+                    .map(|op| {
+                        let mut fields = vec![("kind", json::s(op.kind_str()))];
+                        match *op {
+                            UpdateOp::AddEdge { u, v, w } | UpdateOp::ReweightEdge { u, v, w } => {
+                                fields.push(("u", json::n(u)));
+                                fields.push(("v", json::n(v)));
+                                fields.push(("w", json::n(w)));
+                            }
+                            UpdateOp::RemoveEdge { u, v } => {
+                                fields.push(("u", json::n(u)));
+                                fields.push(("v", json::n(v)));
+                            }
+                        }
+                        json::obj(fields)
+                    })
+                    .collect();
+                json::obj(vec![
+                    ("op", json::s("update")),
+                    ("graph", json::s(graph.clone())),
+                    ("ops", json::arr(items)),
+                    ("seed", json::n(*seed)),
+                ])
+            }
             Request::Stats => json::obj(vec![("op", json::s("stats"))]),
             Request::Shutdown => json::obj(vec![("op", json::s("shutdown"))]),
         };
@@ -329,12 +524,22 @@ pub struct SolveOutcome {
 pub struct CacheCounters {
     /// Configured capacity (`--cache-graphs`).
     pub capacity: u64,
+    /// Configured byte budget (`--cache-bytes`; 0 = unbounded).
+    pub capacity_bytes: u64,
     /// Graphs resident right now.
     pub graphs: u64,
+    /// Heap bytes resident right now (graphs + solve snapshots).
+    pub bytes: u64,
+    /// Entries currently carrying a solve snapshot.
+    pub snapshots: u64,
     /// `solve` lookups that found their graph.
     pub hits: u64,
     /// `solve` lookups that missed (evicted or never loaded).
     pub misses: u64,
+    /// `update` lookups that found a cached solve snapshot.
+    pub snapshot_hits: u64,
+    /// `update` lookups whose graph had no snapshot yet.
+    pub snapshot_misses: u64,
     /// Evictions performed to stay within capacity.
     pub evictions: u64,
 }
@@ -346,10 +551,22 @@ pub struct RequestCounters {
     pub load: u64,
     /// `solve` frames served.
     pub solve: u64,
+    /// `update` frames served.
+    pub update: u64,
     /// `stats` frames served.
     pub stats: u64,
     /// Frames answered with an error.
     pub errors: u64,
+}
+
+/// Incremental-vs-full solve counters inside a [`StatsSnapshot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DynamicCounters {
+    /// `update` answers produced from the pinned packing (re-sweep only).
+    pub incremental: u64,
+    /// `update` answers that ran a full solve (fresh snapshot or
+    /// staleness-budget re-pack).
+    pub full: u64,
 }
 
 /// Workspace-pool counters inside a [`StatsSnapshot`].
@@ -376,6 +593,8 @@ pub struct StatsSnapshot {
     pub cache: CacheCounters,
     /// Workspace pool counters.
     pub pool: PoolCounters,
+    /// Incremental-vs-full `update` solve counters.
+    pub dynamic: DynamicCounters,
     /// Individual graph solves executed (a batch of k counts k).
     pub solves: u64,
 }
@@ -398,6 +617,28 @@ pub enum Response {
     Solved {
         /// One outcome per requested id, in request order.
         results: Vec<SolveOutcome>,
+    },
+    /// `update` applied every op and re-solved the mutated graph.
+    Updated {
+        /// Content-addressed id of the **mutated** graph (the cache slot
+        /// was re-keyed; solve under this id from now on).
+        id: String,
+        /// The id the request addressed (now stale).
+        from: String,
+        /// Vertex count after the mutations.
+        n: u64,
+        /// Edge count after the mutations.
+        m: u64,
+        /// Minimum cut value of the mutated graph.
+        value: u64,
+        /// Canonical digest of the witness partition (`p-<16 hex>`).
+        digest: String,
+        /// How the answer was produced.
+        mode: UpdateMode,
+        /// Trees re-swept (0 unless `mode` is `incremental`).
+        reswept: u64,
+        /// Wall time in microseconds (0 with timing suppressed).
+        micros: u128,
     },
     /// `stats` snapshot.
     Stats(StatsSnapshot),
@@ -442,6 +683,29 @@ impl Response {
                     ("results", Json::Arr(items)),
                 ])
             }
+            Response::Updated {
+                id,
+                from,
+                n,
+                m,
+                value,
+                digest,
+                mode,
+                reswept,
+                micros,
+            } => json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", json::s("update")),
+                ("id", json::s(id.clone())),
+                ("from", json::s(from.clone())),
+                ("n", json::n(*n)),
+                ("m", json::n(*m)),
+                ("value", json::n(*value)),
+                ("digest", json::s(digest.clone())),
+                ("mode", json::s(mode.as_str())),
+                ("reswept", json::n(*reswept)),
+                ("micros", json::n128(*micros)),
+            ]),
             Response::Stats(s) => json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("op", json::s("stats")),
@@ -452,6 +716,7 @@ impl Response {
                     json::obj(vec![
                         ("load", json::n(s.requests.load)),
                         ("solve", json::n(s.requests.solve)),
+                        ("update", json::n(s.requests.update)),
                         ("stats", json::n(s.requests.stats)),
                         ("errors", json::n(s.requests.errors)),
                     ]),
@@ -460,9 +725,14 @@ impl Response {
                     "cache",
                     json::obj(vec![
                         ("capacity", json::n(s.cache.capacity)),
+                        ("capacity_bytes", json::n(s.cache.capacity_bytes)),
                         ("graphs", json::n(s.cache.graphs)),
+                        ("bytes", json::n(s.cache.bytes)),
+                        ("snapshots", json::n(s.cache.snapshots)),
                         ("hits", json::n(s.cache.hits)),
                         ("misses", json::n(s.cache.misses)),
+                        ("snapshot_hits", json::n(s.cache.snapshot_hits)),
+                        ("snapshot_misses", json::n(s.cache.snapshot_misses)),
                         ("evictions", json::n(s.cache.evictions)),
                     ]),
                 ),
@@ -472,6 +742,13 @@ impl Response {
                         ("created", json::n(s.pool.created)),
                         ("checkouts", json::n(s.pool.checkouts)),
                         ("available", json::n(s.pool.available)),
+                    ]),
+                ),
+                (
+                    "dynamic",
+                    json::obj(vec![
+                        ("incremental", json::n(s.dynamic.incremental)),
+                        ("full", json::n(s.dynamic.full)),
                     ]),
                 ),
                 ("solves", json::n(s.solves)),
@@ -547,6 +824,23 @@ impl Response {
                 }
                 Ok(Response::Solved { results })
             }
+            "update" => Ok(Response::Updated {
+                id: need_str(&v, "id")?,
+                from: need_str(&v, "from")?,
+                n: need_u64(&v, "n")?,
+                m: need_u64(&v, "m")?,
+                value: need_u64(&v, "value")?,
+                digest: need_str(&v, "digest")?,
+                mode: UpdateMode::from_str(&need_str(&v, "mode")?)
+                    .ok_or_else(|| req_err("update response with unknown \"mode\""))?,
+                reswept: need_u64(&v, "reswept")?,
+                micros: match v.get("micros") {
+                    Some(Json::Num(raw)) => {
+                        raw.parse::<u128>().map_err(|_| req_err("bad \"micros\""))?
+                    }
+                    _ => return Err(req_err("missing \"micros\"")),
+                },
+            }),
             "stats" => {
                 let sub = |key: &str| -> Result<Json, ProtocolError> {
                     v.get(key)
@@ -565,20 +859,30 @@ impl Response {
                     requests: RequestCounters {
                         load: need_u64(&requests, "load")?,
                         solve: need_u64(&requests, "solve")?,
+                        update: need_u64(&requests, "update")?,
                         stats: need_u64(&requests, "stats")?,
                         errors: need_u64(&requests, "errors")?,
                     },
                     cache: CacheCounters {
                         capacity: need_u64(&cache, "capacity")?,
+                        capacity_bytes: need_u64(&cache, "capacity_bytes")?,
                         graphs: need_u64(&cache, "graphs")?,
+                        bytes: need_u64(&cache, "bytes")?,
+                        snapshots: need_u64(&cache, "snapshots")?,
                         hits: need_u64(&cache, "hits")?,
                         misses: need_u64(&cache, "misses")?,
+                        snapshot_hits: need_u64(&cache, "snapshot_hits")?,
+                        snapshot_misses: need_u64(&cache, "snapshot_misses")?,
                         evictions: need_u64(&cache, "evictions")?,
                     },
                     pool: PoolCounters {
                         created: need_u64(&pool, "created")?,
                         checkouts: need_u64(&pool, "checkouts")?,
                         available: need_u64(&pool, "available")?,
+                    },
+                    dynamic: DynamicCounters {
+                        incremental: need_u64(&sub("dynamic")?, "incremental")?,
+                        full: need_u64(&sub("dynamic")?, "full")?,
                     },
                     solves: need_u64(&v, "solves")?,
                 }))
@@ -738,6 +1042,19 @@ mod tests {
                 solver: "sw".into(),
                 seed: 0,
             },
+            Request::Update {
+                graph: "g-0011223344556677".into(),
+                ops: vec![
+                    UpdateOp::AddEdge { u: 1, v: 2, w: 3 },
+                    UpdateOp::RemoveEdge { u: 4, v: 5 },
+                    UpdateOp::ReweightEdge {
+                        u: 6,
+                        v: 7,
+                        w: u64::MAX,
+                    },
+                ],
+                seed: 42,
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -773,6 +1090,15 @@ mod tests {
             r#"{"op":"solve","graphs":[]}"#,
             r#"{"op":"solve","graph":"a","seed":"not-a-number"}"#,
             r#"{"op":"solve","graph":"a","seed":-1}"#,
+            r#"{"op":"update"}"#,
+            r#"{"op":"update","graph":"g-1"}"#,
+            r#"{"op":"update","graph":"g-1","ops":[]}"#,
+            r#"{"op":"update","graph":"g-1","ops":["x"]}"#,
+            r#"{"op":"update","graph":"g-1","ops":[{"kind":"nope","u":1,"v":2}]}"#,
+            r#"{"op":"update","graph":"g-1","ops":[{"kind":"add_edge","u":1,"v":2}]}"#,
+            r#"{"op":"update","graph":"g-1","ops":[{"kind":"remove_edge","u":1,"v":2,"w":3}]}"#,
+            r#"{"op":"update","graph":"g-1","ops":[{"kind":"reweight_edge","u":1,"w":3}]}"#,
+            r#"{"op":"update","graph":"g-1","ops":[{"kind":"add_edge","u":1,"v":2,"w":3}],"extra":1}"#,
             r#"{"op":"stats","verbose":true}"#,
             r#"{"op":"shutdown","now":true}"#,
             r#"["op","stats"]"#,
@@ -785,6 +1111,52 @@ mod tests {
             Request::parse_frame("{bad json").unwrap_err().kind,
             ErrorKind::Json
         );
+    }
+
+    #[test]
+    fn update_defaults_and_modes() {
+        let req = Request::parse_frame(
+            r#"{"op":"update","graph":"g-1","ops":[{"kind":"remove_edge","u":1,"v":2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Update {
+                graph: "g-1".into(),
+                ops: vec![UpdateOp::RemoveEdge { u: 1, v: 2 }],
+                seed: DEFAULT_SEED,
+            }
+        );
+        for mode in UpdateMode::ALL {
+            let resp = Response::Updated {
+                id: "g-new".into(),
+                from: "g-old".into(),
+                n: 10,
+                m: 20,
+                value: 7,
+                digest: "p-0123456789abcdef".into(),
+                mode,
+                reswept: 3,
+                micros: u128::from(u64::MAX) + 1,
+            };
+            let frame = resp.to_frame();
+            assert!(!frame.contains('\n'), "{frame}");
+            assert_eq!(Response::parse_frame(&frame).unwrap(), resp, "{frame}");
+        }
+    }
+
+    #[test]
+    fn oversized_update_batch_is_rejected() {
+        let ops: Vec<String> = (0..MAX_UPDATE_OPS + 1)
+            .map(|_| r#"{"kind":"remove_edge","u":1,"v":2}"#.to_string())
+            .collect();
+        let frame = format!(
+            r#"{{"op":"update","graph":"g-1","ops":[{}]}}"#,
+            ops.join(",")
+        );
+        let err = Request::parse_frame(&frame).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Request);
+        assert!(err.detail.contains("limit"), "{err}");
     }
 
     #[test]

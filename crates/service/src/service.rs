@@ -20,14 +20,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use pmc_core::{solver_by_name, SolverConfig, WorkspacePool};
+use pmc_core::{
+    apply_delta, solver_by_name, MutationOp, ResolveMode, SolveState, SolverConfig, WorkspacePool,
+    DEFAULT_STALENESS,
+};
 use pmc_graph::io::{read_dimacs, read_edge_list, read_path, IoError};
 use pmc_graph::Graph;
 
 use crate::cache::GraphCache;
 use crate::protocol::{
-    partition_digest, read_frame, ErrorKind, LoadSource, PoolCounters, ProtocolError, Request,
-    RequestCounters, Response, SolveOutcome, StatsSnapshot,
+    partition_digest, read_frame, DynamicCounters, ErrorKind, LoadSource, PoolCounters,
+    ProtocolError, Request, RequestCounters, Response, SolveOutcome, StatsSnapshot, UpdateMode,
+    UpdateOp,
 };
 
 /// Service construction parameters (the `pmc serve` flags).
@@ -36,8 +40,14 @@ pub struct ServiceConfig {
     /// Batch fan-out width for `solve` requests; `0` means one worker per
     /// available CPU.
     pub threads: usize,
-    /// Graph cache capacity (`--cache-graphs`).
+    /// Graph cache capacity in entries (`--cache-graphs`).
     pub cache_graphs: usize,
+    /// Graph cache byte budget (`--cache-bytes`); 0 = unbounded.
+    pub cache_bytes: usize,
+    /// Staleness budget for incremental re-solves: accumulated delta
+    /// weight as a fraction of packed total weight beyond which an
+    /// `update` re-packs instead of re-sweeping (`--staleness`).
+    pub staleness: f64,
     /// When `false`, all timing fields (`micros`, `uptime_micros`) are
     /// reported as 0, making full sessions byte-identical across runs —
     /// the mode the determinism tests and golden files use.
@@ -49,6 +59,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             threads: 0,
             cache_graphs: 64,
+            cache_bytes: 0,
+            staleness: DEFAULT_STALENESS,
             timing: true,
         }
     }
@@ -68,14 +80,18 @@ pub struct ServeOutcome {
 pub struct Service {
     threads: usize,
     timing: bool,
+    staleness: f64,
     cache: Mutex<GraphCache>,
     pool: WorkspacePool,
     start: Instant,
     loads: AtomicU64,
     solve_requests: AtomicU64,
+    update_requests: AtomicU64,
     stats_requests: AtomicU64,
     errors: AtomicU64,
     solves: AtomicU64,
+    incremental_solves: AtomicU64,
+    full_solves: AtomicU64,
     answered: AtomicU64,
 }
 
@@ -90,14 +106,18 @@ impl Service {
         Service {
             threads,
             timing: cfg.timing,
-            cache: Mutex::new(GraphCache::new(cfg.cache_graphs)),
+            staleness: cfg.staleness,
+            cache: Mutex::new(GraphCache::new(cfg.cache_graphs, cfg.cache_bytes)),
             pool: WorkspacePool::new(),
             start: Instant::now(),
             loads: AtomicU64::new(0),
             solve_requests: AtomicU64::new(0),
+            update_requests: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             solves: AtomicU64::new(0),
+            incremental_solves: AtomicU64::new(0),
+            full_solves: AtomicU64::new(0),
             answered: AtomicU64::new(0),
         }
     }
@@ -136,6 +156,13 @@ impl Service {
                 Ok(results) => {
                     self.solve_requests.fetch_add(1, Ordering::Relaxed);
                     (Response::Solved { results }, false)
+                }
+                Err(e) => (self.error_response(e), false),
+            },
+            Request::Update { graph, ops, seed } => match self.update(graph, ops, *seed) {
+                Ok(resp) => {
+                    self.update_requests.fetch_add(1, Ordering::Relaxed);
+                    (resp, false)
                 }
                 Err(e) => (self.error_response(e), false),
             },
@@ -252,6 +279,98 @@ impl Service {
         Ok(results)
     }
 
+    /// Applies a mutation batch to a cached graph and re-solves it.
+    ///
+    /// The mutation is transactional: every op is applied to a *clone*
+    /// of the resident graph (and a clone of its snapshot), so a failing
+    /// op aborts the whole batch with [`ErrorKind::Update`] and the
+    /// cache keeps serving the original. On success the entry is
+    /// re-keyed under the mutated graph's content id (ids are
+    /// content-addressed — mutating the content moves the id), with the
+    /// refreshed snapshot attached for the next `update`.
+    ///
+    /// The answer is bit-identical to a from-scratch solve of the
+    /// mutated graph under the request seed, whatever mode produced it
+    /// (`pmc_core::dynamic` holds that invariant); `mode`/`reswept` in
+    /// the response only describe how much work was saved.
+    fn update(&self, id: &str, ops: &[UpdateOp], seed: u64) -> Result<Response, ProtocolError> {
+        if ops.is_empty() {
+            return Err(ProtocolError::new(
+                ErrorKind::Request,
+                "update ops must be non-empty",
+            ));
+        }
+        let (resident, cached_state) = self
+            .cache
+            .lock()
+            .expect("graph cache poisoned")
+            .checkout_for_update(id, seed)
+            .ok_or_else(|| {
+                ProtocolError::new(
+                    ErrorKind::GraphNotLoaded,
+                    format!("not in cache (re-load and retry): {id}"),
+                )
+            })?;
+        let t = Instant::now();
+        let mut g = (*resident).clone();
+        drop(resident);
+        let mut ws = self.pool.checkout();
+        let threads = Some(self.threads);
+        let solve_err = |e: pmc_core::PmcError| ProtocolError::new(ErrorKind::Solve, e.to_string());
+        let (state, mode, reswept) = match cached_state {
+            Some(mut state) => {
+                for op in ops {
+                    apply_update_op(&mut g, Some(&mut state), op)?;
+                }
+                match state.resolve(&g, &mut ws, threads).map_err(solve_err)? {
+                    ResolveMode::Incremental { reswept } => {
+                        (state, UpdateMode::Incremental, reswept as u64)
+                    }
+                    ResolveMode::Repack => (state, UpdateMode::Repack, 0),
+                }
+            }
+            None => {
+                for op in ops {
+                    apply_update_op(&mut g, None, op)?;
+                }
+                let state = SolveState::fresh(&g, seed, self.staleness, &mut ws, threads)
+                    .map_err(solve_err)?;
+                (state, UpdateMode::Fresh, 0)
+            }
+        };
+        drop(ws);
+        match mode {
+            UpdateMode::Incremental => self.incremental_solves.fetch_add(1, Ordering::Relaxed),
+            UpdateMode::Fresh | UpdateMode::Repack => {
+                self.full_solves.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        let best = state.best();
+        let (value, digest) = (best.value, partition_digest(&best.side));
+        let (n, m) = (g.n() as u64, g.m() as u64);
+        let micros = if self.timing {
+            t.elapsed().as_micros()
+        } else {
+            0
+        };
+        let new_id = self
+            .cache
+            .lock()
+            .expect("graph cache poisoned")
+            .commit_update(id, g, state)?;
+        Ok(Response::Updated {
+            id: new_id,
+            from: id.to_string(),
+            n,
+            m,
+            value,
+            digest,
+            mode,
+            reswept,
+            micros,
+        })
+    }
+
     /// The current counters, as served by the `stats` request.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let pool = self.pool.stats();
@@ -265,6 +384,7 @@ impl Service {
             requests: RequestCounters {
                 load: self.loads.load(Ordering::Relaxed),
                 solve: self.solve_requests.load(Ordering::Relaxed),
+                update: self.update_requests.load(Ordering::Relaxed),
                 stats: self.stats_requests.load(Ordering::Relaxed),
                 errors: self.errors.load(Ordering::Relaxed),
             },
@@ -273,6 +393,10 @@ impl Service {
                 created: pool.created,
                 checkouts: pool.checkouts,
                 available: pool.available as u64,
+            },
+            dynamic: DynamicCounters {
+                incremental: self.incremental_solves.load(Ordering::Relaxed),
+                full: self.full_solves.load(Ordering::Relaxed),
             },
             solves: self.solves.load(Ordering::Relaxed),
         }
@@ -357,6 +481,60 @@ impl Service {
     }
 }
 
+fn update_err(detail: impl Into<String>) -> ProtocolError {
+    ProtocolError::new(ErrorKind::Update, detail)
+}
+
+/// Maps a wire vertex (1-based, like DIMACS `e` lines) into the graph's
+/// 0-based index space.
+fn wire_vertex(g: &Graph, x: u64) -> Result<u32, ProtocolError> {
+    let n = g.n() as u64;
+    if x == 0 || x > n {
+        return Err(update_err(format!("vertex {x} out of range 1..={n}")));
+    }
+    Ok((x - 1) as u32)
+}
+
+/// Applies one wire op to the (cloned) graph, threading it through the
+/// snapshot's delta classifier when one is live. `(u, v)` addressing
+/// resolves against the graph *as mutated so far* — op k sees the edges
+/// left by ops 1..k — picking the smallest edge id when parallel edges
+/// connect the pair.
+fn apply_update_op(
+    g: &mut Graph,
+    state: Option<&mut SolveState>,
+    op: &UpdateOp,
+) -> Result<(), ProtocolError> {
+    let edge_between = |g: &Graph, u: u64, v: u64| -> Result<u32, ProtocolError> {
+        let (u0, v0) = (wire_vertex(g, u)?, wire_vertex(g, v)?);
+        g.find_edge(u0, v0)
+            .ok_or_else(|| update_err(format!("{}: no edge between {u} and {v}", op.kind_str())))
+    };
+    let mop = match *op {
+        UpdateOp::AddEdge { u, v, w } => MutationOp::Add {
+            u: wire_vertex(g, u)?,
+            v: wire_vertex(g, v)?,
+            w,
+        },
+        UpdateOp::RemoveEdge { u, v } => MutationOp::Remove {
+            eid: edge_between(g, u, v)?,
+        },
+        UpdateOp::ReweightEdge { u, v, w } => MutationOp::Reweight {
+            eid: edge_between(g, u, v)?,
+            w,
+        },
+    };
+    match state {
+        Some(s) => apply_delta(g, s, &mop).map(|_| ()),
+        None => match mop {
+            MutationOp::Add { u, v, w } => g.add_edge(u, v, w).map(|_| ()),
+            MutationOp::Remove { eid } => g.remove_edge(eid as usize).map(|_| ()),
+            MutationOp::Reweight { eid, w } => g.reweight_edge(eid as usize, w).map(|_| ()),
+        },
+    }
+    .map_err(|e| update_err(format!("{}: {e}", op.kind_str())))
+}
+
 /// Parses an inline graph body: DIMACS when it looks like DIMACS (first
 /// significant line starts with `p`/`c`), edge list otherwise — with a
 /// cross-format fallback so either format succeeds under either guess,
@@ -388,6 +566,7 @@ mod tests {
             threads,
             cache_graphs: cache,
             timing: false,
+            ..ServiceConfig::default()
         })
     }
 
@@ -568,6 +747,175 @@ mod tests {
         };
         assert_eq!(e.kind, ErrorKind::Io);
         assert_eq!(service.stats_snapshot().requests.errors, 3);
+    }
+
+    #[test]
+    fn update_rekeys_and_matches_a_from_scratch_solve() {
+        let service = svc(2, 8);
+        let id = load_id(&service, CYCLE4);
+        // First update: no snapshot yet → a fresh solve of the mutated
+        // graph, re-keyed under the new content id.
+        let (resp, stop) = service.handle(&Request::Update {
+            graph: id.clone(),
+            ops: vec![UpdateOp::ReweightEdge { u: 1, v: 2, w: 5 }],
+            seed: 3,
+        });
+        assert!(!stop);
+        let Response::Updated {
+            id: id2,
+            from,
+            n,
+            m,
+            value,
+            digest,
+            mode,
+            micros,
+            ..
+        } = resp
+        else {
+            panic!("update failed: {resp:?}")
+        };
+        assert_eq!(from, id);
+        assert_ne!(id2, id, "content changed, so the id must move");
+        assert_eq!((n, m), (4, 4));
+        assert_eq!(mode, UpdateMode::Fresh);
+        assert_eq!(micros, 0); // timing suppressed
+                               // Parity: a plain solve of the re-keyed graph under the same seed
+                               // must answer identically.
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![id2.clone()],
+            solver: "paper".into(),
+            seed: 3,
+        });
+        let Response::Solved { results } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(results[0].value, value);
+        assert_eq!(results[0].digest, digest);
+        assert_eq!(value, 2, "cycle with one heavy edge still cuts two units");
+        // Second update hits the snapshot: incremental or repack, never
+        // fresh — and the old id is gone.
+        let (resp, _) = service.handle(&Request::Update {
+            graph: id2.clone(),
+            ops: vec![UpdateOp::ReweightEdge { u: 2, v: 3, w: 4 }],
+            seed: 3,
+        });
+        let Response::Updated { mode, from, .. } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(from, id2);
+        assert_ne!(mode, UpdateMode::Fresh, "snapshot must be reused");
+        let s = service.stats_snapshot();
+        assert_eq!(s.requests.update, 2);
+        assert_eq!(s.cache.snapshot_misses, 1);
+        assert_eq!(s.cache.snapshot_hits, 1);
+        assert_eq!(s.cache.snapshots, 1);
+        assert!(s.cache.bytes > 0);
+        assert_eq!(s.dynamic.incremental + s.dynamic.full, 2);
+        assert!(service
+            .handle(&Request::Solve {
+                graphs: vec![id],
+                solver: "paper".into(),
+                seed: 3,
+            })
+            .0
+            .to_frame()
+            .contains("graph_not_loaded"));
+    }
+
+    #[test]
+    fn update_is_transactional_on_op_errors() {
+        let service = svc(1, 4);
+        let id = load_id(&service, CYCLE4);
+        for (ops, wants) in [
+            // Second op fails: the first must not stick.
+            (
+                vec![
+                    UpdateOp::AddEdge { u: 1, v: 3, w: 2 },
+                    UpdateOp::RemoveEdge { u: 1, v: 3 },
+                    UpdateOp::RemoveEdge { u: 1, v: 3 },
+                ],
+                "no edge",
+            ),
+            (vec![UpdateOp::AddEdge { u: 0, v: 2, w: 1 }], "out of range"),
+            (vec![UpdateOp::AddEdge { u: 1, v: 9, w: 1 }], "out of range"),
+            (vec![UpdateOp::AddEdge { u: 1, v: 3, w: 0 }], "weight"),
+            (vec![UpdateOp::ReweightEdge { u: 1, v: 3, w: 2 }], "no edge"),
+        ] {
+            let (resp, _) = service.handle(&Request::Update {
+                graph: id.clone(),
+                ops,
+                seed: 0,
+            });
+            let Response::Error(e) = resp else {
+                panic!("{resp:?}")
+            };
+            assert_eq!(e.kind, ErrorKind::Update, "{e}");
+            assert!(e.detail.contains(wants), "{e}");
+        }
+        // The original graph is still resident and still solves to 2.
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![id],
+            solver: "paper".into(),
+            seed: 0,
+        });
+        let Response::Solved { results } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(results[0].value, 2);
+        assert_eq!(service.stats_snapshot().cache.graphs, 1);
+    }
+
+    #[test]
+    fn update_of_unknown_id_is_a_structured_miss() {
+        let service = svc(1, 4);
+        let (resp, _) = service.handle(&Request::Update {
+            graph: "g-feedfacefeedface".into(),
+            ops: vec![UpdateOp::RemoveEdge { u: 1, v: 2 }],
+            seed: 0,
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::GraphNotLoaded);
+    }
+
+    #[test]
+    fn update_answers_are_thread_count_invariant() {
+        // Same session at widths 1 and 4: every update answer (value,
+        // digest, mode, reswept) must be identical.
+        let mut reference: Option<Vec<String>> = None;
+        for threads in [1usize, 4] {
+            let service = svc(threads, 8);
+            let mut id = load_id(
+                &service,
+                "p cut 8 10\ne 1 2 3\ne 2 3 3\ne 3 4 3\ne 4 5 3\ne 5 6 3\ne 6 7 3\ne 7 8 3\ne 8 1 3\ne 1 5 2\ne 2 6 2\n",
+            );
+            let mut frames = Vec::new();
+            for ops in [
+                vec![UpdateOp::ReweightEdge { u: 1, v: 2, w: 9 }],
+                vec![UpdateOp::AddEdge { u: 3, v: 7, w: 1 }],
+                vec![
+                    UpdateOp::RemoveEdge { u: 1, v: 5 },
+                    UpdateOp::ReweightEdge { u: 2, v: 6, w: 7 },
+                ],
+            ] {
+                let (resp, _) = service.handle(&Request::Update {
+                    graph: id.clone(),
+                    ops,
+                    seed: 11,
+                });
+                let Response::Updated { id: next, .. } = &resp else {
+                    panic!("{resp:?}")
+                };
+                id = next.clone();
+                frames.push(resp.to_frame());
+            }
+            match &reference {
+                None => reference = Some(frames),
+                Some(want) => assert_eq!(&frames, want, "threads={threads}"),
+            }
+        }
     }
 
     #[test]

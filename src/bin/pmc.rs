@@ -4,7 +4,8 @@
 //! pmc mincut <file..> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
 //! pmc gen <family> <args..> [--out FILE]               generate a workload
 //! pmc suite [--filter F] [--threads T] [--seeds K] [--quick] [--json]   differential corpus run
-//! pmc serve [--threads P] [--cache-graphs N] [--listen ADDR] [--no-timing]   persistent service
+//! pmc serve [--threads P] [--cache-graphs N] [--cache-bytes B] [--staleness F]
+//!           [--listen ADDR] [--no-timing]                persistent service
 //! pmc info <file>                                      print graph statistics
 //! pmc verify <file> <value> [--algo A]                 recompute and compare
 //! pmc algos                                            list registered algorithms
@@ -87,7 +88,7 @@ const USAGE: &str = "usage:
   pmc gen wheel <n> [--out FILE]
   pmc gen community_ring <communities> <size> [inner_w] [seed] [--out FILE]
   pmc suite [--filter F] [--threads T] [--seeds K] [--quick] [--json]
-  pmc serve [--threads P] [--cache-graphs N] [--listen ADDR] [--no-timing]
+  pmc serve [--threads P] [--cache-graphs N] [--cache-bytes B] [--staleness F] [--listen ADDR] [--no-timing]
   pmc info <file>
   pmc verify <file> <value> [--algo A]
   pmc algos
@@ -405,6 +406,8 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
 const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--threads", true),
     ("--cache-graphs", true),
+    ("--cache-bytes", true),
+    ("--staleness", true),
     ("--listen", true),
     ("--no-timing", false),
 ];
@@ -422,6 +425,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg.cache_graphs = c.parse().map_err(|_| "bad --cache-graphs")?;
         if cfg.cache_graphs == 0 {
             return Err("serve: --cache-graphs must be >= 1".into());
+        }
+    }
+    if let Some(b) = flag_value(args, "--cache-bytes") {
+        // Heap-byte budget over resident graphs + solve snapshots
+        // (0 = unbounded; the newest entry is always kept).
+        cfg.cache_bytes = b.parse().map_err(|_| "bad --cache-bytes")?;
+    }
+    if let Some(f) = flag_value(args, "--staleness") {
+        cfg.staleness = f.parse().map_err(|_| "bad --staleness")?;
+        if cfg.staleness.is_nan() || cfg.staleness < 0.0 {
+            return Err("serve: --staleness must be >= 0".into());
         }
     }
     cfg.timing = !args.iter().any(|a| a == "--no-timing");

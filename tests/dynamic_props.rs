@@ -1,0 +1,240 @@
+//! Differential tests of the incremental dynamic solve path
+//! (`pmc_core::SolveState`): seeded mutation traces are replayed op by
+//! op, and after **every prefix** the incrementally maintained answer is
+//! checked against an exact from-scratch solve of the mutated graph —
+//! at service-style thread widths 1, 2, and 8, whose resolved answers
+//! must additionally be bit-identical to each other.
+
+use parallel_mincut::baseline::stoer_wagner;
+use parallel_mincut::core_alg::{
+    apply_delta, MutationOp, ResolveMode, SolveState, SolverWorkspace, DEFAULT_STALENESS,
+};
+use parallel_mincut::graph::{gen, Graph};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// SplitMix64, so traces are reproducible without a rand crate.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded mixed trace against `g`: reweights of arbitrary edges,
+/// chord additions, and removals of previously added chords. Removals
+/// only target trace-added vertex pairs at ring distance >= 2, so a
+/// cycle-backboned base stays connected throughout.
+fn mixed_trace(g: &Graph, seed: u64, len: usize) -> Vec<MutationOp> {
+    let mut rng = seed ^ 0xA076_1D64_78BD_642F;
+    let n = g.n() as u64;
+    let mut g = g.clone();
+    let mut added: Vec<(u32, u32)> = Vec::new();
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let op = match splitmix(&mut rng) % 4 {
+            1 => {
+                let u = (splitmix(&mut rng) % n) as u32;
+                let gap = 2 + splitmix(&mut rng) % (n - 3);
+                let v = ((u64::from(u) + gap) % n) as u32;
+                added.push((u, v));
+                MutationOp::Add {
+                    u,
+                    v,
+                    w: 1 + splitmix(&mut rng) % 8,
+                }
+            }
+            2 if !added.is_empty() => {
+                let k = (splitmix(&mut rng) as usize) % added.len();
+                let (u, v) = added.swap_remove(k);
+                MutationOp::Remove {
+                    eid: g.find_edge(u, v).expect("added pair has an edge"),
+                }
+            }
+            _ => MutationOp::Reweight {
+                eid: (splitmix(&mut rng) % g.m() as u64) as u32,
+                w: 1 + splitmix(&mut rng) % 9,
+            },
+        };
+        apply_one(&mut g, &op);
+        ops.push(op);
+    }
+    ops
+}
+
+/// Applies one op to a bare graph (the from-scratch reference path).
+fn apply_one(g: &mut Graph, op: &MutationOp) {
+    match *op {
+        MutationOp::Reweight { eid, w } => {
+            g.reweight_edge(eid as usize, w).expect("valid reweight");
+        }
+        MutationOp::Add { u, v, w } => {
+            g.add_edge(u, v, w).expect("valid add");
+        }
+        MutationOp::Remove { eid } => {
+            g.remove_edge(eid as usize).expect("valid remove");
+        }
+    }
+}
+
+/// Replays `ops` over `base` at every thread width, asserting after each
+/// prefix that (a) the incremental answer's value equals an exact
+/// from-scratch Stoer–Wagner solve of the mutated graph, (b) the witness
+/// side really cuts the graph at that value, and (c) the full resolved
+/// answer (value, witness, mode) is identical across thread widths.
+fn assert_trace_matches_from_scratch(base: &Graph, seed: u64, ops: &[MutationOp]) {
+    let mut per_width: Vec<Vec<(u64, Vec<bool>, String)>> = Vec::new();
+    for threads in THREADS {
+        let mut g = base.clone();
+        let mut ws = SolverWorkspace::new();
+        let mut state = SolveState::fresh(&g, seed, DEFAULT_STALENESS, &mut ws, Some(threads))
+            .expect("base solves");
+        let mut answers = Vec::with_capacity(ops.len());
+        for (k, op) in ops.iter().enumerate() {
+            apply_delta(&mut g, &mut state, op).expect("trace op applies");
+            let mode = state
+                .resolve(&g, &mut ws, Some(threads))
+                .expect("prefix resolves");
+            let best = state.best();
+            // (b) the witness is real: a proper cut of exactly this value
+            // (0-cuts of disconnected graphs use an empty-crossing side).
+            assert_eq!(
+                g.cut_value(&best.side),
+                best.value,
+                "prefix {k}: witness value drifts (threads {threads})"
+            );
+            if best.value > 0 {
+                assert!(
+                    g.is_proper_cut(&best.side),
+                    "prefix {k}: witness is not a proper cut (threads {threads})"
+                );
+            }
+            // (a) exact value parity with a from-scratch solve.
+            match stoer_wagner(&g) {
+                Ok(cut) => assert_eq!(
+                    best.value, cut.value,
+                    "prefix {k}: incremental {} != from-scratch {} (threads {threads})",
+                    best.value, cut.value
+                ),
+                Err(e) => panic!("prefix {k}: oracle failed: {e}"),
+            }
+            answers.push((best.value, best.side.clone(), format!("{mode:?}")));
+        }
+        per_width.push(answers);
+    }
+    // (c) bit-identical across thread widths, prefix by prefix.
+    for w in 1..per_width.len() {
+        assert_eq!(
+            per_width[0], per_width[w],
+            "threads {} diverged from threads 1",
+            THREADS[w]
+        );
+    }
+}
+
+#[test]
+fn seeded_mixed_traces_match_from_scratch_at_every_prefix() {
+    for (base, seed, len) in [
+        (gen::cycle_with_chords(24, 8, 11), 0xA1u64, 24),
+        (gen::gnm_connected(32, 96, 8, 12), 0xB2, 20),
+        (gen::community_ring(4, 8, 6, 13).0, 0xC3, 24),
+    ] {
+        let ops = mixed_trace(&base, seed, len);
+        assert_trace_matches_from_scratch(&base, seed, &ops);
+    }
+}
+
+#[test]
+fn remove_then_readd_round_trips() {
+    // Remove an edge and re-add the same endpoints/weight: every prefix
+    // must agree with from-scratch, and the final graph must solve to the
+    // same value as the untouched base.
+    let base = gen::cycle_with_chords(20, 6, 7);
+    let probe = base.edges()[3];
+    let ops = [
+        MutationOp::Remove { eid: 3 },
+        MutationOp::Add {
+            u: probe.u,
+            v: probe.v,
+            w: probe.w,
+        },
+        MutationOp::Reweight { eid: 0, w: 5 },
+        MutationOp::Reweight {
+            eid: 0,
+            w: base.edges()[0].w,
+        },
+    ];
+    assert_trace_matches_from_scratch(&base, 0xD4, &ops);
+    // After the full round trip the content is the base again (edge ids
+    // permuted), so the value must equal the base's.
+    let mut g = base.clone();
+    let mut ws = SolverWorkspace::new();
+    let mut state =
+        SolveState::fresh(&g, 0xD4, DEFAULT_STALENESS, &mut ws, Some(1)).expect("base solves");
+    let want = state.best().value;
+    for op in &ops {
+        apply_delta(&mut g, &mut state, op).expect("applies");
+    }
+    state.resolve(&g, &mut ws, Some(1)).expect("resolves");
+    assert_eq!(state.best().value, want);
+}
+
+#[test]
+fn disconnecting_deletions_hit_zero_and_recover() {
+    // Two 4-cliques joined by one bridge: deleting the bridge must drop
+    // the incremental answer to a 0-cut (a bridge lives in every spanning
+    // tree, so this exercises the forced re-pack path), and re-adding a
+    // lighter bridge must re-solve to the new bridge weight.
+    let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+    for base in [0u32, 4] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((base + i, base + j, 5));
+            }
+        }
+    }
+    edges.push((0, 4, 9)); // the bridge, edge id 12
+    let base = Graph::from_edges(8, &edges).unwrap();
+    for threads in THREADS {
+        let mut g = base.clone();
+        let mut ws = SolverWorkspace::new();
+        let mut state = SolveState::fresh(&g, 0xE5, DEFAULT_STALENESS, &mut ws, Some(threads))
+            .expect("base solves");
+        assert_eq!(state.best().value, 9, "bridge is the min cut");
+        apply_delta(&mut g, &mut state, &MutationOp::Remove { eid: 12 }).expect("bridge removes");
+        let mode = state.resolve(&g, &mut ws, Some(threads)).expect("resolves");
+        assert_eq!(mode, ResolveMode::Repack, "a bridge forces a re-pack");
+        assert_eq!(state.best().value, 0, "disconnected graphs have 0-cuts");
+        assert_eq!(g.cut_value(&state.best().side), 0);
+        apply_delta(&mut g, &mut state, &MutationOp::Add { u: 3, v: 6, w: 2 }).expect("re-bridges");
+        state.resolve(&g, &mut ws, Some(threads)).expect("resolves");
+        assert_eq!(state.best().value, 2, "the new bridge is the min cut");
+        assert_eq!(
+            stoer_wagner(&g).unwrap().value,
+            2,
+            "from-scratch agrees after reconnection"
+        );
+    }
+}
+
+#[test]
+fn resolve_is_idempotent_between_mutations() {
+    // Resolving twice in a row (or resolving with nothing stale) must
+    // neither change the answer nor re-sweep anything.
+    let base = gen::cycle_with_chords(18, 5, 3);
+    let mut g = base.clone();
+    let mut ws = SolverWorkspace::new();
+    let mut state =
+        SolveState::fresh(&g, 1, DEFAULT_STALENESS, &mut ws, Some(2)).expect("base solves");
+    let before = (state.best().value, state.best().side.clone());
+    let mode = state.resolve(&g, &mut ws, Some(2)).expect("no-op resolve");
+    assert_eq!(mode, ResolveMode::Incremental { reswept: 0 });
+    assert_eq!((state.best().value, state.best().side.clone()), before);
+    apply_delta(&mut g, &mut state, &MutationOp::Reweight { eid: 2, w: 9 }).expect("applies");
+    state.resolve(&g, &mut ws, Some(2)).expect("resolves");
+    let after = (state.best().value, state.best().side.clone());
+    let mode = state.resolve(&g, &mut ws, Some(2)).expect("no-op resolve");
+    assert_eq!(mode, ResolveMode::Incremental { reswept: 0 });
+    assert_eq!((state.best().value, state.best().side.clone()), after);
+}

@@ -111,12 +111,20 @@ fn scenarios_table_matches_golden() {
 
 #[test]
 fn serve_stats_response_matches_golden() {
-    // A fixed session: load two graphs, solve one, ask for stats. With
-    // --no-timing and --threads 2 every byte of the stats response is
-    // deterministic; the load/solve responses are pinned too.
+    // A fixed session: load two graphs, solve one, mutate it three times
+    // (the first update misses the snapshot cache and solves fresh; the
+    // second — addressed to the re-keyed id — hits the snapshot and
+    // re-solves incrementally; the third adds an edge, which forces a
+    // re-pack), ask for stats. With --no-timing and --threads 2 every
+    // byte of the stats response is deterministic; the
+    // load/solve/update responses are pinned too (ids are
+    // content-addressed, so the re-keyed ids are stable).
     let session = "{\"op\":\"load\",\"body\":\"p cut 4 4\\ne 1 2 1\\ne 2 3 1\\ne 3 4 1\\ne 4 1 1\\n\"}\n\
                    {\"op\":\"load\",\"body\":\"p cut 3 3\\ne 1 2 2\\ne 2 3 2\\ne 3 1 2\\n\"}\n\
                    {\"op\":\"solve\",\"graph\":\"g-030a2ab13a73a411\",\"solver\":\"sw\",\"seed\":5}\n\
+                   {\"op\":\"update\",\"graph\":\"g-030a2ab13a73a411\",\"ops\":[{\"kind\":\"reweight_edge\",\"u\":1,\"v\":2,\"w\":3}],\"seed\":5}\n\
+                   {\"op\":\"update\",\"graph\":\"g-cc1fc9baedc78a93\",\"ops\":[{\"kind\":\"reweight_edge\",\"u\":2,\"v\":3,\"w\":2}],\"seed\":5}\n\
+                   {\"op\":\"update\",\"graph\":\"g-6ba48fd5366326d0\",\"ops\":[{\"kind\":\"add_edge\",\"u\":1,\"v\":3,\"w\":2}],\"seed\":5}\n\
                    {\"op\":\"stats\"}\n\
                    {\"op\":\"shutdown\"}\n";
     let mut child = pmc()

@@ -8,7 +8,8 @@
 use std::io::BufReader;
 
 use parallel_mincut::service::protocol::{
-    read_frame, CacheCounters, ErrorKind, PoolCounters, RequestCounters, MAX_FRAME_BYTES,
+    read_frame, CacheCounters, DynamicCounters, ErrorKind, PoolCounters, RequestCounters,
+    UpdateMode, UpdateOp, MAX_FRAME_BYTES,
 };
 use parallel_mincut::service::{
     LoadSource, ProtocolError, Request, Response, SolveOutcome, StatsSnapshot,
@@ -32,8 +33,30 @@ fn gen_id(rng: &mut SmallRng) -> String {
     format!("g-{:016x}", rng.gen::<u64>())
 }
 
+fn gen_update_ops(rng: &mut SmallRng) -> Vec<UpdateOp> {
+    let k = rng.gen_range(1..6);
+    (0..k)
+        .map(|_| match rng.gen_range(0..3u32) {
+            0 => UpdateOp::AddEdge {
+                u: rng.gen(),
+                v: rng.gen(),
+                w: rng.gen(),
+            },
+            1 => UpdateOp::RemoveEdge {
+                u: rng.gen(),
+                v: rng.gen(),
+            },
+            _ => UpdateOp::ReweightEdge {
+                u: rng.gen(),
+                v: rng.gen(),
+                w: rng.gen(),
+            },
+        })
+        .collect()
+}
+
 fn gen_request(rng: &mut SmallRng) -> Request {
-    match rng.gen_range(0..6u32) {
+    match rng.gen_range(0..7u32) {
         0 => Request::Load(LoadSource::Body(gen_string(rng))),
         1 => Request::Load(LoadSource::Path(gen_string(rng))),
         2 => Request::Solve {
@@ -49,13 +72,18 @@ fn gen_request(rng: &mut SmallRng) -> Request {
                 seed: rng.gen(),
             }
         }
-        4 => Request::Stats,
+        4 => Request::Update {
+            graph: gen_id(rng),
+            ops: gen_update_ops(rng),
+            seed: rng.gen(),
+        },
+        5 => Request::Stats,
         _ => Request::Shutdown,
     }
 }
 
 fn gen_response(rng: &mut SmallRng) -> Response {
-    match rng.gen_range(0..5u32) {
+    match rng.gen_range(0..6u32) {
         0 => Response::Loaded {
             id: gen_id(rng),
             n: rng.gen(),
@@ -83,14 +111,20 @@ fn gen_response(rng: &mut SmallRng) -> Response {
             requests: RequestCounters {
                 load: rng.gen(),
                 solve: rng.gen(),
+                update: rng.gen(),
                 stats: rng.gen(),
                 errors: rng.gen(),
             },
             cache: CacheCounters {
                 capacity: rng.gen(),
+                capacity_bytes: rng.gen(),
                 graphs: rng.gen(),
+                bytes: rng.gen(),
+                snapshots: rng.gen(),
                 hits: rng.gen(),
                 misses: rng.gen(),
+                snapshot_hits: rng.gen(),
+                snapshot_misses: rng.gen(),
                 evictions: rng.gen(),
             },
             pool: PoolCounters {
@@ -98,9 +132,24 @@ fn gen_response(rng: &mut SmallRng) -> Response {
                 checkouts: rng.gen(),
                 available: rng.gen(),
             },
+            dynamic: DynamicCounters {
+                incremental: rng.gen(),
+                full: rng.gen(),
+            },
             solves: rng.gen(),
         }),
-        3 => Response::Shutdown { served: rng.gen() },
+        3 => Response::Updated {
+            id: gen_id(rng),
+            from: gen_id(rng),
+            n: rng.gen(),
+            m: rng.gen(),
+            value: rng.gen(),
+            digest: format!("p-{:016x}", rng.gen::<u64>()),
+            mode: UpdateMode::ALL[rng.gen_range(0..UpdateMode::ALL.len())],
+            reswept: rng.gen(),
+            micros: u128::from(rng.gen::<u64>()),
+        },
+        4 => Response::Shutdown { served: rng.gen() },
         _ => {
             let kind = ErrorKind::ALL[rng.gen_range(0..ErrorKind::ALL.len())];
             Response::Error(ProtocolError::new(kind, gen_string(rng)))
