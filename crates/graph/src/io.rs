@@ -160,8 +160,10 @@ pub fn write_dimacs<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Reads a whitespace edge list (`u v [w]`, 0-indexed, `#` comments);
-/// vertex count = max endpoint + 1.
+/// Reads a whitespace edge list (`u v [w]`, 0-indexed, `#` comments —
+/// DIMACS-style `c` comment lines are tolerated too, so an edge list
+/// exported with a `c`-led header still parses); vertex count = max
+/// endpoint + 1.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
     let reader = BufReader::new(reader);
     let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
@@ -170,7 +172,14 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
         let lineno = idx + 1;
         let line = line?;
         let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        // An endpoint can never start with `c`, so a DIMACS-style
+        // comment line (`c` alone or `c <text>`) is unambiguous here.
+        if line.is_empty()
+            || line.starts_with('#')
+            || line == "c"
+            || line.starts_with("c ")
+            || line.starts_with("c\t")
+        {
             continue;
         }
         let mut tok = line.split_whitespace();
@@ -268,6 +277,15 @@ mod tests {
         let g = read_edge_list(text.as_bytes()).unwrap();
         assert_eq!(g.n(), 3);
         assert_eq!(g.total_weight(), 4);
+    }
+
+    #[test]
+    fn edge_list_skips_dimacs_style_comment_lines() {
+        let text = "c legacy exporter header\n0 1 3\nc\n1 2 1\nc\ttab comment\n2 0 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.total_weight(), 6);
     }
 
     #[test]

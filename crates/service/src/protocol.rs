@@ -76,6 +76,13 @@ pub enum ErrorKind {
     Update,
     /// An I/O failure while reading a graph file.
     Io,
+    /// The admission gate refused the request: the in-flight solve/update
+    /// budget (`--max-inflight`) is spent, or the request alone costs
+    /// more than the whole budget. Back off and retry.
+    Overloaded,
+    /// The connection was accepted while the service was shutting down;
+    /// no request on it will be served.
+    ShuttingDown,
 }
 
 impl ErrorKind {
@@ -91,11 +98,13 @@ impl ErrorKind {
             ErrorKind::Solve => "solve",
             ErrorKind::Update => "update",
             ErrorKind::Io => "io",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::ShuttingDown => "shutting_down",
         }
     }
 
     /// Every kind, for generators and round-trip tests.
-    pub const ALL: [ErrorKind; 9] = [
+    pub const ALL: [ErrorKind; 11] = [
         ErrorKind::Frame,
         ErrorKind::Json,
         ErrorKind::Request,
@@ -105,6 +114,8 @@ impl ErrorKind {
         ErrorKind::Solve,
         ErrorKind::Update,
         ErrorKind::Io,
+        ErrorKind::Overloaded,
+        ErrorKind::ShuttingDown,
     ];
 
     fn from_str(s: &str) -> Option<Self> {
@@ -519,15 +530,20 @@ pub struct SolveOutcome {
     pub micros: u128,
 }
 
-/// Cache counters inside a [`StatsSnapshot`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Cache counters inside a [`StatsSnapshot`]. Aggregated over every
+/// shard of the sharded store; `shards` additionally reports per-shard
+/// occupancy so a skewed id distribution is visible.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Configured capacity (`--cache-graphs`).
     pub capacity: u64,
     /// Configured byte budget (`--cache-bytes`; 0 = unbounded).
     pub capacity_bytes: u64,
-    /// Graphs resident right now.
+    /// Graphs resident right now (sum of `shards`).
     pub graphs: u64,
+    /// Graphs resident per shard, in shard order (`--cache-shards`
+    /// entries).
+    pub shards: Vec<u64>,
     /// Heap bytes resident right now (graphs + solve snapshots).
     pub bytes: u64,
     /// Entries currently carrying a solve snapshot.
@@ -569,6 +585,22 @@ pub struct DynamicCounters {
     pub full: u64,
 }
 
+/// Admission-gate counters inside a [`StatsSnapshot`]. The gate bounds
+/// concurrently executing solve/update work (`--max-inflight`, measured
+/// in worker slots); excess requests are answered with a structured
+/// [`ErrorKind::Overloaded`] error instead of queueing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionCounters {
+    /// Configured in-flight budget, in worker slots.
+    pub max_inflight: u64,
+    /// Requests admitted through the gate.
+    pub admitted: u64,
+    /// Requests rejected with `overloaded`.
+    pub rejected: u64,
+    /// Worker slots occupied right now.
+    pub inflight: u64,
+}
+
 /// Workspace-pool counters inside a [`StatsSnapshot`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolCounters {
@@ -581,7 +613,7 @@ pub struct PoolCounters {
 }
 
 /// The `stats` response payload.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Microseconds since service start (0 with timing suppressed).
     pub uptime_micros: u128,
@@ -589,8 +621,10 @@ pub struct StatsSnapshot {
     pub threads: u64,
     /// Per-op frame counts.
     pub requests: RequestCounters,
-    /// Graph cache counters.
+    /// Graph cache counters, aggregated over the shards.
     pub cache: CacheCounters,
+    /// Admission-gate counters.
+    pub admission: AdmissionCounters,
     /// Workspace pool counters.
     pub pool: PoolCounters,
     /// Incremental-vs-full `update` solve counters.
@@ -727,6 +761,10 @@ impl Response {
                         ("capacity", json::n(s.cache.capacity)),
                         ("capacity_bytes", json::n(s.cache.capacity_bytes)),
                         ("graphs", json::n(s.cache.graphs)),
+                        (
+                            "shards",
+                            Json::Arr(s.cache.shards.iter().map(|&g| json::n(g)).collect()),
+                        ),
                         ("bytes", json::n(s.cache.bytes)),
                         ("snapshots", json::n(s.cache.snapshots)),
                         ("hits", json::n(s.cache.hits)),
@@ -734,6 +772,15 @@ impl Response {
                         ("snapshot_hits", json::n(s.cache.snapshot_hits)),
                         ("snapshot_misses", json::n(s.cache.snapshot_misses)),
                         ("evictions", json::n(s.cache.evictions)),
+                    ]),
+                ),
+                (
+                    "admission",
+                    json::obj(vec![
+                        ("max_inflight", json::n(s.admission.max_inflight)),
+                        ("admitted", json::n(s.admission.admitted)),
+                        ("rejected", json::n(s.admission.rejected)),
+                        ("inflight", json::n(s.admission.inflight)),
                     ]),
                 ),
                 (
@@ -848,6 +895,20 @@ impl Response {
                         .ok_or_else(|| req_err(format!("missing \"{key}\"")))
                 };
                 let (requests, cache, pool) = (sub("requests")?, sub("cache")?, sub("pool")?);
+                let admission = sub("admission")?;
+                let shards = match cache.get("shards") {
+                    Some(Json::Arr(items)) => {
+                        let mut out = Vec::with_capacity(items.len());
+                        for item in items {
+                            out.push(
+                                item.as_u64()
+                                    .ok_or_else(|| req_err("bad \"shards\" entry"))?,
+                            );
+                        }
+                        out
+                    }
+                    _ => return Err(req_err("missing \"shards\" array")),
+                };
                 Ok(Response::Stats(StatsSnapshot {
                     uptime_micros: match v.get("uptime_micros") {
                         Some(Json::Num(raw)) => raw
@@ -867,6 +928,7 @@ impl Response {
                         capacity: need_u64(&cache, "capacity")?,
                         capacity_bytes: need_u64(&cache, "capacity_bytes")?,
                         graphs: need_u64(&cache, "graphs")?,
+                        shards,
                         bytes: need_u64(&cache, "bytes")?,
                         snapshots: need_u64(&cache, "snapshots")?,
                         hits: need_u64(&cache, "hits")?,
@@ -874,6 +936,12 @@ impl Response {
                         snapshot_hits: need_u64(&cache, "snapshot_hits")?,
                         snapshot_misses: need_u64(&cache, "snapshot_misses")?,
                         evictions: need_u64(&cache, "evictions")?,
+                    },
+                    admission: AdmissionCounters {
+                        max_inflight: need_u64(&admission, "max_inflight")?,
+                        admitted: need_u64(&admission, "admitted")?,
+                        rejected: need_u64(&admission, "rejected")?,
+                        inflight: need_u64(&admission, "inflight")?,
                     },
                     pool: PoolCounters {
                         created: need_u64(&pool, "created")?,
@@ -961,10 +1029,10 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> io::Result<Option<Frame>> {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
     bytes
         .iter()
         .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))

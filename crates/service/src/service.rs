@@ -1,23 +1,36 @@
 //! The request dispatcher behind `pmc serve`.
 //!
-//! One [`Service`] value owns the graph cache, the workspace pool, and
-//! the counters; any number of I/O loops (the stdin/stdout pipe, one
-//! thread per TCP connection) share it by reference and funnel every
-//! frame through [`Service::handle_frame`]. Solves compose with the
-//! suite's rule: a `solve` request fans its graph batch across up to
-//! `threads` OS workers, each holding a pooled
+//! One [`Service`] value owns the sharded graph store, the workspace
+//! pool, the admission gate, and the counters; any number of I/O loops
+//! (the stdin/stdout pipe, one thread per TCP connection) share it by
+//! reference and funnel every frame through [`Service::handle_frame`].
+//! Solves compose with the suite's rule: a `solve` request fans its
+//! graph batch across up to `threads` OS workers, each holding a pooled
 //! [`SolverWorkspace`](pmc_core::SolverWorkspace) with the *inner* solve
-//! pinned to one
-//! thread — so request-level fan-out is the only coarse-grained
-//! parallelism, and the response for a given `(graph, solver, seed)` is
-//! identical at every worker count and arrival order. Workspaces return
-//! to the pool warm: a long-running service stops allocating once the
-//! pool reaches its high-water shape.
+//! pinned to one thread — so request-level fan-out is the only
+//! coarse-grained parallelism, and the response for a given
+//! `(graph, solver, seed)` is identical at every worker count and
+//! arrival order. Workspaces return to the pool warm: a long-running
+//! service stops allocating once the pool reaches its high-water shape.
+//!
+//! ## Admission control
+//!
+//! Solve and update requests pass a bounded in-flight budget
+//! (`--max-inflight`, measured in worker slots) before touching the
+//! store: a `solve` costs the workers its batch will occupy
+//! (`min(threads, batch_len)`), an `update` costs one. When the budget
+//! is spent — or a single request alone costs more than the whole
+//! budget — the request is answered immediately with a structured
+//! [`ErrorKind::Overloaded`] error instead of queueing unbounded work,
+//! so a hostile burst degrades into fast rejections rather than memory
+//! growth and tail latency. Admission never changes *what* an admitted
+//! request answers, only whether it is answered: the determinism
+//! invariant (bit-identical responses at every thread count and arrival
+//! order) holds for every admitted request.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use pmc_core::{
@@ -27,12 +40,17 @@ use pmc_core::{
 use pmc_graph::io::{read_dimacs, read_edge_list, read_path, IoError};
 use pmc_graph::Graph;
 
-use crate::cache::GraphCache;
+use crate::cache::{CommitError, GraphCache, DEFAULT_CACHE_SHARDS};
 use crate::protocol::{
-    partition_digest, read_frame, DynamicCounters, ErrorKind, LoadSource, PoolCounters,
-    ProtocolError, Request, RequestCounters, Response, SolveOutcome, StatsSnapshot, UpdateMode,
-    UpdateOp,
+    partition_digest, read_frame, AdmissionCounters, DynamicCounters, ErrorKind, LoadSource,
+    PoolCounters, ProtocolError, Request, RequestCounters, Response, SolveOutcome, StatsSnapshot,
+    UpdateMode, UpdateOp,
 };
+
+/// How many times an `update` re-runs after losing a commit race before
+/// giving up. Each retry requires another writer to have committed, so
+/// the bound only fires under pathological same-id contention.
+const MAX_COMMIT_RETRIES: usize = 16;
 
 /// Service construction parameters (the `pmc serve` flags).
 #[derive(Clone, Debug)]
@@ -44,6 +62,13 @@ pub struct ServiceConfig {
     pub cache_graphs: usize,
     /// Graph cache byte budget (`--cache-bytes`); 0 = unbounded.
     pub cache_bytes: usize,
+    /// Graph cache shard count (`--cache-shards`); 0 = the default
+    /// [`DEFAULT_CACHE_SHARDS`].
+    pub cache_shards: usize,
+    /// In-flight solve/update budget in worker slots (`--max-inflight`);
+    /// 0 = CPU-scaled default (`4 x` the effective thread width, at
+    /// least 8).
+    pub max_inflight: usize,
     /// Staleness budget for incremental re-solves: accumulated delta
     /// weight as a fraction of packed total weight beyond which an
     /// `update` re-packs instead of re-sweeping (`--staleness`).
@@ -60,9 +85,68 @@ impl Default for ServiceConfig {
             threads: 0,
             cache_graphs: 64,
             cache_bytes: 0,
+            cache_shards: 0,
+            max_inflight: 0,
             staleness: DEFAULT_STALENESS,
             timing: true,
         }
+    }
+}
+
+/// The bounded in-flight work budget. `try_acquire` either returns a
+/// permit (released on drop) or counts a rejection; it never blocks.
+struct Admission {
+    max: u64,
+    inflight: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Admission {
+    fn new(max: u64) -> Self {
+        Admission {
+            max,
+            inflight: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn try_acquire(&self, cost: u64) -> Option<AdmissionPermit<'_>> {
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                cur.checked_add(cost).filter(|&next| next <= self.max)
+            })
+            .is_ok();
+        if admitted {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            Some(AdmissionPermit { gate: self, cost })
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    fn counters(&self) -> AdmissionCounters {
+        AdmissionCounters {
+            max_inflight: self.max,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII receipt for admitted work; dropping it frees the worker slots.
+struct AdmissionPermit<'a> {
+    gate: &'a Admission,
+    cost: u64,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.inflight.fetch_sub(self.cost, Ordering::AcqRel);
     }
 }
 
@@ -76,12 +160,14 @@ pub struct ServeOutcome {
     pub shutdown: bool,
 }
 
-/// A persistent min-cut service: graph cache + workspace pool + counters.
+/// A persistent min-cut service: sharded graph store + admission gate +
+/// workspace pool + counters.
 pub struct Service {
     threads: usize,
     timing: bool,
     staleness: f64,
-    cache: Mutex<GraphCache>,
+    cache: GraphCache,
+    admission: Admission,
     pool: WorkspacePool,
     start: Instant,
     loads: AtomicU64,
@@ -103,11 +189,22 @@ impl Service {
         } else {
             cfg.threads
         };
+        let shards = if cfg.cache_shards == 0 {
+            DEFAULT_CACHE_SHARDS
+        } else {
+            cfg.cache_shards
+        };
+        let max_inflight = if cfg.max_inflight == 0 {
+            (threads as u64 * 4).max(8)
+        } else {
+            cfg.max_inflight as u64
+        };
         Service {
             threads,
             timing: cfg.timing,
             staleness: cfg.staleness,
-            cache: Mutex::new(GraphCache::new(cfg.cache_graphs, cfg.cache_bytes)),
+            cache: GraphCache::with_shards(cfg.cache_graphs, cfg.cache_bytes, shards),
+            admission: Admission::new(max_inflight),
             pool: WorkspacePool::new(),
             start: Instant::now(),
             loads: AtomicU64::new(0),
@@ -199,12 +296,20 @@ impl Service {
         };
         let n = graph.n() as u64;
         let m = graph.m() as u64;
-        let (id, cached) = self
-            .cache
-            .lock()
-            .expect("graph cache poisoned")
-            .insert(graph)?;
+        let (id, cached) = self.cache.insert(graph)?;
         Ok(Response::Loaded { id, n, m, cached })
+    }
+
+    /// Rejection answered when the admission gate is full (or the
+    /// request alone exceeds the whole budget).
+    fn overloaded(&self, cost: u64) -> ProtocolError {
+        ProtocolError::new(
+            ErrorKind::Overloaded,
+            format!(
+                "request needs {cost} of {} in-flight worker slots; back off and retry",
+                self.admission.max
+            ),
+        )
     }
 
     fn solve(
@@ -223,15 +328,22 @@ impl Service {
         }
         let solver = solver_by_name(solver_name)
             .map_err(|e| ProtocolError::new(ErrorKind::Solver, e.to_string()))?;
-        // Resolve every id under one cache lock, then release it for the
-        // whole solve: the Arcs keep the graphs alive even if concurrent
-        // loads evict them mid-flight.
+        // Admission: the batch will occupy `workers` pool slots for its
+        // whole duration; acquire them (or reject) before touching the
+        // store, so a saturating burst is turned away cheaply.
+        let workers = self.threads.clamp(1, ids.len());
+        let _permit = self
+            .admission
+            .try_acquire(workers as u64)
+            .ok_or_else(|| self.overloaded(workers as u64))?;
+        // Resolve every id up front; the store shards internally, and
+        // the Arcs keep the graphs alive even if concurrent loads evict
+        // them mid-flight.
         let graphs: Vec<std::sync::Arc<Graph>> = {
-            let mut cache = self.cache.lock().expect("graph cache poisoned");
             let mut resolved = Vec::with_capacity(ids.len());
             let mut missing: Vec<&str> = Vec::new();
             for id in ids {
-                match cache.get(id) {
+                match self.cache.get(id) {
                     Some(g) => resolved.push(g),
                     None => missing.push(id),
                 }
@@ -252,7 +364,6 @@ impl Service {
             threads: Some(1),
             ..SolverConfig::default()
         };
-        let workers = self.threads.clamp(1, ids.len());
         let mut workspaces: Vec<_> = (0..workers).map(|_| self.pool.checkout()).collect();
         let timing = self.timing;
         let outcomes = pmc_par::fanout_units(&mut workspaces, ids.len(), |ws, i| {
@@ -266,7 +377,6 @@ impl Service {
         for (id, (outcome, micros)) in ids.iter().zip(outcomes) {
             let r = outcome
                 .map_err(|e| ProtocolError::new(ErrorKind::Solve, format!("graph {id}: {e}")))?;
-            self.solves.fetch_add(1, Ordering::Relaxed);
             results.push(SolveOutcome {
                 graph: id.clone(),
                 solver: r.algorithm.to_string(),
@@ -276,6 +386,11 @@ impl Service {
                 micros,
             });
         }
+        // Count only once the whole batch is known good: a batch whose
+        // later graph errors is answered as one error frame, and must
+        // not leave phantom per-graph solves behind in `stats`.
+        self.solves
+            .fetch_add(results.len() as u64, Ordering::Relaxed);
         Ok(results)
     }
 
@@ -293,6 +408,15 @@ impl Service {
     /// mutated graph under the request seed, whatever mode produced it
     /// (`pmc_core::dynamic` holds that invariant); `mode`/`reswept` in
     /// the response only describe how much work was saved.
+    ///
+    /// The checkout→commit pair is guarded by the entry's shard-level
+    /// version stamp: if a racing update commits the same id first, this
+    /// one's commit is refused and the whole mutation re-runs against
+    /// the fresh resident state — two racing updates serialize instead
+    /// of silently interleaving (typically the loser then observes the
+    /// re-keyed id gone and answers `graph_not_loaded`, which is the
+    /// truthful outcome: the graph it addressed no longer exists under
+    /// that id).
     fn update(&self, id: &str, ops: &[UpdateOp], seed: u64) -> Result<Response, ProtocolError> {
         if ops.is_empty() {
             return Err(ProtocolError::new(
@@ -300,12 +424,32 @@ impl Service {
                 "update ops must be non-empty",
             ));
         }
-        let (resident, cached_state) = self
-            .cache
-            .lock()
-            .expect("graph cache poisoned")
-            .checkout_for_update(id, seed)
-            .ok_or_else(|| {
+        let _permit = self
+            .admission
+            .try_acquire(1)
+            .ok_or_else(|| self.overloaded(1))?;
+        for _ in 0..MAX_COMMIT_RETRIES {
+            match self.update_once(id, ops, seed)? {
+                Some(resp) => return Ok(resp),
+                None => continue, // lost the commit race; re-run
+            }
+        }
+        Err(ProtocolError::new(
+            ErrorKind::Overloaded,
+            format!("update on {id} lost the commit race {MAX_COMMIT_RETRIES} times; retry"),
+        ))
+    }
+
+    /// One checkout→mutate→re-solve→commit attempt. `Ok(None)` means the
+    /// commit lost its version-stamp race and the caller should re-run.
+    fn update_once(
+        &self,
+        id: &str,
+        ops: &[UpdateOp],
+        seed: u64,
+    ) -> Result<Option<Response>, ProtocolError> {
+        let (resident, cached_state, version) =
+            self.cache.checkout_for_update(id, seed).ok_or_else(|| {
                 ProtocolError::new(
                     ErrorKind::GraphNotLoaded,
                     format!("not in cache (re-load and retry): {id}"),
@@ -339,12 +483,6 @@ impl Service {
             }
         };
         drop(ws);
-        match mode {
-            UpdateMode::Incremental => self.incremental_solves.fetch_add(1, Ordering::Relaxed),
-            UpdateMode::Fresh | UpdateMode::Repack => {
-                self.full_solves.fetch_add(1, Ordering::Relaxed)
-            }
-        };
         let best = state.best();
         let (value, digest) = (best.value, partition_digest(&best.side));
         let (n, m) = (g.n() as u64, g.m() as u64);
@@ -353,12 +491,20 @@ impl Service {
         } else {
             0
         };
-        let new_id = self
-            .cache
-            .lock()
-            .expect("graph cache poisoned")
-            .commit_update(id, g, state)?;
-        Ok(Response::Updated {
+        let new_id = match self.cache.commit_update(id, version, g, state) {
+            Ok(new_id) => new_id,
+            Err(CommitError::Conflict) => return Ok(None),
+            Err(CommitError::Protocol(e)) => return Err(e),
+        };
+        // Count the solve mode only for the attempt that committed, so
+        // the dynamic counters match the responses clients actually saw.
+        match mode {
+            UpdateMode::Incremental => self.incremental_solves.fetch_add(1, Ordering::Relaxed),
+            UpdateMode::Fresh | UpdateMode::Repack => {
+                self.full_solves.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        Ok(Some(Response::Updated {
             id: new_id,
             from: id.to_string(),
             n,
@@ -368,7 +514,7 @@ impl Service {
             mode,
             reswept,
             micros,
-        })
+        }))
     }
 
     /// The current counters, as served by the `stats` request.
@@ -388,7 +534,8 @@ impl Service {
                 stats: self.stats_requests.load(Ordering::Relaxed),
                 errors: self.errors.load(Ordering::Relaxed),
             },
-            cache: self.cache.lock().expect("graph cache poisoned").counters(),
+            cache: self.cache.counters(),
+            admission: self.admission.counters(),
             pool: PoolCounters {
                 created: pool.created,
                 checkouts: pool.checkouts,
@@ -443,6 +590,17 @@ impl Service {
     /// connection unblocks the accept loop) after in-flight connections
     /// finish.
     pub fn serve_listener(&self, listener: &TcpListener) -> io::Result<()> {
+        self.serve_listener_until(listener, &AtomicBool::new(false))
+    }
+
+    /// [`Service::serve_listener`] with an externally owned stop flag —
+    /// split out so the raced-late-client path (a connection accepted
+    /// after `stop` is already set) is deterministically testable.
+    pub(crate) fn serve_listener_until(
+        &self,
+        listener: &TcpListener,
+        stop: &AtomicBool,
+    ) -> io::Result<()> {
         // The wake connection must actually reach the listener: a
         // wildcard bind address (0.0.0.0 / ::) is not connectable, so
         // rewrite it to the matching loopback.
@@ -453,12 +611,22 @@ impl Service {
                 std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
             });
         }
-        let stop = AtomicBool::new(false);
         std::thread::scope(|scope| -> io::Result<()> {
             loop {
-                let (socket, _) = listener.accept()?;
+                let (mut socket, _) = listener.accept()?;
                 if stop.load(Ordering::SeqCst) {
-                    break; // the wake connection, or a raced late client
+                    // The wake connection, or a raced late client. The
+                    // latter deserves an answer, not a silent close:
+                    // tell it the service is going away so it can fail
+                    // over instead of diagnosing an empty read. (The
+                    // wake connection ignores the frame.)
+                    let refusal = Response::Error(ProtocolError::new(
+                        ErrorKind::ShuttingDown,
+                        "service is shutting down; no requests on this connection will be served",
+                    ));
+                    let _ = writeln!(socket, "{}", refusal.to_frame());
+                    let _ = socket.flush();
+                    break;
                 }
                 let stop = &stop;
                 scope.spawn(move || {
@@ -548,7 +716,10 @@ fn parse_body(body: &str) -> Result<Graph, ProtocolError> {
             t.starts_with('p') || t.starts_with('c')
         });
     let parsed = if looks_dimacs {
-        read_dimacs(body.as_bytes())
+        // Symmetric to the branch below: a body that merely *looks*
+        // DIMACS (e.g. an edge list led by a `c` comment line) must
+        // still parse, with the error text from the guessed format.
+        read_dimacs(body.as_bytes()).or_else(|e| read_edge_list(body.as_bytes()).map_err(|_| e))
     } else {
         read_edge_list(body.as_bytes()).or_else(|e| read_dimacs(body.as_bytes()).map_err(|_| e))
     };
@@ -561,10 +732,13 @@ mod tests {
     use crate::protocol::graph_id;
     use std::io::Read as _;
 
+    /// One shard: these tests pin global LRU ordering and exact counter
+    /// values, which per-shard budgets would redistribute.
     fn svc(threads: usize, cache: usize) -> Service {
         Service::new(&ServiceConfig {
             threads,
             cache_graphs: cache,
+            cache_shards: 1,
             timing: false,
             ..ServiceConfig::default()
         })
@@ -958,6 +1132,138 @@ mod tests {
             Response::parse_frame(lines[3]).unwrap(),
             Response::Shutdown { .. }
         ));
+    }
+
+    #[test]
+    fn parse_body_falls_back_across_formats_in_both_directions() {
+        let service = svc(1, 4);
+        // An edge list whose first line is a DIMACS-style `c` comment:
+        // the body *looks* DIMACS, so the pre-fix parser tried only
+        // `read_dimacs`, failed on the missing `p` line, and rejected a
+        // perfectly loadable graph.
+        let id = load_id(
+            &service,
+            "c exported by a legacy tool\n0 1 3\n1 2 1\n2 0 2\n",
+        );
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![id],
+            solver: "sw".into(),
+            seed: 0,
+        });
+        let Response::Solved { results } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(results[0].value, 3, "triangle with weights 3/1/2");
+        // A body unparseable under both formats reports the error of the
+        // format it resembles (here: DIMACS, because of the `c` lead).
+        let (resp, _) = service.handle(&Request::Load(LoadSource::Body("c comment\nzzz\n".into())));
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Graph);
+        assert!(e.detail.contains("unknown line type"), "{e}");
+    }
+
+    #[test]
+    fn failing_batch_leaves_no_phantom_solves() {
+        let service = svc(2, 8);
+        let small = load_id(&service, CYCLE4);
+        // 30-cycle: over brute's n <= 24 enumeration bound.
+        let mut big = String::from("p cut 30 30\n");
+        for i in 1..=30 {
+            big.push_str(&format!("e {i} {} 1\n", i % 30 + 1));
+        }
+        let big = load_id(&service, &big);
+        // The small graph solves fine; the big one errors — the batch is
+        // answered as one error frame, and the counters must agree that
+        // zero solves were delivered (the pre-fix code counted the small
+        // graph's phantom solve while iterating).
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![small, big],
+            solver: "brute".into(),
+            seed: 0,
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Solve);
+        let s = service.stats_snapshot();
+        assert_eq!(s.solves, 0, "no phantom solves from the failed batch");
+        assert_eq!(s.requests.solve, 0, "the batch never succeeded");
+        assert_eq!(s.requests.errors, 1);
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_as_overloaded() {
+        // Budget of 2 worker slots; a 4-wide batch at 4 threads costs 4
+        // and is deterministically refused — before touching the cache.
+        let service = Service::new(&ServiceConfig {
+            threads: 4,
+            cache_graphs: 8,
+            cache_shards: 1,
+            max_inflight: 2,
+            timing: false,
+            ..ServiceConfig::default()
+        });
+        let ids: Vec<String> = (0..4)
+            .map(|k| {
+                let n = 5 + k;
+                let mut s = format!("p cut {n} {n}\n");
+                for i in 1..=n {
+                    s.push_str(&format!("e {i} {} 1\n", i % n + 1));
+                }
+                load_id(&service, &s)
+            })
+            .collect();
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: ids.clone(),
+            solver: "sw".into(),
+            seed: 0,
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Overloaded);
+        assert!(e.detail.contains("4 of 2"), "{e}");
+        // A 2-wide batch fits and still answers.
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: ids[..2].to_vec(),
+            solver: "sw".into(),
+            seed: 0,
+        });
+        assert!(matches!(resp, Response::Solved { .. }), "{resp:?}");
+        let s = service.stats_snapshot();
+        assert_eq!(s.admission.max_inflight, 2);
+        assert_eq!(s.admission.rejected, 1);
+        assert_eq!(s.admission.admitted, 1);
+        assert_eq!(s.admission.inflight, 0, "permits released on drop");
+        assert_eq!(s.cache.misses, 0, "rejection happened before the store");
+    }
+
+    #[test]
+    fn late_client_after_stop_gets_a_shutdown_frame() {
+        // A connection accepted after `stop` is set used to be closed
+        // with no bytes written; it must see a structured refusal.
+        let service = svc(1, 4);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = AtomicBool::new(true);
+        std::thread::scope(|scope| {
+            let service = &service;
+            let (listener, stop) = (&listener, &stop);
+            let handle = scope.spawn(move || service.serve_listener_until(listener, stop));
+            let client = TcpStream::connect(addr).unwrap();
+            let mut reply = String::new();
+            BufReader::new(&client).read_to_string(&mut reply).unwrap();
+            let lines: Vec<&str> = reply.lines().collect();
+            assert_eq!(lines.len(), 1, "{reply}");
+            let Response::Error(e) = Response::parse_frame(lines[0]).unwrap() else {
+                panic!("{}", lines[0]);
+            };
+            assert_eq!(e.kind, ErrorKind::ShuttingDown);
+            assert!(e.detail.contains("shutting down"), "{e}");
+            handle.join().unwrap().unwrap();
+        });
     }
 
     #[test]

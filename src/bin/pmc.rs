@@ -4,8 +4,9 @@
 //! pmc mincut <file..> [--algo A] [--seed S] [--trees T] [--threads P] [--quiet]
 //! pmc gen <family> <args..> [--out FILE]               generate a workload
 //! pmc suite [--filter F] [--threads T] [--seeds K] [--quick] [--json]   differential corpus run
-//! pmc serve [--threads P] [--cache-graphs N] [--cache-bytes B] [--staleness F]
-//!           [--listen ADDR] [--no-timing]                persistent service
+//! pmc serve [--threads P] [--cache-graphs N] [--cache-bytes B] [--cache-shards S]
+//!           [--max-inflight W] [--staleness F] [--listen ADDR] [--no-timing]
+//!                                                        persistent service
 //! pmc info <file>                                      print graph statistics
 //! pmc verify <file> <value> [--algo A]                 recompute and compare
 //! pmc algos                                            list registered algorithms
@@ -88,7 +89,8 @@ const USAGE: &str = "usage:
   pmc gen wheel <n> [--out FILE]
   pmc gen community_ring <communities> <size> [inner_w] [seed] [--out FILE]
   pmc suite [--filter F] [--threads T] [--seeds K] [--quick] [--json]
-  pmc serve [--threads P] [--cache-graphs N] [--cache-bytes B] [--staleness F] [--listen ADDR] [--no-timing]
+  pmc serve [--threads P] [--cache-graphs N] [--cache-bytes B] [--cache-shards S]
+            [--max-inflight W] [--staleness F] [--listen ADDR] [--no-timing]
   pmc info <file>
   pmc verify <file> <value> [--algo A]
   pmc algos
@@ -407,6 +409,8 @@ const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--threads", true),
     ("--cache-graphs", true),
     ("--cache-bytes", true),
+    ("--cache-shards", true),
+    ("--max-inflight", true),
     ("--staleness", true),
     ("--listen", true),
     ("--no-timing", false),
@@ -431,6 +435,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         // Heap-byte budget over resident graphs + solve snapshots
         // (0 = unbounded; the newest entry is always kept).
         cfg.cache_bytes = b.parse().map_err(|_| "bad --cache-bytes")?;
+    }
+    if let Some(s) = flag_value(args, "--cache-shards") {
+        // Lock shards for the graph store (1 = the old single global
+        // LRU; 0 is rejected — use 1 for unsharded).
+        cfg.cache_shards = s.parse().map_err(|_| "bad --cache-shards")?;
+        if cfg.cache_shards == 0 {
+            return Err("serve: --cache-shards must be >= 1".into());
+        }
+    }
+    if let Some(m) = flag_value(args, "--max-inflight") {
+        // Admission budget in worker slots (0 = CPU-scaled default).
+        // Work beyond it is answered with a structured `overloaded`
+        // error instead of queueing.
+        cfg.max_inflight = m.parse().map_err(|_| "bad --max-inflight")?;
     }
     if let Some(f) = flag_value(args, "--staleness") {
         cfg.staleness = f.parse().map_err(|_| "bad --staleness")?;

@@ -179,7 +179,10 @@ fn cache_eviction_forces_reload_and_reload_heals() {
     // Capacity 3, five graphs: the two least-recently-used fall out.
     let bodies: Vec<String> = (0..5).map(graph_body).collect();
     let loads: String = bodies.iter().map(|b| load_frame(b) + "\n").collect();
-    let ids: Vec<String> = serve_session(&["--no-timing", "--cache-graphs", "3"], loads.clone())
+    // One shard: this test pins global LRU ordering, which sharding
+    // would redistribute across per-shard budgets.
+    let flags = &["--no-timing", "--cache-graphs", "3", "--cache-shards", "1"];
+    let ids: Vec<String> = serve_session(flags, loads.clone())
         .iter()
         .map(|l| field(l, "id").to_string())
         .collect();
@@ -192,7 +195,7 @@ fn cache_eviction_forces_reload_and_reload_heals() {
     session.push('\n');
     session.push_str(&format!("{{\"op\":\"solve\",\"graph\":\"{}\"}}\n", ids[0]));
     session.push_str("{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n");
-    let lines = serve_session(&["--no-timing", "--cache-graphs", "3"], session);
+    let lines = serve_session(flags, session);
 
     assert_eq!(lines.len(), 5 + 5);
     let miss = &lines[5];

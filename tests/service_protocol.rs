@@ -8,8 +8,8 @@
 use std::io::BufReader;
 
 use parallel_mincut::service::protocol::{
-    read_frame, CacheCounters, DynamicCounters, ErrorKind, PoolCounters, RequestCounters,
-    UpdateMode, UpdateOp, MAX_FRAME_BYTES,
+    read_frame, AdmissionCounters, CacheCounters, DynamicCounters, ErrorKind, PoolCounters,
+    RequestCounters, UpdateMode, UpdateOp, MAX_FRAME_BYTES,
 };
 use parallel_mincut::service::{
     LoadSource, ProtocolError, Request, Response, SolveOutcome, StatsSnapshot,
@@ -119,6 +119,10 @@ fn gen_response(rng: &mut SmallRng) -> Response {
                 capacity: rng.gen(),
                 capacity_bytes: rng.gen(),
                 graphs: rng.gen(),
+                shards: {
+                    let k = rng.gen_range(1..5);
+                    (0..k).map(|_| rng.gen()).collect()
+                },
                 bytes: rng.gen(),
                 snapshots: rng.gen(),
                 hits: rng.gen(),
@@ -126,6 +130,12 @@ fn gen_response(rng: &mut SmallRng) -> Response {
                 snapshot_hits: rng.gen(),
                 snapshot_misses: rng.gen(),
                 evictions: rng.gen(),
+            },
+            admission: AdmissionCounters {
+                max_inflight: rng.gen(),
+                admitted: rng.gen(),
+                rejected: rng.gen(),
+                inflight: rng.gen(),
             },
             pool: PoolCounters {
                 created: rng.gen(),

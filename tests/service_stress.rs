@@ -1,0 +1,344 @@
+//! Concurrency stress tests for the sharded `pmc serve` store: ≥8 TCP
+//! clients fire mixed load/solve/update/stats traffic at one in-process
+//! [`Service`], and the suite holds it to three promises — no lost
+//! entries (the final stats frame accounts for every graph), consistent
+//! aggregated counters (per-shard occupancy sums to the graph total,
+//! admission permits all drain), and value parity (each client's
+//! response stream, stats frames aside, is byte-identical to a solo
+//! replay of the same session on a fresh single-client service).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parallel_mincut::service::{Service, ServiceConfig};
+
+const CLIENTS: usize = 8;
+
+fn stress_config() -> ServiceConfig {
+    ServiceConfig {
+        threads: 2,
+        cache_graphs: 64,
+        cache_bytes: 0,
+        cache_shards: 4,
+        // Roomy budget: this test is about shard consistency, not
+        // rejection (rejection has its own deterministic test below).
+        max_inflight: 1024,
+        timing: false,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Distinct weighted cycles: client `c`'s graph `j` has `5 + 3c + j`
+/// vertices, so no two clients ever share a content id and every load
+/// deterministically answers `cached:false`.
+fn body(client: usize, j: usize) -> String {
+    let n = 5 + 3 * client + j;
+    let mut s = format!("p cut {n} {n}\n");
+    for i in 1..=n {
+        let w = if i == 1 { 4 } else { 1 };
+        s.push_str(&format!("e {i} {} {w}\n", i % n + 1));
+    }
+    s
+}
+
+fn load_frame(body: &str) -> String {
+    format!(
+        "{{\"op\":\"load\",\"body\":\"{}\"}}",
+        body.replace('\n', "\\n")
+    )
+}
+
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len()..];
+    let end = rest
+        .find([',', '}', ']'])
+        .unwrap_or_else(|| panic!("{key} value in {line}"));
+    rest[..end].trim_matches('"')
+}
+
+/// One interactive frame exchange: write the request line, read the
+/// response line.
+fn roundtrip<W: Write, R: BufRead>(w: &mut W, r: &mut R, frame: &str) -> String {
+    writeln!(w, "{frame}").expect("write frame");
+    w.flush().expect("flush frame");
+    let mut line = String::new();
+    r.read_line(&mut line).expect("read response");
+    assert!(line.ends_with('\n'), "truncated response: {line:?}");
+    line.truncate(line.len() - 1);
+    line
+}
+
+/// Drives one client's mixed session over an established exchange and
+/// returns every response line in order. The session is id-driven
+/// (updates re-key), so it must run interactively.
+fn run_session<W: Write, R: BufRead>(client: usize, w: &mut W, r: &mut R) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut ids = Vec::new();
+    for j in 0..3 {
+        let resp = roundtrip(w, r, &load_frame(&body(client, j)));
+        assert_eq!(field(&resp, "cached"), "false", "client {client}: {resp}");
+        ids.push(field(&resp, "id").to_string());
+        lines.push(resp);
+    }
+    let resp = roundtrip(
+        w,
+        r,
+        &format!(
+            "{{\"op\":\"solve\",\"graphs\":[\"{}\",\"{}\",\"{}\"],\"solver\":\"paper\",\"seed\":7}}",
+            ids[0], ids[1], ids[2]
+        ),
+    );
+    assert!(resp.starts_with("{\"ok\":true,\"op\":\"solve\""), "{resp}");
+    lines.push(resp);
+    // A stats frame mid-stream: legitimately racy under concurrency, so
+    // parity filters it, but it must answer and parse.
+    let resp = roundtrip(w, r, "{\"op\":\"stats\"}");
+    assert!(resp.starts_with("{\"ok\":true,\"op\":\"stats\""), "{resp}");
+    lines.push(resp);
+    let resp = roundtrip(
+        w,
+        r,
+        &format!(
+            "{{\"op\":\"solve\",\"graph\":\"{}\",\"solver\":\"sw\",\"seed\":3}}",
+            ids[1]
+        ),
+    );
+    assert!(resp.starts_with("{\"ok\":true,\"op\":\"solve\""), "{resp}");
+    lines.push(resp);
+    // Two chained updates on graph 0: each re-keys, so the second must
+    // address the id the first returned.
+    let resp = roundtrip(
+        w,
+        r,
+        &format!(
+            "{{\"op\":\"update\",\"graph\":\"{}\",\"ops\":[{{\"kind\":\"reweight_edge\",\"u\":1,\"v\":2,\"w\":9}}],\"seed\":5}}",
+            ids[0]
+        ),
+    );
+    assert!(resp.starts_with("{\"ok\":true,\"op\":\"update\""), "{resp}");
+    let rekeyed = field(&resp, "id").to_string();
+    lines.push(resp);
+    let resp = roundtrip(
+        w,
+        r,
+        &format!(
+            "{{\"op\":\"update\",\"graph\":\"{rekeyed}\",\"ops\":[{{\"kind\":\"add_edge\",\"u\":1,\"v\":3,\"w\":2}}],\"seed\":5}}"
+        ),
+    );
+    assert!(resp.starts_with("{\"ok\":true,\"op\":\"update\""), "{resp}");
+    let rekeyed = field(&resp, "id").to_string();
+    lines.push(resp);
+    let resp = roundtrip(
+        w,
+        r,
+        &format!("{{\"op\":\"solve\",\"graph\":\"{rekeyed}\",\"solver\":\"paper\",\"seed\":11}}"),
+    );
+    assert!(resp.starts_with("{\"ok\":true,\"op\":\"solve\""), "{resp}");
+    lines.push(resp);
+    lines
+}
+
+/// Stats frames race against other clients; everything else must be
+/// deterministic.
+fn without_stats(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| !l.contains("\"op\":\"stats\""))
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn concurrent_mixed_traffic_matches_single_threaded_replay() {
+    let service = Service::new(&stress_config());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let sessions: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let service = &service;
+        let listener = &listener;
+        let server = scope.spawn(move || service.serve_listener(listener));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    let lines = run_session(c, &mut writer, &mut reader);
+                    // The reader clone shares the fd, so dropping the
+                    // writer alone sends no FIN; shut the write half
+                    // down explicitly to end the per-connection loop.
+                    writer
+                        .shutdown(std::net::Shutdown::Write)
+                        .expect("shutdown");
+                    lines
+                })
+            })
+            .collect();
+        let sessions: Vec<Vec<String>> = clients
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        // All clients drained; one last connection reads the aggregate
+        // stats and shuts the listener down.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let stats = roundtrip(&mut writer, &mut reader, "{\"op\":\"stats\"}");
+        roundtrip(&mut writer, &mut reader, "{\"op\":\"shutdown\"}");
+        server.join().expect("server thread").expect("serve");
+
+        // No lost entries: 3 loads per client, and the two re-keying
+        // updates replace entries rather than adding them.
+        let graphs: u64 = field(&stats, "graphs").parse().unwrap();
+        assert_eq!(graphs, (CLIENTS * 3) as u64);
+        // Consistent aggregation: per-shard occupancy sums to the total.
+        let shard_section = &stats[stats.find("\"shards\":[").expect("shards array")..];
+        let shard_list = &shard_section["\"shards\":[".len()..shard_section.find(']').unwrap()];
+        let occupancy: u64 = shard_list
+            .split(',')
+            .map(|x| x.parse::<u64>().expect("shard occupancy"))
+            .sum();
+        assert_eq!(occupancy, graphs, "{stats}");
+        assert_eq!(shard_list.split(',').count(), 4, "{stats}");
+        assert_eq!(field(&stats, "load").parse::<u64>().unwrap(), 24);
+        assert_eq!(field(&stats, "solve").parse::<u64>().unwrap(), 24);
+        assert_eq!(field(&stats, "update").parse::<u64>().unwrap(), 16);
+        assert_eq!(field(&stats, "errors").parse::<u64>().unwrap(), 0);
+        // 8 × (batch of 3 + 2 singles) individual solves delivered.
+        assert_eq!(field(&stats, "solves").parse::<u64>().unwrap(), 40);
+        // Admission: every request admitted, every permit returned.
+        assert_eq!(field(&stats, "rejected").parse::<u64>().unwrap(), 0);
+        assert_eq!(field(&stats, "inflight").parse::<u64>().unwrap(), 0);
+        assert_eq!(field(&stats, "admitted").parse::<u64>().unwrap(), 40);
+        sessions
+    });
+
+    // Value parity: each client's stream must be byte-identical to the
+    // same session replayed alone against a fresh service over stdio.
+    for (c, lines) in sessions.iter().enumerate() {
+        let solo_service = Service::new(&stress_config());
+        let solo = std::thread::scope(|scope| {
+            let (client_end, server_end) = duplex();
+            let server = scope.spawn(move || {
+                let (r, mut w) = server_end;
+                solo_service.serve_stream(BufReader::new(r), &mut w).ok();
+            });
+            let (r, mut w) = client_end;
+            let mut reader = BufReader::new(r);
+            let lines = run_session(c, &mut w, &mut reader);
+            // The reader still holds a dup of the fd; an explicit
+            // half-close is what actually EOFs the solo server.
+            w.shutdown(std::net::Shutdown::Write).expect("shutdown");
+            server.join().expect("solo server");
+            lines
+        });
+        assert_eq!(
+            without_stats(lines),
+            without_stats(&solo),
+            "client {c} diverged from its solo replay"
+        );
+    }
+}
+
+/// A bidirectional in-memory pipe pair built from two TCP loopback
+/// sockets (std has no portable socketpair; a localhost socket is the
+/// closest deterministic stand-in).
+#[allow(clippy::type_complexity)]
+fn duplex() -> ((TcpStream, TcpStream), (TcpStream, TcpStream)) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let a = TcpStream::connect(addr).expect("connect");
+    let (b, _) = listener.accept().expect("accept");
+    let ar = a.try_clone().expect("clone");
+    let br = b.try_clone().expect("clone");
+    ((ar, a), (br, b))
+}
+
+#[test]
+fn saturating_burst_yields_structured_overloaded_not_a_hang() {
+    // Budget of 2 worker slots at 4 threads: any 4-wide batch costs 4
+    // slots and must be refused with a structured frame — never queued,
+    // never a panic — while 1-wide work keeps flowing.
+    let service = Service::new(&ServiceConfig {
+        threads: 4,
+        cache_graphs: 32,
+        cache_shards: 4,
+        max_inflight: 2,
+        timing: false,
+        ..ServiceConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let rejected = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let service = &service;
+        let listener = &listener;
+        let rejected = &rejected;
+        let server = scope.spawn(move || service.serve_listener(listener));
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    let mut ids = Vec::new();
+                    for j in 0..4 {
+                        let resp =
+                            roundtrip(&mut writer, &mut reader, &load_frame(&body(c, j)));
+                        ids.push(field(&resp, "id").to_string());
+                    }
+                    // The oversized batch: cost 4 > budget 2, refused
+                    // deterministically whatever the interleaving.
+                    let resp = roundtrip(
+                        &mut writer,
+                        &mut reader,
+                        &format!(
+                            "{{\"op\":\"solve\",\"graphs\":[\"{}\",\"{}\",\"{}\",\"{}\"],\"solver\":\"sw\",\"seed\":1}}",
+                            ids[0], ids[1], ids[2], ids[3]
+                        ),
+                    );
+                    assert!(resp.starts_with("{\"ok\":false"), "{resp}");
+                    assert_eq!(field(&resp, "kind"), "overloaded", "{resp}");
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                    // Cost-1 work still flows — though with 8 clients
+                    // racing for 2 slots it may transiently be refused
+                    // too, so honor the error's advice and retry.
+                    let frame = format!(
+                        "{{\"op\":\"solve\",\"graph\":\"{}\",\"solver\":\"sw\",\"seed\":1}}",
+                        ids[0]
+                    );
+                    let mut answered = false;
+                    for _ in 0..1000 {
+                        let resp = roundtrip(&mut writer, &mut reader, &frame);
+                        if resp.starts_with("{\"ok\":true,\"op\":\"solve\"") {
+                            answered = true;
+                            break;
+                        }
+                        assert_eq!(field(&resp, "kind"), "overloaded", "{resp}");
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    assert!(answered, "client {c}: solve starved past 1000 retries");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let stats = roundtrip(&mut writer, &mut reader, "{\"op\":\"stats\"}");
+        assert_eq!(
+            field(&stats, "rejected").parse::<u64>().unwrap(),
+            rejected.load(Ordering::Relaxed),
+            "{stats}"
+        );
+        assert_eq!(field(&stats, "inflight").parse::<u64>().unwrap(), 0);
+        assert_eq!(field(&stats, "max_inflight").parse::<u64>().unwrap(), 2);
+        roundtrip(&mut writer, &mut reader, "{\"op\":\"shutdown\"}");
+        server.join().expect("server").expect("serve");
+    });
+}
