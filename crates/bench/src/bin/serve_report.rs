@@ -106,6 +106,7 @@ fn solve_frames(w: &Workload, ids: &[String]) -> Vec<String> {
                 graphs: vec![ids[gi].clone()],
                 solver: solver.into(),
                 seed,
+                deadline_ms: None,
             }
             .to_frame()
         })

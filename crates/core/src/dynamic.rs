@@ -314,14 +314,26 @@ impl SolveState {
             .filter(|&i| self.invalid[i])
             .collect();
         if !stale.is_empty() {
+            let cancel = ws.cancel.clone();
             let workers = tree_loop_workers(stale.len(), g.m(), threads);
             let arenas = ws.tree_arenas(workers);
             let trees = &self.trees;
-            let outcomes = pmc_par::fanout_units(arenas, stale.len(), |arena, k| {
+            let swept = pmc_par::fanout_units(arenas, stale.len(), |arena, k| {
+                // Cooperative deadline checkpoint, mirroring the one-shot
+                // solver's per-tree granularity.
+                if cancel.as_deref().is_some_and(|c| c.expired()) {
+                    return None;
+                }
                 let TreeArena { root, batch } = arena;
                 root.rebuild(g, &trees[stale[k]], 0);
-                two_respect_mincut_reusing(g, root.tree(), batch)
+                Some(two_respect_mincut_reusing(g, root.tree(), batch))
             });
+            // Apply all-or-nothing: a cancelled resolve must not leave a
+            // half-updated per-tree cache behind.
+            let outcomes = swept
+                .into_iter()
+                .collect::<Option<Vec<_>>>()
+                .ok_or(PmcError::Cancelled)?;
             for (&i, out) in stale.iter().zip(outcomes) {
                 self.per_tree[i] = TreeCut {
                     value: out.value,
@@ -406,6 +418,14 @@ impl SolveState {
             return Ok(());
         }
 
+        // Cooperative deadline checkpoint before the packing stage. A
+        // cancelled repack leaves the state mid-rebuild; callers (the
+        // service) treat any `Err` as "discard this state clone".
+        let cancel = ws.cancel.clone();
+        if cancel.as_deref().is_some_and(|c| c.expired()) {
+            return Err(PmcError::Cancelled);
+        }
+
         let base = PackingConfig::default();
         let pcfg = PackingConfig {
             seed: base.seed.wrapping_add(self.seed),
@@ -417,12 +437,18 @@ impl SolveState {
         let workers = tree_loop_workers(self.trees.len(), g.m(), threads);
         let arenas = ws.tree_arenas(workers);
         let trees = &self.trees;
-        let outcomes = pmc_par::fanout_units(arenas, trees.len(), |arena, i| {
+        let swept = pmc_par::fanout_units(arenas, trees.len(), |arena, i| {
+            if cancel.as_deref().is_some_and(|c| c.expired()) {
+                return None;
+            }
             let TreeArena { root, batch } = arena;
             root.rebuild(g, &trees[i], 0);
-            two_respect_mincut_reusing(g, root.tree(), batch)
+            Some(two_respect_mincut_reusing(g, root.tree(), batch))
         });
-        self.per_tree = outcomes
+        self.per_tree = swept
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or(PmcError::Cancelled)?
             .into_iter()
             .map(|out| TreeCut {
                 value: out.value,

@@ -48,7 +48,9 @@ pub use two_respect::{
     two_respect_mincut, two_respect_mincut_reusing, two_respect_mincut_with, ExecMode, RespectKind,
     TwoRespectCut,
 };
-pub use workspace::{PoolStats, PooledWorkspace, SolverWorkspace, TreeArena, WorkspacePool};
+pub use workspace::{
+    CancelToken, PoolStats, PooledWorkspace, SolverWorkspace, TreeArena, WorkspacePool,
+};
 
 /// Minimum edge count of the working graph before the per-tree loop fans
 /// out across OS workers; below it, thread spawn/join overhead outweighs
@@ -83,11 +85,33 @@ fn two_respect_all_trees(
     trees: &pmc_packing::PackedTreeList,
     arenas: &mut [TreeArena],
 ) -> Vec<TwoRespectCut> {
-    pmc_par::fanout_units(arenas, trees.len(), |arena, i| {
+    two_respect_all_trees_cancellable(work_graph, trees, arenas, None)
+        .expect("solve without a cancel token cannot be cancelled")
+}
+
+/// [`two_respect_all_trees`] with a cooperative cancellation checkpoint
+/// before each tree's sweep: a tripped token makes every remaining unit
+/// skip its work and the whole loop answer [`PmcError::Cancelled`].
+/// Checkpoints are per tree — one sweep is the granularity at which a
+/// deadline can interrupt a solve.
+fn two_respect_all_trees_cancellable(
+    work_graph: &Graph,
+    trees: &pmc_packing::PackedTreeList,
+    arenas: &mut [TreeArena],
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<TwoRespectCut>, PmcError> {
+    let outcomes = pmc_par::fanout_units(arenas, trees.len(), |arena, i| {
+        if cancel.is_some_and(|c| c.expired()) {
+            return None;
+        }
         let TreeArena { root, batch } = arena;
         root.rebuild(work_graph, &trees[i], 0);
-        two_respect_mincut_reusing(work_graph, root.tree(), batch)
-    })
+        Some(two_respect_mincut_reusing(work_graph, root.tree(), batch))
+    });
+    outcomes
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .ok_or(PmcError::Cancelled)
 }
 
 /// Configuration for [`minimum_cut`].
@@ -261,6 +285,12 @@ pub fn minimum_cut_with(
         });
     }
 
+    // First cancellation checkpoint: a request whose deadline passed while
+    // queued should not start the pipeline at all.
+    if ws.cancel.as_ref().is_some_and(|c| c.expired()) {
+        return Err(PmcError::Cancelled);
+    }
+
     // Optional exact sparsification into the workspace's certificate arena.
     let use_cert = cfg.use_certificate && {
         let cert_graph = ws
@@ -274,13 +304,21 @@ pub fn minimum_cut_with(
         cert_graph,
         packing: pack_ws,
         trees: tree_ws,
+        cancel,
         ..
     } = ws;
+    let cancel = cancel.as_deref();
     let work_graph: &Graph = if use_cert {
         cert_graph.as_ref().expect("certificate arena initialized")
     } else {
         g
     };
+
+    // Checkpoint between the certificate and the packing stage (the two
+    // heaviest stages bracket it).
+    if cancel.is_some_and(|c| c.expired()) {
+        return Err(PmcError::Cancelled);
+    }
 
     // Lemma 1: O(log n) candidate trees, packed through the reusable arena.
     let mut pcfg = cfg.packing.clone();
@@ -293,7 +331,12 @@ pub fn minimum_cut_with(
     if tree_ws.len() < workers {
         tree_ws.resize_with(workers, TreeArena::default);
     }
-    let outcomes = two_respect_all_trees(work_graph, &packing.trees, &mut tree_ws[..workers]);
+    let outcomes = two_respect_all_trees_cancellable(
+        work_graph,
+        &packing.trees,
+        &mut tree_ws[..workers],
+        cancel,
+    )?;
     let (ti, best) = outcomes
         .into_iter()
         .enumerate()

@@ -29,8 +29,9 @@
 //!   long-running server warms the pool once.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use pmc_baseline::SwScratch;
 use pmc_graph::{CertScratch, Graph};
@@ -41,6 +42,58 @@ use pmc_par::ParScratch;
 // (The `pmc-par` scratch is not a separate field: the batch engine inside
 // `minpath` is the layer that actually runs the parallel primitives, so
 // their buffers live embedded there — see [`SolverWorkspace::par_scratch`].)
+
+/// Cooperative cancellation for an in-flight solve: an atomic flag plus an
+/// optional wall-clock deadline, polled at the solve loop's checkpoints
+/// (between per-tree two-respect sweeps). Install one on a workspace with
+/// [`SolverWorkspace::install_cancel`] before dispatching; a tripped token
+/// makes the solve return [`pmc_graph::PmcError::Cancelled`] instead of a
+/// result, with the workspace left fully reusable.
+///
+/// The deadline is fixed at construction; [`CancelToken::cancel`] trips the
+/// token explicitly from any thread. Checks are wait-free apart from the
+/// `Instant::now()` read, and checkpoints are coarse (one per tree sweep),
+/// so the overhead on uncancelled solves is unmeasurable.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; only [`CancelToken::cancel`] can trip it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that trips once the wall clock passes `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Trips the token explicitly. Idempotent; visible to all threads.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once the token has tripped — explicitly or by deadline.
+    pub fn expired(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                // Latch the deadline so later checks skip the clock read.
+                self.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+}
 
 /// Per-worker scratch for the paper solver's per-tree loop: everything one
 /// worker needs to root a packed tree and run the Lemma 13 two-respect
@@ -102,6 +155,11 @@ pub struct SolverWorkspace {
     pub trees: Vec<TreeArena>,
     /// Dense Stoer–Wagner arena (`pmc-baseline`).
     pub sw: SwScratch,
+    /// Cooperative-cancellation token for the next solve dispatched
+    /// through this workspace (`None` = uncancellable). Not an arena:
+    /// excluded from [`SolverWorkspace::heap_bytes`], cleared whenever a
+    /// pooled workspace returns to its pool.
+    pub(crate) cancel: Option<Arc<CancelToken>>,
 }
 
 impl SolverWorkspace {
@@ -109,6 +167,21 @@ impl SolverWorkspace {
     /// Buffers are grown lazily by the first solves that need them.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs a cancellation token observed by the next solve dispatched
+    /// through this workspace. The solve polls it between per-tree sweeps
+    /// and answers [`pmc_graph::PmcError::Cancelled`] once it trips.
+    /// Remains installed until [`SolverWorkspace::clear_cancel`] (pooled
+    /// workspaces clear it automatically on checkin).
+    pub fn install_cancel(&mut self, token: Arc<CancelToken>) {
+        self.cancel = Some(token);
+    }
+
+    /// Removes any installed cancellation token, making subsequent solves
+    /// uncancellable again.
+    pub fn clear_cancel(&mut self) {
+        self.cancel = None;
     }
 
     /// The per-tree worker arenas, grown to at least `workers` entries.
@@ -248,6 +321,18 @@ pub struct PooledWorkspace<'a> {
     pool: &'a WorkspacePool,
 }
 
+impl PooledWorkspace<'_> {
+    /// Discards the checked-out workspace instead of ever returning it to
+    /// the pool, and installs a fresh (counted-as-created) replacement so
+    /// the guard stays usable. Call this after catching a panic out of a
+    /// solve: the arenas may hold torn intermediate state, and a poisoned
+    /// workspace must never serve another request.
+    pub fn discard(&mut self) {
+        self.ws = Some(SolverWorkspace::new());
+        self.pool.created.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 impl Deref for PooledWorkspace<'_> {
     type Target = SolverWorkspace;
     fn deref(&self) -> &SolverWorkspace {
@@ -263,7 +348,10 @@ impl DerefMut for PooledWorkspace<'_> {
 
 impl Drop for PooledWorkspace<'_> {
     fn drop(&mut self) {
-        if let Some(ws) = self.ws.take() {
+        if let Some(mut ws) = self.ws.take() {
+            // Never let a request-scoped cancellation token ride along into
+            // the pool: a stale token would cancel an unrelated later solve.
+            ws.clear_cancel();
             if let Ok(mut free) = self.pool.free.lock() {
                 free.push(ws);
             }
@@ -380,6 +468,70 @@ mod tests {
         let _ = pool.checkout();
         assert_eq!(pool.stats().checkouts, 3);
         assert_eq!(pool.stats().created, 2); // warm pool: no new arenas
+    }
+
+    #[test]
+    fn cancel_token_trips_by_flag_and_deadline() {
+        let t = CancelToken::new();
+        assert!(!t.expired());
+        t.cancel();
+        assert!(t.expired());
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert!(CancelToken::with_deadline(past).expired());
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        assert!(!CancelToken::with_deadline(far).expired());
+    }
+
+    #[test]
+    fn expired_token_cancels_a_solve_and_leaves_the_workspace_reusable() {
+        use crate::{minimum_cut_with, MinCutConfig};
+        use pmc_graph::PmcError;
+        let mut ws = SolverWorkspace::new();
+        let g = pmc_graph::gen::gnm_connected(32, 90, 6, 5);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        ws.install_cancel(Arc::new(CancelToken::with_deadline(past)));
+        let cancelled = minimum_cut_with(&g, &MinCutConfig::default(), &mut ws);
+        assert_eq!(cancelled.err(), Some(PmcError::Cancelled));
+        ws.clear_cancel();
+        let cut = minimum_cut_with(&g, &MinCutConfig::default(), &mut ws).unwrap();
+        let fresh = minimum_cut_with(&g, &MinCutConfig::default(), &mut SolverWorkspace::new());
+        assert_eq!(cut.value, fresh.unwrap().value);
+    }
+
+    #[test]
+    fn cancel_token_does_not_count_toward_heap_bytes() {
+        let mut ws = SolverWorkspace::new();
+        let before = ws.heap_bytes();
+        ws.install_cancel(Arc::new(CancelToken::new()));
+        assert_eq!(ws.heap_bytes(), before);
+        ws.clear_cancel();
+        assert!(ws.cancel.is_none());
+    }
+
+    #[test]
+    fn pool_checkin_clears_installed_cancel_tokens() {
+        let pool = WorkspacePool::new();
+        {
+            let mut ws = pool.checkout();
+            ws.install_cancel(Arc::new(CancelToken::new()));
+        }
+        let ws = pool.checkout(); // same arena, token must be gone
+        assert!(ws.cancel.is_none());
+    }
+
+    #[test]
+    fn discard_never_returns_the_poisoned_workspace() {
+        let pool = WorkspacePool::new();
+        {
+            let mut ws = pool.checkout();
+            ws.cert_graph = Some(pmc_graph::gen::complete(4, 1, 0));
+            ws.discard(); // guard stays usable with a fresh arena
+            assert!(ws.cert_graph.is_none());
+        }
+        // The replacement (not the poisoned arena) went back to the pool.
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.stats().created, 2);
+        assert!(pool.checkout().cert_graph.is_none());
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub enum PmcError {
     Graph(GraphError),
     /// Problem reading or parsing a graph file.
     Io(String),
+    /// The solve was cancelled cooperatively (deadline exceeded or the
+    /// caller revoked the request) before a result was produced. The
+    /// workspace is left reusable; no partial result is returned.
+    Cancelled,
 }
 
 impl std::fmt::Display for PmcError {
@@ -72,6 +76,9 @@ impl std::fmt::Display for PmcError {
             }
             PmcError::Graph(e) => write!(f, "invalid graph: {e}"),
             PmcError::Io(msg) => write!(f, "{msg}"),
+            PmcError::Cancelled => {
+                write!(f, "solve cancelled before completion (deadline exceeded)")
+            }
         }
     }
 }

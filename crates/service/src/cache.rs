@@ -380,6 +380,23 @@ impl GraphCache {
         Ok(id)
     }
 
+    /// Evicts an entry by id, returning whether it was resident. An
+    /// in-flight update checkout of the removed entry commits fresh,
+    /// like any other eviction. Used by the service to keep residency
+    /// atomic with the write-ahead journal: an op whose journal append
+    /// fails is backed out of the cache before the error is answered.
+    pub fn remove(&self, id: &str) -> bool {
+        let mut shard = self.shard_for(id);
+        match shard.entries.iter().position(|e| e.id == id) {
+            Some(idx) => {
+                shard.remove(idx);
+                shard.version += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Graphs resident right now, over all shards.
     pub fn len(&self) -> usize {
         self.shards

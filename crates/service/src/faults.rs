@@ -1,0 +1,238 @@
+//! Deterministic seeded fault injection for the service core.
+//!
+//! Production code paths for failure handling are worthless untested, and
+//! real failures are too rare (and too nondeterministic) to drive tests.
+//! This module turns `--inject-faults <seed:spec>` into a [`FaultInjector`]
+//! that the dispatcher consults at its fault sites — before a worker solve
+//! (panic, delay) and inside a journal append (write error, short write) —
+//! firing each fault with the configured probability from a seeded
+//! counter-based PRNG. Same seed, same request sequence, same faults:
+//! the chaos tests replay failures exactly.
+//!
+//! The spec grammar is `<seed>:<key>=<value>[,<key>=<value>…]` with keys
+//! `panic`, `delay`, `journal`, `short` (probabilities in `[0,1]`) and
+//! `delay_ms` (injected delay length, default 50):
+//!
+//! ```text
+//! --inject-faults 7:panic=0.1,delay=0.05,delay_ms=200,journal=0.2,short=0.05
+//! ```
+//!
+//! Draw order is an atomic counter, so probabilities are exact over the
+//! draw sequence; under concurrent connections the mapping of draws to
+//! requests follows scheduling (single-connection sessions are fully
+//! deterministic, which is what the chaos tests and CI job run).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// SplitMix64: the standard 64-bit finalizer-style PRNG step. Public to
+/// the crate so the dispatcher's deterministic backoff jitter can reuse
+/// it.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fault site the dispatcher may consult the injector at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic inside a worker solve (exercises `catch_unwind` isolation).
+    WorkerPanic,
+    /// Sleep before a worker solve (exercises deadline cancellation).
+    SolveDelay,
+    /// Fail a journal append outright.
+    JournalError,
+    /// Tear a journal append mid-frame (short write).
+    JournalShort,
+}
+
+/// Parsed `--inject-faults` plan: a seed plus per-site probabilities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// PRNG seed; same seed ⇒ same fault sequence.
+    pub seed: u64,
+    /// Probability of [`FaultSite::WorkerPanic`].
+    pub panic_p: f64,
+    /// Probability of [`FaultSite::SolveDelay`].
+    pub delay_p: f64,
+    /// Length of an injected delay, in milliseconds.
+    pub delay_ms: u64,
+    /// Probability of [`FaultSite::JournalError`].
+    pub journal_p: f64,
+    /// Probability of [`FaultSite::JournalShort`].
+    pub short_p: f64,
+}
+
+impl FaultPlan {
+    /// Parses a `<seed>:<key>=<value>,…` spec. Every probability defaults
+    /// to 0, so a spec only names the faults it wants.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (seed_str, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("fault spec {spec:?} must be <seed>:<key>=<value>,…"))?;
+        let seed: u64 = seed_str
+            .trim()
+            .parse()
+            .map_err(|_| format!("fault spec seed {seed_str:?} must be a u64"))?;
+        let mut plan = FaultPlan {
+            seed,
+            panic_p: 0.0,
+            delay_p: 0.0,
+            delay_ms: 50,
+            journal_p: 0.0,
+            short_p: 0.0,
+        };
+        for part in rest.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry {part:?} must be <key>=<value>"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault probability {v:?} must be a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault probability {v} must be in [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key.trim() {
+                "panic" => plan.panic_p = prob(value)?,
+                "delay" => plan.delay_p = prob(value)?,
+                "journal" => plan.journal_p = prob(value)?,
+                "short" => plan.short_p = prob(value)?,
+                "delay_ms" => {
+                    plan.delay_ms = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("delay_ms {value:?} must be a u64"))?;
+                }
+                other => {
+                    return Err(format!(
+                    "unknown fault key {other:?} (valid: panic, delay, delay_ms, journal, short)"
+                ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// The runtime injector: a plan plus an atomic draw counter. One lives on
+/// the [`Service`](crate::Service) when `--inject-faults` is set; every
+/// fault site asks [`FaultInjector::should`] and gets a deterministic
+/// (seed, draw-index)-keyed coin flip.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    draws: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            draws: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The next uniform draw in `[0, 1)`.
+    fn draw(&self) -> f64 {
+        let i = self.draws.fetch_add(1, Ordering::Relaxed);
+        let z = splitmix64(self.plan.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether the fault at `site` fires now. Counts fired faults.
+    pub fn should(&self, site: FaultSite) -> bool {
+        let p = match site {
+            FaultSite::WorkerPanic => self.plan.panic_p,
+            FaultSite::SolveDelay => self.plan.delay_p,
+            FaultSite::JournalError => self.plan.journal_p,
+            FaultSite::JournalShort => self.plan.short_p,
+        };
+        if p <= 0.0 {
+            return false;
+        }
+        let fire = self.draw() < p;
+        if fire {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Length of an injected solve delay.
+    pub fn delay_ms(&self) -> u64 {
+        self.plan.delay_ms
+    }
+
+    /// Faults fired so far (the `stats.faults.injected` counter).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_fully_and_defaults_unnamed_faults_to_zero() {
+        let plan = FaultPlan::parse("7:panic=0.25,delay_ms=200,short=1").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_p, 0.25);
+        assert_eq!(plan.delay_p, 0.0);
+        assert_eq!(plan.delay_ms, 200);
+        assert_eq!(plan.journal_p, 0.0);
+        assert_eq!(plan.short_p, 1.0);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_reasons() {
+        for spec in [
+            "no-colon",
+            "x:panic=0.5",
+            "1:panic=1.5",
+            "1:panic=-0.1",
+            "1:panic=yes",
+            "1:warp=0.5",
+            "1:delay_ms=fast",
+            "1:panic",
+        ] {
+            assert!(FaultPlan::parse(spec).is_err(), "{spec}");
+        }
+        // Trailing/empty entries are tolerated.
+        assert!(FaultPlan::parse("1:").is_ok());
+        assert!(FaultPlan::parse("1:panic=0.5,").is_ok());
+    }
+
+    #[test]
+    fn same_seed_fires_the_same_sequence() {
+        let plan = FaultPlan::parse("42:panic=0.3").unwrap();
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let fires_a: Vec<bool> = (0..256).map(|_| a.should(FaultSite::WorkerPanic)).collect();
+        let fires_b: Vec<bool> = (0..256).map(|_| b.should(FaultSite::WorkerPanic)).collect();
+        assert_eq!(fires_a, fires_b);
+        let fired = fires_a.iter().filter(|&&f| f).count();
+        assert!(fired > 0, "p=0.3 over 256 draws must fire");
+        assert!(fired < 256, "p=0.3 must not always fire");
+        assert_eq!(a.injected(), fired as u64);
+    }
+
+    #[test]
+    fn zero_probability_never_fires_or_draws() {
+        let inj = FaultInjector::new(FaultPlan::parse("9:panic=1").unwrap());
+        assert!(!inj.should(FaultSite::JournalError));
+        assert_eq!(inj.injected(), 0);
+        assert!(inj.should(FaultSite::WorkerPanic)); // p = 1 always fires
+        assert_eq!(inj.injected(), 1);
+    }
+}

@@ -1,0 +1,510 @@
+//! Write-ahead journal: crash recovery for the graph store.
+//!
+//! With `--journal <path>`, `pmc serve` appends one record per *committed*
+//! load and update — after the in-memory commit, before the response is
+//! written — so every acknowledged operation is on disk before the client
+//! sees its answer. On startup the journal is replayed to rewarm the
+//! sharded cache: loads rebuild their graphs (content-addressing makes
+//! replay idempotent), updates re-run under their original seeds (so the
+//! recovered snapshots and re-keyed ids are bit-identical to the
+//! pre-crash ones), and the last hints record pre-warms the workspace
+//! pool to its previous high-water shape.
+//!
+//! ## Frame format
+//!
+//! Each record is a length-plus-checksum frame:
+//!
+//! ```text
+//! [8 bytes LE payload length][8 bytes LE FNV-1a of payload][payload JSON]
+//! ```
+//!
+//! A crash mid-append leaves a torn tail; replay verifies each frame and
+//! truncates the file at the first bad one. Anything after a torn record
+//! is unreachable, so a *running* service that fails an append also rolls
+//! the file back to the pre-append offset (answering the client with
+//! `internal_error` — the op is unacknowledged and allowed to be lost).
+//!
+//! Durability is configurable: `--fsync always` (default) syncs data per
+//! append, `--fsync never` leaves flushing to the OS — faster, but a
+//! *machine* crash may lose acknowledged tail records (a process crash
+//! loses nothing either way).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::faults::{FaultInjector, FaultSite};
+use crate::json::{self, Json};
+use crate::protocol::{fnv1a, ProtocolError, UpdateOp, FNV_OFFSET, MAX_FRAME_BYTES};
+
+/// When journal appends reach the disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append: an acknowledged op survives even a
+    /// machine crash.
+    #[default]
+    Always,
+    /// Never sync explicitly; the OS flushes when it pleases. Survives
+    /// process crashes (the write has left the process), not power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the `--fsync` flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!("fsync policy {other:?} must be always or never")),
+        }
+    }
+}
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A committed `load`: the full canonical graph content. Replay
+    /// rebuilds the graph and re-inserts it (same content ⇒ same id).
+    Load {
+        /// Vertex count.
+        n: u64,
+        /// The edge list in stored order with original orientation —
+        /// not canonicalized: solver tie-breaks follow edge ids, so
+        /// replay must rebuild the exact same edge ordering to answer
+        /// bit-identically.
+        edges: Vec<(u32, u32, u64)>,
+    },
+    /// A committed `update`: enough to re-run it against the replayed
+    /// store. Replay under the same seed reproduces the same snapshot
+    /// and the same re-keyed id.
+    Update {
+        /// The id the update addressed.
+        from: String,
+        /// The request seed.
+        seed: u64,
+        /// The wire ops, in order.
+        ops: Vec<UpdateOp>,
+    },
+    /// Workspace high-water hints, appended on graceful shutdown; replay
+    /// pre-warms the pool so a restarted service skips its cold start.
+    Hints {
+        /// Workspaces to pre-create.
+        pool: u64,
+        /// Tree-arena width to grow each one to.
+        arenas: u64,
+    },
+}
+
+impl Record {
+    fn to_json(&self) -> Json {
+        match self {
+            Record::Load { n, edges } => json::obj(vec![
+                ("t", json::s("load")),
+                ("n", json::n(*n)),
+                (
+                    "edges",
+                    Json::Arr(
+                        edges
+                            .iter()
+                            .map(|&(u, v, w)| {
+                                Json::Arr(vec![
+                                    json::n(u64::from(u)),
+                                    json::n(u64::from(v)),
+                                    json::n(w),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Record::Update { from, seed, ops } => json::obj(vec![
+                ("t", json::s("update")),
+                ("from", json::s(from.clone())),
+                ("seed", json::n(*seed)),
+                (
+                    "ops",
+                    Json::Arr(
+                        ops.iter()
+                            .map(|op| {
+                                let mut fields = vec![("kind", json::s(op.kind_str()))];
+                                match *op {
+                                    UpdateOp::AddEdge { u, v, w }
+                                    | UpdateOp::ReweightEdge { u, v, w } => {
+                                        fields.push(("u", json::n(u)));
+                                        fields.push(("v", json::n(v)));
+                                        fields.push(("w", json::n(w)));
+                                    }
+                                    UpdateOp::RemoveEdge { u, v } => {
+                                        fields.push(("u", json::n(u)));
+                                        fields.push(("v", json::n(v)));
+                                    }
+                                }
+                                json::obj(fields)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Record::Hints { pool, arenas } => json::obj(vec![
+                ("t", json::s("hints")),
+                ("pool", json::n(*pool)),
+                ("arenas", json::n(*arenas)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Option<Record> {
+        let u64_of = |key: &str| v.get(key).and_then(Json::as_u64);
+        match v.get("t") {
+            Some(Json::Str(t)) if t == "load" => {
+                let n = u64_of("n")?;
+                let Some(Json::Arr(items)) = v.get("edges") else {
+                    return None;
+                };
+                let mut edges = Vec::with_capacity(items.len());
+                for item in items {
+                    let Json::Arr(parts) = item else { return None };
+                    let [u, v, w] = parts.as_slice() else {
+                        return None;
+                    };
+                    edges.push((
+                        u32::try_from(u.as_u64()?).ok()?,
+                        u32::try_from(v.as_u64()?).ok()?,
+                        w.as_u64()?,
+                    ));
+                }
+                Some(Record::Load { n, edges })
+            }
+            Some(Json::Str(t)) if t == "update" => {
+                let Some(Json::Str(from)) = v.get("from") else {
+                    return None;
+                };
+                let seed = u64_of("seed")?;
+                let Some(Json::Arr(items)) = v.get("ops") else {
+                    return None;
+                };
+                let mut ops = Vec::with_capacity(items.len());
+                for item in items {
+                    let field = |key: &str| item.get(key).and_then(Json::as_u64);
+                    let kind = match item.get("kind") {
+                        Some(Json::Str(k)) => k.as_str(),
+                        _ => return None,
+                    };
+                    ops.push(match kind {
+                        "add_edge" => UpdateOp::AddEdge {
+                            u: field("u")?,
+                            v: field("v")?,
+                            w: field("w")?,
+                        },
+                        "remove_edge" => UpdateOp::RemoveEdge {
+                            u: field("u")?,
+                            v: field("v")?,
+                        },
+                        "reweight_edge" => UpdateOp::ReweightEdge {
+                            u: field("u")?,
+                            v: field("v")?,
+                            w: field("w")?,
+                        },
+                        _ => return None,
+                    });
+                }
+                Some(Record::Update {
+                    from: from.clone(),
+                    seed,
+                    ops,
+                })
+            }
+            Some(Json::Str(t)) if t == "hints" => Some(Record::Hints {
+                pool: u64_of("pool")?,
+                arenas: u64_of("arenas")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// What [`Journal::open`] recovered from an existing journal file.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// The good records, in append order.
+    pub records: Vec<Record>,
+    /// Bytes of torn tail truncated off the file.
+    pub truncated: u64,
+}
+
+/// An open write-ahead journal. Appends are serialized by an internal
+/// lock; counters are read lock-free for `stats`.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    policy: FsyncPolicy,
+    records: AtomicU64,
+    bytes: AtomicU64,
+    errors: AtomicU64,
+    /// Set when a failed append could not be rolled back: later appends
+    /// would land unreachably behind a torn record, so the journal
+    /// refuses them instead of silently losing them.
+    broken: AtomicBool,
+}
+
+/// Scans `buf` as a frame sequence; returns the good records and the
+/// byte offset the good prefix ends at.
+fn scan(buf: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while buf.len() - at >= 16 {
+        let len = u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes")) as usize;
+        let sum = u64::from_le_bytes(buf[at + 8..at + 16].try_into().expect("8 bytes"));
+        if len > MAX_FRAME_BYTES || buf.len() - at - 16 < len {
+            break; // insane length or torn payload
+        }
+        let payload = &buf[at + 16..at + 16 + len];
+        if fnv1a(FNV_OFFSET, payload) != sum {
+            break; // torn or corrupted payload
+        }
+        let Some(record) = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| json::parse(s).ok())
+            .and_then(|v| Record::from_json(&v))
+        else {
+            break; // checksum ok but not a record we understand
+        };
+        records.push(record);
+        at += 16 + len;
+    }
+    (records, at)
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, replays its
+    /// record sequence, and truncates any torn tail so subsequent appends
+    /// extend a verified prefix.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> io::Result<(Journal, Replay)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let (records, good) = scan(&buf);
+        let truncated = (buf.len() - good) as u64;
+        if truncated > 0 {
+            file.set_len(good as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+                policy,
+                records: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                broken: AtomicBool::new(false),
+            },
+            Replay { records, truncated },
+        ))
+    }
+
+    /// Appends one record (framed, checksummed, fsynced per policy).
+    ///
+    /// On failure — real I/O error or an injected journal fault — the
+    /// file is rolled back to the pre-append offset so the journal never
+    /// carries a torn record while the process lives; the caller answers
+    /// `internal_error` and the op stays unacknowledged.
+    pub fn append(&self, record: &Record, injector: Option<&FaultInjector>) -> io::Result<()> {
+        if self.broken.load(Ordering::Acquire) {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(
+                "journal is broken (an earlier failed append could not be rolled back)",
+            ));
+        }
+        let payload = json::write(&record.to_json());
+        let bytes = payload.as_bytes();
+        let mut frame = Vec::with_capacity(16 + bytes.len());
+        frame.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(FNV_OFFSET, bytes).to_le_bytes());
+        frame.extend_from_slice(bytes);
+
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        let start = file.seek(SeekFrom::End(0))?;
+        let wrote = (|| -> io::Result<()> {
+            if let Some(inj) = injector {
+                if inj.should(FaultSite::JournalError) {
+                    return Err(io::Error::other("injected journal write error"));
+                }
+                if inj.should(FaultSite::JournalShort) {
+                    // Land a real torn frame, then report the failure.
+                    file.write_all(&frame[..frame.len() / 2])?;
+                    return Err(io::Error::other("injected short journal write"));
+                }
+            }
+            file.write_all(&frame)?;
+            if self.policy == FsyncPolicy::Always {
+                file.sync_data()?;
+            }
+            Ok(())
+        })();
+        match wrote {
+            Ok(()) => {
+                self.records.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                let repaired = file
+                    .set_len(start)
+                    .and_then(|()| file.seek(SeekFrom::Start(start)).map(|_| ()));
+                if repaired.is_err() {
+                    self.broken.store(true, Ordering::Release);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Records appended successfully this run.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Bytes appended successfully this run (headers included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Failed appends this run.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Maps a journal failure into the wire error the client sees.
+pub(crate) fn journal_error(e: &io::Error) -> ProtocolError {
+    ProtocolError::new(
+        crate::protocol::ErrorKind::Internal,
+        format!("journal append failed; op not durable, not acknowledged: {e}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pmc-journal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Load {
+                n: 4,
+                edges: vec![(0, 1, 2), (1, 2, 3), (2, 3, 1), (0, 3, 9)],
+            },
+            Record::Update {
+                from: "g-0011223344556677".into(),
+                seed: 42,
+                ops: vec![
+                    UpdateOp::AddEdge { u: 1, v: 3, w: 5 },
+                    UpdateOp::RemoveEdge { u: 1, v: 2 },
+                    UpdateOp::ReweightEdge {
+                        u: 3,
+                        v: 4,
+                        w: u64::MAX,
+                    },
+                ],
+            },
+            Record::Hints { pool: 3, arenas: 2 },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_open() {
+        let path = tmp("roundtrip");
+        let (journal, replay) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        assert!(replay.records.is_empty());
+        for r in sample_records() {
+            journal.append(&r, None).unwrap();
+        }
+        assert_eq!(journal.records(), 3);
+        assert!(journal.bytes() > 0);
+        drop(journal);
+        let (journal, replay) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replay.records, sample_records());
+        assert_eq!(replay.truncated, 0);
+        assert_eq!(journal.records(), 0); // per-run counter
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_survives() {
+        let path = tmp("torn");
+        let (journal, _) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        for r in sample_records() {
+            journal.append(&r, None).unwrap();
+        }
+        drop(journal);
+        // Tear the file mid-way through the last record.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(replay.records, sample_records()[..2].to_vec());
+        // Everything from the torn record's frame header on is gone.
+        assert_eq!(replay.truncated, 49 - 7); // hints frame (16 + 33) minus the cut
+                                              // The truncation is durable: a re-open sees a clean prefix.
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.truncated, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_checksum_cuts_the_replay_there() {
+        let path = tmp("corrupt");
+        let (journal, _) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        for r in sample_records() {
+            journal.append(&r, None).unwrap();
+        }
+        drop(journal);
+        let mut full = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the first record (frame header is 16 bytes).
+        full[20] ^= 0xff;
+        std::fs::write(&path, &full).unwrap();
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.truncated, full.len() as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_journal_faults_error_but_roll_back_cleanly() {
+        let path = tmp("inject");
+        let (journal, _) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        let records = sample_records();
+        journal.append(&records[0], None).unwrap();
+        // journal=1 fires on the first draw; short=1 on the next append's
+        // first draw (journal is drawn first and must miss, so use p=0
+        // by separate injectors).
+        let err_inj = FaultInjector::new(FaultPlan::parse("1:journal=1").unwrap());
+        assert!(journal.append(&records[1], Some(&err_inj)).is_err());
+        let short_inj = FaultInjector::new(FaultPlan::parse("1:short=1").unwrap());
+        assert!(journal.append(&records[1], Some(&short_inj)).is_err());
+        assert_eq!(journal.errors(), 2);
+        // Both failures rolled back: a good append still lands, and the
+        // replayed sequence is exactly the acknowledged ones.
+        journal.append(&records[2], None).unwrap();
+        drop(journal);
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(replay.records, vec![records[0].clone(), records[2].clone()]);
+        assert_eq!(replay.truncated, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`service`] — the dispatcher: request handling over a shared
 //!   [`Service`] value, the pipelined stdin/stdout loop, and the
 //!   thread-per-connection TCP front end (`--listen`).
+//! * [`journal`] — the write-ahead journal (`--journal`): committed loads
+//!   and updates framed with length + checksum, replayed on startup,
+//!   torn tails truncated.
+//! * [`faults`] — deterministic seeded fault injection
+//!   (`--inject-faults`): worker panics, solve delays, journal write
+//!   failures, all replayable from a seed.
 //!
 //! Responses are deterministic: for a given `(graph, solver, seed)` the
 //! cut value and witness digest are identical at every `--threads` width
@@ -37,17 +43,22 @@
 //!     graphs: vec![id],
 //!     solver: "paper".into(),
 //!     seed: 7,
+//!     deadline_ms: None,
 //! });
 //! let Response::Solved { results } = resp else { panic!() };
 //! assert_eq!(results[0].value, 2); // the 4-cycle's minimum cut
 //! ```
 
 pub mod cache;
+pub mod faults;
+pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod service;
 
 pub use cache::GraphCache;
+pub use faults::{FaultInjector, FaultPlan, FaultSite};
+pub use journal::{FsyncPolicy, Journal, Record};
 pub use protocol::{
     ErrorKind, LoadSource, ProtocolError, Request, Response, SolveOutcome, StatsSnapshot,
 };

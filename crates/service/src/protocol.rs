@@ -83,6 +83,18 @@ pub enum ErrorKind {
     /// The connection was accepted while the service was shutting down;
     /// no request on it will be served.
     ShuttingDown,
+    /// The request's deadline (its `deadline_ms` field, or the service's
+    /// `--request-timeout-ms` default) passed before the solve finished;
+    /// the work was cancelled cooperatively and its admission slots were
+    /// released.
+    TimedOut,
+    /// A worker panicked while serving the request. The panic was
+    /// isolated: the poisoned workspace was discarded and the service
+    /// keeps running.
+    Internal,
+    /// The connection sat idle past `--idle-timeout-ms`; the service
+    /// answered this frame and closed the connection cleanly.
+    IdleTimeout,
 }
 
 impl ErrorKind {
@@ -100,11 +112,14 @@ impl ErrorKind {
             ErrorKind::Io => "io",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::TimedOut => "timed_out",
+            ErrorKind::Internal => "internal_error",
+            ErrorKind::IdleTimeout => "idle_timeout",
         }
     }
 
     /// Every kind, for generators and round-trip tests.
-    pub const ALL: [ErrorKind; 11] = [
+    pub const ALL: [ErrorKind; 14] = [
         ErrorKind::Frame,
         ErrorKind::Json,
         ErrorKind::Request,
@@ -116,6 +131,9 @@ impl ErrorKind {
         ErrorKind::Io,
         ErrorKind::Overloaded,
         ErrorKind::ShuttingDown,
+        ErrorKind::TimedOut,
+        ErrorKind::Internal,
+        ErrorKind::IdleTimeout,
     ];
 
     fn from_str(s: &str) -> Option<Self> {
@@ -131,15 +149,26 @@ pub struct ProtocolError {
     pub kind: ErrorKind,
     /// Human-readable detail.
     pub detail: String,
+    /// Backoff hint in milliseconds, attached to `overloaded` rejections.
+    /// Serialized only when present, so every error frame that does not
+    /// carry one stays byte-identical to earlier protocol versions.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtocolError {
-    /// Constructs an error of `kind`.
+    /// Constructs an error of `kind` (no retry hint).
     pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
         ProtocolError {
             kind,
             detail: detail.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a `retry_after_ms` backoff hint to the error frame.
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -253,6 +282,10 @@ pub enum Request {
         solver: String,
         /// Solver randomness seed.
         seed: u64,
+        /// Per-request deadline in milliseconds; overrides the service's
+        /// `--request-timeout-ms` default. Past it, the solve is
+        /// cancelled cooperatively and answered `timed_out`.
+        deadline_ms: Option<u64>,
     },
     /// Mutate a cached graph and re-solve it incrementally.
     Update {
@@ -264,6 +297,9 @@ pub enum Request {
         /// Solver randomness seed (pins the packing when a snapshot has
         /// to be built).
         seed: u64,
+        /// Per-request deadline in milliseconds; overrides the service's
+        /// `--request-timeout-ms` default.
+        deadline_ms: Option<u64>,
     },
     /// Service counters snapshot.
     Stats,
@@ -334,7 +370,10 @@ impl Request {
                 }
             }
             "solve" => {
-                check_fields(&v, &["op", "graph", "graphs", "solver", "seed"])?;
+                check_fields(
+                    &v,
+                    &["op", "graph", "graphs", "solver", "seed", "deadline_ms"],
+                )?;
                 let single = str_field(&v, "graph")?;
                 let many = match v.get("graphs") {
                     None => None,
@@ -374,10 +413,11 @@ impl Request {
                     graphs,
                     solver: str_field(&v, "solver")?.unwrap_or_else(|| DEFAULT_SOLVER.into()),
                     seed: u64_field(&v, "seed")?.unwrap_or(DEFAULT_SEED),
+                    deadline_ms: u64_field(&v, "deadline_ms")?,
                 })
             }
             "update" => {
-                check_fields(&v, &["op", "graph", "ops", "seed"])?;
+                check_fields(&v, &["op", "graph", "ops", "seed", "deadline_ms"])?;
                 let graph = str_field(&v, "graph")?
                     .ok_or_else(|| req_err("update requires a \"graph\" id"))?;
                 let Some(Json::Arr(items)) = v.get("ops") else {
@@ -436,6 +476,7 @@ impl Request {
                     graph,
                     ops,
                     seed: u64_field(&v, "seed")?.unwrap_or(DEFAULT_SEED),
+                    deadline_ms: u64_field(&v, "deadline_ms")?,
                 })
             }
             "stats" => {
@@ -465,6 +506,7 @@ impl Request {
                 graphs,
                 solver,
                 seed,
+                deadline_ms,
             } => {
                 let mut fields = vec![("op", json::s("solve"))];
                 if graphs.len() == 1 {
@@ -477,9 +519,17 @@ impl Request {
                 }
                 fields.push(("solver", json::s(solver.clone())));
                 fields.push(("seed", json::n(*seed)));
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms", json::n(*d)));
+                }
                 json::obj(fields)
             }
-            Request::Update { graph, ops, seed } => {
+            Request::Update {
+                graph,
+                ops,
+                seed,
+                deadline_ms,
+            } => {
                 let items = ops
                     .iter()
                     .map(|op| {
@@ -498,12 +548,16 @@ impl Request {
                         json::obj(fields)
                     })
                     .collect();
-                json::obj(vec![
+                let mut fields = vec![
                     ("op", json::s("update")),
                     ("graph", json::s(graph.clone())),
                     ("ops", json::arr(items)),
                     ("seed", json::n(*seed)),
-                ])
+                ];
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms", json::n(*d)));
+                }
+                json::obj(fields)
             }
             Request::Stats => json::obj(vec![("op", json::s("stats"))]),
             Request::Shutdown => json::obj(vec![("op", json::s("shutdown"))]),
@@ -612,6 +666,38 @@ pub struct PoolCounters {
     pub available: u64,
 }
 
+/// Fault counters inside a [`StatsSnapshot`]: what the fault-tolerant
+/// core absorbed without dying.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Worker panics caught by the solve path's `catch_unwind` isolation
+    /// (each discarded one pooled workspace and answered
+    /// `internal_error`).
+    pub panics: u64,
+    /// Requests answered `timed_out` after cooperative cancellation.
+    pub timeouts: u64,
+    /// Faults fired by the `--inject-faults` harness (0 in production).
+    pub injected: u64,
+}
+
+/// Write-ahead journal counters inside a [`StatsSnapshot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalCounters {
+    /// 1 when the service runs with `--journal`, else 0.
+    pub enabled: u64,
+    /// Records appended this run (committed loads and updates).
+    pub records: u64,
+    /// Bytes appended this run (frame headers included).
+    pub bytes: u64,
+    /// Records replayed from the journal at startup.
+    pub replayed: u64,
+    /// Bytes of torn tail truncated from the journal at startup.
+    pub truncated: u64,
+    /// Append failures (each answered `internal_error`, leaving the
+    /// unjournaled op unacknowledged).
+    pub errors: u64,
+}
+
 /// The `stats` response payload.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -629,6 +715,10 @@ pub struct StatsSnapshot {
     pub pool: PoolCounters,
     /// Incremental-vs-full `update` solve counters.
     pub dynamic: DynamicCounters,
+    /// Absorbed-fault counters (panics, timeouts, injected faults).
+    pub faults: FaultCounters,
+    /// Write-ahead journal counters.
+    pub journal: JournalCounters,
     /// Individual graph solves executed (a batch of k counts k).
     pub solves: u64,
 }
@@ -798,6 +888,25 @@ impl Response {
                         ("full", json::n(s.dynamic.full)),
                     ]),
                 ),
+                (
+                    "faults",
+                    json::obj(vec![
+                        ("panics", json::n(s.faults.panics)),
+                        ("timeouts", json::n(s.faults.timeouts)),
+                        ("injected", json::n(s.faults.injected)),
+                    ]),
+                ),
+                (
+                    "journal",
+                    json::obj(vec![
+                        ("enabled", json::n(s.journal.enabled)),
+                        ("records", json::n(s.journal.records)),
+                        ("bytes", json::n(s.journal.bytes)),
+                        ("replayed", json::n(s.journal.replayed)),
+                        ("truncated", json::n(s.journal.truncated)),
+                        ("errors", json::n(s.journal.errors)),
+                    ]),
+                ),
                 ("solves", json::n(s.solves)),
             ]),
             Response::Shutdown { served } => json::obj(vec![
@@ -805,12 +914,18 @@ impl Response {
                 ("op", json::s("shutdown")),
                 ("served", json::n(*served)),
             ]),
-            Response::Error(e) => json::obj(vec![
-                ("ok", Json::Bool(false)),
-                ("op", json::s("error")),
-                ("kind", json::s(e.kind.as_str())),
-                ("detail", json::s(e.detail.clone())),
-            ]),
+            Response::Error(e) => {
+                let mut fields = vec![
+                    ("ok", Json::Bool(false)),
+                    ("op", json::s("error")),
+                    ("kind", json::s(e.kind.as_str())),
+                    ("detail", json::s(e.detail.clone())),
+                ];
+                if let Some(ms) = e.retry_after_ms {
+                    fields.push(("retry_after_ms", json::n(ms)));
+                }
+                json::obj(fields)
+            }
         };
         json::write(&v)
     }
@@ -830,7 +945,11 @@ impl Response {
                 .and_then(|k| ErrorKind::from_str(&k))
                 .ok_or_else(|| req_err("error response with unknown \"kind\""))?;
             let detail = str_field(&v, "detail")?.unwrap_or_default();
-            return Ok(Response::Error(ProtocolError::new(kind, detail)));
+            let mut err = ProtocolError::new(kind, detail);
+            if let Some(ms) = u64_field(&v, "retry_after_ms")? {
+                err = err.with_retry_after(ms);
+            }
+            return Ok(Response::Error(err));
         }
         let need_u64 = |obj: &Json, key: &str| -> Result<u64, ProtocolError> {
             u64_field(obj, key)?.ok_or_else(|| req_err(format!("missing \"{key}\"")))
@@ -951,6 +1070,25 @@ impl Response {
                     dynamic: DynamicCounters {
                         incremental: need_u64(&sub("dynamic")?, "incremental")?,
                         full: need_u64(&sub("dynamic")?, "full")?,
+                    },
+                    faults: {
+                        let faults = sub("faults")?;
+                        FaultCounters {
+                            panics: need_u64(&faults, "panics")?,
+                            timeouts: need_u64(&faults, "timeouts")?,
+                            injected: need_u64(&faults, "injected")?,
+                        }
+                    },
+                    journal: {
+                        let journal = sub("journal")?;
+                        JournalCounters {
+                            enabled: need_u64(&journal, "enabled")?,
+                            records: need_u64(&journal, "records")?,
+                            bytes: need_u64(&journal, "bytes")?,
+                            replayed: need_u64(&journal, "replayed")?,
+                            truncated: need_u64(&journal, "truncated")?,
+                            errors: need_u64(&journal, "errors")?,
+                        }
                     },
                     solves: need_u64(&v, "solves")?,
                 }))
@@ -1104,11 +1242,13 @@ mod tests {
                 graphs: vec!["g-0011223344556677".into()],
                 solver: "paper".into(),
                 seed: u64::MAX,
+                deadline_ms: None,
             },
             Request::Solve {
                 graphs: vec!["g-aa".into(), "g-bb".into(), "g-cc".into()],
                 solver: "sw".into(),
                 seed: 0,
+                deadline_ms: Some(2500),
             },
             Request::Update {
                 graph: "g-0011223344556677".into(),
@@ -1122,6 +1262,7 @@ mod tests {
                     },
                 ],
                 seed: 42,
+                deadline_ms: Some(100),
             },
             Request::Stats,
             Request::Shutdown,
@@ -1142,8 +1283,37 @@ mod tests {
                 graphs: vec!["g-1".into()],
                 solver: DEFAULT_SOLVER.into(),
                 seed: DEFAULT_SEED,
+                deadline_ms: None,
             }
         );
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_rejects_non_u64() {
+        let req =
+            Request::parse_frame(r#"{"op":"solve","graph":"g-1","deadline_ms":250}"#).unwrap();
+        assert!(matches!(
+            req,
+            Request::Solve {
+                deadline_ms: Some(250),
+                ..
+            }
+        ));
+        let err = Request::parse_frame(r#"{"op":"solve","graph":"g-1","deadline_ms":"soon"}"#)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Request);
+    }
+
+    #[test]
+    fn retry_after_hint_round_trips_and_is_absent_by_default() {
+        let plain = Response::Error(ProtocolError::new(ErrorKind::Overloaded, "busy"));
+        assert!(!plain.to_frame().contains("retry_after_ms"));
+        let hinted =
+            Response::Error(ProtocolError::new(ErrorKind::Overloaded, "busy").with_retry_after(40));
+        let frame = hinted.to_frame();
+        assert!(frame.contains("\"retry_after_ms\":40"), "{frame}");
+        assert_eq!(Response::parse_frame(&frame).unwrap(), hinted);
+        assert_ne!(Response::parse_frame(&frame).unwrap(), plain);
     }
 
     #[test]
@@ -1193,6 +1363,7 @@ mod tests {
                 graph: "g-1".into(),
                 ops: vec![UpdateOp::RemoveEdge { u: 1, v: 2 }],
                 seed: DEFAULT_SEED,
+                deadline_ms: None,
             }
         );
         for mode in UpdateMode::ALL {

@@ -27,24 +27,53 @@
 //! request answers, only whether it is answered: the determinism
 //! invariant (bit-identical responses at every thread count and arrival
 //! order) holds for every admitted request.
+//!
+//! ## Fault tolerance
+//!
+//! Every admitted request gets exactly one structured response, whatever
+//! fails underneath it:
+//!
+//! * **Deadlines** — `--request-timeout-ms` (or a per-request
+//!   `deadline_ms` field) arms a [`CancelToken`] that the solver checks
+//!   between per-tree sweeps; an expired solve answers
+//!   [`ErrorKind::TimedOut`] and releases its admission slots instead of
+//!   running to completion.
+//! * **Panic isolation** — worker solves run under `catch_unwind`; a
+//!   panicking worker answers [`ErrorKind::Internal`], its (possibly
+//!   corrupt) pooled workspace is discarded rather than checked back in,
+//!   and `stats.faults.panics` counts the event.
+//! * **Journal** — with `--journal`, committed loads and updates are
+//!   appended to a write-ahead journal (see [`crate::journal`]) *before*
+//!   the acknowledgement is written, and replayed on startup; a failed
+//!   append backs the op out of the cache and answers
+//!   [`ErrorKind::Internal`], so residency, journal, and
+//!   acknowledgements never disagree.
+//! * **Fault injection** — `--inject-faults` (see [`crate::faults`])
+//!   drives all of the above deterministically from a seed, which is how
+//!   the chaos tests and the CI chaos-smoke job exercise these paths.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use pmc_core::{
-    apply_delta, solver_by_name, MutationOp, ResolveMode, SolveState, SolverConfig, WorkspacePool,
-    DEFAULT_STALENESS,
+    apply_delta, solver_by_name, CancelToken, MutationOp, PmcError, ResolveMode, SolveState,
+    SolverConfig, WorkspacePool, DEFAULT_STALENESS,
 };
 use pmc_graph::io::{read_dimacs, read_edge_list, read_path, IoError};
 use pmc_graph::Graph;
 
 use crate::cache::{CommitError, GraphCache, DEFAULT_CACHE_SHARDS};
+use crate::faults::{splitmix64, FaultInjector, FaultPlan, FaultSite};
+use crate::journal::{journal_error, FsyncPolicy, Journal, Record};
 use crate::protocol::{
-    partition_digest, read_frame, AdmissionCounters, DynamicCounters, ErrorKind, LoadSource,
-    PoolCounters, ProtocolError, Request, RequestCounters, Response, SolveOutcome, StatsSnapshot,
-    UpdateMode, UpdateOp,
+    fnv1a, partition_digest, read_frame, AdmissionCounters, DynamicCounters, ErrorKind,
+    FaultCounters, JournalCounters, LoadSource, PoolCounters, ProtocolError, Request,
+    RequestCounters, Response, SolveOutcome, StatsSnapshot, UpdateMode, UpdateOp, FNV_OFFSET,
 };
 
 /// How many times an `update` re-runs after losing a commit race before
@@ -77,6 +106,21 @@ pub struct ServiceConfig {
     /// reported as 0, making full sessions byte-identical across runs —
     /// the mode the determinism tests and golden files use.
     pub timing: bool,
+    /// Default per-request deadline in milliseconds
+    /// (`--request-timeout-ms`); 0 = none. A request's own `deadline_ms`
+    /// field overrides it.
+    pub request_timeout_ms: u64,
+    /// TCP idle timeout in milliseconds (`--idle-timeout-ms`); 0 =
+    /// disabled. A silent connection gets a structured `idle_timeout`
+    /// frame and a clean close instead of holding a thread forever.
+    pub idle_timeout_ms: u64,
+    /// Write-ahead journal path (`--journal`); `None` = no journal.
+    pub journal: Option<PathBuf>,
+    /// Journal durability policy (`--fsync`).
+    pub fsync: FsyncPolicy,
+    /// Seeded fault-injection plan (`--inject-faults`); `None` in
+    /// production.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +133,11 @@ impl Default for ServiceConfig {
             max_inflight: 0,
             staleness: DEFAULT_STALENESS,
             timing: true,
+            request_timeout_ms: 0,
+            idle_timeout_ms: 0,
+            journal: None,
+            fsync: FsyncPolicy::Always,
+            faults: None,
         }
     }
 }
@@ -170,6 +219,12 @@ pub struct Service {
     admission: Admission,
     pool: WorkspacePool,
     start: Instant,
+    request_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    journal: Option<Journal>,
+    injector: Option<FaultInjector>,
+    journal_replayed: u64,
+    journal_truncated: u64,
     loads: AtomicU64,
     solve_requests: AtomicU64,
     update_requests: AtomicU64,
@@ -179,11 +234,23 @@ pub struct Service {
     incremental_solves: AtomicU64,
     full_solves: AtomicU64,
     answered: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl Service {
     /// A fresh service; the pool warms up as requests arrive.
+    ///
+    /// Panics when [`ServiceConfig::journal`] is set and the journal
+    /// cannot be opened or replayed — use [`Service::open`] to handle
+    /// that error.
     pub fn new(cfg: &ServiceConfig) -> Self {
+        Self::open(cfg).expect("service construction failed")
+    }
+
+    /// [`Service::new`], but journal open/replay failures come back as
+    /// an error instead of a panic (the `pmc serve` entry point).
+    pub fn open(cfg: &ServiceConfig) -> Result<Self, String> {
         let threads = if cfg.threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
@@ -199,7 +266,8 @@ impl Service {
         } else {
             cfg.max_inflight as u64
         };
-        Service {
+        let nonzero_ms = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+        let mut service = Service {
             threads,
             timing: cfg.timing,
             staleness: cfg.staleness,
@@ -207,6 +275,12 @@ impl Service {
             admission: Admission::new(max_inflight),
             pool: WorkspacePool::new(),
             start: Instant::now(),
+            request_timeout: nonzero_ms(cfg.request_timeout_ms),
+            idle_timeout: nonzero_ms(cfg.idle_timeout_ms),
+            journal: None,
+            injector: cfg.faults.clone().map(FaultInjector::new),
+            journal_replayed: 0,
+            journal_truncated: 0,
             loads: AtomicU64::new(0),
             solve_requests: AtomicU64::new(0),
             update_requests: AtomicU64::new(0),
@@ -216,7 +290,65 @@ impl Service {
             incremental_solves: AtomicU64::new(0),
             full_solves: AtomicU64::new(0),
             answered: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        };
+        if let Some(path) = &cfg.journal {
+            let (journal, replay) = Journal::open(path, cfg.fsync)
+                .map_err(|e| format!("journal {}: {e}", path.display()))?;
+            service.journal_replayed = replay.records.len() as u64;
+            service.journal_truncated = replay.truncated;
+            service.replay(replay.records)?;
+            // Installed only after replay: replayed ops must not be
+            // re-appended to the journal they came from.
+            service.journal = Some(journal);
         }
+        Ok(service)
+    }
+
+    /// Re-applies a recovered journal record sequence to the empty
+    /// store: loads re-insert their graphs (content addressing makes
+    /// this idempotent and reproduces the original ids), updates re-run
+    /// under their original seeds (reproducing the original re-keyed
+    /// ids and snapshots bit-identically), and the last hints record
+    /// pre-warms the workspace pool to its previous high-water shape.
+    ///
+    /// Replay is quiet: it touches no request counters and appends
+    /// nothing, so a replayed service's `stats` reflect only post-restart
+    /// traffic (plus `journal.replayed`).
+    fn replay(&self, records: Vec<Record>) -> Result<(), String> {
+        let mut hints = None;
+        for (i, record) in records.iter().enumerate() {
+            let fail = |detail: String| format!("journal replay: record {i}: {detail}");
+            match record {
+                Record::Load { n, edges } => {
+                    let graph = Graph::from_edges(*n as usize, edges)
+                        .map_err(|e| fail(format!("load: {e}")))?;
+                    self.cache
+                        .insert(graph)
+                        .map_err(|e| fail(format!("load: {}", e.detail)))?;
+                }
+                Record::Update { from, seed, ops } => {
+                    // Single-threaded replay cannot lose a commit race.
+                    match self.update_once(from, ops, *seed, None, true) {
+                        Ok(Some(_)) => {}
+                        Ok(None) => return Err(fail(format!("update on {from}: commit conflict"))),
+                        Err(e) => return Err(fail(format!("update on {from}: {}", e.detail))),
+                    }
+                }
+                Record::Hints { pool, arenas } => hints = Some((*pool, *arenas)),
+            }
+        }
+        if let Some((pool, arenas)) = hints {
+            // Warm start: materialize the previous run's high-water
+            // workspace shape now, instead of re-growing it under the
+            // first post-restart burst (closes the PR 5 follow-up).
+            let mut warmed: Vec<_> = (0..pool.min(64)).map(|_| self.pool.checkout()).collect();
+            for ws in &mut warmed {
+                ws.tree_arenas((arenas as usize).clamp(1, 256));
+            }
+        }
+        Ok(())
     }
 
     /// The effective batch fan-out width.
@@ -249,14 +381,20 @@ impl Service {
                 graphs,
                 solver,
                 seed,
-            } => match self.solve(graphs, solver, *seed) {
+                deadline_ms,
+            } => match self.solve(graphs, solver, *seed, *deadline_ms) {
                 Ok(results) => {
                     self.solve_requests.fetch_add(1, Ordering::Relaxed);
                     (Response::Solved { results }, false)
                 }
                 Err(e) => (self.error_response(e), false),
             },
-            Request::Update { graph, ops, seed } => match self.update(graph, ops, *seed) {
+            Request::Update {
+                graph,
+                ops,
+                seed,
+                deadline_ms,
+            } => match self.update(graph, ops, *seed, *deadline_ms) {
                 Ok(resp) => {
                     self.update_requests.fetch_add(1, Ordering::Relaxed);
                     (resp, false)
@@ -267,13 +405,40 @@ impl Service {
                 self.stats_requests.fetch_add(1, Ordering::Relaxed);
                 (Response::Stats(self.stats_snapshot()), false)
             }
-            Request::Shutdown => (
-                Response::Shutdown {
-                    served: self.answered.load(Ordering::Relaxed).max(1),
-                },
-                true,
-            ),
+            Request::Shutdown => {
+                // Graceful exit is the one moment the pool's high-water
+                // shape is both final and worth keeping: persist it so
+                // the next run starts warm. Best-effort — a full disk
+                // must not block shutdown.
+                if let Some(journal) = &self.journal {
+                    let pool = self.pool.stats();
+                    let _ = journal.append(
+                        &Record::Hints {
+                            pool: (pool.created.min(pool.available as u64)).max(1),
+                            arenas: self.threads as u64,
+                        },
+                        None,
+                    );
+                }
+                (
+                    Response::Shutdown {
+                        served: self.answered.load(Ordering::Relaxed).max(1),
+                    },
+                    true,
+                )
+            }
         }
+    }
+
+    /// The cancellation token for a request, if any deadline applies:
+    /// the request's own `deadline_ms` wins, else the service default.
+    fn cancel_token(&self, deadline_ms: Option<u64>) -> Option<Arc<CancelToken>> {
+        let budget = deadline_ms
+            .map(Duration::from_millis)
+            .or(self.request_timeout)?;
+        Some(Arc::new(CancelToken::with_deadline(
+            Instant::now() + budget,
+        )))
     }
 
     /// Counts an error response; used for frame-level failures too (the
@@ -296,12 +461,35 @@ impl Service {
         };
         let n = graph.n() as u64;
         let m = graph.m() as u64;
+        // Snapshot the edge list — in stored order, not canonicalized:
+        // solver tie-breaks among equal-value cuts follow edge ids, so a
+        // replayed graph must reproduce the exact edge ordering, not
+        // just the same content id. Taken before the graph moves into
+        // the cache; journaled only for genuinely new entries below.
+        let journal_edges = self
+            .journal
+            .as_ref()
+            .map(|_| graph.edges().iter().map(|e| (e.u, e.v, e.w)).collect());
         let (id, cached) = self.cache.insert(graph)?;
+        if !cached {
+            if let (Some(journal), Some(edges)) = (&self.journal, journal_edges) {
+                if let Err(e) = journal.append(&Record::Load { n, edges }, self.injector.as_ref()) {
+                    // Back the insert out before answering: residency
+                    // must stay atomic with the journal, or a re-load
+                    // would be acknowledged from cache without a record
+                    // and silently lost on replay.
+                    self.cache.remove(&id);
+                    return Err(journal_error(&e));
+                }
+            }
+        }
         Ok(Response::Loaded { id, n, m, cached })
     }
 
     /// Rejection answered when the admission gate is full (or the
-    /// request alone exceeds the whole budget).
+    /// request alone exceeds the whole budget). Carries a
+    /// `retry_after_ms` hint scaled to the refused cost: heavier
+    /// requests take longer to drain ahead of you.
     fn overloaded(&self, cost: u64) -> ProtocolError {
         ProtocolError::new(
             ErrorKind::Overloaded,
@@ -310,6 +498,7 @@ impl Service {
                 self.admission.max
             ),
         )
+        .with_retry_after((10 * cost).clamp(10, 250))
     }
 
     fn solve(
@@ -317,6 +506,7 @@ impl Service {
         ids: &[String],
         solver_name: &str,
         seed: u64,
+        deadline_ms: Option<u64>,
     ) -> Result<Vec<SolveOutcome>, ProtocolError> {
         // The wire parser rejects empty batches; guard the public API
         // path too (clamp(1, 0) below would panic).
@@ -366,17 +556,73 @@ impl Service {
         };
         let mut workspaces: Vec<_> = (0..workers).map(|_| self.pool.checkout()).collect();
         let timing = self.timing;
+        let token = self.cancel_token(deadline_ms);
+        let injector = self.injector.as_ref();
+        // Each unit runs under `catch_unwind`: a panicking worker must
+        // cost exactly one error response, not the process. `None` marks
+        // a panicked unit; its workspace is discarded (never checked
+        // back in) and the guard refilled so the worker can keep serving
+        // the batch's remaining units. Injected faults fire *inside* the
+        // guard so an injected panic is caught like a real one.
         let outcomes = pmc_par::fanout_units(&mut workspaces, ids.len(), |ws, i| {
+            if let Some(token) = &token {
+                ws.install_cancel(Arc::clone(token));
+            }
             let t = Instant::now();
-            let result = solver.solve_with(&graphs[i], &cfg, ws);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                if let Some(inj) = injector {
+                    if inj.should(FaultSite::SolveDelay) {
+                        std::thread::sleep(Duration::from_millis(inj.delay_ms()));
+                    }
+                    if inj.should(FaultSite::WorkerPanic) {
+                        panic!("injected worker panic");
+                    }
+                }
+                solver.solve_with(&graphs[i], &cfg, ws)
+            }));
             let micros = if timing { t.elapsed().as_micros() } else { 0 };
-            (result, micros)
+            match result {
+                Ok(r) => {
+                    ws.clear_cancel();
+                    (Some(r), micros)
+                }
+                Err(_) => {
+                    ws.discard();
+                    (None, micros)
+                }
+            }
         });
         drop(workspaces);
+        let panicked = outcomes.iter().filter(|(o, _)| o.is_none()).count() as u64;
+        if panicked > 0 {
+            self.panics.fetch_add(panicked, Ordering::Relaxed);
+        }
+        // Map in id order so the first failure decides the (single)
+        // error frame deterministically, independent of worker count.
         let mut results = Vec::with_capacity(ids.len());
         for (id, (outcome, micros)) in ids.iter().zip(outcomes) {
-            let r = outcome
-                .map_err(|e| ProtocolError::new(ErrorKind::Solve, format!("graph {id}: {e}")))?;
+            let r = match outcome {
+                Some(Ok(r)) => r,
+                Some(Err(PmcError::Cancelled)) => {
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(ProtocolError::new(
+                        ErrorKind::TimedOut,
+                        format!("graph {id}: {}", PmcError::Cancelled),
+                    ));
+                }
+                Some(Err(e)) => {
+                    return Err(ProtocolError::new(
+                        ErrorKind::Solve,
+                        format!("graph {id}: {e}"),
+                    ))
+                }
+                None => {
+                    return Err(ProtocolError::new(
+                        ErrorKind::Internal,
+                        format!("graph {id}: worker panicked during solve; workspace discarded"),
+                    ))
+                }
+            };
             results.push(SolveOutcome {
                 graph: id.clone(),
                 solver: r.algorithm.to_string(),
@@ -417,7 +663,13 @@ impl Service {
     /// re-keyed id gone and answers `graph_not_loaded`, which is the
     /// truthful outcome: the graph it addressed no longer exists under
     /// that id).
-    fn update(&self, id: &str, ops: &[UpdateOp], seed: u64) -> Result<Response, ProtocolError> {
+    fn update(
+        &self,
+        id: &str,
+        ops: &[UpdateOp],
+        seed: u64,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ProtocolError> {
         if ops.is_empty() {
             return Err(ProtocolError::new(
                 ErrorKind::Request,
@@ -428,8 +680,25 @@ impl Service {
             .admission
             .try_acquire(1)
             .ok_or_else(|| self.overloaded(1))?;
-        for _ in 0..MAX_COMMIT_RETRIES {
-            match self.update_once(id, ops, seed)? {
+        let token = self.cancel_token(deadline_ms);
+        for attempt in 0..MAX_COMMIT_RETRIES as u64 {
+            if attempt > 0 {
+                // Losing the race means another writer is hammering the
+                // same id: full-jitter exponential backoff (deterministic
+                // per (id, seed, attempt)) de-synchronizes the rivals
+                // instead of letting them re-collide in lockstep.
+                let cap = 1u64 << attempt.min(6); // 2, 4, ..., capped at 64ms
+                let jitter = splitmix64(seed ^ fnv1a(FNV_OFFSET, id.as_bytes()) ^ attempt) % cap;
+                std::thread::sleep(Duration::from_millis(jitter));
+            }
+            if token.as_ref().is_some_and(|t| t.expired()) {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(ProtocolError::new(
+                    ErrorKind::TimedOut,
+                    format!("update on {id}: {}", PmcError::Cancelled),
+                ));
+            }
+            match self.update_once(id, ops, seed, token.as_ref(), false)? {
                 Some(resp) => return Ok(resp),
                 None => continue, // lost the commit race; re-run
             }
@@ -437,16 +706,23 @@ impl Service {
         Err(ProtocolError::new(
             ErrorKind::Overloaded,
             format!("update on {id} lost the commit race {MAX_COMMIT_RETRIES} times; retry"),
-        ))
+        )
+        .with_retry_after(64))
     }
 
     /// One checkout→mutate→re-solve→commit attempt. `Ok(None)` means the
     /// commit lost its version-stamp race and the caller should re-run.
+    ///
+    /// `quiet` is the journal-replay mode: no counters, no journal
+    /// append, no fault injection — replay reconstructs state, it does
+    /// not serve traffic.
     fn update_once(
         &self,
         id: &str,
         ops: &[UpdateOp],
         seed: u64,
+        cancel: Option<&Arc<CancelToken>>,
+        quiet: bool,
     ) -> Result<Option<Response>, ProtocolError> {
         let (resident, cached_state, version) =
             self.cache.checkout_for_update(id, seed).ok_or_else(|| {
@@ -456,33 +732,86 @@ impl Service {
                 )
             })?;
         let t = Instant::now();
+        // `resident` stays alive past the commit: if the journal append
+        // fails afterwards, the rollback re-registers this exact graph.
         let mut g = (*resident).clone();
-        drop(resident);
         let mut ws = self.pool.checkout();
+        if let Some(token) = cancel {
+            ws.install_cancel(Arc::clone(token));
+        }
         let threads = Some(self.threads);
-        let solve_err = |e: pmc_core::PmcError| ProtocolError::new(ErrorKind::Solve, e.to_string());
-        let (state, mode, reswept) = match cached_state {
-            Some(mut state) => {
-                for op in ops {
-                    apply_update_op(&mut g, Some(&mut state), op)?;
-                }
-                match state.resolve(&g, &mut ws, threads).map_err(solve_err)? {
-                    ResolveMode::Incremental { reswept } => {
-                        (state, UpdateMode::Incremental, reswept as u64)
+        let staleness = self.staleness;
+        let injector = if quiet { None } else { self.injector.as_ref() };
+        // The whole mutate→re-solve runs under `catch_unwind` for the
+        // same reason the solve fan-out does: a panic costs one
+        // `internal_error` response and one discarded workspace, never
+        // the process. Everything here works on clones, so an unwound
+        // attempt leaves the resident entry untouched.
+        let attempt = panic::catch_unwind(AssertUnwindSafe(
+            || -> Result<(SolveState, UpdateMode, u64), ProtocolError> {
+                if let Some(inj) = injector {
+                    if inj.should(FaultSite::SolveDelay) {
+                        std::thread::sleep(Duration::from_millis(inj.delay_ms()));
                     }
-                    ResolveMode::Repack => (state, UpdateMode::Repack, 0),
+                    if inj.should(FaultSite::WorkerPanic) {
+                        panic!("injected worker panic");
+                    }
+                }
+                let solve_err = |e: PmcError| match e {
+                    PmcError::Cancelled => {
+                        ProtocolError::new(ErrorKind::TimedOut, format!("update on {id}: {e}"))
+                    }
+                    e => ProtocolError::new(ErrorKind::Solve, e.to_string()),
+                };
+                match cached_state {
+                    Some(mut state) => {
+                        for op in ops {
+                            apply_update_op(&mut g, Some(&mut state), op)?;
+                        }
+                        match state.resolve(&g, &mut ws, threads).map_err(solve_err)? {
+                            ResolveMode::Incremental { reswept } => {
+                                Ok((state, UpdateMode::Incremental, reswept as u64))
+                            }
+                            ResolveMode::Repack => Ok((state, UpdateMode::Repack, 0)),
+                        }
+                    }
+                    None => {
+                        for op in ops {
+                            apply_update_op(&mut g, None, op)?;
+                        }
+                        let state = SolveState::fresh(&g, seed, staleness, &mut ws, threads)
+                            .map_err(solve_err)?;
+                        Ok((state, UpdateMode::Fresh, 0))
+                    }
+                }
+            },
+        ));
+        let (state, mode, reswept) = match attempt {
+            Ok(result) => {
+                ws.clear_cancel();
+                drop(ws);
+                match result {
+                    Ok(v) => v,
+                    Err(e) => {
+                        if e.kind == ErrorKind::TimedOut && !quiet {
+                            self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Err(e);
+                    }
                 }
             }
-            None => {
-                for op in ops {
-                    apply_update_op(&mut g, None, op)?;
+            Err(_) => {
+                ws.discard();
+                drop(ws);
+                if !quiet {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
                 }
-                let state = SolveState::fresh(&g, seed, self.staleness, &mut ws, threads)
-                    .map_err(solve_err)?;
-                (state, UpdateMode::Fresh, 0)
+                return Err(ProtocolError::new(
+                    ErrorKind::Internal,
+                    format!("update on {id}: worker panicked during re-solve; workspace discarded"),
+                ));
             }
         };
-        drop(ws);
         let best = state.best();
         let (value, digest) = (best.value, partition_digest(&best.side));
         let (n, m) = (g.n() as u64, g.m() as u64);
@@ -496,14 +825,40 @@ impl Service {
             Err(CommitError::Conflict) => return Ok(None),
             Err(CommitError::Protocol(e)) => return Err(e),
         };
-        // Count the solve mode only for the attempt that committed, so
-        // the dynamic counters match the responses clients actually saw.
-        match mode {
-            UpdateMode::Incremental => self.incremental_solves.fetch_add(1, Ordering::Relaxed),
-            UpdateMode::Fresh | UpdateMode::Repack => {
-                self.full_solves.fetch_add(1, Ordering::Relaxed)
+        // Journal the committed op before acknowledging it: a client
+        // that reads `updated` must find the op on disk after any crash.
+        // A failed append rolls the commit back — the mutated graph is
+        // evicted and the pre-update graph re-registered — so memory
+        // never runs ahead of the journal, and answers `internal_error`;
+        // the client retries under the id it already holds.
+        if !quiet {
+            if let Some(journal) = &self.journal {
+                if let Err(e) = journal.append(
+                    &Record::Update {
+                        from: id.to_string(),
+                        seed,
+                        ops: ops.to_vec(),
+                    },
+                    self.injector.as_ref(),
+                ) {
+                    self.cache.remove(&new_id);
+                    let _ = self.cache.insert((*resident).clone());
+                    return Err(journal_error(&e));
+                }
             }
-        };
+        }
+        // Count the solve mode only for the attempt that committed, so
+        // the dynamic counters match the responses clients actually saw
+        // (and not at all during replay — replayed traffic was counted
+        // in its original run).
+        if !quiet {
+            match mode {
+                UpdateMode::Incremental => self.incremental_solves.fetch_add(1, Ordering::Relaxed),
+                UpdateMode::Fresh | UpdateMode::Repack => {
+                    self.full_solves.fetch_add(1, Ordering::Relaxed)
+                }
+            };
+        }
         Ok(Some(Response::Updated {
             id: new_id,
             from: id.to_string(),
@@ -545,6 +900,22 @@ impl Service {
                 incremental: self.incremental_solves.load(Ordering::Relaxed),
                 full: self.full_solves.load(Ordering::Relaxed),
             },
+            faults: FaultCounters {
+                panics: self.panics.load(Ordering::Relaxed),
+                timeouts: self.timeouts.load(Ordering::Relaxed),
+                injected: self.injector.as_ref().map_or(0, |i| i.injected()),
+            },
+            journal: match &self.journal {
+                Some(j) => JournalCounters {
+                    enabled: 1,
+                    records: j.records(),
+                    bytes: j.bytes(),
+                    replayed: self.journal_replayed,
+                    truncated: self.journal_truncated,
+                    errors: j.errors(),
+                },
+                None => JournalCounters::default(),
+            },
             solves: self.solves.load(Ordering::Relaxed),
         }
     }
@@ -554,12 +925,70 @@ impl Service {
     /// on EOF or after answering a `shutdown`.
     pub fn serve_stream<R: BufRead, W: Write>(
         &self,
+        reader: R,
+        writer: W,
+    ) -> io::Result<ServeOutcome> {
+        self.serve_stream_guarded(reader, writer, None)
+    }
+
+    /// [`Service::serve_stream`] with the TCP front end's two guards:
+    ///
+    /// * `stop` — once set (another connection answered `shutdown`),
+    ///   subsequent frames on this connection get the structured
+    ///   `shutting_down` refusal and the loop ends cleanly, instead of
+    ///   racing work into a store that is going away.
+    /// * A read that fails with `WouldBlock`/`TimedOut` is the socket's
+    ///   idle timeout (`--idle-timeout-ms`): the silent client gets one
+    ///   structured `idle_timeout` frame and a clean close, so an
+    ///   abandoned connection cannot pin its thread — or wedge shutdown
+    ///   — forever.
+    fn serve_stream_guarded<R: BufRead, W: Write>(
+        &self,
         mut reader: R,
         mut writer: W,
+        stop: Option<&AtomicBool>,
     ) -> io::Result<ServeOutcome> {
         let mut frames = 0u64;
-        while let Some(frame) = read_frame(&mut reader)? {
-            let (response, stop) = match frame {
+        loop {
+            let frame = match read_frame(&mut reader) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break, // EOF
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    self.answered.fetch_add(1, Ordering::Relaxed);
+                    frames += 1;
+                    let idle = self.error_response(ProtocolError::new(
+                        ErrorKind::IdleTimeout,
+                        "connection idle past --idle-timeout-ms; closing",
+                    ));
+                    let _ = writeln!(writer, "{}", idle.to_frame());
+                    let _ = writer.flush();
+                    return Ok(ServeOutcome {
+                        frames,
+                        shutdown: false,
+                    });
+                }
+                Err(e) => return Err(e),
+            };
+            if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                self.answered.fetch_add(1, Ordering::Relaxed);
+                frames += 1;
+                let refusal = self.error_response(ProtocolError::new(
+                    ErrorKind::ShuttingDown,
+                    "service is shutting down; no requests on this connection will be served",
+                ));
+                writeln!(writer, "{}", refusal.to_frame())?;
+                writer.flush()?;
+                return Ok(ServeOutcome {
+                    frames,
+                    shutdown: false,
+                });
+            }
+            let (response, stop_now) = match frame {
                 Ok(line) if line.trim().is_empty() => continue,
                 Ok(line) => self.handle_frame(&line),
                 Err(e) => {
@@ -570,7 +999,7 @@ impl Service {
             frames += 1;
             writeln!(writer, "{}", response.to_frame())?;
             writer.flush()?;
-            if stop {
+            if stop_now {
                 return Ok(ServeOutcome {
                     frames,
                     shutdown: true,
@@ -581,6 +1010,19 @@ impl Service {
             frames,
             shutdown: false,
         })
+    }
+
+    /// Blocks (bounded) until every admitted request has released its
+    /// permits: the shutdown path calls this so in-flight solves finish
+    /// and check their workspaces back in before the process exits. The
+    /// bound is the request timeout when one is configured (no admitted
+    /// request can outlive it), else five seconds.
+    fn wait_for_drain(&self) {
+        let budget = self.request_timeout.unwrap_or(Duration::from_secs(5));
+        let deadline = Instant::now() + budget;
+        while self.admission.inflight.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     /// The TCP front end: accepts connections and serves each on its own
@@ -628,10 +1070,14 @@ impl Service {
                     let _ = socket.flush();
                     break;
                 }
+                // A configured idle timeout surfaces as WouldBlock /
+                // TimedOut reads, which the guarded loop answers with a
+                // structured `idle_timeout` frame.
+                let _ = socket.set_read_timeout(self.idle_timeout);
                 let stop = &stop;
                 scope.spawn(move || {
                     let reader = BufReader::new(&socket);
-                    let outcome = self.serve_stream(reader, &socket);
+                    let outcome = self.serve_stream_guarded(reader, &socket, Some(stop));
                     if matches!(outcome, Ok(ServeOutcome { shutdown: true, .. })) {
                         stop.store(true, Ordering::SeqCst);
                         // Unblock the accept loop so the listener exits
@@ -644,6 +1090,10 @@ impl Service {
                     }
                 });
             }
+            // Shutdown drain: let admitted requests on other connections
+            // finish (bounded) before the scope joins, so permits hit
+            // zero and every pooled workspace is checked back in.
+            self.wait_for_drain();
             Ok(())
         })
     }
@@ -768,6 +1218,7 @@ mod tests {
             graphs: vec![id.clone()],
             solver: "sw".into(),
             seed: 3,
+            deadline_ms: None,
         });
         let Response::Solved { results } = resp else {
             panic!("solve failed: {resp:?}");
@@ -801,6 +1252,7 @@ mod tests {
             graphs: vec![],
             solver: "paper".into(),
             seed: 0,
+            deadline_ms: None,
         });
         assert!(!stop);
         let Response::Error(e) = resp else {
@@ -817,6 +1269,7 @@ mod tests {
             graphs: vec!["g-feedfacefeedface".into()],
             solver: "paper".into(),
             seed: 1,
+            deadline_ms: None,
         });
         let Response::Error(e) = resp else {
             panic!("{resp:?}")
@@ -849,6 +1302,7 @@ mod tests {
                 graphs: ids,
                 solver: "paper".into(),
                 seed: 99,
+                deadline_ms: None,
             });
             let Response::Solved { results } = resp else {
                 panic!("{resp:?}")
@@ -876,6 +1330,7 @@ mod tests {
             graphs: vec![a.clone()],
             solver: "sw".into(),
             seed: 0,
+            deadline_ms: None,
         });
         let Response::Error(e) = resp else {
             panic!("{resp:?}")
@@ -887,6 +1342,7 @@ mod tests {
             graphs: vec![a],
             solver: "sw".into(),
             seed: 0,
+            deadline_ms: None,
         });
         assert!(matches!(resp, Response::Solved { .. }), "{resp:?}");
         assert_eq!(service.stats_snapshot().cache.evictions, 2);
@@ -900,6 +1356,7 @@ mod tests {
             graphs: vec![id],
             solver: "nope".into(),
             seed: 0,
+            deadline_ms: None,
         });
         let Response::Error(e) = resp else {
             panic!("{resp:?}")
@@ -933,6 +1390,7 @@ mod tests {
             graph: id.clone(),
             ops: vec![UpdateOp::ReweightEdge { u: 1, v: 2, w: 5 }],
             seed: 3,
+            deadline_ms: None,
         });
         assert!(!stop);
         let Response::Updated {
@@ -960,6 +1418,7 @@ mod tests {
             graphs: vec![id2.clone()],
             solver: "paper".into(),
             seed: 3,
+            deadline_ms: None,
         });
         let Response::Solved { results } = resp else {
             panic!("{resp:?}")
@@ -973,6 +1432,7 @@ mod tests {
             graph: id2.clone(),
             ops: vec![UpdateOp::ReweightEdge { u: 2, v: 3, w: 4 }],
             seed: 3,
+            deadline_ms: None,
         });
         let Response::Updated { mode, from, .. } = resp else {
             panic!("{resp:?}")
@@ -991,6 +1451,7 @@ mod tests {
                 graphs: vec![id],
                 solver: "paper".into(),
                 seed: 3,
+                deadline_ms: None,
             })
             .0
             .to_frame()
@@ -1020,6 +1481,7 @@ mod tests {
                 graph: id.clone(),
                 ops,
                 seed: 0,
+                deadline_ms: None,
             });
             let Response::Error(e) = resp else {
                 panic!("{resp:?}")
@@ -1032,6 +1494,7 @@ mod tests {
             graphs: vec![id],
             solver: "paper".into(),
             seed: 0,
+            deadline_ms: None,
         });
         let Response::Solved { results } = resp else {
             panic!("{resp:?}")
@@ -1047,6 +1510,7 @@ mod tests {
             graph: "g-feedfacefeedface".into(),
             ops: vec![UpdateOp::RemoveEdge { u: 1, v: 2 }],
             seed: 0,
+            deadline_ms: None,
         });
         let Response::Error(e) = resp else {
             panic!("{resp:?}")
@@ -1078,6 +1542,7 @@ mod tests {
                     graph: id.clone(),
                     ops,
                     seed: 11,
+                    deadline_ms: None,
                 });
                 let Response::Updated { id: next, .. } = &resp else {
                     panic!("{resp:?}")
@@ -1149,6 +1614,7 @@ mod tests {
             graphs: vec![id],
             solver: "sw".into(),
             seed: 0,
+            deadline_ms: None,
         });
         let Response::Solved { results } = resp else {
             panic!("{resp:?}")
@@ -1182,6 +1648,7 @@ mod tests {
             graphs: vec![small, big],
             solver: "brute".into(),
             seed: 0,
+            deadline_ms: None,
         });
         let Response::Error(e) = resp else {
             panic!("{resp:?}")
@@ -1219,6 +1686,7 @@ mod tests {
             graphs: ids.clone(),
             solver: "sw".into(),
             seed: 0,
+            deadline_ms: None,
         });
         let Response::Error(e) = resp else {
             panic!("{resp:?}")
@@ -1230,6 +1698,7 @@ mod tests {
             graphs: ids[..2].to_vec(),
             solver: "sw".into(),
             seed: 0,
+            deadline_ms: None,
         });
         assert!(matches!(resp, Response::Solved { .. }), "{resp:?}");
         let s = service.stats_snapshot();
@@ -1295,5 +1764,247 @@ mod tests {
             ));
             handle.join().unwrap().unwrap();
         });
+    }
+
+    fn tmp_journal(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "pmc-service-test-{}-{name}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn injected_panic_answers_internal_error_and_leaves_the_service_alive() {
+        let service = Service::new(&ServiceConfig {
+            threads: 1,
+            cache_shards: 1,
+            timing: false,
+            faults: Some(FaultPlan::parse("1:panic=1").unwrap()),
+            ..ServiceConfig::default()
+        });
+        let id = load_id(&service, CYCLE4);
+        for _ in 0..3 {
+            let (resp, _) = service.handle(&Request::Solve {
+                graphs: vec![id.clone()],
+                solver: "paper".into(),
+                seed: 0,
+                deadline_ms: None,
+            });
+            let Response::Error(e) = resp else {
+                panic!("{resp:?}")
+            };
+            assert_eq!(e.kind, ErrorKind::Internal);
+            assert!(e.detail.contains("panicked"), "{}", e.detail);
+        }
+        let s = service.stats_snapshot();
+        assert_eq!(s.faults.panics, 3);
+        assert_eq!(s.faults.injected, 3);
+        // Permits fully released; the poisoned workspaces were replaced,
+        // not checked back in, so the pool still round-trips cleanly.
+        assert_eq!(s.admission.inflight, 0);
+        assert_eq!(s.pool.available + s.admission.inflight, s.pool.available);
+    }
+
+    #[test]
+    fn expired_deadline_answers_timed_out_and_releases_slots() {
+        // The injected delay outlasts the 1ms request deadline, so the
+        // solver's entry checkpoint trips before any work happens.
+        let service = Service::new(&ServiceConfig {
+            threads: 1,
+            cache_shards: 1,
+            timing: false,
+            faults: Some(FaultPlan::parse("1:delay=1,delay_ms=30").unwrap()),
+            ..ServiceConfig::default()
+        });
+        let id = load_id(&service, CYCLE4);
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![id.clone()],
+            solver: "paper".into(),
+            seed: 0,
+            deadline_ms: Some(1),
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::TimedOut);
+        let s = service.stats_snapshot();
+        assert_eq!(s.faults.timeouts, 1);
+        assert_eq!(s.admission.inflight, 0);
+        // Without a deadline the same service answers normally: the
+        // delay alone is harmless, and the cancel token did not leak
+        // into the pooled workspace.
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![id],
+            solver: "paper".into(),
+            seed: 0,
+            deadline_ms: None,
+        });
+        assert!(matches!(resp, Response::Solved { .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn overloaded_rejections_carry_a_retry_after_hint() {
+        let service = Service::new(&ServiceConfig {
+            threads: 4,
+            cache_shards: 1,
+            max_inflight: 2,
+            timing: false,
+            ..ServiceConfig::default()
+        });
+        let ids = vec![load_id(&service, CYCLE4); 4];
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: ids,
+            solver: "sw".into(),
+            seed: 0,
+            deadline_ms: None,
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Overloaded);
+        assert_eq!(e.retry_after_ms, Some(40)); // 10ms per refused slot
+    }
+
+    #[test]
+    fn journal_replays_acknowledged_ops_bit_identically() {
+        let path = tmp_journal("replay");
+        let cfg = ServiceConfig {
+            threads: 2,
+            cache_shards: 1,
+            timing: false,
+            journal: Some(path.clone()),
+            ..ServiceConfig::default()
+        };
+        let (first_id, updated_id, value, digest) = {
+            let service = Service::new(&cfg);
+            let id = load_id(&service, CYCLE4);
+            let (resp, _) = service.handle(&Request::Update {
+                graph: id.clone(),
+                ops: vec![UpdateOp::ReweightEdge { u: 1, v: 2, w: 7 }],
+                seed: 5,
+                deadline_ms: None,
+            });
+            let Response::Updated { id: new_id, .. } = resp else {
+                panic!("{resp:?}")
+            };
+            // The uninterrupted run's answer for the mutated graph, to
+            // compare against the recovered store's.
+            let (resp, _) = service.handle(&Request::Solve {
+                graphs: vec![new_id.clone()],
+                solver: "paper".into(),
+                seed: 5,
+                deadline_ms: None,
+            });
+            let Response::Solved { results } = resp else {
+                panic!("{resp:?}")
+            };
+            (id, new_id, results[0].value, results[0].digest.clone())
+        };
+        // A new service on the same journal rebuilds the store: the
+        // re-keyed graph answers bit-identically to the pre-crash one.
+        let service = Service::new(&cfg);
+        let s = service.stats_snapshot();
+        assert_eq!(s.journal.replayed, 2); // the load + the update
+        assert_eq!(s.journal.enabled, 1);
+        assert_eq!(s.requests.load, 0, "replay must not count as traffic");
+        let (resp, _) = service.handle(&Request::Update {
+            graph: first_id,
+            ops: vec![UpdateOp::ReweightEdge { u: 1, v: 2, w: 7 }],
+            seed: 5,
+            deadline_ms: None,
+        });
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        // The original id was re-keyed by the replayed update, exactly
+        // as it was pre-restart.
+        assert_eq!(e.kind, ErrorKind::GraphNotLoaded);
+        let (resp, _) = service.handle(&Request::Solve {
+            graphs: vec![updated_id],
+            solver: "paper".into(),
+            seed: 5,
+            deadline_ms: None,
+        });
+        let Response::Solved { results } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(results[0].value, value);
+        assert_eq!(results[0].digest, digest);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_append_failure_answers_internal_error_without_acknowledging() {
+        let path = tmp_journal("fail");
+        let service = Service::new(&ServiceConfig {
+            threads: 1,
+            cache_shards: 1,
+            timing: false,
+            journal: Some(path.clone()),
+            faults: Some(FaultPlan::parse("1:journal=1").unwrap()),
+            ..ServiceConfig::default()
+        });
+        let (resp, _) = service.handle(&Request::Load(LoadSource::Body(CYCLE4.into())));
+        let Response::Error(e) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(e.kind, ErrorKind::Internal);
+        assert!(e.detail.contains("journal"), "{}", e.detail);
+        let s = service.stats_snapshot();
+        assert_eq!(s.journal.errors, 1);
+        assert_eq!(s.journal.records, 0);
+        // The insert was backed out along with the failed append: a
+        // re-load must go down the journaled path again (and fail
+        // again, with every append faulted), not ack from cache.
+        let (resp2, _) = service.handle(&Request::Load(LoadSource::Body(CYCLE4.into())));
+        assert!(
+            matches!(resp2, Response::Error(_)),
+            "backed-out graph must not acknowledge from cache: {resp2:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn guarded_stream_refuses_frames_after_stop() {
+        let service = svc(1, 4);
+        let stop = AtomicBool::new(true);
+        let mut out = Vec::new();
+        let outcome = service
+            .serve_stream_guarded("{\"op\":\"stats\"}\n".as_bytes(), &mut out, Some(&stop))
+            .unwrap();
+        assert_eq!(outcome.frames, 1);
+        assert!(!outcome.shutdown);
+        let reply = String::from_utf8(out).unwrap();
+        let Response::Error(e) = Response::parse_frame(reply.trim()).unwrap() else {
+            panic!("{reply}")
+        };
+        assert_eq!(e.kind, ErrorKind::ShuttingDown);
+    }
+
+    #[test]
+    fn idle_read_timeout_answers_a_structured_frame_and_closes() {
+        /// A reader that yields one WouldBlock error, as an idle socket
+        /// with a read timeout does.
+        struct IdleReader;
+        impl io::Read for IdleReader {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "idle"))
+            }
+        }
+        let service = svc(1, 4);
+        let mut out = Vec::new();
+        let outcome = service
+            .serve_stream_guarded(BufReader::new(IdleReader), &mut out, None)
+            .unwrap();
+        assert_eq!(outcome.frames, 1);
+        assert!(!outcome.shutdown);
+        let reply = String::from_utf8(out).unwrap();
+        let Response::Error(e) = Response::parse_frame(reply.trim()).unwrap() else {
+            panic!("{reply}")
+        };
+        assert_eq!(e.kind, ErrorKind::IdleTimeout);
     }
 }

@@ -6,6 +6,8 @@
 //! pmc suite [--filter F] [--threads T] [--seeds K] [--quick] [--json]   differential corpus run
 //! pmc serve [--threads P] [--cache-graphs N] [--cache-bytes B] [--cache-shards S]
 //!           [--max-inflight W] [--staleness F] [--listen ADDR] [--no-timing]
+//!           [--request-timeout-ms MS] [--idle-timeout-ms MS] [--journal FILE]
+//!           [--fsync always|never] [--inject-faults SEED:SPEC]
 //!                                                        persistent service
 //! pmc info <file>                                      print graph statistics
 //! pmc verify <file> <value> [--algo A]                 recompute and compare
@@ -36,6 +38,14 @@
 //! a TCP listener with `--listen` — against an LRU graph cache and a warm
 //! workspace pool, so repeated solves skip process startup and re-parsing
 //! entirely (see the `pmc-service` crate and README for the protocol).
+//! The fault-tolerance knobs: `--request-timeout-ms` arms a default
+//! per-request deadline (answered `timed_out`), `--idle-timeout-ms`
+//! closes silent TCP connections with a structured frame, `--journal`
+//! enables write-ahead journaling of committed loads/updates with
+//! startup replay (`--fsync` picks the durability policy), and
+//! `--inject-faults SEED:SPEC` drives the deterministic fault-injection
+//! harness (worker panics, solve delays, journal write failures) for
+//! chaos testing.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -91,6 +101,8 @@ const USAGE: &str = "usage:
   pmc suite [--filter F] [--threads T] [--seeds K] [--quick] [--json]
   pmc serve [--threads P] [--cache-graphs N] [--cache-bytes B] [--cache-shards S]
             [--max-inflight W] [--staleness F] [--listen ADDR] [--no-timing]
+            [--request-timeout-ms MS] [--idle-timeout-ms MS] [--journal FILE]
+            [--fsync always|never] [--inject-faults SEED:SPEC]
   pmc info <file>
   pmc verify <file> <value> [--algo A]
   pmc algos
@@ -414,6 +426,11 @@ const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--staleness", true),
     ("--listen", true),
     ("--no-timing", false),
+    ("--request-timeout-ms", true),
+    ("--idle-timeout-ms", true),
+    ("--journal", true),
+    ("--fsync", true),
+    ("--inject-faults", true),
 ];
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -457,7 +474,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     cfg.timing = !args.iter().any(|a| a == "--no-timing");
-    let service = Service::new(&cfg);
+    if let Some(ms) = flag_value(args, "--request-timeout-ms") {
+        // Default per-request deadline (0 = none); a request's own
+        // `deadline_ms` field overrides it. Expired work answers a
+        // structured `timed_out` error.
+        cfg.request_timeout_ms = ms.parse().map_err(|_| "bad --request-timeout-ms")?;
+    }
+    if let Some(ms) = flag_value(args, "--idle-timeout-ms") {
+        // TCP connections silent this long get a structured
+        // `idle_timeout` frame and a clean close (0 = disabled).
+        cfg.idle_timeout_ms = ms.parse().map_err(|_| "bad --idle-timeout-ms")?;
+    }
+    cfg.journal = flag_value(args, "--journal").map(std::path::PathBuf::from);
+    if let Some(policy) = flag_value(args, "--fsync") {
+        cfg.fsync = parallel_mincut::service::journal::FsyncPolicy::parse(&policy)
+            .map_err(|e| format!("serve: {e}"))?;
+    }
+    if let Some(spec) = flag_value(args, "--inject-faults") {
+        cfg.faults = Some(
+            parallel_mincut::service::faults::FaultPlan::parse(&spec)
+                .map_err(|e| format!("serve: {e}"))?,
+        );
+    }
+    let service = Service::open(&cfg).map_err(|e| format!("serve: {e}"))?;
     match flag_value(args, "--listen") {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)

@@ -8,8 +8,8 @@
 use std::io::BufReader;
 
 use parallel_mincut::service::protocol::{
-    read_frame, AdmissionCounters, CacheCounters, DynamicCounters, ErrorKind, PoolCounters,
-    RequestCounters, UpdateMode, UpdateOp, MAX_FRAME_BYTES,
+    read_frame, AdmissionCounters, CacheCounters, DynamicCounters, ErrorKind, FaultCounters,
+    JournalCounters, PoolCounters, RequestCounters, UpdateMode, UpdateOp, MAX_FRAME_BYTES,
 };
 use parallel_mincut::service::{
     LoadSource, ProtocolError, Request, Response, SolveOutcome, StatsSnapshot,
@@ -55,6 +55,10 @@ fn gen_update_ops(rng: &mut SmallRng) -> Vec<UpdateOp> {
         .collect()
 }
 
+fn gen_deadline(rng: &mut SmallRng) -> Option<u64> {
+    rng.gen_bool(0.5).then(|| rng.gen())
+}
+
 fn gen_request(rng: &mut SmallRng) -> Request {
     match rng.gen_range(0..7u32) {
         0 => Request::Load(LoadSource::Body(gen_string(rng))),
@@ -63,6 +67,7 @@ fn gen_request(rng: &mut SmallRng) -> Request {
             graphs: vec![gen_id(rng)],
             solver: gen_string(rng),
             seed: rng.gen(),
+            deadline_ms: gen_deadline(rng),
         },
         3 => {
             let k = rng.gen_range(2..8);
@@ -70,12 +75,14 @@ fn gen_request(rng: &mut SmallRng) -> Request {
                 graphs: (0..k).map(|_| gen_id(rng)).collect(),
                 solver: "paper".into(),
                 seed: rng.gen(),
+                deadline_ms: gen_deadline(rng),
             }
         }
         4 => Request::Update {
             graph: gen_id(rng),
             ops: gen_update_ops(rng),
             seed: rng.gen(),
+            deadline_ms: gen_deadline(rng),
         },
         5 => Request::Stats,
         _ => Request::Shutdown,
@@ -146,6 +153,19 @@ fn gen_response(rng: &mut SmallRng) -> Response {
                 incremental: rng.gen(),
                 full: rng.gen(),
             },
+            faults: FaultCounters {
+                panics: rng.gen(),
+                timeouts: rng.gen(),
+                injected: rng.gen(),
+            },
+            journal: JournalCounters {
+                enabled: rng.gen(),
+                records: rng.gen(),
+                bytes: rng.gen(),
+                replayed: rng.gen(),
+                truncated: rng.gen(),
+                errors: rng.gen(),
+            },
             solves: rng.gen(),
         }),
         3 => Response::Updated {
@@ -162,7 +182,11 @@ fn gen_response(rng: &mut SmallRng) -> Response {
         4 => Response::Shutdown { served: rng.gen() },
         _ => {
             let kind = ErrorKind::ALL[rng.gen_range(0..ErrorKind::ALL.len())];
-            Response::Error(ProtocolError::new(kind, gen_string(rng)))
+            let mut e = ProtocolError::new(kind, gen_string(rng));
+            if rng.gen_bool(0.5) {
+                e = e.with_retry_after(rng.gen());
+            }
+            Response::Error(e)
         }
     }
 }

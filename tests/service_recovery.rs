@@ -1,0 +1,201 @@
+//! Crash-recovery e2e: SIGKILL a `pmc serve --journal` child mid
+//! update-stream, restart it on the same journal, and hold it to the
+//! durability contract — every acknowledged update is present after
+//! replay, and the recovered store answers solves bit-identically to a
+//! run that was never interrupted.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+fn pmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmc"))
+}
+
+fn tmp_journal(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "pmc-recovery-{}-{name}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A weighted cycle with one heavy edge; minimum cut 2.
+fn graph_body() -> String {
+    let n = 8;
+    let mut s = format!("p cut {n} {n}\n");
+    for i in 1..=n {
+        let j = i % n + 1;
+        let w = if i == 1 { 5 } else { 1 };
+        s.push_str(&format!("e {i} {j} {w}\n"));
+    }
+    s
+}
+
+fn load_frame(body: &str) -> String {
+    format!(
+        "{{\"op\":\"load\",\"body\":\"{}\"}}",
+        body.replace('\n', "\\n")
+    )
+}
+
+fn update_frame(id: &str, w: u64, seed: u64) -> String {
+    format!(
+        "{{\"op\":\"update\",\"graph\":\"{id}\",\"ops\":[{{\"kind\":\"reweight_edge\",\"u\":2,\"v\":3,\"w\":{w}}}],\"seed\":{seed}}}"
+    )
+}
+
+fn solve_frame(id: &str) -> String {
+    format!("{{\"op\":\"solve\",\"graph\":\"{id}\",\"solver\":\"paper\",\"seed\":7}}")
+}
+
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len()..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("{key} value in {line}"));
+    rest[..end].trim_matches('"')
+}
+
+/// A serve child we talk to interactively: one frame out, one ack back.
+/// Scripted sessions can't SIGKILL "after the k-th ack", so the
+/// request/response lockstep lives here.
+struct Interactive {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Interactive {
+    fn spawn(args: &[&str]) -> Self {
+        let mut child = pmc()
+            .arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pmc serve");
+        let stdin = child.stdin.take().expect("stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout"));
+        Interactive {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn roundtrip(&mut self, frame: &str) -> String {
+        writeln!(self.stdin, "{frame}").expect("write frame");
+        self.stdin.flush().expect("flush frame");
+        let mut line = String::new();
+        self.stdout.read_line(&mut line).expect("read ack");
+        assert!(!line.is_empty(), "serve closed before answering {frame}");
+        line.trim_end().to_string()
+    }
+
+    /// SIGKILL — no drain, no shutdown frame, no journal close.
+    fn kill(mut self) {
+        self.child.kill().expect("kill serve child");
+        self.child.wait().expect("reap serve child");
+    }
+}
+
+/// Drives `load` + `count` acknowledged updates through an interactive
+/// session, returning every response line plus the final graph id.
+fn drive_updates(session: &mut Interactive, count: usize) -> (Vec<String>, String) {
+    let mut lines = vec![session.roundtrip(&load_frame(&graph_body()))];
+    let mut id = field(&lines[0], "id").to_string();
+    for k in 0..count {
+        let ack = session.roundtrip(&update_frame(&id, 10 + k as u64, k as u64));
+        assert_eq!(field(&ack, "ok"), "true", "update {k} not acked: {ack}");
+        id = field(&ack, "id").to_string();
+        lines.push(ack);
+    }
+    (lines, id)
+}
+
+#[test]
+fn sigkill_mid_stream_loses_no_acknowledged_update() {
+    const UPDATES: usize = 6;
+    let journal = tmp_journal("sigkill");
+    let journal_arg = journal.to_str().expect("utf-8 temp path").to_string();
+
+    // Uninterrupted baseline: same workload against a journal-less
+    // service, straight through to the final solve.
+    let mut baseline = Interactive::spawn(&["--no-timing"]);
+    let (baseline_acks, baseline_id) = drive_updates(&mut baseline, UPDATES);
+    let baseline_solve = baseline.roundtrip(&solve_frame(&baseline_id));
+    let shutdown = baseline.roundtrip("{\"op\":\"shutdown\"}");
+    assert_eq!(field(&shutdown, "ok"), "true", "{shutdown}");
+    assert!(baseline.child.wait().expect("baseline exit").success());
+
+    // The victim: same workload, journaled — killed right after the
+    // last acknowledgement, mid-session, with no chance to flush or
+    // shut down cleanly.
+    let mut victim = Interactive::spawn(&["--no-timing", "--journal", &journal_arg]);
+    let (victim_acks, victim_id) = drive_updates(&mut victim, UPDATES);
+    assert_eq!(
+        victim_acks, baseline_acks,
+        "journaling must not change acknowledged responses"
+    );
+    victim.kill();
+
+    // Restart on the same journal. Replay must reconstruct every
+    // acknowledged commit: the final re-keyed id answers, and its
+    // solve is byte-identical to the uninterrupted run's.
+    let mut revived = Interactive::spawn(&["--no-timing", "--journal", &journal_arg]);
+    let solve = revived.roundtrip(&solve_frame(&victim_id));
+    assert_eq!(
+        solve, baseline_solve,
+        "recovered store must answer bit-identically to the uninterrupted run"
+    );
+    let stats = revived.roundtrip("{\"op\":\"stats\"}");
+    // One load record plus one record per acknowledged update, all
+    // replayed, none truncated (every frame was fsynced before its ack).
+    assert_eq!(field(&stats, "replayed"), (1 + UPDATES).to_string());
+    assert_eq!(field(&stats, "truncated"), "0");
+    let shutdown = revived.roundtrip("{\"op\":\"shutdown\"}");
+    assert_eq!(field(&shutdown, "ok"), "true", "{shutdown}");
+    assert!(revived.child.wait().expect("revived exit").success());
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// A journal with a torn tail — half a frame, as a crash mid-write
+/// leaves behind under `--fsync never` — must not block recovery: the
+/// torn record is dropped, every whole record replays.
+#[test]
+fn torn_tail_is_truncated_and_the_rest_replays() {
+    const UPDATES: usize = 3;
+    let journal = tmp_journal("torn");
+    let journal_arg = journal.to_str().expect("utf-8 temp path").to_string();
+
+    let mut victim = Interactive::spawn(&["--no-timing", "--journal", &journal_arg]);
+    let (_, id) = drive_updates(&mut victim, UPDATES);
+    victim.kill();
+
+    // Simulate the torn write: append garbage that looks like the
+    // start of a frame but ends mid-payload.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .expect("open journal for tearing");
+    f.write_all(&[0x40, 0, 0, 0, 0, 0, 0, 0, 0xde, 0xad])
+        .expect("tear");
+    drop(f);
+
+    let mut revived = Interactive::spawn(&["--no-timing", "--journal", &journal_arg]);
+    let solve = revived.roundtrip(&solve_frame(&id));
+    assert_eq!(field(&solve, "ok"), "true", "{solve}");
+    let stats = revived.roundtrip("{\"op\":\"stats\"}");
+    assert_eq!(field(&stats, "replayed"), (1 + UPDATES).to_string());
+    assert_ne!(field(&stats, "truncated"), "0", "{stats}");
+    let shutdown = revived.roundtrip("{\"op\":\"shutdown\"}");
+    assert_eq!(field(&shutdown, "ok"), "true", "{shutdown}");
+    assert!(revived.child.wait().expect("revived exit").success());
+
+    let _ = std::fs::remove_file(&journal);
+}
