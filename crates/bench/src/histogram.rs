@@ -1,0 +1,326 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Latency distributions span four or five orders of magnitude, so a
+//! linear histogram is either coarse at the bottom or enormous at the
+//! top. The standard fix (HdrHistogram) is log-linear bucketing: split
+//! the value range into power-of-two octaves and each octave into a
+//! fixed number of linear sub-buckets, so relative error is bounded by
+//! the reciprocal of the sub-bucket count everywhere. This module
+//! implements that scheme over `u64` values (microseconds, for the
+//! loadgen) with [`SUB_BUCKETS`] = 64 sub-buckets per octave, i.e. at
+//! most ~1.6% relative quantile error, in a fixed ~30 KiB of counters.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** Recording the same multiset of values in any
+//!    order yields the same histogram; no sampling, no decay.
+//! 2. **Mergeable.** Worker threads record into private histograms and
+//!    the driver folds them with [`LatencyHistogram::merge`] —
+//!    element-wise counter addition, so `merge` is associative and
+//!    commutative (property-tested in `crates/bench/tests`).
+//! 3. **Conservative quantiles.** [`LatencyHistogram::quantile`]
+//!    returns the *upper bound* of the bucket holding the requested
+//!    rank (clamped to the recorded max), so the reported value `r`
+//!    and the exact order-statistic `o` always satisfy
+//!    `o <= r <= o + bucket_width(o)`.
+
+/// log2 of the number of linear sub-buckets per octave.
+pub const SUB_BITS: u32 = 6;
+/// Linear sub-buckets per power-of-two octave; bounds relative error by
+/// `1 / SUB_BUCKETS`.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Octaves above the exact range `[0, SUB_BUCKETS)`: values with top
+/// bit in `SUB_BITS..64`.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total bucket count: one exact bucket per value below `SUB_BUCKETS`,
+/// then `SUB_BUCKETS` per octave up to `u64::MAX`.
+pub const BUCKETS: usize = SUB_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    // 2^top <= v < 2^(top+1), top >= SUB_BITS.
+    let top = 63 - v.leading_zeros();
+    let shift = top - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUB_BUCKETS - 1);
+    SUB_BUCKETS + (top - SUB_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// Inclusive `(low, high)` value range of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB_BUCKETS {
+        return (i as u64, i as u64);
+    }
+    let octave = (i - SUB_BUCKETS) / SUB_BUCKETS; // top bit = SUB_BITS + octave
+    let sub = ((i - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let width = 1u64 << octave;
+    let low = (SUB_BUCKETS as u64 + sub) << octave;
+    (low, low.saturating_add(width - 1))
+}
+
+/// Inclusive `(low, high)` bounds of the bucket that would hold `v`.
+/// Exposed so the property tests can assert the oracle error bound
+/// without re-deriving the bucket geometry.
+pub fn value_bucket_bounds(v: u64) -> (u64, u64) {
+    bucket_bounds(bucket_index(v))
+}
+
+/// A fixed-size log-bucketed histogram of `u64` samples.
+///
+/// `Default` is the empty histogram. Buckets are allocated lazily on
+/// first record so empty per-verb histograms cost nothing.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>, // empty until first record, then BUCKETS long
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        self.counts[bucket_index(v)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v as u128;
+    }
+
+    /// Folds `other` into `self` (element-wise counter addition).
+    /// Associative and commutative, so worker histograms can be merged
+    /// in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (exact; `u128` cannot overflow from
+    /// `u64::MAX` samples).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper bound of the
+    /// bucket containing that rank, clamped to the recorded extremes.
+    /// Returns 0 for an empty histogram. For any recorded multiset the
+    /// result is within one bucket width above the exact
+    /// sorted-vector order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the order statistic: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, high) = bucket_bounds(i);
+                return high.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Heap footprint of the counter array in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_geometry_is_a_partition() {
+        // Bounds tile the u64 range in order with no gaps or overlaps.
+        let mut expect_low = 0u64;
+        for i in 0..BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(low, expect_low, "bucket {i} low");
+            assert!(high >= low, "bucket {i} bounds");
+            if i + 1 < BUCKETS {
+                expect_low = high + 1;
+            } else {
+                assert_eq!(high, u64::MAX, "last bucket must end at u64::MAX");
+            }
+        }
+    }
+
+    #[test]
+    fn index_and_bounds_agree_at_boundaries() {
+        for top in SUB_BITS..64 {
+            for v in [1u64 << top, (1u64 << top) + 1, (1u64 << top) - 1] {
+                let (low, high) = bucket_bounds(bucket_index(v));
+                assert!(low <= v && v <= high, "v={v} not in [{low}, {high}]");
+            }
+        }
+        let (low, high) = bucket_bounds(bucket_index(u64::MAX));
+        assert!(low < high && high == u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 1_000, 65_537, 1 << 40, u64::MAX / 3] {
+            let (low, high) = value_bucket_bounds(v);
+            let width = high - low;
+            assert!(
+                (width as f64) <= v as f64 / (SUB_BUCKETS as f64 / 2.0),
+                "v={v} width={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(1234);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let r = h.quantile(q);
+            let (low, high) = value_bucket_bounds(1234);
+            assert!((low..=high).contains(&r), "q={q} r={r}");
+            assert!(r >= 1234, "upper-bound convention: r={r}");
+        }
+        assert_eq!(h.min(), 1234);
+        assert_eq!(h.max(), 1234);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [1_000u64, 10_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 10_000);
+        assert_eq!(a.sum(), 11_111);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.quantile(0.5), before.quantile(0.5));
+    }
+
+    #[test]
+    fn quantiles_bound_the_exact_order_statistic() {
+        let mut h = LatencyHistogram::new();
+        let mut values: Vec<u64> = (0..1000u64).map(|i| i * i % 77_777).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let oracle = values[rank - 1];
+            let got = h.quantile(q);
+            let (_, high) = value_bucket_bounds(oracle);
+            assert!(got >= oracle, "q={q}: got {got} < oracle {oracle}");
+            assert!(got <= high, "q={q}: got {got} > bucket high {high}");
+        }
+    }
+
+    #[test]
+    fn heap_bytes_is_fixed_after_first_record() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        let sz = h.heap_bytes();
+        assert_eq!(sz, BUCKETS * 8);
+        for v in 0..10_000u64 {
+            h.record(v * 31);
+        }
+        assert_eq!(h.heap_bytes(), sz, "no growth after allocation");
+    }
+}

@@ -5,6 +5,10 @@
 //! `benches/` for statistically careful timing. Both use the helpers here
 //! so workloads are identical.
 
+pub mod histogram;
+pub mod loadgen;
+pub mod workload;
+
 use std::time::{Duration, Instant};
 
 use pmc_graph::{gen, Graph, RootedTree};

@@ -1,0 +1,574 @@
+//! Open/closed-loop load driver over TCP against a `pmc serve`.
+//!
+//! Runs the scripted sessions [`crate::workload`] generates over N
+//! concurrent TCP connections and folds per-response latencies into
+//! per-verb [`LatencyHistogram`]s:
+//!
+//! * **Closed loop** ([`ArrivalMode::Closed`]) — each connection sends
+//!   its next request only after the previous response arrives, so
+//!   concurrency is fixed at the connection count and latency is the
+//!   plain request round trip. This is also the mode whose byte
+//!   stream the determinism tests pin.
+//! * **Open loop** ([`ArrivalMode::Open`]) — each connection draws a
+//!   seeded Poisson arrival schedule (exponential inter-arrivals at
+//!   `rate / connections` per second) and a writer thread sends frames
+//!   at their scheduled instants regardless of response progress, while
+//!   a reader thread timestamps responses. Latency is measured from the
+//!   **intended** send time, not the actual write, so a stalled server
+//!   cannot hide queueing delay by back-pressuring the sender — the
+//!   standard correction for coordinated omission.
+//!
+//! Every response is validated against the script's
+//! [`Expect`](crate::workload::Expect); id
+//! mismatches, structured errors, and unparsable frames are counted
+//! separately (`mismatches`, `overloaded`/`timed_out`/`protocol_errors`)
+//! so SLO gates can tell an overload shed from a broken server.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pmc_service::protocol::{ErrorKind, Request, Response};
+use rand::prelude::*;
+
+use crate::histogram::LatencyHistogram;
+use crate::workload::{connection_script, ConnScript, Verb, WorkloadSpec};
+
+/// How requests are paced onto the wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalMode {
+    /// Fixed concurrency: one outstanding request per connection.
+    Closed,
+    /// Poisson arrivals at `rate_rps` total across all connections,
+    /// pipelined without waiting for responses.
+    Open {
+        /// Target aggregate arrival rate, requests per second.
+        rate_rps: f64,
+    },
+}
+
+impl ArrivalMode {
+    /// Report label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArrivalMode::Closed => "closed",
+            ArrivalMode::Open { .. } => "open",
+        }
+    }
+}
+
+/// A full loadgen run: where to connect and what to send.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// `host:port` of the serve endpoint.
+    pub addr: String,
+    /// Concurrent TCP connections.
+    pub connections: usize,
+    /// Workload shape (seed, graphs, request count per connection).
+    pub spec: WorkloadSpec,
+    /// Arrival pacing.
+    pub mode: ArrivalMode,
+    /// Enforce `cached` flags on `loaded` acks. True when the driver
+    /// spawned a dedicated child server (fresh cache, adequate
+    /// capacity); false against shared/external servers.
+    pub strict_residency: bool,
+}
+
+/// Per-connection measurement fold, merged across connections at the
+/// end of a run (histogram merge is commutative, so the fold order
+/// does not matter).
+#[derive(Default)]
+struct ConnTally {
+    verbs: [LatencyHistogram; 4],
+    protocol_errors: u64,
+    overloaded: u64,
+    timed_out: u64,
+    mismatches: u64,
+    first_issue: Option<String>,
+}
+
+impl ConnTally {
+    fn absorb(&mut self, step_verb: Verb, step_idx: usize, outcome: StepOutcome, us: u64) {
+        self.verbs[step_verb.index()].record(us);
+        let issue = match outcome {
+            StepOutcome::Ok => None,
+            StepOutcome::Overloaded => {
+                self.overloaded += 1;
+                None
+            }
+            StepOutcome::TimedOut => {
+                self.timed_out += 1;
+                None
+            }
+            StepOutcome::ProtocolError(detail) => {
+                self.protocol_errors += 1;
+                Some(detail)
+            }
+            StepOutcome::Mismatch(detail) => {
+                self.mismatches += 1;
+                Some(detail)
+            }
+        };
+        if let (None, Some(detail)) = (&self.first_issue, issue) {
+            self.first_issue = Some(format!("step {step_idx}: {detail}"));
+        }
+    }
+
+    fn merge(&mut self, other: &ConnTally) {
+        for (dst, src) in self.verbs.iter_mut().zip(other.verbs.iter()) {
+            dst.merge(src);
+        }
+        self.protocol_errors += other.protocol_errors;
+        self.overloaded += other.overloaded;
+        self.timed_out += other.timed_out;
+        self.mismatches += other.mismatches;
+        if self.first_issue.is_none() {
+            self.first_issue.clone_from(&other.first_issue);
+        }
+    }
+}
+
+enum StepOutcome {
+    Ok,
+    Overloaded,
+    TimedOut,
+    ProtocolError(String),
+    Mismatch(String),
+}
+
+/// Classifies one raw response line against its script step.
+fn classify(script: &ConnScript, idx: usize, line: &str, strict: bool) -> StepOutcome {
+    let step = &script.steps[idx];
+    match Response::parse_frame(line) {
+        Err(e) => StepOutcome::ProtocolError(format!("unparsable response: {e:?}")),
+        Ok(Response::Error(e)) => match e.kind {
+            ErrorKind::Overloaded => StepOutcome::Overloaded,
+            ErrorKind::TimedOut => StepOutcome::TimedOut,
+            _ => StepOutcome::ProtocolError(format!("server error: {e:?}")),
+        },
+        Ok(resp) => match step.expect.check(&resp, strict) {
+            Ok(()) => StepOutcome::Ok,
+            Err(detail) => StepOutcome::Mismatch(detail),
+        },
+    }
+}
+
+/// The merged result of a run, plus everything the report needs to
+/// label it.
+pub struct LoadgenReport {
+    /// `"closed"` or `"open"`.
+    pub mode: &'static str,
+    /// Target aggregate arrival rate (0 in closed loop).
+    pub target_rps: f64,
+    /// Connections driven.
+    pub connections: usize,
+    /// The workload that ran.
+    pub spec: WorkloadSpec,
+    /// Wall time of the measured phase.
+    pub elapsed: Duration,
+    /// Per-verb latency histograms, [`Verb::ALL`] order.
+    pub verbs: [LatencyHistogram; 4],
+    /// Responses that failed to parse or carried unexpected structured
+    /// errors.
+    pub protocol_errors: u64,
+    /// Structured `overloaded` sheds.
+    pub overloaded: u64,
+    /// Structured `timed_out` answers.
+    pub timed_out: u64,
+    /// Parsed-fine responses whose ids/shapes contradicted the script's
+    /// replica predictions.
+    pub mismatches: u64,
+    /// First problem seen, for diagnostics.
+    pub first_issue: Option<String>,
+}
+
+impl LoadgenReport {
+    /// Total responses measured.
+    pub fn total_requests(&self) -> u64 {
+        self.verbs.iter().map(LatencyHistogram::count).sum()
+    }
+
+    /// Measured responses per second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_requests() as f64 / secs
+        }
+    }
+
+    /// True when every response parsed, validated, and nothing was shed.
+    pub fn clean(&self) -> bool {
+        self.protocol_errors == 0
+            && self.mismatches == 0
+            && self.overloaded == 0
+            && self.timed_out == 0
+    }
+
+    /// The run summary as one JSON object (the `pmc loadgen --json`
+    /// payload; also embedded per-run in `BENCH_latency.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"bench\":\"loadgen\"");
+        out.push_str(&format!(",\"mode\":\"{}\"", self.mode));
+        out.push_str(&format!(",\"target_rps\":{:.1}", self.target_rps));
+        out.push_str(&format!(",\"seed\":{}", self.spec.seed));
+        out.push_str(&format!(",\"connections\":{}", self.connections));
+        out.push_str(&format!(
+            ",\"graphs_per_conn\":{}",
+            self.spec.graphs_per_conn
+        ));
+        out.push_str(&format!(
+            ",\"requests_per_conn\":{}",
+            self.spec.requests_per_conn
+        ));
+        out.push_str(&format!(",\"hardware_threads\":{}", hardware_threads()));
+        out.push_str(&format!(",\"elapsed_ms\":{}", self.elapsed.as_millis()));
+        out.push_str(&format!(",\"total_requests\":{}", self.total_requests()));
+        out.push_str(&format!(",\"throughput_rps\":{:.1}", self.throughput_rps()));
+        out.push_str(&format!(
+            ",\"errors\":{{\"protocol\":{},\"overloaded\":{},\"timed_out\":{},\"mismatch\":{}}}",
+            self.protocol_errors, self.overloaded, self.timed_out, self.mismatches
+        ));
+        out.push_str(",\"verbs\":[");
+        for (i, verb) in Verb::ALL.iter().enumerate() {
+            let h = &self.verbs[verb.index()];
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"verb\":\"{}\",\"count\":{},\"min_us\":{},\"mean_us\":{:.1},\
+                 \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"hist_bytes\":{}}}",
+                verb.as_str(),
+                h.count(),
+                h.min(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max(),
+                h.heap_bytes(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable per-verb table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "loadgen: mode={} connections={} seed={} requests={} elapsed={:.1}ms \
+             throughput={:.1} req/s\n",
+            self.mode,
+            self.connections,
+            self.spec.seed,
+            self.total_requests(),
+            self.elapsed.as_secs_f64() * 1e3,
+            self.throughput_rps(),
+        ));
+        out.push_str(&format!(
+            "errors: protocol={} overloaded={} timed_out={} mismatch={}\n",
+            self.protocol_errors, self.overloaded, self.timed_out, self.mismatches
+        ));
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "verb", "count", "p50_us", "p95_us", "p99_us", "max_us", "mean_us"
+        ));
+        for verb in Verb::ALL {
+            let h = &self.verbs[verb.index()];
+            out.push_str(&format!(
+                "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10.1}\n",
+                verb.as_str(),
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max(),
+                h.mean(),
+            ));
+        }
+        out
+    }
+}
+
+/// Logical CPUs visible to this process — recorded in every report so a
+/// single-core container run is labeled as such and a multi-core re-run
+/// produces honest curves with no code changes.
+pub fn hardware_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Cumulative Poisson arrival offsets (microseconds from session start)
+/// for one connection: exponential inter-arrivals at `rate_rps`,
+/// deterministic in `(seed, conn)`. The arrival stream uses its own
+/// seed domain so pacing never perturbs workload content.
+pub fn arrival_offsets_us(seed: u64, conn: usize, count: usize, rate_rps: f64) -> Vec<u64> {
+    assert!(rate_rps > 0.0, "open-loop rate must be positive");
+    let mut rng = SmallRng::seed_from_u64(
+        seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6172_7269_7661_6c00, // "arrival\0"
+    );
+    let mut t = 0.0f64;
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / rate_rps;
+            (t * 1e6) as u64
+        })
+        .collect()
+}
+
+/// Runs the configured workload and folds every connection's
+/// measurements into one report.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let scripts: Vec<ConnScript> = (0..cfg.connections)
+        .map(|c| connection_script(&cfg.spec, c))
+        .collect();
+    let start = Instant::now();
+    let tallies: Vec<io::Result<ConnTally>> = thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .enumerate()
+            .map(|(conn, script)| {
+                scope.spawn(move || match cfg.mode {
+                    ArrivalMode::Closed => run_closed(cfg, script),
+                    ArrivalMode::Open { rate_rps } => run_open(cfg, script, conn, rate_rps),
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut merged = ConnTally::default();
+    for t in tallies {
+        merged.merge(&t?);
+    }
+    Ok(LoadgenReport {
+        mode: cfg.mode.as_str(),
+        target_rps: match cfg.mode {
+            ArrivalMode::Closed => 0.0,
+            ArrivalMode::Open { rate_rps } => rate_rps,
+        },
+        connections: cfg.connections,
+        spec: cfg.spec.clone(),
+        elapsed,
+        verbs: merged.verbs,
+        protocol_errors: merged.protocol_errors,
+        overloaded: merged.overloaded,
+        timed_out: merged.timed_out,
+        mismatches: merged.mismatches,
+        first_issue: merged.first_issue,
+    })
+}
+
+fn connect(addr: &str) -> io::Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((reader, BufWriter::new(stream)))
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>, line: &mut String) -> io::Result<()> {
+    line.clear();
+    if reader.read_line(line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-session",
+        ));
+    }
+    line.truncate(line.trim_end().len());
+    Ok(())
+}
+
+/// One closed-loop connection: strict request → response lockstep.
+fn run_closed(cfg: &LoadgenConfig, script: &ConnScript) -> io::Result<ConnTally> {
+    let (mut reader, mut writer) = connect(&cfg.addr)?;
+    let mut tally = ConnTally::default();
+    let mut line = String::new();
+    for (idx, step) in script.steps.iter().enumerate() {
+        let t0 = Instant::now();
+        writer.write_all(step.frame.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        read_response(&mut reader, &mut line)?;
+        let us = t0.elapsed().as_micros() as u64;
+        let outcome = classify(script, idx, &line, cfg.strict_residency);
+        tally.absorb(step.verb, idx, outcome, us);
+    }
+    Ok(tally)
+}
+
+/// One open-loop connection: a writer thread paces frames onto the wire
+/// at their scheduled Poisson instants while this thread reads and
+/// timestamps responses. Latency for request k is
+/// `response_time - intended_send_time[k]`, so sender stalls (e.g. TCP
+/// back-pressure from a slow server) surface as latency instead of
+/// silently thinning the arrival process.
+fn run_open(
+    cfg: &LoadgenConfig,
+    script: &ConnScript,
+    conn: usize,
+    rate_rps: f64,
+) -> io::Result<ConnTally> {
+    let per_conn_rate = rate_rps / cfg.connections as f64;
+    let offsets = arrival_offsets_us(cfg.spec.seed, conn, script.steps.len(), per_conn_rate);
+    let (mut reader, mut writer) = connect(&cfg.addr)?;
+    let start = Instant::now();
+    let offsets_ref = &offsets;
+    thread::scope(|scope| {
+        let sender = scope.spawn(move || -> io::Result<()> {
+            for (step, &off_us) in script.steps.iter().zip(offsets_ref) {
+                let intended = Duration::from_micros(off_us);
+                let now = start.elapsed();
+                if now < intended {
+                    thread::sleep(intended - now);
+                }
+                writer.write_all(step.frame.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            Ok(())
+        });
+        let mut tally = ConnTally::default();
+        let mut line = String::new();
+        for (idx, step) in script.steps.iter().enumerate() {
+            read_response(&mut reader, &mut line)?;
+            let now_us = start.elapsed().as_micros() as u64;
+            let us = now_us.saturating_sub(offsets[idx]);
+            let outcome = classify(script, idx, &line, cfg.strict_residency);
+            tally.absorb(step.verb, idx, outcome, us);
+        }
+        sender.join().expect("open-loop sender panicked")?;
+        Ok(tally)
+    })
+}
+
+/// A child `pmc serve --listen` process plus the address it bound.
+pub struct ServeChild {
+    child: Child,
+    /// The `host:port` the child printed in its `listening:` line.
+    pub addr: String,
+}
+
+impl ServeChild {
+    /// Spawns `bin serve --listen 127.0.0.1:0 <extra>` and waits for its
+    /// `listening: <addr>` line. A drain thread keeps consuming the
+    /// child's stdout so it can never block on a full pipe.
+    pub fn spawn(bin: &Path, extra: &[String]) -> io::Result<ServeChild> {
+        let mut child = Command::new(bin)
+            .arg("serve")
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let addr = line
+            .trim()
+            .strip_prefix("listening: ")
+            .ok_or_else(|| {
+                let _ = child.kill();
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("serve child printed {line:?}, expected \"listening: <addr>\""),
+                )
+            })?
+            .to_string();
+        thread::spawn(move || {
+            let mut sink = String::new();
+            while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                sink.clear();
+            }
+        });
+        Ok(ServeChild { child, addr })
+    }
+
+    /// Stops the child via a `shutdown` frame and reaps it.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        let (mut reader, mut writer) = connect(&self.addr)?;
+        writer.write_all(Request::Shutdown.to_frame().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        let _ = reader.read_line(&mut line);
+        self.child.wait()?;
+        Ok(())
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        // Belt-and-braces: if shutdown() was skipped (error paths), do
+        // not leak a listener. kill() on a reaped child is a no-op error.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_offsets_are_seeded_and_increasing() {
+        let a = arrival_offsets_us(9, 0, 200, 500.0);
+        let b = arrival_offsets_us(9, 0, 200, 500.0);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets must ascend");
+        assert_ne!(a, arrival_offsets_us(10, 0, 200, 500.0));
+        assert_ne!(a, arrival_offsets_us(9, 1, 200, 500.0));
+        // Mean inter-arrival ≈ 1/rate: 200 arrivals at 500/s ≈ 400ms.
+        let total = *a.last().unwrap();
+        assert!(
+            (100_000..=1_600_000).contains(&total),
+            "200 arrivals at 500/s took {total}us"
+        );
+    }
+
+    #[test]
+    fn report_json_is_parsable_and_labeled() {
+        let mut verbs: [LatencyHistogram; 4] = Default::default();
+        verbs[0].record(120);
+        verbs[1].record(450);
+        verbs[1].record(90_000);
+        let report = LoadgenReport {
+            mode: "closed",
+            target_rps: 0.0,
+            connections: 2,
+            spec: WorkloadSpec::default(),
+            elapsed: Duration::from_millis(250),
+            verbs,
+            protocol_errors: 0,
+            overloaded: 1,
+            timed_out: 0,
+            mismatches: 0,
+            first_issue: None,
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"bench\":\"loadgen\"",
+            "\"mode\":\"closed\"",
+            "\"hardware_threads\":",
+            "\"overloaded\":1",
+            "\"p99_us\":",
+            "\"verb\":\"stats\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(report.total_requests(), 3);
+        assert!(!report.clean(), "overloaded run must not be clean");
+        assert!(report.render_table().contains("solve"));
+    }
+}

@@ -1,0 +1,564 @@
+//! Seeded mixed-verb workload scripts for the loadgen.
+//!
+//! A connection's entire request stream is a pure function of
+//! `(seed, connection index)`: [`connection_script`] builds the frames
+//! *before* anything touches the network, so the same seed always
+//! produces byte-identical traces, open-loop mode can pipeline frames
+//! without waiting for responses, and `--connections 1` emits exactly
+//! connection 0's stream from a `--connections 4` run.
+//!
+//! The trick is that `update` re-keys graphs under new content ids, so
+//! a naive client would need each `updated` response before it could
+//! address the next request. Instead every connection keeps a client
+//! side **replica** of each of its graphs, applies the generated ops to
+//! the replica with the same resolution rules the service uses (wire
+//! vertices are 1-based; `(u, v)` addressing picks the smallest edge id
+//! between the pair), and predicts the next id with the service's own
+//! public [`pmc_service::protocol::graph_id`]. The predicted ids double
+//! as response validation: the driver asserts every `loaded`/`updated`
+//! id matches the replica's.
+//!
+//! Connections own disjoint graphs (distinct vertex counts), so
+//! concurrent connections never interfere through the shared cache and
+//! any interleaving of connections yields the same per-connection
+//! response stream (the service invariant `tests/service_stress.rs`
+//! pins). Scripts also never disconnect a graph: removals only target
+//! pairs a previous `add_edge` touched, which keeps every cycle
+//! adjacency covered by at least one edge.
+
+use pmc_graph::{io, Graph};
+use pmc_service::protocol::{graph_id, LoadSource, Request, Response, UpdateOp};
+use rand::prelude::*;
+
+/// Request verbs the workload mixes (and the report buckets by).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// `load` — register a graph body.
+    Load,
+    /// `solve` — min-cut one or more cached graphs.
+    Solve,
+    /// `update` — mutate and incrementally re-solve.
+    Update,
+    /// `stats` — counters snapshot.
+    Stats,
+}
+
+impl Verb {
+    /// Every verb, in fixed report order.
+    pub const ALL: [Verb; 4] = [Verb::Load, Verb::Solve, Verb::Update, Verb::Stats];
+
+    /// Wire / report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verb::Load => "load",
+            Verb::Solve => "solve",
+            Verb::Update => "update",
+            Verb::Stats => "stats",
+        }
+    }
+
+    /// Index into per-verb report arrays (matches [`Verb::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            Verb::Load => 0,
+            Verb::Solve => 1,
+            Verb::Update => 2,
+            Verb::Stats => 3,
+        }
+    }
+}
+
+/// What a scripted request's response must look like. Timing fields and
+/// solver outputs (cut values, digests) are not predicted — those are
+/// the server's to compute — but ids, shapes, and op kinds are.
+#[derive(Clone, Debug)]
+pub enum Expect {
+    /// A `loaded` ack for this exact id and shape. `cached_if_fresh` is
+    /// what the `cached` flag must read on a dedicated child server
+    /// (enforced only under strict residency checking; a shared server
+    /// may have evicted or pre-loaded the graph).
+    Loaded {
+        id: String,
+        n: u64,
+        m: u64,
+        cached_if_fresh: bool,
+    },
+    /// A `solved` ack echoing these graph ids in order.
+    Solved { graphs: Vec<String> },
+    /// An `updated` ack re-keying `from` to `id` with this shape.
+    Updated {
+        id: String,
+        from: String,
+        n: u64,
+        m: u64,
+    },
+    /// A `stats` snapshot.
+    Stats,
+}
+
+impl Expect {
+    /// Validates a parsed response against the expectation. Returns a
+    /// human-readable mismatch description on failure.
+    pub fn check(&self, resp: &Response, strict_residency: bool) -> Result<(), String> {
+        match (self, resp) {
+            (
+                Expect::Loaded {
+                    id,
+                    n,
+                    m,
+                    cached_if_fresh,
+                },
+                Response::Loaded {
+                    id: rid,
+                    n: rn,
+                    m: rm,
+                    cached,
+                },
+            ) => {
+                if rid != id || rn != n || rm != m {
+                    return Err(format!(
+                        "loaded mismatch: expected {id}/{n}v/{m}e, got {rid}/{rn}v/{rm}e"
+                    ));
+                }
+                if strict_residency && cached != cached_if_fresh {
+                    return Err(format!(
+                        "loaded {id}: expected cached={cached_if_fresh}, got {cached}"
+                    ));
+                }
+                Ok(())
+            }
+            (Expect::Solved { graphs }, Response::Solved { results }) => {
+                if results.len() != graphs.len() {
+                    return Err(format!(
+                        "solved {} graphs, expected {}",
+                        results.len(),
+                        graphs.len()
+                    ));
+                }
+                for (want, got) in graphs.iter().zip(results) {
+                    if &got.graph != want {
+                        return Err(format!("solved id {}, expected {want}", got.graph));
+                    }
+                }
+                Ok(())
+            }
+            (
+                Expect::Updated { id, from, n, m },
+                Response::Updated {
+                    id: rid,
+                    from: rfrom,
+                    n: rn,
+                    m: rm,
+                    ..
+                },
+            ) => {
+                if rid != id || rfrom != from || rn != n || rm != m {
+                    return Err(format!(
+                        "updated mismatch: expected {from}->{id} {n}v/{m}e, \
+                         got {rfrom}->{rid} {rn}v/{rm}e"
+                    ));
+                }
+                Ok(())
+            }
+            (Expect::Stats, Response::Stats(_)) => Ok(()),
+            (want, got) => Err(format!("expected {want:?}, got {:?}", got.to_frame())),
+        }
+    }
+}
+
+/// One scripted request: the wire frame (no newline), its verb, and the
+/// response it must produce.
+#[derive(Clone, Debug)]
+pub struct ScriptStep {
+    /// Frame body to write, newline-delimited by the driver.
+    pub frame: String,
+    /// Verb bucket for the latency report.
+    pub verb: Verb,
+    /// Response validator.
+    pub expect: Expect,
+}
+
+/// A connection's full scripted session, in send order.
+#[derive(Clone, Debug)]
+pub struct ConnScript {
+    /// Steps in send order: `graphs_per_conn` loads, then
+    /// `requests_per_conn` mixed requests.
+    pub steps: Vec<ScriptStep>,
+}
+
+/// Workload shape knobs. `connection_script(spec, c)` depends only on
+/// `spec` and `c` — never on how many other connections exist.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// PRNG seed; same seed, same scripts.
+    pub seed: u64,
+    /// Graphs each connection owns (loaded up front).
+    pub graphs_per_conn: usize,
+    /// Mixed-phase requests per connection (after the setup loads).
+    pub requests_per_conn: usize,
+    /// Smallest graph's vertex count; connection `c` slot `j` gets a
+    /// cycle on `base_n + c * graphs_per_conn + j` vertices, so every
+    /// (connection, slot) pair owns a distinct graph.
+    pub base_n: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            seed: 42,
+            graphs_per_conn: 2,
+            requests_per_conn: 50,
+            base_n: 12,
+        }
+    }
+}
+
+/// A connection-owned graph replica: the client-side copy the script
+/// generator mutates in lockstep with the server.
+struct Slot {
+    g: Graph,
+    id: String,
+    /// Wire `(u, v)` pairs previous `add_edge` ops touched — the only
+    /// pairs `remove_edge` may target (see module docs on connectivity).
+    extra: Vec<(u64, u64)>,
+}
+
+impl Slot {
+    /// Applies one wire op to the replica exactly as the service does:
+    /// 1-based wire vertices, `(u, v)` resolving to the smallest edge id.
+    fn apply(&mut self, op: &UpdateOp) {
+        let find = |g: &Graph, u: u64, v: u64| -> usize {
+            g.find_edge((u - 1) as u32, (v - 1) as u32)
+                .expect("script ops only address existing edges") as usize
+        };
+        match *op {
+            UpdateOp::AddEdge { u, v, w } => {
+                self.g
+                    .add_edge((u - 1) as u32, (v - 1) as u32, w)
+                    .expect("script add_edge is in range");
+                self.extra.push((u, v));
+            }
+            UpdateOp::RemoveEdge { u, v } => {
+                let eid = find(&self.g, u, v);
+                self.g
+                    .remove_edge(eid)
+                    .expect("script remove_edge targets a live edge");
+                let i = self
+                    .extra
+                    .iter()
+                    .position(|&(a, b)| (a, b) == (u, v))
+                    .expect("remove_edge pairs come from extra");
+                self.extra.remove(i);
+            }
+            UpdateOp::ReweightEdge { u, v, w } => {
+                let eid = find(&self.g, u, v);
+                self.g
+                    .reweight_edge(eid, w)
+                    .expect("script reweight targets a live edge");
+            }
+        }
+        self.id = graph_id(&self.g);
+    }
+
+    fn body(&self) -> String {
+        let mut buf = Vec::new();
+        io::write_dimacs(&self.g, &mut buf).expect("in-memory DIMACS write");
+        String::from_utf8(buf).expect("DIMACS is ASCII")
+    }
+}
+
+/// Builds connection `conn`'s scripted session. Deterministic in
+/// `(spec.seed, conn)`; independent of the total connection count.
+pub fn connection_script(spec: &WorkloadSpec, conn: usize) -> ConnScript {
+    let mut rng = SmallRng::seed_from_u64(
+        spec.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6c6f_6164_6765_6e00, // "loadgen\0" domain tag
+    );
+    let mut steps = Vec::with_capacity(spec.graphs_per_conn + spec.requests_per_conn);
+    let mut slots: Vec<Slot> = Vec::with_capacity(spec.graphs_per_conn);
+
+    // Setup: one weighted cycle per slot, each a distinct vertex count.
+    for j in 0..spec.graphs_per_conn {
+        let n = spec.base_n + conn * spec.graphs_per_conn + j;
+        let triples: Vec<(u32, u32, u64)> = (0..n)
+            .map(|i| (i as u32, ((i + 1) % n) as u32, rng.gen_range(1..=6u64)))
+            .collect();
+        let g = Graph::from_edges(n, &triples).expect("cycle is a valid graph");
+        let slot = Slot {
+            id: graph_id(&g),
+            extra: Vec::new(),
+            g,
+        };
+        steps.push(ScriptStep {
+            frame: Request::Load(LoadSource::Body(slot.body())).to_frame(),
+            verb: Verb::Load,
+            expect: Expect::Loaded {
+                id: slot.id.clone(),
+                n: n as u64,
+                m: slot.g.m() as u64,
+                cached_if_fresh: false,
+            },
+        });
+        slots.push(slot);
+    }
+
+    // Mixed phase: solve-heavy traffic with updates, stat polls, and
+    // re-loads of the (possibly mutated) bodies.
+    for _ in 0..spec.requests_per_conn {
+        let roll = rng.gen_range(0..100u32);
+        let slot_i = rng.gen_range(0..slots.len());
+        if roll < 50 {
+            // solve: mostly single-graph, sometimes the whole batch.
+            let graphs: Vec<String> = if rng.gen_bool(0.2) {
+                slots.iter().map(|s| s.id.clone()).collect()
+            } else {
+                vec![slots[slot_i].id.clone()]
+            };
+            let solver = if rng.gen_bool(0.5) { "paper" } else { "sw" };
+            let frame = Request::Solve {
+                graphs: graphs.clone(),
+                solver: solver.into(),
+                seed: rng.gen_range(1..=1_000_000u64),
+                deadline_ms: None,
+            }
+            .to_frame();
+            steps.push(ScriptStep {
+                frame,
+                verb: Verb::Solve,
+                expect: Expect::Solved { graphs },
+            });
+        } else if roll < 80 {
+            // update: 1–2 ops applied to the replica in lockstep.
+            let slot = &mut slots[slot_i];
+            let from = slot.id.clone();
+            let nops = rng.gen_range(1..=2usize);
+            let mut ops = Vec::with_capacity(nops);
+            for _ in 0..nops {
+                let op = gen_op(&mut rng, slot);
+                slot.apply(&op);
+                ops.push(op);
+            }
+            let frame = Request::Update {
+                graph: from.clone(),
+                ops,
+                seed: rng.gen_range(1..=1_000_000u64),
+                deadline_ms: None,
+            }
+            .to_frame();
+            steps.push(ScriptStep {
+                frame,
+                verb: Verb::Update,
+                expect: Expect::Updated {
+                    id: slot.id.clone(),
+                    from,
+                    n: slot.g.n() as u64,
+                    m: slot.g.m() as u64,
+                },
+            });
+        } else if roll < 90 {
+            // re-load the current body: must hit the resident entry.
+            let slot = &slots[slot_i];
+            steps.push(ScriptStep {
+                frame: Request::Load(LoadSource::Body(slot.body())).to_frame(),
+                verb: Verb::Load,
+                expect: Expect::Loaded {
+                    id: slot.id.clone(),
+                    n: slot.g.n() as u64,
+                    m: slot.g.m() as u64,
+                    cached_if_fresh: true,
+                },
+            });
+        } else {
+            steps.push(ScriptStep {
+                frame: Request::Stats.to_frame(),
+                verb: Verb::Stats,
+                expect: Expect::Stats,
+            });
+        }
+    }
+    ConnScript { steps }
+}
+
+/// Draws one update op against the slot's replica. Adds target any
+/// distinct vertex pair; removals only target pairs `extra` records;
+/// reweights address a uniformly random live edge (resolved, like the
+/// service, to the smallest edge id between its endpoints).
+fn gen_op(rng: &mut SmallRng, slot: &mut Slot) -> UpdateOp {
+    let n = slot.g.n() as u64;
+    let choice = rng.gen_range(0..10u32);
+    if choice < 4 {
+        let u = rng.gen_range(1..=n);
+        let mut v = rng.gen_range(1..=n);
+        while v == u {
+            v = rng.gen_range(1..=n);
+        }
+        UpdateOp::AddEdge {
+            u,
+            v,
+            w: rng.gen_range(1..=8u64),
+        }
+    } else if choice < 7 && !slot.extra.is_empty() {
+        let i = rng.gen_range(0..slot.extra.len());
+        let (u, v) = slot.extra[i];
+        UpdateOp::RemoveEdge { u, v }
+    } else {
+        let e = &slot.g.edges()[rng.gen_range(0..slot.g.m())];
+        UpdateOp::ReweightEdge {
+            u: u64::from(e.u) + 1,
+            v: u64::from(e.v) + 1,
+            w: rng.gen_range(1..=9u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            seed: 7,
+            graphs_per_conn: 2,
+            requests_per_conn: 120,
+            base_n: 10,
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_connection_local() {
+        let a = connection_script(&spec(), 0);
+        let b = connection_script(&spec(), 0);
+        let frames = |s: &ConnScript| s.steps.iter().map(|t| t.frame.clone()).collect::<Vec<_>>();
+        assert_eq!(frames(&a), frames(&b));
+        // A different connection index yields a different stream…
+        let c = connection_script(&spec(), 1);
+        assert_ne!(frames(&a), frames(&c));
+        // …and a different seed does too.
+        let mut other = spec();
+        other.seed = 8;
+        assert_ne!(frames(&a), frames(&connection_script(&other, 0)));
+    }
+
+    #[test]
+    fn scripts_cover_every_verb() {
+        let s = connection_script(&spec(), 0);
+        for verb in Verb::ALL {
+            assert!(
+                s.steps.iter().any(|t| t.verb == verb),
+                "missing verb {} in {} steps",
+                verb.as_str(),
+                s.steps.len()
+            );
+        }
+        assert_eq!(s.steps.len(), 2 + 120);
+    }
+
+    #[test]
+    fn every_frame_parses_as_a_request() {
+        for conn in 0..3 {
+            for step in connection_script(&spec(), conn).steps {
+                Request::parse_frame(&step.frame)
+                    .unwrap_or_else(|e| panic!("bad scripted frame {:?}: {e:?}", step.frame));
+            }
+        }
+    }
+
+    #[test]
+    fn update_expectations_rekey_in_a_chain() {
+        // Every update's `from` is the id the previous steps left the
+        // slot at — the replica bookkeeping that makes scripts response
+        // independent.
+        let s = connection_script(&spec(), 0);
+        let mut current: std::collections::HashMap<String, String> = Default::default();
+        for step in &s.steps {
+            match &step.expect {
+                Expect::Loaded { id, .. } => {
+                    current.insert(id.clone(), id.clone());
+                }
+                Expect::Updated { id, from, .. } => {
+                    assert!(
+                        current.values().any(|v| v == from),
+                        "update addresses unknown id {from}"
+                    );
+                    for v in current.values_mut() {
+                        if v == from {
+                            *v = id.clone();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn graphs_stay_connected_under_the_scripted_ops() {
+        // Rebuild each slot by replaying script expectations: final
+        // graphs must still be connected (min cut of a disconnected
+        // graph is degenerate and would poison solve latencies).
+        let sp = spec();
+        for conn in 0..2 {
+            let script = connection_script(&sp, conn);
+            let mut slots: Vec<Graph> = Vec::new();
+            for step in &script.steps {
+                if let Ok(Request::Load(LoadSource::Body(b))) = Request::parse_frame(&step.frame) {
+                    if let Expect::Loaded {
+                        cached_if_fresh: false,
+                        ..
+                    } = step.expect
+                    {
+                        slots.push(io::read_dimacs(b.as_bytes()).unwrap());
+                    }
+                } else if let Ok(Request::Update { graph, ops, .. }) =
+                    Request::parse_frame(&step.frame)
+                {
+                    let g = slots
+                        .iter_mut()
+                        .find(|g| graph_id(g) == graph)
+                        .expect("update addresses a loaded slot");
+                    for op in &ops {
+                        match *op {
+                            UpdateOp::AddEdge { u, v, w } => {
+                                g.add_edge((u - 1) as u32, (v - 1) as u32, w).unwrap();
+                            }
+                            UpdateOp::RemoveEdge { u, v } => {
+                                let eid = g.find_edge((u - 1) as u32, (v - 1) as u32).unwrap();
+                                g.remove_edge(eid as usize).unwrap();
+                            }
+                            UpdateOp::ReweightEdge { u, v, w } => {
+                                let eid = g.find_edge((u - 1) as u32, (v - 1) as u32).unwrap();
+                                g.reweight_edge(eid as usize, w).unwrap();
+                            }
+                        }
+                    }
+                }
+            }
+            for g in &slots {
+                assert!(connected(g), "scripted ops disconnected a graph");
+            }
+        }
+    }
+
+    fn connected(g: &Graph) -> bool {
+        let n = g.n();
+        if n == 0 {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for e in g.edges() {
+            adj[e.u as usize].push(e.v as usize);
+            adj[e.v as usize].push(e.u as usize);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}

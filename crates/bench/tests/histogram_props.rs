@@ -1,0 +1,197 @@
+//! Randomized property tests for the log-bucketed latency histogram.
+//!
+//! The histogram trades exactness for O(1) memory: values land in
+//! log-linear buckets, so a quantile comes back as a bucket upper bound
+//! rather than the exact order statistic. These tests pin the contract
+//! that makes that trade safe for latency reporting:
+//!
+//! * merging is commutative (shard tallies can be combined in any order);
+//! * quantiles are monotone in `q`;
+//! * every quantile is within one bucket width of the exact sorted-vec
+//!   answer, and never above the recorded maximum;
+//! * empty and single-sample histograms behave sanely.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pmc_bench::histogram::{value_bucket_bounds, LatencyHistogram};
+
+/// Draws a latency-shaped value: mostly small, with a heavy tail that
+/// exercises the wide high buckets.
+fn draw(rng: &mut SmallRng) -> u64 {
+    match rng.gen_range(0..10u32) {
+        0..=4 => rng.gen_range(0..1_000u64),
+        5..=7 => rng.gen_range(0..1_000_000u64),
+        8 => rng.gen_range(0..u32::MAX as u64),
+        _ => rng.gen::<u64>(),
+    }
+}
+
+fn filled(rng: &mut SmallRng, len: usize) -> (LatencyHistogram, Vec<u64>) {
+    let mut h = LatencyHistogram::new();
+    let mut vals = Vec::with_capacity(len);
+    for _ in 0..len {
+        let v = draw(rng);
+        h.record(v);
+        vals.push(v);
+    }
+    (h, vals)
+}
+
+const QS: &[f64] = &[0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+
+#[test]
+fn merge_is_commutative() {
+    let mut rng = SmallRng::seed_from_u64(0xA11CE);
+    for round in 0..50 {
+        let (a, _) = filled(&mut rng, 1 + (round * 7) % 400);
+        let (b, _) = filled(&mut rng, 1 + (round * 13) % 400);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        assert_eq!(ab.count(), ba.count(), "round {round}: counts differ");
+        assert_eq!(ab.sum(), ba.sum(), "round {round}: sums differ");
+        assert_eq!(ab.min(), ba.min(), "round {round}: mins differ");
+        assert_eq!(ab.max(), ba.max(), "round {round}: maxes differ");
+        for &q in QS {
+            assert_eq!(
+                ab.quantile(q),
+                ba.quantile(q),
+                "round {round}: quantile({q}) differs between merge orders"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_matches_recording_everything_into_one() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    for round in 0..20 {
+        let (a, va) = filled(&mut rng, 1 + (round * 11) % 300);
+        let (b, vb) = filled(&mut rng, 1 + (round * 17) % 300);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = LatencyHistogram::new();
+        for v in va.iter().chain(vb.iter()) {
+            direct.record(*v);
+        }
+
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.sum(), direct.sum());
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+        for &q in QS {
+            assert_eq!(
+                merged.quantile(q),
+                direct.quantile(q),
+                "round {round}, q={q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    for round in 0..50 {
+        let (h, _) = filled(&mut rng, 1 + (round * 19) % 500);
+        let mut prev = h.quantile(0.0);
+        for step in 1..=100 {
+            let q = step as f64 / 100.0;
+            let cur = h.quantile(q);
+            assert!(
+                cur >= prev,
+                "round {round}: quantile({q}) = {cur} < quantile({}) = {prev}",
+                (step - 1) as f64 / 100.0
+            );
+            prev = cur;
+        }
+    }
+}
+
+#[test]
+fn quantile_is_within_one_bucket_of_sorted_oracle() {
+    let mut rng = SmallRng::seed_from_u64(0xFACADE);
+    for round in 0..30 {
+        let (h, mut vals) = filled(&mut rng, 1 + (round * 23) % 600);
+        vals.sort_unstable();
+        let n = vals.len() as f64;
+        for &q in QS {
+            // The same nearest-rank convention the histogram uses.
+            let rank = ((q * n).ceil() as usize).clamp(1, vals.len());
+            let oracle = vals[rank - 1];
+            let got = h.quantile(q);
+            let (low, high) = value_bucket_bounds(oracle);
+            assert!(
+                got >= low && got <= high.min(h.max()),
+                "round {round}: quantile({q}) = {got} outside bucket [{low}, {high}] \
+                 of oracle {oracle} (max {})",
+                h.max()
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_never_exceeds_recorded_max() {
+    let mut rng = SmallRng::seed_from_u64(0xB0B);
+    for round in 0..30 {
+        let (h, _) = filled(&mut rng, 1 + (round * 29) % 400);
+        for &q in QS {
+            assert!(
+                h.quantile(q) <= h.max(),
+                "round {round}: quantile({q}) = {} above max {}",
+                h.quantile(q),
+                h.max()
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_is_all_zeros() {
+    let h = LatencyHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0.0);
+    for &q in QS {
+        assert_eq!(h.quantile(q), 0, "empty quantile({q}) must be 0");
+    }
+
+    // Merging an empty histogram is a no-op in either direction.
+    let mut rng = SmallRng::seed_from_u64(1);
+    let (full, _) = filled(&mut rng, 100);
+    let mut merged = full.clone();
+    merged.merge(&h);
+    assert_eq!(merged.count(), full.count());
+    assert_eq!(merged.quantile(0.5), full.quantile(0.5));
+    let mut from_empty = LatencyHistogram::new();
+    from_empty.merge(&full);
+    assert_eq!(from_empty.count(), full.count());
+    assert_eq!(from_empty.quantile(0.99), full.quantile(0.99));
+}
+
+#[test]
+fn single_sample_reports_itself_everywhere() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..200 {
+        let v = draw(&mut rng);
+        let mut h = LatencyHistogram::new();
+        h.record(v);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), v);
+        assert_eq!(h.max(), v);
+        assert_eq!(h.sum(), v as u128);
+        for &q in QS {
+            // With one sample every quantile is that sample: the bucket
+            // upper bound clamps to the recorded max.
+            assert_eq!(h.quantile(q), v, "quantile({q}) of single sample {v}");
+        }
+    }
+}

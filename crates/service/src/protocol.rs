@@ -680,6 +680,34 @@ pub struct FaultCounters {
     pub injected: u64,
 }
 
+/// One verb's served-latency accumulator inside a [`LatencyCounters`].
+/// With timing suppressed (`--no-timing`) durations are recorded as 0,
+/// so `count` still advances deterministically while `total_us`/`max_us`
+/// stay 0 and golden sessions remain byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerbLatency {
+    /// Requests of this verb timed (every dispatch, including ones
+    /// answered with an error).
+    pub count: u64,
+    /// Sum of served wall times, microseconds.
+    pub total_us: u64,
+    /// Largest single served wall time, microseconds.
+    pub max_us: u64,
+}
+
+/// Per-verb service-side latency counters inside a [`StatsSnapshot`] —
+/// the dispatcher's own view of what `pmc loadgen` measures externally
+/// (service time only: admission queueing and socket time excluded).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyCounters {
+    /// `load` dispatch latency.
+    pub load: VerbLatency,
+    /// `solve` dispatch latency.
+    pub solve: VerbLatency,
+    /// `update` dispatch latency.
+    pub update: VerbLatency,
+}
+
 /// Write-ahead journal counters inside a [`StatsSnapshot`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct JournalCounters {
@@ -715,6 +743,8 @@ pub struct StatsSnapshot {
     pub pool: PoolCounters,
     /// Incremental-vs-full `update` solve counters.
     pub dynamic: DynamicCounters,
+    /// Per-verb service-side latency accumulators.
+    pub latency: LatencyCounters,
     /// Absorbed-fault counters (panics, timeouts, injected faults).
     pub faults: FaultCounters,
     /// Write-ahead journal counters.
@@ -764,8 +794,8 @@ pub enum Response {
         /// Wall time in microseconds (0 with timing suppressed).
         micros: u128,
     },
-    /// `stats` snapshot.
-    Stats(StatsSnapshot),
+    /// `stats` snapshot (boxed: the snapshot dwarfs every other variant).
+    Stats(Box<StatsSnapshot>),
     /// `shutdown` acknowledged; `served` counts all frames answered.
     Shutdown {
         /// Total frames this service answered, including this one.
@@ -888,6 +918,20 @@ impl Response {
                         ("full", json::n(s.dynamic.full)),
                     ]),
                 ),
+                ("latency", {
+                    let verb = |v: &VerbLatency| {
+                        json::obj(vec![
+                            ("count", json::n(v.count)),
+                            ("total_us", json::n(v.total_us)),
+                            ("max_us", json::n(v.max_us)),
+                        ])
+                    };
+                    json::obj(vec![
+                        ("load", verb(&s.latency.load)),
+                        ("solve", verb(&s.latency.solve)),
+                        ("update", verb(&s.latency.update)),
+                    ])
+                }),
                 (
                     "faults",
                     json::obj(vec![
@@ -1028,7 +1072,7 @@ impl Response {
                     }
                     _ => return Err(req_err("missing \"shards\" array")),
                 };
-                Ok(Response::Stats(StatsSnapshot {
+                Ok(Response::Stats(Box::new(StatsSnapshot {
                     uptime_micros: match v.get("uptime_micros") {
                         Some(Json::Num(raw)) => raw
                             .parse::<u128>()
@@ -1071,6 +1115,25 @@ impl Response {
                         incremental: need_u64(&sub("dynamic")?, "incremental")?,
                         full: need_u64(&sub("dynamic")?, "full")?,
                     },
+                    latency: {
+                        let latency = sub("latency")?;
+                        let verb = |key: &str| -> Result<VerbLatency, ProtocolError> {
+                            let obj = latency
+                                .get(key)
+                                .cloned()
+                                .ok_or_else(|| req_err(format!("missing \"latency.{key}\"")))?;
+                            Ok(VerbLatency {
+                                count: need_u64(&obj, "count")?,
+                                total_us: need_u64(&obj, "total_us")?,
+                                max_us: need_u64(&obj, "max_us")?,
+                            })
+                        };
+                        LatencyCounters {
+                            load: verb("load")?,
+                            solve: verb("solve")?,
+                            update: verb("update")?,
+                        }
+                    },
                     faults: {
                         let faults = sub("faults")?;
                         FaultCounters {
@@ -1091,7 +1154,7 @@ impl Response {
                         }
                     },
                     solves: need_u64(&v, "solves")?,
-                }))
+                })))
             }
             "shutdown" => Ok(Response::Shutdown {
                 served: need_u64(&v, "served")?,

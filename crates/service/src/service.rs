@@ -72,8 +72,9 @@ use crate::faults::{splitmix64, FaultInjector, FaultPlan, FaultSite};
 use crate::journal::{journal_error, FsyncPolicy, Journal, Record};
 use crate::protocol::{
     fnv1a, partition_digest, read_frame, AdmissionCounters, DynamicCounters, ErrorKind,
-    FaultCounters, JournalCounters, LoadSource, PoolCounters, ProtocolError, Request,
-    RequestCounters, Response, SolveOutcome, StatsSnapshot, UpdateMode, UpdateOp, FNV_OFFSET,
+    FaultCounters, JournalCounters, LatencyCounters, LoadSource, PoolCounters, ProtocolError,
+    Request, RequestCounters, Response, SolveOutcome, StatsSnapshot, UpdateMode, UpdateOp,
+    VerbLatency, FNV_OFFSET,
 };
 
 /// How many times an `update` re-runs after losing a commit race before
@@ -209,6 +210,43 @@ pub struct ServeOutcome {
     pub shutdown: bool,
 }
 
+/// One verb's service-side latency accumulator: lock-free counters the
+/// dispatcher folds every handled request into, snapshot as
+/// [`VerbLatency`] under `stats.latency`. `max_us` uses a CAS loop —
+/// contended only when a new maximum lands, which is rare by
+/// definition.
+#[derive(Default)]
+struct VerbTimer {
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl VerbTimer {
+    fn record(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        let mut seen = self.max_us.load(Ordering::Relaxed);
+        while us > seen {
+            match self
+                .max_us
+                .compare_exchange_weak(seen, us, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    fn counters(&self) -> VerbLatency {
+        VerbLatency {
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A persistent min-cut service: sharded graph store + admission gate +
 /// workspace pool + counters.
 pub struct Service {
@@ -236,6 +274,9 @@ pub struct Service {
     answered: AtomicU64,
     panics: AtomicU64,
     timeouts: AtomicU64,
+    lat_load: VerbTimer,
+    lat_solve: VerbTimer,
+    lat_update: VerbTimer,
 }
 
 impl Service {
@@ -292,6 +333,9 @@ impl Service {
             answered: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            lat_load: VerbTimer::default(),
+            lat_solve: VerbTimer::default(),
+            lat_update: VerbTimer::default(),
         };
         if let Some(path) = &cfg.journal {
             let (journal, replay) = Journal::open(path, cfg.fsync)
@@ -368,42 +412,65 @@ impl Service {
 
     /// Serves one parsed request. Returns the response and whether it was
     /// a shutdown.
+    ///
+    /// Every `load`/`solve`/`update` dispatch — successful or not — is
+    /// timed into the per-verb counters the `stats.latency` block
+    /// reports. With timing suppressed the duration is recorded as 0 but
+    /// the count still advances, keeping golden sessions deterministic.
     pub fn handle(&self, req: &Request) -> (Response, bool) {
+        let started = Instant::now();
+        let timed = |timer: &VerbTimer, out: (Response, bool)| {
+            timer.record(if self.timing {
+                started.elapsed().as_micros() as u64
+            } else {
+                0
+            });
+            out
+        };
         match req {
-            Request::Load(source) => match self.load(source) {
-                Ok(resp) => {
-                    self.loads.fetch_add(1, Ordering::Relaxed);
-                    (resp, false)
-                }
-                Err(e) => (self.error_response(e), false),
-            },
+            Request::Load(source) => {
+                let out = match self.load(source) {
+                    Ok(resp) => {
+                        self.loads.fetch_add(1, Ordering::Relaxed);
+                        (resp, false)
+                    }
+                    Err(e) => (self.error_response(e), false),
+                };
+                timed(&self.lat_load, out)
+            }
             Request::Solve {
                 graphs,
                 solver,
                 seed,
                 deadline_ms,
-            } => match self.solve(graphs, solver, *seed, *deadline_ms) {
-                Ok(results) => {
-                    self.solve_requests.fetch_add(1, Ordering::Relaxed);
-                    (Response::Solved { results }, false)
-                }
-                Err(e) => (self.error_response(e), false),
-            },
+            } => {
+                let out = match self.solve(graphs, solver, *seed, *deadline_ms) {
+                    Ok(results) => {
+                        self.solve_requests.fetch_add(1, Ordering::Relaxed);
+                        (Response::Solved { results }, false)
+                    }
+                    Err(e) => (self.error_response(e), false),
+                };
+                timed(&self.lat_solve, out)
+            }
             Request::Update {
                 graph,
                 ops,
                 seed,
                 deadline_ms,
-            } => match self.update(graph, ops, *seed, *deadline_ms) {
-                Ok(resp) => {
-                    self.update_requests.fetch_add(1, Ordering::Relaxed);
-                    (resp, false)
-                }
-                Err(e) => (self.error_response(e), false),
-            },
+            } => {
+                let out = match self.update(graph, ops, *seed, *deadline_ms) {
+                    Ok(resp) => {
+                        self.update_requests.fetch_add(1, Ordering::Relaxed);
+                        (resp, false)
+                    }
+                    Err(e) => (self.error_response(e), false),
+                };
+                timed(&self.lat_update, out)
+            }
             Request::Stats => {
                 self.stats_requests.fetch_add(1, Ordering::Relaxed);
-                (Response::Stats(self.stats_snapshot()), false)
+                (Response::Stats(Box::new(self.stats_snapshot())), false)
             }
             Request::Shutdown => {
                 // Graceful exit is the one moment the pool's high-water
@@ -900,6 +967,11 @@ impl Service {
                 incremental: self.incremental_solves.load(Ordering::Relaxed),
                 full: self.full_solves.load(Ordering::Relaxed),
             },
+            latency: LatencyCounters {
+                load: self.lat_load.counters(),
+                solve: self.lat_solve.counters(),
+                update: self.lat_update.counters(),
+            },
             faults: FaultCounters {
                 panics: self.panics.load(Ordering::Relaxed),
                 timeouts: self.timeouts.load(Ordering::Relaxed),
@@ -1070,6 +1142,12 @@ impl Service {
                     let _ = socket.flush();
                     break;
                 }
+                // Responses are written as several small writes per
+                // frame; with Nagle on, those interact with the peer's
+                // delayed ACK into a ~40ms floor per round trip on
+                // loopback — disable it, this is a request/response
+                // protocol.
+                let _ = socket.set_nodelay(true);
                 // A configured idle timeout surfaces as WouldBlock /
                 // TimedOut reads, which the guarded loop answers with a
                 // structured `idle_timeout` frame.

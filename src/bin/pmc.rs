@@ -63,6 +63,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("algos") => cmd_algos(),
@@ -103,6 +104,9 @@ const USAGE: &str = "usage:
             [--max-inflight W] [--staleness F] [--listen ADDR] [--no-timing]
             [--request-timeout-ms MS] [--idle-timeout-ms MS] [--journal FILE]
             [--fsync always|never] [--inject-faults SEED:SPEC]
+  pmc loadgen [--connections N] [--requests R] [--graphs G] [--seed S]
+              [--mode closed|open] [--rate RPS] [--addr HOST:PORT]
+              [--serve-threads P] [--no-timing] [--json] [--trace FILE]
   pmc info <file>
   pmc verify <file> <value> [--algo A]
   pmc algos
@@ -530,6 +534,140 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 }
             );
         }
+    }
+    Ok(())
+}
+
+const LOADGEN_FLAGS: &[(&str, bool)] = &[
+    ("--connections", true),
+    ("--requests", true),
+    ("--graphs", true),
+    ("--seed", true),
+    ("--mode", true),
+    ("--rate", true),
+    ("--addr", true),
+    ("--serve-threads", true),
+    ("--no-timing", false),
+    ("--json", false),
+    ("--trace", true),
+];
+
+/// `pmc loadgen`: drive a seeded mixed workload (load/solve/update/stats)
+/// over N concurrent TCP connections against a `pmc serve` and report
+/// per-verb latency quantiles. Without `--addr` a dedicated child
+/// `pmc serve --listen 127.0.0.1:0` is spawned (sized so nothing is
+/// evicted or shed) and shut down afterwards. `--mode open` paces
+/// requests on a seeded Poisson schedule at `--rate` req/s with
+/// coordinated-omission-corrected latencies; `--mode closed` (default)
+/// keeps one request in flight per connection. `--trace FILE` writes the
+/// full request trace (`c<conn> <frame>` lines) before running — the
+/// determinism tests byte-compare it across runs and connection counts.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use pmc_bench::loadgen::{run, ArrivalMode, LoadgenConfig, ServeChild};
+    use pmc_bench::workload::{connection_script, WorkloadSpec};
+
+    check_flags(args, LOADGEN_FLAGS)?;
+    if let Some(extra) = positionals(args, LOADGEN_FLAGS).first() {
+        return Err(format!("loadgen: unexpected argument {extra:?}\n{USAGE}"));
+    }
+    let parse_flag = |name: &str, default: usize| -> Result<usize, String> {
+        flag_value(args, name).map_or(Ok(default), |v| {
+            v.parse().map_err(|_| format!("bad {name}"))
+        })
+    };
+    let connections = parse_flag("--connections", 2)?.max(1);
+    let spec = WorkloadSpec {
+        seed: flag_value(args, "--seed").map_or(Ok(42), |v| v.parse().map_err(|_| "bad --seed"))?,
+        graphs_per_conn: parse_flag("--graphs", 2)?.max(1),
+        requests_per_conn: parse_flag("--requests", 50)?,
+        base_n: 12,
+    };
+    let mode = match flag_value(args, "--mode").as_deref() {
+        None | Some("closed") => ArrivalMode::Closed,
+        Some("open") => {
+            let rate: f64 = flag_value(args, "--rate")
+                .map_or(Ok(200.0), |v| v.parse().map_err(|_| "bad --rate"))?;
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err("loadgen: --rate must be a finite value > 0".into());
+            }
+            ArrivalMode::Open { rate_rps: rate }
+        }
+        Some(other) => return Err(format!("loadgen: unknown mode {other:?} (closed|open)")),
+    };
+
+    if let Some(path) = flag_value(args, "--trace") {
+        // The full request trace, before any network traffic: scripts
+        // are a pure function of (seed, connection), so this is also
+        // exactly what the run will send.
+        let mut out = String::new();
+        for conn in 0..connections {
+            for step in connection_script(&spec, conn).steps {
+                out.push_str(&format!("c{conn} {}\n", step.frame));
+            }
+        }
+        std::fs::write(&path, out).map_err(|e| format!("loadgen: write {path}: {e}"))?;
+    }
+
+    let external = flag_value(args, "--addr");
+    if external.is_some() && args.iter().any(|a| a == "--no-timing") {
+        return Err("loadgen: --no-timing configures the spawned child; drop --addr".into());
+    }
+    let child = match &external {
+        Some(_) => None,
+        None => {
+            let bin = std::env::current_exe().map_err(|e| format!("loadgen: {e}"))?;
+            // Size the child so the workload is never evicted or shed:
+            // residency strictness below depends on it.
+            let mut serve_args = vec![
+                "--cache-graphs".to_string(),
+                (connections * spec.graphs_per_conn * 2).max(64).to_string(),
+                "--max-inflight".to_string(),
+                (connections * 4).max(16).to_string(),
+            ];
+            if let Some(t) = flag_value(args, "--serve-threads") {
+                serve_args.push("--threads".into());
+                serve_args.push(t);
+            }
+            if args.iter().any(|a| a == "--no-timing") {
+                serve_args.push("--no-timing".into());
+            }
+            Some(
+                ServeChild::spawn(&bin, &serve_args)
+                    .map_err(|e| format!("loadgen: spawn serve: {e}"))?,
+            )
+        }
+    };
+    let cfg = LoadgenConfig {
+        addr: external
+            .clone()
+            .unwrap_or_else(|| child.as_ref().expect("child or addr").addr.clone()),
+        connections,
+        spec,
+        mode,
+        strict_residency: child.is_some(),
+    };
+    let report = run(&cfg).map_err(|e| format!("loadgen: {e}"))?;
+    if let Some(child) = child {
+        child
+            .shutdown()
+            .map_err(|e| format!("loadgen: child shutdown: {e}"))?;
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_table());
+    }
+    if report.protocol_errors > 0 || report.mismatches > 0 {
+        return Err(format!(
+            "loadgen: {} protocol errors, {} mismatches{}",
+            report.protocol_errors,
+            report.mismatches,
+            report
+                .first_issue
+                .as_deref()
+                .map(|d| format!(" (first: {d})"))
+                .unwrap_or_default()
+        ));
     }
     Ok(())
 }

@@ -22,7 +22,23 @@ fn pmc() -> Command {
 
 /// Keys whose numeric values vary run to run and are zeroed before the
 /// comparison; the keys themselves must still be present.
-const VOLATILE_KEYS: &[&str] = &["elapsed_ms", "mean_micros", "micros", "uptime_micros"];
+const VOLATILE_KEYS: &[&str] = &[
+    "elapsed_ms",
+    "mean_micros",
+    "micros",
+    "uptime_micros",
+    // `pmc loadgen --json`: wall-clock latency quantiles and the probed
+    // core count vary run to run / machine to machine; request counts,
+    // error tallies, and histogram footprints do not.
+    "hardware_threads",
+    "throughput_rps",
+    "min_us",
+    "mean_us",
+    "p50_us",
+    "p95_us",
+    "p99_us",
+    "max_us",
+];
 
 /// Replaces the number after every `"key":` occurrence with `0`,
 /// leaving everything else byte-for-byte intact.
@@ -107,6 +123,29 @@ fn scenarios_table_matches_golden() {
     let mut cmd = pmc();
     cmd.arg("scenarios");
     assert_golden("scenarios.txt.golden", &stdout_of(cmd));
+}
+
+#[test]
+fn loadgen_json_summary_matches_golden() {
+    // A seeded closed-loop run against a spawned --no-timing child: the
+    // request trace is a pure function of (seed, connection), so every
+    // non-timing field of the summary — per-verb counts, error tallies,
+    // histogram footprints, workload echo — is deterministic. Timing
+    // fields (latency quantiles, throughput, hardware_threads) are
+    // normalized to 0 by VOLATILE_KEYS.
+    let mut cmd = pmc();
+    cmd.args([
+        "loadgen",
+        "--json",
+        "--no-timing",
+        "--seed",
+        "1234",
+        "--connections",
+        "2",
+        "--requests",
+        "25",
+    ]);
+    assert_golden("loadgen_summary.json.golden", &stdout_of(cmd));
 }
 
 #[test]

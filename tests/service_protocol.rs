@@ -9,7 +9,8 @@ use std::io::BufReader;
 
 use parallel_mincut::service::protocol::{
     read_frame, AdmissionCounters, CacheCounters, DynamicCounters, ErrorKind, FaultCounters,
-    JournalCounters, PoolCounters, RequestCounters, UpdateMode, UpdateOp, MAX_FRAME_BYTES,
+    JournalCounters, LatencyCounters, PoolCounters, RequestCounters, UpdateMode, UpdateOp,
+    VerbLatency, MAX_FRAME_BYTES,
 };
 use parallel_mincut::service::{
     LoadSource, ProtocolError, Request, Response, SolveOutcome, StatsSnapshot,
@@ -112,7 +113,7 @@ fn gen_response(rng: &mut SmallRng) -> Response {
                     .collect(),
             }
         }
-        2 => Response::Stats(StatsSnapshot {
+        2 => Response::Stats(Box::new(StatsSnapshot {
             uptime_micros: u128::from(rng.gen::<u64>()),
             threads: rng.gen(),
             requests: RequestCounters {
@@ -153,6 +154,18 @@ fn gen_response(rng: &mut SmallRng) -> Response {
                 incremental: rng.gen(),
                 full: rng.gen(),
             },
+            latency: {
+                let mut verb = || VerbLatency {
+                    count: rng.gen(),
+                    total_us: rng.gen(),
+                    max_us: rng.gen(),
+                };
+                LatencyCounters {
+                    load: verb(),
+                    solve: verb(),
+                    update: verb(),
+                }
+            },
             faults: FaultCounters {
                 panics: rng.gen(),
                 timeouts: rng.gen(),
@@ -167,7 +180,7 @@ fn gen_response(rng: &mut SmallRng) -> Response {
                 errors: rng.gen(),
             },
             solves: rng.gen(),
-        }),
+        })),
         3 => Response::Updated {
             id: gen_id(rng),
             from: gen_id(rng),
